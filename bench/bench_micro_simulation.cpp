@@ -1,0 +1,62 @@
+// Microbenchmarks (google-benchmark) of the substrate primitives whose
+// cost dominates the pipeline: control-plane convergence, data-plane
+// extraction, and k-degree anonymization. These quantify the "simulation
+// job" cost unit of §5.4.
+#include <benchmark/benchmark.h>
+
+#include "src/core/original_index.hpp"
+#include "src/graph/k_degree_anonymize.hpp"
+#include "src/netgen/networks.hpp"
+#include "src/routing/simulation.hpp"
+
+namespace confmask {
+namespace {
+
+const ConfigSet& network_by_index(int index) {
+  static const auto networks = evaluation_networks();
+  return networks[static_cast<std::size_t>(index)].configs;
+}
+
+void BM_SimulationConverge(benchmark::State& state) {
+  const auto& configs = network_by_index(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const Simulation sim(configs);
+    benchmark::DoNotOptimize(sim.topology().node_count());
+  }
+}
+BENCHMARK(BM_SimulationConverge)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
+
+void BM_DataPlaneExtraction(benchmark::State& state) {
+  const auto& configs = network_by_index(static_cast<int>(state.range(0)));
+  const Simulation sim(configs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.extract_data_plane().path_count());
+  }
+}
+BENCHMARK(BM_DataPlaneExtraction)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
+
+void BM_OriginalIndexSnapshot(benchmark::State& state) {
+  const auto& configs = network_by_index(static_cast<int>(state.range(0)));
+  const Simulation sim(configs);
+  for (auto _ : state) {
+    const OriginalIndex index(sim);
+    benchmark::DoNotOptimize(index.real_hosts().size());
+  }
+}
+BENCHMARK(BM_OriginalIndexSnapshot)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
+
+void BM_KDegreeAnonymize(benchmark::State& state) {
+  const auto& configs = network_by_index(static_cast<int>(state.range(0)));
+  const auto graph = Topology::build(configs).router_graph();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(k_degree_anonymize(graph, 6, rng).added_edges);
+  }
+}
+BENCHMARK(BM_KDegreeAnonymize)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace confmask
+
+BENCHMARK_MAIN();

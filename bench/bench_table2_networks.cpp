@@ -1,0 +1,25 @@
+// Table 2: the evaluation networks — |R|, |H|, |E|, #config lines, type.
+#include "bench/bench_common.hpp"
+#include "src/config/emit.hpp"
+#include "src/routing/topology.hpp"
+
+int main() {
+  using namespace confmask;
+  bench::header("Table 2: evaluation networks",
+                "8 networks, 18-219 devices, OSPF-only and BGP+OSPF");
+  std::printf("%-3s %-11s %5s %5s %5s %14s %10s\n", "ID", "Network", "|R|",
+              "|H|", "|E|", "#config lines", "Type");
+  for (const auto& network : bench::networks()) {
+    const auto topo = Topology::build(network.configs);
+    const auto lines = config_set_total_lines(network.configs);
+    std::printf("%-3s %-11s %5d %5d %5zu %14zu %10s\n", network.id.c_str(),
+                network.name.c_str(), topo.router_count(), topo.host_count(),
+                topo.links().size(), lines, network.type.c_str());
+    bench::csv("table2," + network.id + "," + network.name + "," +
+               std::to_string(topo.router_count()) + "," +
+               std::to_string(topo.host_count()) + "," +
+               std::to_string(topo.links().size()) + "," +
+               std::to_string(lines) + "," + network.type);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Configuration text emission with per-category line accounting.
+//
+// The paper's configuration-utility metric U_C = 1 − N_l / P_l and the
+// Table 3 breakdown (#added routing-protocol lines / #added filter lines /
+// #added interface lines) are defined over configuration text lines. The
+// emitter therefore tags every line it writes with a category, and both the
+// text and the counts come from the same single pass, so they can never
+// disagree.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/config/model.hpp"
+
+namespace confmask {
+
+/// Category of an emitted configuration line, matching Table 3's columns.
+enum class LineCategory {
+  kHostname,   ///< `hostname X`
+  kInterface,  ///< `interface`, `ip address`, `ip ospf cost`, ...
+  kProtocol,   ///< `router ospf/rip/bgp`, `network`, `neighbor remote-as`
+  kFilter,     ///< `distribute-list`, `neighbor ... prefix-list`, `ip prefix-list`
+  kOther,      ///< passthrough lines outside known blocks
+};
+
+/// Line counts per category (comment/"!" separators excluded, as in the
+/// paper's line accounting).
+struct LineStats {
+  std::size_t hostname = 0;
+  std::size_t interface = 0;
+  std::size_t protocol = 0;
+  std::size_t filter = 0;
+  std::size_t other = 0;
+
+  [[nodiscard]] std::size_t total() const {
+    return hostname + interface + protocol + filter + other;
+  }
+
+  LineStats& operator+=(const LineStats& rhs);
+  friend LineStats operator-(LineStats lhs, const LineStats& rhs);
+};
+
+/// Emits a router configuration as Cisco-IOS-like text.
+[[nodiscard]] std::string emit_router(const RouterConfig& router);
+
+/// Emits a host configuration.
+[[nodiscard]] std::string emit_host(const HostConfig& host);
+
+/// Line statistics for a single device, consistent with emit_*().
+[[nodiscard]] LineStats router_line_stats(const RouterConfig& router);
+[[nodiscard]] LineStats host_line_stats(const HostConfig& host);
+
+/// Aggregate statistics over a whole configuration set.
+[[nodiscard]] LineStats config_set_line_stats(const ConfigSet& configs);
+
+/// Total emitted line count of a configuration set (the paper's P_l).
+[[nodiscard]] std::size_t config_set_total_lines(const ConfigSet& configs);
+
+}  // namespace confmask

@@ -1,0 +1,372 @@
+#include "src/config/parse.hpp"
+
+#include <charconv>
+
+#include "src/util/strings.hpp"
+
+namespace confmask {
+
+namespace {
+
+/// Cursor over configuration lines with 1-based line numbers for errors.
+class LineCursor {
+ public:
+  explicit LineCursor(std::string_view text) : lines_(split(text, '\n')) {}
+
+  [[nodiscard]] bool done() const { return index_ >= lines_.size(); }
+  [[nodiscard]] std::string_view peek() const { return lines_[index_]; }
+  [[nodiscard]] std::size_t line_number() const { return index_ + 1; }
+  void advance() { ++index_; }
+
+  /// True if the current line is a continuation (indented) block line.
+  [[nodiscard]] bool at_block_line() const {
+    return !done() && !lines_[index_].empty() &&
+           (lines_[index_][0] == ' ' || lines_[index_][0] == '\t') &&
+           !trim(lines_[index_]).empty();
+  }
+
+ private:
+  std::vector<std::string_view> lines_;
+  std::size_t index_ = 0;
+};
+
+int parse_int(std::string_view token, std::size_t line_number,
+              const char* what) {
+  int value = 0;
+  auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    throw ConfigParseError(line_number,
+                           std::string("bad ") + what + ": " +
+                               std::string(token));
+  }
+  return value;
+}
+
+Ipv4Address parse_addr(std::string_view token, std::size_t line_number,
+                       const char* what) {
+  const auto addr = Ipv4Address::parse(token);
+  if (!addr) {
+    throw ConfigParseError(line_number, std::string("bad ") + what + ": " +
+                                            std::string(token));
+  }
+  return *addr;
+}
+
+/// Consumes `interface NAME` and its block.
+InterfaceConfig parse_interface_block(LineCursor& cursor,
+                                      std::string_view name) {
+  InterfaceConfig iface;
+  iface.name = std::string(name);
+  cursor.advance();
+  while (cursor.at_block_line()) {
+    const std::size_t line_number = cursor.line_number();
+    const std::string_view body = trim(cursor.peek());
+    const auto tokens = split_ws(body);
+    if (tokens.size() == 4 && tokens[0] == "ip" && tokens[1] == "address") {
+      const auto addr = parse_addr(tokens[2], line_number, "address");
+      const auto mask = parse_addr(tokens[3], line_number, "mask");
+      const auto prefix = Ipv4Prefix::from_mask(addr, mask);
+      if (!prefix) {
+        throw ConfigParseError(line_number, "non-contiguous subnet mask");
+      }
+      iface.address = addr;
+      iface.prefix_length = prefix->length();
+    } else if (tokens.size() == 4 && tokens[0] == "ip" &&
+               tokens[1] == "ospf" && tokens[2] == "cost") {
+      iface.ospf_cost = parse_int(tokens[3], line_number, "ospf cost");
+    } else if (!tokens.empty() && tokens[0] == "description") {
+      iface.description = std::string(trim(body.substr(11)));
+    } else if (tokens.size() == 1 && tokens[0] == "shutdown") {
+      iface.shutdown = true;
+    } else if (tokens.size() == 4 && tokens[0] == "ip" &&
+               tokens[1] == "access-group" && tokens[3] == "in") {
+      iface.access_group_in = parse_int(tokens[2], line_number, "acl number");
+    } else {
+      iface.extra_lines.emplace_back(body);
+    }
+    cursor.advance();
+  }
+  return iface;
+}
+
+OspfConfig parse_ospf_block(LineCursor& cursor, int process_id) {
+  OspfConfig ospf;
+  ospf.process_id = process_id;
+  cursor.advance();
+  while (cursor.at_block_line()) {
+    const std::size_t line_number = cursor.line_number();
+    const std::string_view body = trim(cursor.peek());
+    const auto tokens = split_ws(body);
+    if (tokens.size() == 5 && tokens[0] == "network" && tokens[3] == "area") {
+      const auto addr = parse_addr(tokens[1], line_number, "network");
+      const auto wildcard = parse_addr(tokens[2], line_number, "wildcard");
+      const auto prefix = Ipv4Prefix::from_wildcard(addr, wildcard);
+      if (!prefix) {
+        throw ConfigParseError(line_number, "non-contiguous wildcard mask");
+      }
+      ospf.networks.push_back(
+          OspfNetwork{*prefix, parse_int(tokens[4], line_number, "area")});
+    } else if (tokens.size() == 5 && tokens[0] == "distribute-list" &&
+               tokens[1] == "prefix" && tokens[3] == "in") {
+      ospf.distribute_lists.push_back(
+          DistributeList{std::string(tokens[2]), std::string(tokens[4])});
+    } else {
+      ospf.extra_lines.emplace_back(body);
+    }
+    cursor.advance();
+  }
+  return ospf;
+}
+
+RipConfig parse_rip_block(LineCursor& cursor) {
+  RipConfig rip;
+  cursor.advance();
+  while (cursor.at_block_line()) {
+    const std::size_t line_number = cursor.line_number();
+    const std::string_view body = trim(cursor.peek());
+    const auto tokens = split_ws(body);
+    if (tokens.size() == 2 && tokens[0] == "version") {
+      rip.version = parse_int(tokens[1], line_number, "version");
+    } else if (tokens.size() == 2 && tokens[0] == "network") {
+      rip.networks.push_back(parse_addr(tokens[1], line_number, "network"));
+    } else if (tokens.size() == 5 && tokens[0] == "distribute-list" &&
+               tokens[1] == "prefix" && tokens[3] == "in") {
+      rip.distribute_lists.push_back(
+          DistributeList{std::string(tokens[2]), std::string(tokens[4])});
+    } else {
+      rip.extra_lines.emplace_back(body);
+    }
+    cursor.advance();
+  }
+  return rip;
+}
+
+BgpConfig parse_bgp_block(LineCursor& cursor, int local_as) {
+  BgpConfig bgp;
+  bgp.local_as = local_as;
+  cursor.advance();
+  while (cursor.at_block_line()) {
+    const std::size_t line_number = cursor.line_number();
+    const std::string_view body = trim(cursor.peek());
+    const auto tokens = split_ws(body);
+    if (tokens.size() == 4 && tokens[0] == "network" && tokens[2] == "mask") {
+      const auto addr = parse_addr(tokens[1], line_number, "network");
+      const auto mask = parse_addr(tokens[3], line_number, "mask");
+      const auto prefix = Ipv4Prefix::from_mask(addr, mask);
+      if (!prefix) {
+        throw ConfigParseError(line_number, "non-contiguous network mask");
+      }
+      bgp.networks.push_back(*prefix);
+    } else if (tokens.size() == 4 && tokens[0] == "neighbor" &&
+               tokens[2] == "remote-as") {
+      const auto addr = parse_addr(tokens[1], line_number, "neighbor");
+      bgp.neighbors.push_back(BgpNeighbor{
+          addr, parse_int(tokens[3], line_number, "remote-as"), {}});
+    } else if (tokens.size() == 5 && tokens[0] == "neighbor" &&
+               tokens[2] == "prefix-list" && tokens[4] == "in") {
+      const auto addr = parse_addr(tokens[1], line_number, "neighbor");
+      auto* neighbor = bgp.find_neighbor(addr);
+      if (neighbor == nullptr) {
+        throw ConfigParseError(line_number,
+                               "prefix-list for unknown neighbor " +
+                                   addr.str());
+      }
+      neighbor->prefix_lists_in.emplace_back(tokens[3]);
+    } else {
+      bgp.extra_lines.emplace_back(body);
+    }
+    cursor.advance();
+  }
+  return bgp;
+}
+
+/// Parses one `ip prefix-list ...` line into `router`.
+void parse_prefix_list_line(RouterConfig& router,
+                            const std::vector<std::string_view>& tokens,
+                            std::size_t line_number) {
+  // ip prefix-list NAME seq N {permit|deny} PFX [ge G] [le L]
+  if (tokens.size() < 6 || tokens[3] != "seq") {
+    throw ConfigParseError(line_number, "malformed ip prefix-list");
+  }
+  PrefixListEntry entry;
+  entry.seq = parse_int(tokens[4], line_number, "seq");
+  if (tokens[5] == "permit") {
+    entry.permit = true;
+  } else if (tokens[5] == "deny") {
+    entry.permit = false;
+  } else {
+    throw ConfigParseError(line_number, "expected permit/deny");
+  }
+  if (tokens.size() < 7) {
+    throw ConfigParseError(line_number, "missing prefix");
+  }
+  const auto prefix = Ipv4Prefix::parse(tokens[6]);
+  if (!prefix) {
+    throw ConfigParseError(line_number,
+                           "bad prefix: " + std::string(tokens[6]));
+  }
+  entry.prefix = *prefix;
+  for (std::size_t i = 7; i + 1 < tokens.size(); i += 2) {
+    if (tokens[i] == "ge") {
+      entry.ge = parse_int(tokens[i + 1], line_number, "ge");
+    } else if (tokens[i] == "le") {
+      entry.le = parse_int(tokens[i + 1], line_number, "le");
+    } else {
+      throw ConfigParseError(line_number,
+                             "unexpected token: " + std::string(tokens[i]));
+    }
+  }
+  router.ensure_prefix_list(std::string(tokens[2])).entries.push_back(entry);
+}
+
+/// Parses one `access-list N {permit|deny} ip SRC DST` line, where each
+/// operand is either `any` or `ADDR WILDCARD`.
+void parse_access_list_line(RouterConfig& router,
+                            const std::vector<std::string_view>& tokens,
+                            std::size_t line_number) {
+  AclEntry entry;
+  const int number = parse_int(tokens[1], line_number, "acl number");
+  if (tokens[2] == "permit") {
+    entry.permit = true;
+  } else if (tokens[2] == "deny") {
+    entry.permit = false;
+  } else {
+    throw ConfigParseError(line_number, "expected permit/deny");
+  }
+  std::size_t pos = 4;
+  const auto operand = [&]() -> Ipv4Prefix {
+    if (pos >= tokens.size()) {
+      throw ConfigParseError(line_number, "missing ACL operand");
+    }
+    if (tokens[pos] == "any") {
+      ++pos;
+      return Ipv4Prefix{Ipv4Address{0u}, 0};
+    }
+    if (pos + 1 >= tokens.size()) {
+      throw ConfigParseError(line_number, "missing ACL wildcard");
+    }
+    const auto addr = parse_addr(tokens[pos], line_number, "acl address");
+    const auto wildcard =
+        parse_addr(tokens[pos + 1], line_number, "acl wildcard");
+    const auto prefix = Ipv4Prefix::from_wildcard(addr, wildcard);
+    if (!prefix) {
+      throw ConfigParseError(line_number, "non-contiguous ACL wildcard");
+    }
+    pos += 2;
+    return *prefix;
+  };
+  entry.source = operand();
+  entry.destination = operand();
+  if (pos != tokens.size()) {
+    throw ConfigParseError(line_number, "trailing tokens in access-list");
+  }
+  for (auto& list : router.access_lists) {
+    if (list.number == number) {
+      list.entries.push_back(entry);
+      return;
+    }
+  }
+  router.access_lists.push_back(AccessList{number, {entry}});
+}
+
+}  // namespace
+
+RouterConfig parse_router(std::string_view text) {
+  RouterConfig router;
+  LineCursor cursor(text);
+  while (!cursor.done()) {
+    const std::size_t line_number = cursor.line_number();
+    const std::string_view body = trim(cursor.peek());
+    if (body.empty() || body == "!") {
+      cursor.advance();
+      continue;
+    }
+    const auto tokens = split_ws(body);
+    if (tokens.size() == 2 && tokens[0] == "hostname") {
+      router.hostname = std::string(tokens[1]);
+      cursor.advance();
+    } else if (tokens.size() == 2 && tokens[0] == "interface") {
+      router.interfaces.push_back(parse_interface_block(cursor, tokens[1]));
+    } else if (tokens.size() == 3 && tokens[0] == "router" &&
+               tokens[1] == "ospf") {
+      router.ospf = parse_ospf_block(
+          cursor, parse_int(tokens[2], line_number, "process id"));
+    } else if (tokens.size() == 2 && tokens[0] == "router" &&
+               tokens[1] == "rip") {
+      router.rip = parse_rip_block(cursor);
+    } else if (tokens.size() == 3 && tokens[0] == "router" &&
+               tokens[1] == "bgp") {
+      router.bgp =
+          parse_bgp_block(cursor, parse_int(tokens[2], line_number, "AS"));
+    } else if (tokens.size() >= 3 && tokens[0] == "ip" &&
+               tokens[1] == "prefix-list") {
+      parse_prefix_list_line(router, tokens, line_number);
+      cursor.advance();
+    } else if (tokens.size() >= 5 && tokens[0] == "access-list" &&
+               tokens[3] == "ip") {
+      parse_access_list_line(router, tokens, line_number);
+      cursor.advance();
+    } else if (tokens.size() == 5 && tokens[0] == "ip" &&
+               tokens[1] == "route") {
+      const auto addr = parse_addr(tokens[2], line_number, "route network");
+      const auto mask = parse_addr(tokens[3], line_number, "route mask");
+      const auto prefix = Ipv4Prefix::from_mask(addr, mask);
+      if (!prefix) {
+        throw ConfigParseError(line_number, "non-contiguous route mask");
+      }
+      router.static_routes.push_back(StaticRoute{
+          *prefix, parse_addr(tokens[4], line_number, "route next hop")});
+      cursor.advance();
+    } else {
+      router.extra_lines.emplace_back(body);
+      cursor.advance();
+    }
+  }
+  return router;
+}
+
+HostConfig parse_host(std::string_view text) {
+  HostConfig host;
+  bool saw_gateway = false;
+  LineCursor cursor(text);
+  while (!cursor.done()) {
+    const std::size_t line_number = cursor.line_number();
+    const std::string_view body = trim(cursor.peek());
+    if (body.empty() || body == "!") {
+      cursor.advance();
+      continue;
+    }
+    const auto tokens = split_ws(body);
+    if (tokens.size() == 2 && tokens[0] == "hostname") {
+      host.hostname = std::string(tokens[1]);
+      cursor.advance();
+    } else if (tokens.size() == 2 && tokens[0] == "interface") {
+      const auto iface = parse_interface_block(cursor, tokens[1]);
+      host.interface_name = iface.name;
+      if (!iface.address) {
+        throw ConfigParseError(line_number, "host interface has no address");
+      }
+      host.address = *iface.address;
+      host.prefix_length = iface.prefix_length;
+    } else if (tokens.size() == 3 && tokens[0] == "ip" &&
+               tokens[1] == "default-gateway") {
+      host.gateway = parse_addr(tokens[2], line_number, "gateway");
+      saw_gateway = true;
+      cursor.advance();
+    } else {
+      host.extra_lines.emplace_back(body);
+      cursor.advance();
+    }
+  }
+  if (!saw_gateway) {
+    throw ConfigParseError(1, "host configuration lacks ip default-gateway");
+  }
+  return host;
+}
+
+bool looks_like_host(std::string_view text) {
+  return text.find("ip default-gateway") != std::string_view::npos;
+}
+
+}  // namespace confmask

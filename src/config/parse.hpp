@@ -1,0 +1,43 @@
+// Parsing of Cisco-IOS-like configuration text back into the model.
+//
+// The parser is the inverse of emit.hpp for every construct the model knows
+// about, and preserves everything else verbatim in `extra_lines` so that a
+// parse → emit round trip is lossless up to "!" separators. This mirrors how
+// the paper's pipeline leaves "lines that do not fall within these
+// categories unchanged throughout the workflow" (§6).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "src/config/model.hpp"
+
+namespace confmask {
+
+/// Thrown on malformed input that claims to be a known construct (e.g.
+/// `ip address` with a bad mask). Unknown lines never throw — they are
+/// passthrough by design.
+class ConfigParseError : public std::runtime_error {
+ public:
+  ConfigParseError(std::size_t line_number, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line_number) + ": " +
+                           message),
+        line_number_(line_number) {}
+
+  [[nodiscard]] std::size_t line_number() const { return line_number_; }
+
+ private:
+  std::size_t line_number_;
+};
+
+/// Parses a router configuration.
+[[nodiscard]] RouterConfig parse_router(std::string_view text);
+
+/// Parses a host configuration (must contain `ip default-gateway`).
+[[nodiscard]] HostConfig parse_host(std::string_view text);
+
+/// Heuristic: host configurations contain `ip default-gateway`.
+[[nodiscard]] bool looks_like_host(std::string_view text);
+
+}  // namespace confmask

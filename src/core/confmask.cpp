@@ -1,0 +1,103 @@
+#include "src/core/confmask.hpp"
+
+#include <chrono>
+
+#include "src/core/node_addition.hpp"
+#include "src/core/original_index.hpp"
+#include "src/core/route_anonymity.hpp"
+#include "src/core/route_equivalence.hpp"
+#include "src/core/strawman.hpp"
+#include "src/routing/simulation.hpp"
+#include "src/util/prefix_allocator.hpp"
+
+namespace confmask {
+
+PipelineResult run_pipeline(const ConfigSet& original,
+                            const ConfMaskOptions& options,
+                            EquivalenceStrategy strategy) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t runs_before = Simulation::total_runs();
+
+  PipelineResult result;
+  result.anonymized = original;
+  result.stats.original_lines = config_set_line_stats(original);
+
+  // Preprocessing: simulate the original network once and snapshot the
+  // baseline (topology, FIBs, data plane, IGP distances).
+  const OriginalIndex index = [&] {
+    const Simulation sim(original);
+    return OriginalIndex(sim);
+  }();
+  result.original_dp = index.data_plane();
+
+  PrefixAllocator allocator;
+  for (const auto& prefix : original.used_prefixes()) {
+    allocator.reserve(prefix);
+  }
+  Rng rng(options.seed);
+
+  // Step 0 (extension, §9): network-scale obfuscation via fake routers,
+  // before Step 1 so their degrees are k-anonymized too.
+  if (options.fake_routers > 0) {
+    NodeAdditionOptions node_options;
+    node_options.fake_routers = options.fake_routers;
+    node_options.links_per_fake = options.links_per_fake_router;
+    const auto nodes = add_fake_routers(result.anonymized, index,
+                                        node_options, rng, allocator);
+    result.fake_routers = nodes.fake_routers;
+  }
+
+  // Step 1: topology anonymization.
+  const auto topo_outcome =
+      anonymize_topology(result.anonymized, options.k_r,
+                         options.cost_policy, rng, allocator);
+  result.stats.fake_intra_links = topo_outcome.intra_as_links.size();
+  result.stats.fake_inter_links = topo_outcome.inter_as_links.size();
+
+  // Step 2.1: route equivalence.
+  RouteEquivalenceOutcome equivalence;
+  switch (strategy) {
+    case EquivalenceStrategy::kConfMask:
+      equivalence = enforce_route_equivalence(
+          result.anonymized, index, options.max_equivalence_iterations);
+      break;
+    case EquivalenceStrategy::kStrawman1:
+      equivalence = strawman1_route_fix(result.anonymized, index);
+      break;
+    case EquivalenceStrategy::kStrawman2:
+      equivalence = strawman2_route_fix(result.anonymized, index);
+      break;
+  }
+  result.stats.equivalence_iterations = equivalence.iterations;
+  result.stats.equivalence_filters = equivalence.filters_added;
+  result.equivalence_converged = equivalence.converged;
+
+  // Step 2.2: route anonymity.
+  result.fake_hosts =
+      add_fake_hosts(result.anonymized, index, options.k_h, allocator);
+  result.stats.fake_hosts = result.fake_hosts.size();
+  const auto anonymity = anonymize_routes(result.anonymized,
+                                          result.fake_hosts,
+                                          options.noise_p, rng);
+  result.stats.anonymity_filters = anonymity.filters_added;
+  result.stats.anonymity_rollbacks = anonymity.filters_rolled_back;
+
+  // Final verification: the anonymized data plane over real hosts must be
+  // EXACTLY the original data plane.
+  {
+    const Simulation sim(result.anonymized);
+    result.anonymized_dp = sim.extract_data_plane();
+  }
+  result.functionally_equivalent =
+      result.anonymized_dp.restricted_to(index.real_hosts()) ==
+      result.original_dp;
+
+  result.stats.anonymized_lines = config_set_line_stats(result.anonymized);
+  result.stats.simulations = Simulation::total_runs() - runs_before;
+  result.stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace confmask

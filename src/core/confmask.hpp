@@ -1,0 +1,94 @@
+// The end-to-end ConfMask pipeline (paper Fig 3) and its strawman
+// baselines.
+//
+// run_confmask() = preprocess → Step 1 (topology anonymization) →
+// Step 2.1 (Algorithm 1 route equivalence) → Step 2.2 (fake hosts +
+// Algorithm 2 route anonymity) → verification. The strawman variants swap
+// Step 2.1 for the §4.3 baselines:
+//  * Strawman 1 — deny every real host prefix on every fake link end in a
+//    single pass (fast, pattern-revealing, heavy on config lines);
+//  * Strawman 2 — traceroute-driven: per host pair, find the divergent hop
+//    closest to the destination and add one filter, then re-simulate;
+//    repeat to fixpoint (slow — this is the re-simulation cost §5.4 talks
+//    about).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/config/emit.hpp"
+#include "src/config/model.hpp"
+#include "src/core/topology_anonymization.hpp"
+#include "src/routing/dataplane.hpp"
+
+namespace confmask {
+
+struct ConfMaskOptions {
+  int k_r = 6;          ///< topology k-degree anonymity parameter
+  int k_h = 2;          ///< fake hosts per real host (k_H)
+  double noise_p = 0.1; ///< Algorithm 2 noise coefficient (paper uses 0.1)
+  std::uint64_t seed = 1;
+  FakeLinkCostPolicy cost_policy = FakeLinkCostPolicy::kMinCost;
+  int max_equivalence_iterations = 64;
+  /// §9 network-scale obfuscation extension: number of fake ROUTERS to
+  /// add before topology anonymization (0 = paper's base system).
+  int fake_routers = 0;
+  int links_per_fake_router = 2;
+};
+
+/// Which Step-2.1 implementation the pipeline uses.
+enum class EquivalenceStrategy { kConfMask, kStrawman1, kStrawman2 };
+
+struct PipelineStats {
+  std::size_t fake_intra_links = 0;
+  std::size_t fake_inter_links = 0;
+  std::size_t fake_hosts = 0;
+  int equivalence_iterations = 0;
+  int equivalence_filters = 0;
+  int anonymity_filters = 0;
+  int anonymity_rollbacks = 0;
+  std::uint64_t simulations = 0;  ///< simulation jobs (paper §5.4 cost unit)
+  double seconds = 0.0;           ///< end-to-end wall-clock
+  LineStats original_lines;
+  LineStats anonymized_lines;
+
+  /// Lines injected, N_l.
+  [[nodiscard]] std::size_t added_lines() const {
+    return anonymized_lines.total() - original_lines.total();
+  }
+};
+
+struct PipelineResult {
+  ConfigSet anonymized;
+  PipelineStats stats;
+  DataPlane original_dp;
+  DataPlane anonymized_dp;
+  std::vector<std::string> fake_hosts;
+  std::vector<std::string> fake_routers;  ///< node-addition extension
+  /// True iff the anonymized data plane restricted to real hosts equals
+  /// the original data plane exactly (functional equivalence verified by
+  /// simulation, not assumed from the SFE proof).
+  bool functionally_equivalent = false;
+  bool equivalence_converged = false;
+};
+
+/// Runs the full pipeline with the chosen Step-2.1 strategy.
+PipelineResult run_pipeline(const ConfigSet& original,
+                            const ConfMaskOptions& options,
+                            EquivalenceStrategy strategy);
+
+inline PipelineResult run_confmask(const ConfigSet& original,
+                                   const ConfMaskOptions& options = {}) {
+  return run_pipeline(original, options, EquivalenceStrategy::kConfMask);
+}
+inline PipelineResult run_strawman1(const ConfigSet& original,
+                                    const ConfMaskOptions& options = {}) {
+  return run_pipeline(original, options, EquivalenceStrategy::kStrawman1);
+}
+inline PipelineResult run_strawman2(const ConfigSet& original,
+                                    const ConfMaskOptions& options = {}) {
+  return run_pipeline(original, options, EquivalenceStrategy::kStrawman2);
+}
+
+}  // namespace confmask

@@ -1,0 +1,108 @@
+#include "src/core/deanonymize.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "src/graph/graph.hpp"
+#include "src/routing/topology.hpp"
+
+namespace confmask {
+
+namespace {
+
+EdgeName edge_name(const std::string& a, const std::string& b) {
+  auto names = std::minmax(a, b);
+  return {names.first, names.second};
+}
+
+/// All router-router edges of a configuration set, by hostname pair.
+std::set<EdgeName> router_edges(const ConfigSet& configs) {
+  std::set<EdgeName> edges;
+  const Topology topo = Topology::build(configs);
+  for (const auto& link : topo.links()) {
+    if (topo.is_router(link.a.node) && topo.is_router(link.b.node)) {
+      edges.insert(edge_name(topo.node(link.a.node).name,
+                             topo.node(link.b.node).name));
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+std::set<EdgeName> unconfigured_interface_links(const ConfigSet& configs) {
+  std::set<EdgeName> flagged;
+  const Topology topo = Topology::build(configs);
+  for (const auto& link : topo.links()) {
+    if (!topo.is_router(link.a.node) || !topo.is_router(link.b.node)) {
+      continue;
+    }
+    const auto covered = [&](const LinkEnd& end) {
+      const auto& router = configs.routers[static_cast<std::size_t>(
+          topo.node(end.node).config_index)];
+      if (router.ospf && router.ospf->covers(end.address)) return true;
+      if (router.rip && router.rip->covers(end.address)) return true;
+      if (router.bgp) {
+        // An eBGP session terminating on this link counts as coverage.
+        const auto& peer = link.other_end(end.node);
+        if (router.bgp->find_neighbor(peer.address) != nullptr) return true;
+      }
+      return false;
+    };
+    if (!covered(link.a) || !covered(link.b)) {
+      flagged.insert(edge_name(topo.node(link.a.node).name,
+                               topo.node(link.b.node).name));
+    }
+  }
+  return flagged;
+}
+
+std::set<EdgeName> zero_traffic_links(const ConfigSet& configs,
+                                      const DataPlane& dp) {
+  std::set<EdgeName> used;
+  for (const auto& [flow, paths] : dp.flows) {
+    for (const auto& path : paths) {
+      for (std::size_t i = 1; i + 2 < path.size(); ++i) {
+        used.insert(edge_name(path[i], path[i + 1]));
+      }
+    }
+  }
+  std::set<EdgeName> flagged;
+  for (const auto& edge : router_edges(configs)) {
+    if (used.count(edge) == 0) flagged.insert(edge);
+  }
+  return flagged;
+}
+
+AttackReport score_attack(const ConfigSet& original,
+                          const ConfigSet& anonymized,
+                          const std::set<EdgeName>& flagged) {
+  const auto original_edges = router_edges(original);
+  const auto anonymized_edges = router_edges(anonymized);
+
+  AttackReport report;
+  for (const auto& edge : anonymized_edges) {
+    if (original_edges.count(edge) == 0) ++report.fake_links;
+  }
+  for (const auto& edge : flagged) {
+    if (original_edges.count(edge) != 0) {
+      ++report.flagged_real;
+    } else if (anonymized_edges.count(edge) != 0) {
+      ++report.flagged_fake;
+    }
+  }
+  return report;
+}
+
+int min_reidentification_candidates(const ConfigSet& anonymized) {
+  const Graph graph = Topology::build(anonymized).router_graph();
+  std::map<int, int> class_sizes;
+  for (int degree : graph.degrees()) ++class_sizes[degree];
+  int minimum = graph.node_count();
+  for (const auto& [degree, count] : class_sizes) {
+    minimum = std::min(minimum, count);
+  }
+  return minimum;
+}
+
+}  // namespace confmask

@@ -1,0 +1,63 @@
+// De-anonymization attacks from the adversary's toolbox (§2.2 threat
+// model, §3.2 strawman analysis): everything here uses only what a
+// configuration recipient can see — the files themselves plus simulation.
+//
+// These attacks are what kill the strawman cost policies:
+//  * unconfigured-interface attack — fake links whose interfaces carry no
+//    routing-protocol coverage are trivially identifiable (§3.2 step 1);
+//  * zero-traffic attack — links that no simulated forwarding path ever
+//    crosses are suspicious; the "large cost" policy (§3.2 option ii)
+//    leaves every fake link with zero traffic;
+//  * degree re-identification — given (partial) knowledge of the original
+//    topology, map nodes by degree; the candidate-set size IS the
+//    k-anonymity actually achieved.
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/config/model.hpp"
+#include "src/routing/dataplane.hpp"
+
+namespace confmask {
+
+using EdgeName = std::pair<std::string, std::string>;  // (min, max) hostnames
+
+/// Router-router links whose interfaces are NOT covered by any routing
+/// protocol on either end (and carry no eBGP session) — the naive fake
+/// links of §3.2 step 1.
+[[nodiscard]] std::set<EdgeName> unconfigured_interface_links(
+    const ConfigSet& configs);
+
+/// Router-router links that never appear (as a consecutive hop pair) in
+/// any path of the data plane.
+[[nodiscard]] std::set<EdgeName> zero_traffic_links(const ConfigSet& configs,
+                                                    const DataPlane& dp);
+
+struct AttackReport {
+  std::size_t fake_links = 0;       ///< ground truth
+  std::size_t flagged_fake = 0;     ///< fake links the attack identifies
+  std::size_t flagged_real = 0;     ///< real links falsely accused
+  [[nodiscard]] double true_positive_rate() const {
+    return fake_links == 0 ? 0.0
+                           : static_cast<double>(flagged_fake) /
+                                 static_cast<double>(fake_links);
+  }
+};
+
+/// Scores an attack's `flagged` edge set against ground truth: the fake
+/// links are exactly those present in `anonymized` but not `original`.
+[[nodiscard]] AttackReport score_attack(const ConfigSet& original,
+                                        const ConfigSet& anonymized,
+                                        const std::set<EdgeName>& flagged);
+
+/// Degree re-identification: for every router of the original network,
+/// the number of routers in the anonymized network sharing its anonymized
+/// counterpart's degree. The minimum over routers is the adversary's
+/// smallest candidate set — k-anonymity in attack form.
+[[nodiscard]] int min_reidentification_candidates(
+    const ConfigSet& anonymized);
+
+}  // namespace confmask

@@ -1,0 +1,69 @@
+#include "src/core/original_index.hpp"
+
+#include <algorithm>
+
+namespace confmask {
+
+OriginalIndex::OriginalIndex(const Simulation& sim) {
+  const Topology& topo = sim.topology();
+
+  for (int r = 0; r < topo.router_count(); ++r) {
+    routers_.insert(topo.node(r).name);
+    router_index_[topo.node(r).name] = r;
+  }
+  for (int host : topo.host_ids()) real_hosts_.insert(topo.node(host).name);
+
+  for (const auto& link : topo.links()) {
+    if (!topo.is_router(link.a.node) || !topo.is_router(link.b.node)) {
+      continue;
+    }
+    auto names = std::minmax(topo.node(link.a.node).name,
+                             topo.node(link.b.node).name);
+    edges_.emplace(names.first, names.second);
+  }
+
+  for (int r = 0; r < topo.router_count(); ++r) {
+    for (int host : topo.host_ids()) {
+      for (const NextHop& hop : sim.fib(r, host)) {
+        fib_[{topo.node(r).name, topo.node(host).name}].insert(
+            topo.node(hop.neighbor).name);
+      }
+    }
+  }
+
+  data_plane_ = sim.extract_data_plane();
+
+  const int n = topo.router_count();
+  igp_dist_.assign(static_cast<std::size_t>(n),
+                   std::vector<long>(static_cast<std::size_t>(n), -1));
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      igp_dist_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+          sim.igp_distance(a, b);
+    }
+  }
+}
+
+bool OriginalIndex::is_original_edge(const std::string& a,
+                                     const std::string& b) const {
+  auto names = std::minmax(a, b);
+  return edges_.count({names.first, names.second}) != 0;
+}
+
+bool OriginalIndex::is_original_next_hop(const std::string& router,
+                                         const std::string& host,
+                                         const std::string& next_hop) const {
+  const auto it = fib_.find({router, host});
+  return it != fib_.end() && it->second.count(next_hop) != 0;
+}
+
+long OriginalIndex::igp_distance(const std::string& a,
+                                 const std::string& b) const {
+  const auto ia = router_index_.find(a);
+  const auto ib = router_index_.find(b);
+  if (ia == router_index_.end() || ib == router_index_.end()) return -1;
+  return igp_dist_[static_cast<std::size_t>(ia->second)]
+                  [static_cast<std::size_t>(ib->second)];
+}
+
+}  // namespace confmask

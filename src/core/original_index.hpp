@@ -1,0 +1,60 @@
+// Preprocessing snapshot of the original network.
+//
+// The workflow's preprocessing step (paper Fig 3) simulates the input
+// configurations once and records everything the later stages compare
+// against: the original edge set (to recognize fake links), the original
+// per-router FIBs (Algorithm 1's `DP[r̃, h̃_d]` lookup table), the original
+// data plane (the functional-equivalence ground truth), IGP distances (to
+// price fake links at min_cost), and the real host roster (fake hosts are
+// excluded from equivalence checks).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/routing/simulation.hpp"
+
+namespace confmask {
+
+class OriginalIndex {
+ public:
+  /// Snapshots `sim`, which must be a simulation of the ORIGINAL configs.
+  explicit OriginalIndex(const Simulation& sim);
+
+  /// True if the (router, router) adjacency existed in the original
+  /// network. Order-insensitive.
+  [[nodiscard]] bool is_original_edge(const std::string& a,
+                                      const std::string& b) const;
+
+  /// True if `next_hop` was an original FIB next hop of `router` for
+  /// destination host `host` (all by name).
+  [[nodiscard]] bool is_original_next_hop(const std::string& router,
+                                          const std::string& host,
+                                          const std::string& next_hop) const;
+
+  [[nodiscard]] const DataPlane& data_plane() const { return data_plane_; }
+  [[nodiscard]] const std::set<std::string>& real_hosts() const {
+    return real_hosts_;
+  }
+  [[nodiscard]] const std::set<std::string>& routers() const {
+    return routers_;
+  }
+
+  /// Original IGP distance between two routers by name (-1 unreachable /
+  /// unknown router).
+  [[nodiscard]] long igp_distance(const std::string& a,
+                                  const std::string& b) const;
+
+ private:
+  std::set<std::pair<std::string, std::string>> edges_;  // (min, max) names
+  std::map<std::pair<std::string, std::string>, std::set<std::string>> fib_;
+  DataPlane data_plane_;
+  std::set<std::string> real_hosts_;
+  std::set<std::string> routers_;
+  std::map<std::string, int> router_index_;
+  std::vector<std::vector<long>> igp_dist_;
+};
+
+}  // namespace confmask

@@ -1,0 +1,173 @@
+#include "src/core/route_anonymity.hpp"
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "src/core/filters.hpp"
+#include "src/routing/simulation.hpp"
+
+namespace confmask {
+
+std::vector<std::string> add_fake_hosts(ConfigSet& configs,
+                                        const OriginalIndex& index, int k_h,
+                                        PrefixAllocator& allocator) {
+  std::vector<std::string> fake_hosts;
+  // Snapshot the real host list first — we append to configs.hosts below.
+  std::vector<HostConfig> real_hosts;
+  for (const auto& host : configs.hosts) {
+    if (index.real_hosts().count(host.hostname) != 0) {
+      real_hosts.push_back(host);
+    }
+  }
+
+  for (const auto& real : real_hosts) {
+    // The ingress router is the one owning the host's gateway address.
+    RouterConfig* gateway = nullptr;
+    for (auto& router : configs.routers) {
+      for (const auto& iface : router.interfaces) {
+        if (iface.address && *iface.address == real.gateway) {
+          gateway = &router;
+        }
+      }
+    }
+    if (gateway == nullptr) continue;
+
+    for (int copy = 1; copy < k_h; ++copy) {
+      const Ipv4Prefix lan = allocator.allocate_host_lan();
+      // Fresh name: "<host>_<n>" with n bumped past any existing host
+      // (e.g. when anonymizing an already-anonymized network whose
+      // round-one copies took the low suffixes).
+      std::string name;
+      for (int suffix = copy;; ++suffix) {
+        name = real.hostname + "_" + std::to_string(suffix);
+        if (configs.find_host(name) == nullptr) break;
+      }
+
+      InterfaceConfig iface;
+      iface.name = gateway->fresh_interface_name();
+      iface.address = lan.host(1);
+      iface.prefix_length = 24;
+      iface.description = "to-" + name;
+      // Same interface shape as the router's real interfaces.
+      if (!gateway->interfaces.empty()) {
+        iface.extra_lines = gateway->interfaces.front().extra_lines;
+      }
+      gateway->interfaces.push_back(std::move(iface));
+
+      if (gateway->ospf) {
+        gateway->ospf->networks.push_back(OspfNetwork{lan, 0});
+      } else if (gateway->rip) {
+        const Ipv4Address classful{
+            lan.network().bits() &
+            Ipv4Prefix{lan.network(), lan.network().classful_prefix_length()}
+                .mask_bits()};
+        bool present = false;
+        for (const auto existing : gateway->rip->networks) {
+          if (existing == classful) present = true;
+        }
+        if (!present) gateway->rip->networks.push_back(classful);
+      }
+      if (gateway->bgp) gateway->bgp->networks.push_back(lan);
+
+      // "Same configuration as the original host except for hostname and
+      // IP address" (§5.3).
+      HostConfig fake = real;
+      fake.hostname = name;
+      fake.address = lan.host(10);
+      fake.prefix_length = 24;
+      fake.gateway = lan.host(1);
+      configs.hosts.push_back(std::move(fake));
+      fake_hosts.push_back(name);
+    }
+  }
+  return fake_hosts;
+}
+
+RouteAnonymityOutcome anonymize_routes(
+    ConfigSet& configs, const std::vector<std::string>& fake_hosts,
+    double noise_p, Rng& rng) {
+  RouteAnonymityOutcome outcome;
+  if (fake_hosts.empty() || noise_p <= 0.0) return outcome;
+
+  const std::set<std::string> fake_set(fake_hosts.begin(), fake_hosts.end());
+
+  // The paper's Algorithm 2 loops over routers, re-checking reachability
+  // after each router's random filters. Because a filter only affects the
+  // filtering router's own RIB under link-state semantics (and the
+  // rollback loop below runs to a fixpoint for the distance-vector/BGP
+  // cases where effects propagate), we batch all routers into one noise
+  // pass followed by rollback rounds — same filters kept, a fraction of
+  // the simulation jobs (§5.4's dominant cost).
+  const Simulation initial(configs);
+  const Topology& topo = initial.topology();
+
+  std::vector<int> fake_nodes;
+  for (int host : topo.host_ids()) {
+    if (fake_set.count(topo.node(host).name) != 0) fake_nodes.push_back(host);
+  }
+
+  // DstH_old: per router, the fake hosts reachable before any noise.
+  std::vector<std::set<int>> reachable_before(
+      static_cast<std::size_t>(topo.router_count()));
+  for (int r = 0; r < topo.router_count(); ++r) {
+    for (int fh : fake_nodes) {
+      if (initial.reaches(r, fh)) {
+        reachable_before[static_cast<std::size_t>(r)].insert(fh);
+      }
+    }
+  }
+
+  // Noise pass: deny fake-host FIB entries with probability p (never the
+  // connected delivery at the gateway).
+  std::map<std::pair<int, int>, std::vector<int>> added;  // (r, fh) -> links
+  for (int r = 0; r < topo.router_count(); ++r) {
+    for (int fh : fake_nodes) {
+      const auto* host_config =
+          configs.hosts.data() + topo.node(fh).config_index;
+      for (const NextHop& hop : initial.fib(r, fh)) {
+        if (hop.neighbor == fh) continue;
+        if (!rng.chance(noise_p)) continue;
+        if (add_route_filter(configs, topo, r, topo.link(hop.link),
+                             host_config->prefix())) {
+          added[{r, fh}].push_back(hop.link);
+        }
+      }
+    }
+  }
+  if (added.empty()) return outcome;
+
+  // Rollback rounds: remove any filter set that took a previously
+  // reachable fake host out of reach (DstH_old \ DstH_new), re-simulating
+  // until nothing more needs rolling back.
+  constexpr int kMaxRollbackRounds = 16;
+  for (int round = 0; round < kMaxRollbackRounds && !added.empty(); ++round) {
+    const Simulation resim(configs);
+    bool rolled_back = false;
+    for (auto it = added.begin(); it != added.end();) {
+      const auto [r, fh] = it->first;
+      if (reachable_before[static_cast<std::size_t>(r)].count(fh) == 0 ||
+          resim.reaches(r, fh)) {
+        ++it;
+        continue;
+      }
+      const auto* host_config =
+          configs.hosts.data() + topo.node(fh).config_index;
+      for (int link_id : it->second) {
+        if (remove_route_filter(configs, topo, r, topo.link(link_id),
+                                host_config->prefix())) {
+          ++outcome.filters_rolled_back;
+        }
+      }
+      it = added.erase(it);
+      rolled_back = true;
+    }
+    if (!rolled_back) break;
+  }
+  for (const auto& [key, links] : added) {
+    outcome.filters_added += static_cast<int>(links.size());
+  }
+  return outcome;
+}
+
+}  // namespace confmask

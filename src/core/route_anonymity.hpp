@@ -1,0 +1,42 @@
+// Step 2.2: route anonymity — fake hosts plus the paper's Algorithm 2.
+//
+// First, k_H − 1 copies of every real host are attached to the SAME
+// ingress router, each on a fresh LAN outside the original address space
+// (so added filters cannot interact with real routes), configured exactly
+// like the real host's LAN: interface pair, IGP coverage, and a BGP
+// `network` statement when the gateway speaks BGP.
+//
+// Then Algorithm 2 walks the routers: for every FIB entry towards a fake
+// host, with probability `noise_p` a deny filter is added; any filter that
+// makes a previously reachable fake host unreachable from that router is
+// rolled back. The surviving random filters divert fake-host traffic onto
+// different paths (including through fake links), which is what hides the
+// real routing paths among k_H−1 plausible companions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/config/model.hpp"
+#include "src/core/original_index.hpp"
+#include "src/util/prefix_allocator.hpp"
+#include "src/util/rng.hpp"
+
+namespace confmask {
+
+/// Adds k_h − 1 fake copies per real host; returns the fake host names.
+std::vector<std::string> add_fake_hosts(ConfigSet& configs,
+                                        const OriginalIndex& index, int k_h,
+                                        PrefixAllocator& allocator);
+
+struct RouteAnonymityOutcome {
+  int filters_added = 0;    ///< deny entries surviving rollback
+  int filters_rolled_back = 0;
+};
+
+/// Algorithm 2 (randomized filters + reachability rollback).
+RouteAnonymityOutcome anonymize_routes(
+    ConfigSet& configs, const std::vector<std::string>& fake_hosts,
+    double noise_p, Rng& rng);
+
+}  // namespace confmask

@@ -1,0 +1,55 @@
+#include "src/core/route_equivalence.hpp"
+
+#include "src/core/filters.hpp"
+#include "src/routing/simulation.hpp"
+
+namespace confmask {
+
+RouteEquivalenceOutcome enforce_route_equivalence(ConfigSet& configs,
+                                                  const OriginalIndex& index,
+                                                  int max_iterations) {
+  RouteEquivalenceOutcome outcome;
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    const Simulation sim(configs);
+    const Topology& topo = sim.topology();
+    ++outcome.iterations;
+
+    int added = 0;
+    for (int r = 0; r < topo.router_count(); ++r) {
+      const std::string& router_name = topo.node(r).name;
+      // Fake routers (node-addition extension) never carry real transit —
+      // every real-router FIB entry pointing at them crosses a fake link
+      // and is filtered below — so their own FIBs need no fixing (and
+      // emptying them would flag them to the zero-traffic attack).
+      if (index.routers().count(router_name) == 0) continue;
+      for (int host : topo.host_ids()) {
+        const std::string& host_name = topo.node(host).name;
+        // Algorithm 1 fixes the routes of ORIGINAL destinations only;
+        // fake-host routes are Step 2.2's raw material.
+        if (index.real_hosts().count(host_name) == 0) continue;
+        for (const NextHop& hop : sim.fib(r, host)) {
+          if (!topo.is_router(hop.neighbor)) continue;  // delivery
+          const std::string& next_name = topo.node(hop.neighbor).name;
+          // Line 3 of Algorithm 1: nxt ∉ DP[r̃, h̃_d] ∧ (r̃, nxt) ∉ E.
+          if (index.is_original_edge(router_name, next_name)) continue;
+          if (index.is_original_next_hop(router_name, host_name, next_name)) {
+            continue;
+          }
+          const auto* host_config = configs.find_host(host_name);
+          if (add_route_filter(configs, topo, r, topo.link(hop.link),
+                               host_config->prefix())) {
+            ++added;
+          }
+        }
+      }
+    }
+    outcome.filters_added += added;
+    if (added == 0) {
+      outcome.converged = true;
+      break;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace confmask

@@ -1,0 +1,31 @@
+// Step 2.1: route equivalence — the paper's Algorithm 1.
+//
+// Iteratively simulate the intermediate network; for every FIB entry
+// ⟨r̃, h̃_d, nxt⟩ whose next hop is not an original next hop AND whose link
+// (r̃, nxt) is fake, add a filter on r̃ denying h̃_d from nxt. Repeat until
+// a simulation surfaces no such entry — at which point the SFE conditions
+// hold and (Theorem A.4) the network is functionally equivalent to the
+// original.
+//
+// Convergence needs multiple iterations because routers have no global
+// view: denying one wrong next hop can surface another one downstream in
+// the next converged state. The iteration count is bounded by the number
+// of fake links (paper §5.4); `max_iterations` is a defensive backstop.
+#pragma once
+
+#include "src/config/model.hpp"
+#include "src/core/original_index.hpp"
+
+namespace confmask {
+
+struct RouteEquivalenceOutcome {
+  int iterations = 0;     ///< simulations performed (including the clean one)
+  int filters_added = 0;  ///< deny entries written
+  bool converged = false;
+};
+
+RouteEquivalenceOutcome enforce_route_equivalence(ConfigSet& configs,
+                                                  const OriginalIndex& index,
+                                                  int max_iterations = 64);
+
+}  // namespace confmask

@@ -1,0 +1,30 @@
+// The §4.3 strawman route-fixing baselines (Step 2.1 alternatives).
+#pragma once
+
+#include "src/config/model.hpp"
+#include "src/core/original_index.hpp"
+#include "src/core/route_equivalence.hpp"
+
+namespace confmask {
+
+/// Strawman 1: on every fake link end, deny EVERY real host prefix, in one
+/// pass with no simulation (paper Listing 3). Correct but leaves a unified
+/// pattern on each router and injects the most configuration lines.
+RouteEquivalenceOutcome strawman1_route_fix(ConfigSet& configs,
+                                            const OriginalIndex& index);
+
+/// Strawman 2: per host pair, traceroute the intermediate network, find
+/// the first different hop closest to the destination, filter that hop,
+/// and re-simulate; repeat to fixpoint. One filter per mismatching flow
+/// per iteration — the re-simulation count is what makes it impractical.
+///
+/// Deviation from the paper's prose: the divergent hop is walked further
+/// back to the nearest FAKE edge when it lands on a real one, because
+/// filtering a real adjacency can destroy original routes under link-state
+/// install-time semantics (the paper's strawman had the same blind spot;
+/// see DESIGN.md).
+RouteEquivalenceOutcome strawman2_route_fix(ConfigSet& configs,
+                                            const OriginalIndex& index,
+                                            int max_iterations = 20000);
+
+}  // namespace confmask

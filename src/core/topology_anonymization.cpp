@@ -1,0 +1,216 @@
+#include "src/core/topology_anonymization.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "src/graph/k_degree_anonymize.hpp"
+#include "src/routing/simulation.hpp"
+#include "src/routing/topology.hpp"
+
+namespace confmask {
+
+/// Materializes a fake router-router link in the configurations, shaped
+/// exactly like a real one (interfaces, description, protocol coverage).
+void materialize_fake_link(ConfigSet& configs, const std::string& name_a,
+                           const std::string& name_b,
+                           FakeLinkCostPolicy policy, long min_cost,
+                           PrefixAllocator& allocator, bool inter_as) {
+  auto& ra = *configs.find_router(name_a);
+  auto& rb = *configs.find_router(name_b);
+  const Ipv4Prefix prefix = allocator.allocate_link();
+
+  std::optional<int> cost;
+  if (!inter_as) {
+    switch (policy) {
+      case FakeLinkCostPolicy::kMinCost: {
+        if (min_cost > 0) cost = static_cast<int>(min_cost);
+        break;
+      }
+      case FakeLinkCostPolicy::kLarge:
+        cost = 60000;
+        break;
+      case FakeLinkCostPolicy::kDefault:
+        break;
+    }
+  }
+
+  const auto attach = [&](RouterConfig& router, std::uint32_t host_index,
+                          const std::string& peer_name) -> InterfaceConfig& {
+    InterfaceConfig iface;
+    iface.name = router.fresh_interface_name();
+    iface.address = prefix.host(host_index);
+    iface.prefix_length = 31;
+    iface.ospf_cost = cost;
+    iface.description = "to-" + peer_name;
+    // Mimic the shape of the router's real interfaces (L2 boilerplate
+    // etc.) so the fake interface is not identifiable by its sparseness.
+    if (!router.interfaces.empty()) {
+      iface.extra_lines = router.interfaces.front().extra_lines;
+    }
+    router.interfaces.push_back(std::move(iface));
+    return router.interfaces.back();
+  };
+  attach(ra, 0, name_b);
+  attach(rb, 1, name_a);
+
+  if (inter_as) {
+    // eBGP session configuration, mirroring real inter-AS links so the
+    // fake session is not trivially identifiable.
+    ra.bgp->neighbors.push_back(
+        BgpNeighbor{prefix.host(1), rb.bgp->local_as, {}});
+    rb.bgp->neighbors.push_back(
+        BgpNeighbor{prefix.host(0), ra.bgp->local_as, {}});
+    return;
+  }
+
+  if (ra.ospf && rb.ospf) {
+    ra.ospf->networks.push_back(OspfNetwork{prefix, 0});
+    rb.ospf->networks.push_back(OspfNetwork{prefix, 0});
+  } else if (ra.rip && rb.rip) {
+    const Ipv4Address classful{
+        prefix.network().bits() &
+        Ipv4Prefix{prefix.network(),
+                   prefix.network().classful_prefix_length()}
+            .mask_bits()};
+    const auto cover = [&](RipConfig& rip) {
+      if (std::find(rip.networks.begin(), rip.networks.end(), classful) ==
+          rip.networks.end()) {
+        rip.networks.push_back(classful);
+      }
+    };
+    cover(*ra.rip);
+    cover(*rb.rip);
+  }
+}
+
+TopologyAnonymizationOutcome anonymize_topology(ConfigSet& configs, int k_r,
+                                                FakeLinkCostPolicy policy,
+                                                Rng& rng,
+                                                PrefixAllocator& allocator) {
+  TopologyAnonymizationOutcome outcome;
+  const Topology topo = Topology::build(configs);
+
+  // Fake-link prices must come from the network the links are ADDED TO:
+  // after the node-addition extension, configs contains fake routers the
+  // preprocessing index knows nothing about (and for original routers the
+  // two distance notions coincide because node addition never shortens
+  // paths).
+  std::vector<std::vector<long>> igp;
+  if (policy == FakeLinkCostPolicy::kMinCost) {
+    const Simulation sim(configs);
+    const int rc = topo.router_count();
+    igp.assign(static_cast<std::size_t>(rc),
+               std::vector<long>(static_cast<std::size_t>(rc), -1));
+    for (int a = 0; a < rc; ++a) {
+      for (int b = 0; b < rc; ++b) {
+        igp[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+            sim.igp_distance(a, b);
+      }
+    }
+  }
+  const auto min_cost_of = [&](const std::string& a, const std::string& b) {
+    if (igp.empty()) return -1L;
+    const int ia = topo.find_node(a);
+    const int ib = topo.find_node(b);
+    if (ia < 0 || ib < 0) return -1L;
+    return igp[static_cast<std::size_t>(ia)][static_cast<std::size_t>(ib)];
+  };
+
+  // Group routers by AS (-1 == no BGP == one flat IGP domain).
+  std::map<int, std::vector<int>> by_as;
+  for (int r = 0; r < topo.router_count(); ++r) {
+    const auto& router = configs.routers[static_cast<std::size_t>(
+        topo.node(r).config_index)];
+    by_as[router.bgp ? router.bgp->local_as : -1].push_back(r);
+  }
+
+  // Intra-AS: anonymize each AS's internal router graph independently.
+  for (const auto& [as_number, members] : by_as) {
+    std::map<int, int> local_of;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      local_of[members[i]] = static_cast<int>(i);
+    }
+    Graph subgraph(static_cast<int>(members.size()));
+    for (const auto& link : topo.links()) {
+      if (!topo.is_router(link.a.node) || !topo.is_router(link.b.node)) {
+        continue;
+      }
+      const auto a = local_of.find(link.a.node);
+      const auto b = local_of.find(link.b.node);
+      if (a != local_of.end() && b != local_of.end()) {
+        subgraph.add_edge(a->second, b->second);
+      }
+    }
+    const auto result = k_degree_anonymize(subgraph, k_r, rng);
+    for (const auto& [u, v] : result.added_edges) {
+      const std::string& name_u =
+          topo.node(members[static_cast<std::size_t>(u)]).name;
+      const std::string& name_v =
+          topo.node(members[static_cast<std::size_t>(v)]).name;
+      materialize_fake_link(configs, name_u, name_v, policy,
+                            min_cost_of(name_u, name_v), allocator,
+                            /*inter_as=*/false);
+      outcome.intra_as_links.emplace_back(name_u, name_v);
+    }
+  }
+
+  // Inter-AS: anonymize the AS supergraph (BGP networks only).
+  if (by_as.size() > 1 && by_as.count(-1) == 0) {
+    std::vector<int> as_numbers;
+    std::map<int, int> as_index;
+    for (const auto& [as_number, members] : by_as) {
+      as_index[as_number] = static_cast<int>(as_numbers.size());
+      as_numbers.push_back(as_number);
+    }
+    Graph as_graph(static_cast<int>(as_numbers.size()));
+    // Border routers per AS = routers with at least one inter-AS link.
+    std::map<int, std::vector<std::string>> borders;
+    for (const auto& link : topo.links()) {
+      if (!topo.is_router(link.a.node) || !topo.is_router(link.b.node)) {
+        continue;
+      }
+      const auto& ra = configs.routers[static_cast<std::size_t>(
+          topo.node(link.a.node).config_index)];
+      const auto& rb = configs.routers[static_cast<std::size_t>(
+          topo.node(link.b.node).config_index)];
+      if (!ra.bgp || !rb.bgp || ra.bgp->local_as == rb.bgp->local_as) {
+        continue;
+      }
+      as_graph.add_edge(as_index[ra.bgp->local_as],
+                        as_index[rb.bgp->local_as]);
+      borders[ra.bgp->local_as].push_back(ra.hostname);
+      borders[rb.bgp->local_as].push_back(rb.hostname);
+    }
+    for (auto& [as_number, names] : borders) {
+      std::sort(names.begin(), names.end());
+      names.erase(std::unique(names.begin(), names.end()), names.end());
+    }
+
+    const auto result = k_degree_anonymize(as_graph, k_r, rng);
+    for (const auto& [u, v] : result.added_edges) {
+      const int as_u = as_numbers[static_cast<std::size_t>(u)];
+      const int as_v = as_numbers[static_cast<std::size_t>(v)];
+      // Randomly chosen border routers on each side (paper §4.2); fall
+      // back to any router of the AS if it has no border yet.
+      const auto pick_border = [&](int as_number) -> std::string {
+        const auto it = borders.find(as_number);
+        if (it != borders.end() && !it->second.empty()) {
+          return rng.pick(it->second);
+        }
+        const auto& members = by_as[as_number];
+        return topo.node(members[static_cast<std::size_t>(
+                             rng.below(members.size()))])
+            .name;
+      };
+      const auto name_u = pick_border(as_u);
+      const auto name_v = pick_border(as_v);
+      materialize_fake_link(configs, name_u, name_v, policy, -1, allocator,
+                            /*inter_as=*/true);
+      outcome.inter_as_links.emplace_back(name_u, name_v);
+    }
+  }
+
+  return outcome;
+}
+
+}  // namespace confmask

@@ -1,0 +1,64 @@
+// Step 1 of the ConfMask workflow: topology anonymization (paper §4.2).
+//
+// The router graph is made k_R-degree anonymous by ADDING edges only
+// (Liu–Terzi, edge-addition variant). For BGP networks the anonymization is
+// two-level: each AS's internal router graph is anonymized independently,
+// then the AS supergraph is anonymized, materializing each new AS-level
+// edge as an eBGP-configured link between randomly chosen border routers.
+//
+// Every fake edge is materialized in the configurations exactly like a
+// real one: a fresh /31, a matching interface pair with `description to-X`,
+// protocol coverage (`network` statements), and — per the cost policy —
+// `ip ospf cost` lines. The kMinCost policy implements SFE-LS condition 2:
+// cost(fake r–r') = the original IGP distance min_cost(r, r'), so no
+// strictly shorter path can appear; the equal-cost paths that do appear are
+// rejected later by Algorithm 1. kDefault and kLarge reproduce the §3.2
+// strawman cost choices for ablation.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/config/model.hpp"
+#include "src/core/original_index.hpp"
+#include "src/util/prefix_allocator.hpp"
+#include "src/util/rng.hpp"
+
+namespace confmask {
+
+enum class FakeLinkCostPolicy {
+  kMinCost,  ///< cost = original shortest-path distance (ConfMask, §5.2)
+  kDefault,  ///< no cost line (strawman §3.2 option i / NetHide-like)
+  kLarge,    ///< cost = 60000 (strawman §3.2 option ii)
+};
+
+struct TopologyAnonymizationOutcome {
+  /// Fake intra-AS links, by router hostnames.
+  std::vector<std::pair<std::string, std::string>> intra_as_links;
+  /// Fake inter-AS links (eBGP-configured), by router hostnames.
+  std::vector<std::pair<std::string, std::string>> inter_as_links;
+  [[nodiscard]] std::size_t total_links() const {
+    return intra_as_links.size() + inter_as_links.size();
+  }
+};
+
+/// Mutates `configs` in place (only appending). `index` must be the
+/// preprocessing snapshot of the same configs.
+TopologyAnonymizationOutcome anonymize_topology(ConfigSet& configs, int k_r,
+                                                FakeLinkCostPolicy policy,
+                                                Rng& rng,
+                                                PrefixAllocator& allocator);
+
+/// Materializes ONE fake router-router link shaped like a real one (also
+/// used by the NetHide baseline to build its virtual topology). With
+/// `inter_as`, reciprocal eBGP neighbor statements are added instead of
+/// IGP coverage. `min_cost` is the IGP distance between the endpoints in
+/// the network the link is being added to (used by the kMinCost policy;
+/// pass <= 0 to fall back to the default cost).
+void materialize_fake_link(ConfigSet& configs, const std::string& name_a,
+                           const std::string& name_b,
+                           FakeLinkCostPolicy policy, long min_cost,
+                           PrefixAllocator& allocator, bool inter_as);
+
+}  // namespace confmask

@@ -1,0 +1,87 @@
+#include "src/core/utility_properties.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace confmask {
+
+namespace {
+
+/// Applies `project` per flow and compares results across data planes for
+/// flows of the original; extra flows in `anonymized` (fake hosts) are
+/// ignored, missing ones fail.
+template <typename Projection>
+bool flows_match(const DataPlane& original, const DataPlane& anonymized,
+                 Projection project) {
+  for (const auto& [flow, paths] : original.flows) {
+    const auto it = anonymized.flows.find(flow);
+    if (it == anonymized.flows.end()) return false;
+    if (project(paths) != project(it->second)) return false;
+  }
+  return true;
+}
+
+std::multiset<std::size_t> path_lengths(const std::vector<Path>& paths) {
+  std::multiset<std::size_t> lengths;
+  for (const auto& path : paths) lengths.insert(path.size());
+  return lengths;
+}
+
+/// Routers present on every path of the flow.
+std::set<std::string> waypoints(const std::vector<Path>& paths) {
+  if (paths.empty()) return {};
+  std::set<std::string> common(paths[0].begin() + 1, paths[0].end() - 1);
+  for (std::size_t i = 1; i < paths.size() && !common.empty(); ++i) {
+    const std::set<std::string> here(paths[i].begin() + 1,
+                                     paths[i].end() - 1);
+    std::set<std::string> kept;
+    std::set_intersection(common.begin(), common.end(), here.begin(),
+                          here.end(), std::inserter(kept, kept.begin()));
+    common = std::move(kept);
+  }
+  return common;
+}
+
+}  // namespace
+
+bool preserves_reachability(const DataPlane& original,
+                            const DataPlane& anonymized) {
+  return flows_match(original, anonymized,
+                     [](const std::vector<Path>& paths) {
+                       return !paths.empty();
+                     });
+}
+
+bool preserves_path_lengths(const DataPlane& original,
+                            const DataPlane& anonymized) {
+  return flows_match(original, anonymized, path_lengths);
+}
+
+bool preserves_waypointing(const DataPlane& original,
+                           const DataPlane& anonymized) {
+  return flows_match(original, anonymized, waypoints);
+}
+
+bool preserves_multipath_consistency(const DataPlane& original,
+                                     const DataPlane& anonymized) {
+  return flows_match(original, anonymized,
+                     [](const std::vector<Path>& paths) {
+                       return paths.size();
+                     });
+}
+
+UtilityPropertyReport check_utility_properties(const DataPlane& original,
+                                               const DataPlane& anonymized) {
+  UtilityPropertyReport report;
+  report.reachability = preserves_reachability(original, anonymized);
+  report.path_lengths = preserves_path_lengths(original, anonymized);
+  report.waypointing = preserves_waypointing(original, anonymized);
+  report.multipath_consistency =
+      preserves_multipath_consistency(original, anonymized);
+  report.exact_paths =
+      DataPlane::exactly_kept_fraction(original, anonymized) == 1.0;
+  return report;
+}
+
+}  // namespace confmask

@@ -1,0 +1,51 @@
+// The routing utility properties of paper §3.1 / Appendix B, as direct
+// checks on data planes.
+//
+// Theorem B.7 proves functional equivalence implies all of these; this
+// module lets tests (and downstream users validating a shared artifact)
+// check each property independently instead of trusting the proof — and
+// lets the benchmarks show WHICH properties baselines like NetHide break.
+//
+// All checks compare the original data plane against the anonymized one
+// restricted to the same (real) hosts.
+#pragma once
+
+#include "src/routing/dataplane.hpp"
+
+namespace confmask {
+
+/// Reachability: the same flows have at least one path.
+[[nodiscard]] bool preserves_reachability(const DataPlane& original,
+                                          const DataPlane& anonymized);
+
+/// Path lengths: per flow, the same multiset of path lengths.
+[[nodiscard]] bool preserves_path_lengths(const DataPlane& original,
+                                          const DataPlane& anonymized);
+
+/// Waypointing: per flow, the same set of routers crossed by EVERY path.
+[[nodiscard]] bool preserves_waypointing(const DataPlane& original,
+                                         const DataPlane& anonymized);
+
+/// Multipath consistency: per flow, the same number of forwarding paths
+/// (ECMP spread preserved).
+[[nodiscard]] bool preserves_multipath_consistency(
+    const DataPlane& original, const DataPlane& anonymized);
+
+struct UtilityPropertyReport {
+  bool reachability = false;
+  bool path_lengths = false;
+  bool waypointing = false;
+  bool multipath_consistency = false;
+  /// Exact path preservation (implies all of the above).
+  bool exact_paths = false;
+
+  [[nodiscard]] bool all() const {
+    return reachability && path_lengths && waypointing &&
+           multipath_consistency && exact_paths;
+  }
+};
+
+[[nodiscard]] UtilityPropertyReport check_utility_properties(
+    const DataPlane& original, const DataPlane& anonymized);
+
+}  // namespace confmask

@@ -1,0 +1,106 @@
+#include "src/graph/graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+namespace confmask {
+
+Graph::Graph(int node_count)
+    : adjacency_(static_cast<std::size_t>(node_count)) {}
+
+int Graph::add_node() {
+  adjacency_.emplace_back();
+  return node_count() - 1;
+}
+
+bool Graph::add_edge(int u, int v) {
+  if (u == v || has_edge(u, v)) return false;
+  adjacency_[static_cast<std::size_t>(u)].push_back(v);
+  adjacency_[static_cast<std::size_t>(v)].push_back(u);
+  ++edge_count_;
+  return true;
+}
+
+bool Graph::has_edge(int u, int v) const {
+  const auto& adj = adjacency_[static_cast<std::size_t>(u)];
+  return std::find(adj.begin(), adj.end(), v) != adj.end();
+}
+
+std::vector<int> Graph::degrees() const {
+  std::vector<int> result(adjacency_.size());
+  for (int u = 0; u < node_count(); ++u) result[static_cast<std::size_t>(u)] = degree(u);
+  return result;
+}
+
+std::vector<std::pair<int, int>> Graph::edges() const {
+  std::vector<std::pair<int, int>> result;
+  result.reserve(edge_count_);
+  for (int u = 0; u < node_count(); ++u) {
+    for (int v : neighbors(u)) {
+      if (u < v) result.emplace_back(u, v);
+    }
+  }
+  return result;
+}
+
+bool Graph::connected() const {
+  if (node_count() == 0) return true;
+  const auto dist = bfs_distances(0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](int d) { return d < 0; });
+}
+
+std::vector<int> Graph::bfs_distances(int source) const {
+  std::vector<int> dist(adjacency_.size(), -1);
+  std::queue<int> frontier;
+  dist[static_cast<std::size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop();
+    for (int v : neighbors(u)) {
+      if (dist[static_cast<std::size_t>(v)] < 0) {
+        dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+double clustering_coefficient(const Graph& graph) {
+  const int n = graph.node_count();
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (int u = 0; u < n; ++u) {
+    const auto& adj = graph.neighbors(u);
+    const int deg = static_cast<int>(adj.size());
+    if (deg < 2) continue;
+    int closed = 0;
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      for (std::size_t j = i + 1; j < adj.size(); ++j) {
+        if (graph.has_edge(adj[i], adj[j])) ++closed;
+      }
+    }
+    total += 2.0 * closed / (static_cast<double>(deg) * (deg - 1));
+  }
+  return total / n;
+}
+
+int min_same_degree_class(const Graph& graph) {
+  if (graph.node_count() == 0) return 0;
+  std::map<int, int> class_sizes;
+  for (int degree : graph.degrees()) ++class_sizes[degree];
+  int smallest = graph.node_count();
+  for (const auto& [degree, count] : class_sizes) {
+    smallest = std::min(smallest, count);
+  }
+  return smallest;
+}
+
+bool is_k_degree_anonymous(const Graph& graph, int k) {
+  return min_same_degree_class(graph) >= k;
+}
+
+}  // namespace confmask

@@ -1,0 +1,65 @@
+// Simple undirected graph plus the topology metrics used by the paper.
+//
+// The router-level topology of a network is "regarded as a simple graph"
+// (§4.2); hosts are excluded during topology anonymization. This module
+// provides that graph, the two topology metrics the evaluation reports
+// (minimum same-degree class size, Fig 6; clustering coefficient, Fig 7),
+// and BFS utilities shared by the anonymizer and the NetHide baseline.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace confmask {
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int node_count);
+
+  /// Appends an isolated node and returns its id.
+  int add_node();
+
+  /// Adds an undirected edge; returns false (no-op) for self-loops and
+  /// duplicates, keeping the graph simple.
+  bool add_edge(int u, int v);
+
+  [[nodiscard]] bool has_edge(int u, int v) const;
+  [[nodiscard]] int node_count() const {
+    return static_cast<int>(adjacency_.size());
+  }
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+  [[nodiscard]] const std::vector<int>& neighbors(int u) const {
+    return adjacency_[static_cast<std::size_t>(u)];
+  }
+  [[nodiscard]] int degree(int u) const {
+    return static_cast<int>(adjacency_[static_cast<std::size_t>(u)].size());
+  }
+  [[nodiscard]] std::vector<int> degrees() const;
+
+  /// All edges as (u, v) with u < v.
+  [[nodiscard]] std::vector<std::pair<int, int>> edges() const;
+
+  [[nodiscard]] bool connected() const;
+
+  /// Unweighted BFS hop distances from `source` (-1 = unreachable).
+  [[nodiscard]] std::vector<int> bfs_distances(int source) const;
+
+ private:
+  std::vector<std::vector<int>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+/// Average local clustering coefficient (nodes with degree < 2 contribute
+/// 0), the utility metric of Fig 7.
+[[nodiscard]] double clustering_coefficient(const Graph& graph);
+
+/// The size of the smallest same-degree equivalence class — the topology
+/// anonymity metric of Fig 6. A graph is k-degree anonymous iff this is
+/// >= k.
+[[nodiscard]] int min_same_degree_class(const Graph& graph);
+
+[[nodiscard]] bool is_k_degree_anonymous(const Graph& graph, int k);
+
+}  // namespace confmask

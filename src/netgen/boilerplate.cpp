@@ -1,0 +1,72 @@
+#include "src/netgen/boilerplate.hpp"
+
+namespace confmask {
+
+namespace {
+
+// None of these lines may start with a token the parser models
+// (interface / router / ip prefix-list / hostname / ip default-gateway).
+const char* const kGlobalLines[] = {
+    "version 15.2",
+    "service timestamps debug datetime msec",
+    "service timestamps log datetime msec",
+    "service password-encryption",
+    "boot-start-marker",
+    "boot-end-marker",
+    "enable secret 5 $1$kV4b$placeholder0123456789",
+    "no aaa new-model",
+    "no ip domain lookup",
+    "ip cef",
+    "ipv6 unicast-routing",
+    "multilink bundle-name authenticated",
+    "spanning-tree mode pvst",
+    "spanning-tree extend system-id",
+    "logging buffered 64000",
+    "logging console warnings",
+    "snmp-server community public RO",
+    "snmp-server location datacenter-1",
+    "ntp server 192.0.2.123",
+    "clock timezone UTC 0 0",
+    "line con 0",
+    "line aux 0",
+    "line vty 0 4",
+    "login local",
+    "transport input ssh",
+    "scheduler allocate 20000 1000",
+    "end",
+};
+
+const char* const kInterfaceLines[] = {
+    "duplex full",
+    "speed 1000",
+    "no negotiation auto",
+    "load-interval 30",
+};
+
+const char* const kHostLines[] = {
+    "dns-server 192.0.2.53",
+    "domain-name example.internal",
+};
+
+}  // namespace
+
+void add_boilerplate(ConfigSet& configs, int density) {
+  if (density <= 0) return;
+  for (auto& router : configs.routers) {
+    for (int d = 0; d < density; ++d) {
+      for (const char* line : kGlobalLines) {
+        router.extra_lines.emplace_back(line);
+      }
+    }
+    for (auto& iface : router.interfaces) {
+      for (const char* line : kInterfaceLines) {
+        iface.extra_lines.emplace_back(line);
+      }
+    }
+  }
+  for (auto& host : configs.hosts) {
+    for (const char* line : kHostLines) host.extra_lines.emplace_back(line);
+  }
+}
+
+}  // namespace confmask

@@ -1,0 +1,18 @@
+// Realistic configuration boilerplate.
+//
+// Real Cisco configurations are dominated by lines the anonymizer passes
+// through untouched (service settings, AAA, logging, line blocks, per-
+// interface L2 settings). The paper's Table 2 line counts reflect that
+// verbosity; without it, injected-line ratios (U_C, Table 3) would be
+// wildly inflated. `add_boilerplate` appends passthrough lines to every
+// router (global + per-interface) and host, scaled by `density`
+// (1 = typical enterprise verbosity).
+#pragma once
+
+#include "src/config/model.hpp"
+
+namespace confmask {
+
+void add_boilerplate(ConfigSet& configs, int density = 1);
+
+}  // namespace confmask

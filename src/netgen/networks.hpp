@@ -1,0 +1,71 @@
+// Generators for the paper's eight evaluation networks (Table 2) and the
+// small illustrative networks used in examples and tests.
+//
+// Networks A–C model the paper's real-world BGP+OSPF configuration sets
+// (Enterprise / University / Backbone) with the exact router/host/link
+// counts of Table 2. Networks D–F are ISP-style OSPF networks grown by a
+// seeded preferential-attachment model sized to the TopologyZoo-derived
+// sets (Bics / Columbus / USCarrier). Networks G–H are exact FatTree-04 /
+// FatTree-08 fabrics. See DESIGN.md §2 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/config/model.hpp"
+
+namespace confmask {
+
+struct EvalNetwork {
+  std::string id;    ///< "A".."H"
+  std::string name;  ///< e.g. "Enterprise"
+  std::string type;  ///< "BGP+OSPF" or "OSPF"
+  ConfigSet configs;
+};
+
+/// Network A: 10 routers, 8 hosts, 26 links, 3 ASes (BGP+OSPF).
+[[nodiscard]] ConfigSet make_enterprise();
+/// Network B: 13 routers, 8 hosts, 25 links, 3 ASes (BGP+OSPF).
+[[nodiscard]] ConfigSet make_university();
+/// Network C: 11 routers, 9 hosts, 22 links, 3 ASes (BGP+OSPF).
+[[nodiscard]] ConfigSet make_backbone();
+
+/// Seeded ISP-style OSPF network: a preferential-attachment connected
+/// graph with exactly `router_links` router-router links and `hosts` hosts
+/// spread over the routers.
+[[nodiscard]] ConfigSet make_isp_ospf(const std::string& name_prefix,
+                                      int routers, int hosts,
+                                      int router_links, std::uint64_t seed);
+
+/// Network D: Bics — 49 routers, 98 hosts, 162 links (OSPF).
+[[nodiscard]] ConfigSet make_bics();
+/// Network E: Columbus — 86 routers, 68 hosts, 169 links (OSPF).
+[[nodiscard]] ConfigSet make_columbus();
+/// Network F: USCarrier — 161 routers, 58 hosts, 378 links (OSPF).
+[[nodiscard]] ConfigSet make_uscarrier();
+
+/// A parameterized fat-tree fabric (all-OSPF, default costs, heavy ECMP).
+[[nodiscard]] ConfigSet make_fattree(int pods, int aggs_per_pod, int cores,
+                                     int core_links_per_agg,
+                                     int hosts_per_edge);
+/// Network G: FatTree04 — 20 routers, 16 hosts, 48 links.
+[[nodiscard]] ConfigSet make_fattree04();
+/// Network H: FatTree08 — 72 routers, 64 hosts, 320 links.
+[[nodiscard]] ConfigSet make_fattree08();
+
+/// The four-router example of paper Fig 2 (OSPF costs 1 on r1–r3, r3–r2):
+/// the unique h1→h4 path is (h1, r1, r3, r2, r4, h4).
+[[nodiscard]] ConfigSet make_figure2();
+
+/// A RIP (distance-vector) network: seeded ISP-style graph like
+/// make_isp_ospf but running RIP v2 with classful `network` statements.
+/// Exercises the paper's distance-vector SFE conditions end to end.
+[[nodiscard]] ConfigSet make_isp_rip(const std::string& name_prefix,
+                                     int routers, int hosts,
+                                     int router_links, std::uint64_t seed);
+
+/// All eight evaluation networks, in Table 2 order.
+[[nodiscard]] std::vector<EvalNetwork> evaluation_networks();
+
+}  // namespace confmask

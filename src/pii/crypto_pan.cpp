@@ -1,0 +1,48 @@
+#include "src/pii/crypto_pan.hpp"
+
+#include <bit>
+
+namespace confmask {
+
+namespace {
+
+/// One pseudo-random bit derived from the key and an i-bit prefix.
+std::uint32_t prf_bit(std::uint64_t key, std::uint32_t prefix, int length) {
+  std::uint64_t state = key ^ (static_cast<std::uint64_t>(prefix) << 8) ^
+                        static_cast<std::uint64_t>(length);
+  state += 0x9E3779B97F4A7C15ULL;
+  state = (state ^ (state >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  state = (state ^ (state >> 27)) * 0x94D049BB133111EBULL;
+  state ^= state >> 31;
+  return static_cast<std::uint32_t>(state & 1u);
+}
+
+}  // namespace
+
+Ipv4Address PrefixPreservingAnonymizer::anonymize(Ipv4Address address) const {
+  const std::uint32_t bits = address.bits();
+  std::uint32_t result = 0;
+  for (int i = 0; i < 32; ++i) {
+    // The flip decision for bit i depends only on the ORIGINAL first i
+    // bits, which is exactly what makes the map prefix-preserving and
+    // bijective (within a fixed prefix, bit i is XORed by a constant).
+    const std::uint32_t prefix = i == 0 ? 0u : bits >> (32 - i);
+    const std::uint32_t original_bit = (bits >> (31 - i)) & 1u;
+    const std::uint32_t flip =
+        i < preserved_bits_ ? 0u : prf_bit(key_, prefix, i);
+    result = (result << 1) | (original_bit ^ flip);
+  }
+  return Ipv4Address{result};
+}
+
+Ipv4Prefix PrefixPreservingAnonymizer::anonymize(
+    const Ipv4Prefix& prefix) const {
+  return Ipv4Prefix{anonymize(prefix.network()), prefix.length()};
+}
+
+int common_prefix_length(Ipv4Address a, Ipv4Address b) {
+  const std::uint32_t diff = a.bits() ^ b.bits();
+  return diff == 0 ? 32 : std::countl_zero(diff);
+}
+
+}  // namespace confmask

@@ -1,0 +1,48 @@
+// Prefix-preserving IP address anonymization.
+//
+// The same construction as TCPdpriv / Crypto-PAn (Xu et al., ICNP'02),
+// which the paper lists as the compatible PII add-on (§9): a keyed,
+// deterministic bijection F on IPv4 addresses such that two addresses
+// share exactly an n-bit prefix iff their images do. Prefix preservation
+// is what makes the rewrite safe for configurations: subnet membership,
+// longest-prefix matching and wildcard coverage all survive, so the
+// rewritten network simulates identically (modulo the renumbering).
+//
+// We instantiate the per-prefix PRF with splitmix64 instead of AES —
+// cryptographic strength is not the property under study here, the
+// *structure* is; swapping in a real block cipher is a one-line change.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/ipv4.hpp"
+
+namespace confmask {
+
+class PrefixPreservingAnonymizer {
+ public:
+  /// `preserved_prefix_bits` leading bits are copied through unchanged.
+  /// The PII add-on uses 8 (class-preserving): classful `network`
+  /// statements (RIP) keep their meaning, and special-purpose blocks stay
+  /// recognizable as such — the same default NetConan applies.
+  explicit PrefixPreservingAnonymizer(std::uint64_t key,
+                                      int preserved_prefix_bits = 0)
+      : key_(key), preserved_bits_(preserved_prefix_bits) {}
+
+  /// Deterministic prefix-preserving bijection.
+  [[nodiscard]] Ipv4Address anonymize(Ipv4Address address) const;
+
+  /// Rewrites the network address of a prefix; the length is unchanged.
+  /// Because the map is prefix-preserving, every address inside the
+  /// original prefix maps inside the rewritten one.
+  [[nodiscard]] Ipv4Prefix anonymize(const Ipv4Prefix& prefix) const;
+
+ private:
+  std::uint64_t key_;
+  int preserved_bits_;
+};
+
+/// Number of leading bits two addresses share (0..32).
+[[nodiscard]] int common_prefix_length(Ipv4Address a, Ipv4Address b);
+
+}  // namespace confmask

@@ -1,0 +1,47 @@
+// The PII anonymization add-on (paper Fig 3 "other anonymization
+// algorithms" stage, §9 "PII obfuscation").
+//
+// ConfMask's output "follows the same syntax as the input files", so any
+// text-level PII scrubber composes with it. This add-on performs the
+// NetConan-style transformations on the structured model:
+//  * prefix-preserving IP renumbering (crypto_pan.hpp) of every address
+//    in interfaces, protocol `network` statements, BGP neighbors,
+//    prefix-list entries, hosts and gateways — consistently, so the
+//    network still simulates to the SAME data plane modulo renumbering;
+//  * hostname renaming (R1..Rn / H1..Hm) including `to-X` interface
+//    descriptions;
+//  * AS-number hashing into the private range, consistent across
+//    `router bgp` and `neighbor ... remote-as` so sessions keep forming;
+//  * secret scrubbing of passthrough lines (enable secret, usernames,
+//    SNMP communities).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/config/model.hpp"
+
+namespace confmask {
+
+struct PiiOptions {
+  std::uint64_t key = 0x5EED5EED5EED5EEDULL;
+  bool anonymize_ips = true;
+  bool rename_devices = true;
+  bool hash_as_numbers = true;
+  bool scrub_secrets = true;
+};
+
+struct PiiResult {
+  ConfigSet configs;
+  /// original device name -> published name (empty if renaming disabled)
+  std::map<std::string, std::string> device_names;
+  /// original AS number -> published AS number
+  std::map<int, int> as_numbers;
+  int scrubbed_lines = 0;
+};
+
+[[nodiscard]] PiiResult apply_pii_addon(const ConfigSet& configs,
+                                        const PiiOptions& options = {});
+
+}  // namespace confmask

@@ -1,0 +1,33 @@
+#include "src/routing/dataplane.hpp"
+
+namespace confmask {
+
+std::size_t DataPlane::path_count() const {
+  std::size_t count = 0;
+  for (const auto& [flow, paths] : flows) count += paths.size();
+  return count;
+}
+
+DataPlane DataPlane::restricted_to(const std::set<std::string>& hosts) const {
+  DataPlane result;
+  for (const auto& [flow, paths] : flows) {
+    if (hosts.count(flow.first) != 0 && hosts.count(flow.second) != 0) {
+      result.flows.emplace(flow, paths);
+    }
+  }
+  return result;
+}
+
+double DataPlane::exactly_kept_fraction(const DataPlane& original,
+                                        const DataPlane& anonymized) {
+  if (original.flows.empty()) return 1.0;
+  std::size_t kept = 0;
+  for (const auto& [flow, paths] : original.flows) {
+    const auto it = anonymized.flows.find(flow);
+    if (it != anonymized.flows.end() && it->second == paths) ++kept;
+  }
+  return static_cast<double>(kept) /
+         static_cast<double>(original.flows.size());
+}
+
+}  // namespace confmask

@@ -1,0 +1,49 @@
+// The data plane: the collection of all host-to-host forwarding paths.
+//
+// This is the `DP` of the paper's formalization (Table 1): for every ordered
+// pair of hosts, the set of paths traffic can take (several per pair under
+// ECMP). Paths are stored as device-name sequences so that data planes of
+// the original and the anonymized network are directly comparable — the
+// anonymizer never renames a real device.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace confmask {
+
+/// One forwarding path: (h_s, r_1, ..., r_n, h_d) as device names.
+using Path = std::vector<std::string>;
+
+/// Key: (source host, destination host).
+using FlowKey = std::pair<std::string, std::string>;
+
+struct DataPlane {
+  /// Complete (delivered) paths per flow; each vector is sorted and
+  /// duplicate-free. Flows with no complete path are absent.
+  std::map<FlowKey, std::vector<Path>> flows;
+
+  friend bool operator==(const DataPlane&, const DataPlane&) = default;
+
+  /// Total number of paths across all flows.
+  [[nodiscard]] std::size_t path_count() const;
+
+  /// The data plane restricted to flows whose BOTH endpoints are in
+  /// `hosts` — used to compare anonymized networks against originals over
+  /// the real hosts only (fake-host flows are ignored by functional
+  /// equivalence, Appendix A).
+  [[nodiscard]] DataPlane restricted_to(
+      const std::set<std::string>& hosts) const;
+
+  /// Fraction of flows of `original` whose path set is EXACTLY preserved
+  /// in `anonymized` (the paper's P_U, Fig 8). Flows missing from
+  /// `anonymized` count as not preserved.
+  static double exactly_kept_fraction(const DataPlane& original,
+                                      const DataPlane& anonymized);
+};
+
+}  // namespace confmask

@@ -1,0 +1,594 @@
+#include "src/routing/simulation.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <queue>
+
+namespace confmask {
+
+namespace {
+
+constexpr long kInf = std::numeric_limits<long>::max() / 4;
+constexpr int kDefaultOspfCost = 10;
+constexpr std::size_t kMaxPathsPerFlow = 256;
+constexpr int kMaxPathDepth = 64;
+
+std::atomic<std::uint64_t> g_simulation_runs{0};
+
+}  // namespace
+
+std::uint64_t Simulation::total_runs() { return g_simulation_runs.load(); }
+void Simulation::reset_run_counter() { g_simulation_runs.store(0); }
+
+Simulation::Simulation(const ConfigSet& configs)
+    : configs_(&configs), topology_(Topology::build(configs)) {
+  ++g_simulation_runs;
+  const int hosts = topology_.host_count();
+  fib_.resize(static_cast<std::size_t>(topology_.router_count()) *
+              static_cast<std::size_t>(hosts));
+  index_protocols();
+  compute_igp_distances();
+  for (int host : topology_.host_ids()) compute_destination(host);
+}
+
+int Simulation::as_of(int router) const {
+  return router_as_[static_cast<std::size_t>(router)];
+}
+
+std::vector<NextHop>& Simulation::fib_slot(int router, int host) {
+  const std::size_t index =
+      static_cast<std::size_t>(router) *
+          static_cast<std::size_t>(topology_.host_count()) +
+      static_cast<std::size_t>(host - topology_.router_count());
+  return fib_[index];
+}
+
+const std::vector<NextHop>& Simulation::fib(int router, int host) const {
+  if (!topology_.is_router(router) || topology_.is_router(host)) {
+    return empty_fib_;
+  }
+  return const_cast<Simulation*>(this)->fib_slot(router, host);
+}
+
+void Simulation::index_protocols() {
+  const auto& routers = configs_->routers;
+  router_as_.assign(routers.size(), -1);
+  igp_filters_.assign(routers.size(), {});
+  bgp_filters_.assign(routers.size(), {});
+  acl_in_.assign(routers.size(), {});
+
+  for (std::size_t i = 0; i < routers.size(); ++i) {
+    const auto& router = routers[i];
+    if (router.bgp) router_as_[i] = router.bgp->local_as;
+
+    const auto bind_igp = [&](const std::vector<DistributeList>& lists) {
+      for (const auto& dl : lists) {
+        for (const auto& pl : router.prefix_lists) {
+          if (pl.name == dl.prefix_list) {
+            igp_filters_[i][dl.interface].push_back(&pl);
+          }
+        }
+      }
+    };
+    if (router.ospf) bind_igp(router.ospf->distribute_lists);
+    if (router.rip) bind_igp(router.rip->distribute_lists);
+    for (const auto& iface : router.interfaces) {
+      if (!iface.access_group_in) continue;
+      if (const auto* acl = router.find_access_list(*iface.access_group_in)) {
+        acl_in_[i][iface.name] = acl;
+      }
+    }
+    if (router.bgp) {
+      for (const auto& neighbor : router.bgp->neighbors) {
+        for (const auto& name : neighbor.prefix_lists_in) {
+          for (const auto& pl : router.prefix_lists) {
+            if (pl.name == name) {
+              bgp_filters_[i][neighbor.address.bits()].push_back(&pl);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Classify links and discover eBGP sessions.
+  link_state_.assign(topology_.links().size(), LinkState{});
+  for (std::size_t l = 0; l < topology_.links().size(); ++l) {
+    const Link& link = topology_.link(static_cast<int>(l));
+    if (!topology_.is_router(link.a.node) ||
+        !topology_.is_router(link.b.node)) {
+      continue;  // host attachment, not a routing adjacency
+    }
+    const auto& ra = routers[static_cast<std::size_t>(
+        topology_.node(link.a.node).config_index)];
+    const auto& rb = routers[static_cast<std::size_t>(
+        topology_.node(link.b.node).config_index)];
+    const auto* ia = ra.find_interface(link.a.interface);
+    const auto* ib = rb.find_interface(link.b.interface);
+    LinkState& state = link_state_[l];
+    state.intra_as =
+        router_as_[static_cast<std::size_t>(link.a.node)] ==
+        router_as_[static_cast<std::size_t>(link.b.node)];
+    if (ia != nullptr && ib != nullptr) {
+      state.cost_a_to_b = ia->ospf_cost.value_or(kDefaultOspfCost);
+      state.cost_b_to_a = ib->ospf_cost.value_or(kDefaultOspfCost);
+      if (state.intra_as && ra.ospf && rb.ospf &&
+          ra.ospf->covers(*ia->address) && rb.ospf->covers(*ib->address)) {
+        state.ospf = true;
+      }
+      if (state.intra_as && ra.rip && rb.rip && ra.rip->covers(*ia->address) &&
+          rb.rip->covers(*ib->address)) {
+        state.rip = true;
+      }
+    }
+    // eBGP session discovery: reciprocal neighbor statements across an
+    // inter-AS link.
+    if (!state.intra_as && ra.bgp && rb.bgp && ia != nullptr &&
+        ib != nullptr) {
+      const auto* nb_at_a = ra.bgp->find_neighbor(*ib->address);
+      const auto* nb_at_b = rb.bgp->find_neighbor(*ia->address);
+      if (nb_at_a != nullptr && nb_at_b != nullptr &&
+          nb_at_a->remote_as == rb.bgp->local_as &&
+          nb_at_b->remote_as == ra.bgp->local_as) {
+        sessions_.push_back(
+            Session{link.a.node, link.b.node, static_cast<int>(l)});
+      }
+    }
+  }
+}
+
+bool Simulation::denied_igp(int router, const std::string& interface,
+                            const Ipv4Prefix& dest) const {
+  const auto& per_iface = igp_filters_[static_cast<std::size_t>(router)];
+  const auto it = per_iface.find(interface);
+  if (it == per_iface.end()) return false;
+  for (const PrefixList* list : it->second) {
+    if (!list->permits(dest)) return true;
+  }
+  return false;
+}
+
+bool Simulation::denied_bgp(int router, Ipv4Address peer,
+                            const Ipv4Prefix& dest) const {
+  const auto& per_peer = bgp_filters_[static_cast<std::size_t>(router)];
+  const auto it = per_peer.find(peer.bits());
+  if (it == per_peer.end()) return false;
+  for (const PrefixList* list : it->second) {
+    if (!list->permits(dest)) return true;
+  }
+  return false;
+}
+
+bool Simulation::acl_blocks(int router, const std::string& interface,
+                            const Ipv4Prefix* src,
+                            const Ipv4Prefix& dst) const {
+  if (src == nullptr) return false;
+  const auto& per_iface = acl_in_[static_cast<std::size_t>(router)];
+  const auto it = per_iface.find(interface);
+  if (it == per_iface.end()) return false;
+  return !it->second->permits(*src, dst);
+}
+
+void Simulation::compute_igp_distances() {
+  const int n = topology_.router_count();
+  igp_dist_.assign(static_cast<std::size_t>(n),
+                   std::vector<long>(static_cast<std::size_t>(n), kInf));
+  for (int src = 0; src < n; ++src) {
+    auto& dist = igp_dist_[static_cast<std::size_t>(src)];
+    dist[static_cast<std::size_t>(src)] = 0;
+    using Item = std::pair<long, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+    queue.emplace(0, src);
+    while (!queue.empty()) {
+      const auto [d, u] = queue.top();
+      queue.pop();
+      if (d != dist[static_cast<std::size_t>(u)]) continue;
+      for (int link_id : topology_.links_of(u)) {
+        const LinkState& state = link_state_[static_cast<std::size_t>(link_id)];
+        if (!state.ospf && !state.rip) continue;
+        const Link& link = topology_.link(link_id);
+        const int w = link.other_end(u).node;
+        const long out_cost =
+            state.ospf
+                ? (link.a.node == u ? state.cost_a_to_b : state.cost_b_to_a)
+                : 1;  // RIP hop metric
+        if (d + out_cost < dist[static_cast<std::size_t>(w)]) {
+          dist[static_cast<std::size_t>(w)] = d + out_cost;
+          queue.emplace(d + out_cost, w);
+        }
+      }
+    }
+  }
+}
+
+void Simulation::compute_bgp_destination(int host, int gateway,
+                                         const Ipv4Prefix& dest_prefix) {
+  // Fill FIBs of routers in autonomous systems OTHER than the origin AS.
+  const int origin_as = as_of(gateway);
+  const auto& gw_config = configs_->routers[static_cast<std::size_t>(
+      topology_.node(gateway).config_index)];
+  const auto& host_config = configs_->hosts[static_cast<std::size_t>(
+      topology_.node(host).config_index)];
+  const bool bgp_advertised = [&] {
+    if (!gw_config.bgp) return false;
+    return std::any_of(gw_config.bgp->networks.begin(),
+                       gw_config.bgp->networks.end(),
+                       [&](const Ipv4Prefix& network) {
+                         return network.contains(host_config.address);
+                       });
+  }();
+  if (origin_as < 0 || !bgp_advertised || sessions_.empty()) return;
+  const int n = topology_.router_count();
+
+  // AS-level path-vector (shortest AS path), honoring per-session inbound
+  // filters. `as_dist[X]` = AS hops from X to the origin AS.
+  std::map<int, long> as_dist;
+  as_dist[origin_as] = 0;
+  const auto dist_of = [&](int as) {
+    const auto it = as_dist.find(as);
+    return it == as_dist.end() ? kInf : it->second;
+  };
+  for (;;) {
+    bool changed = false;
+    for (const Session& session : sessions_) {
+      const Link& link = topology_.link(session.link);
+      const auto import = [&](int importer, int exporter,
+                              Ipv4Address peer_addr) {
+        const int imp_as = as_of(importer);
+        const int exp_as = as_of(exporter);
+        if (dist_of(exp_as) >= kInf) return;
+        if (denied_bgp(importer, peer_addr, dest_prefix)) return;
+        const long cand = dist_of(exp_as) + 1;
+        if (cand < dist_of(imp_as)) {
+          as_dist[imp_as] = cand;
+          changed = true;
+        }
+      };
+      import(session.router_a, session.router_b,
+             link.end_of(session.router_b).address);
+      import(session.router_b, session.router_a,
+             link.end_of(session.router_a).address);
+    }
+    if (!changed) break;
+  }
+
+  for (int r = 0; r < n; ++r) {
+    const int my_as = as_of(r);
+    if (my_as < 0 || my_as == origin_as) continue;
+    if (dist_of(my_as) >= kInf) continue;
+
+    // Candidate egress sessions: those on a shortest AS path, permitted.
+    // Hot-potato: the router picks the border router closest by IGP.
+    int best_border = -1;
+    int best_session_link = -1;
+    long best_igp = kInf;
+    for (const Session& session : sessions_) {
+      const Link& link = topology_.link(session.link);
+      const auto consider = [&](int border, int peer) {
+        if (as_of(border) != my_as) return;
+        if (dist_of(as_of(peer)) + 1 != dist_of(my_as)) return;
+        if (denied_bgp(border, link.end_of(peer).address, dest_prefix)) {
+          return;
+        }
+        const long igp =
+            igp_dist_[static_cast<std::size_t>(r)][static_cast<std::size_t>(
+                border)];
+        if (igp >= kInf) return;
+        if (igp < best_igp ||
+            (igp == best_igp &&
+             (border < best_border ||
+              (border == best_border && session.link < best_session_link)))) {
+          best_igp = igp;
+          best_border = border;
+          best_session_link = session.link;
+        }
+      };
+      consider(session.router_a, session.router_b);
+      consider(session.router_b, session.router_a);
+    }
+    if (best_border < 0) continue;
+
+    auto& slot = fib_slot(r, host);
+    if (r == best_border) {
+      const Link& link = topology_.link(best_session_link);
+      slot.push_back(
+          NextHop{best_session_link, link.other_end(r).node});
+      continue;
+    }
+    // Internal transit towards the chosen border router along IGP
+    // shortest paths (each hop re-evaluates, so only the immediate next
+    // hops are installed here).
+    for (int link_id : topology_.links_of(r)) {
+      const LinkState& state = link_state_[static_cast<std::size_t>(link_id)];
+      if (!state.ospf && !state.rip) continue;
+      const Link& link = topology_.link(link_id);
+      const int w = link.other_end(r).node;
+      const long out_cost =
+          state.ospf
+              ? (link.a.node == r ? state.cost_a_to_b : state.cost_b_to_a)
+              : 1;
+      if (igp_dist_[static_cast<std::size_t>(w)]
+                   [static_cast<std::size_t>(best_border)] +
+              out_cost !=
+          igp_dist_[static_cast<std::size_t>(r)]
+                   [static_cast<std::size_t>(best_border)]) {
+        continue;
+      }
+      if (denied_igp(r, link.end_of(r).interface, dest_prefix)) continue;
+      slot.push_back(NextHop{link_id, w});
+    }
+    std::sort(slot.begin(), slot.end());
+  }
+}
+
+void Simulation::compute_destination(int host) {
+  const int gateway = topology_.gateway_of(host);
+  if (gateway < 0) return;
+  const auto& host_config = configs_->hosts[static_cast<std::size_t>(
+      topology_.node(host).config_index)];
+  const Ipv4Prefix dest_prefix = host_config.prefix();
+  const int n = topology_.router_count();
+
+  // Delivery at the gateway: the connected host link (never filtered —
+  // connected routes are not subject to distribute-lists).
+  for (int link_id : topology_.links_of(host)) {
+    const Link& link = topology_.link(link_id);
+    if (link.other_end(host).node == gateway) {
+      fib_slot(gateway, host).push_back(NextHop{link_id, host});
+      break;
+    }
+  }
+
+  const auto& gw_config = configs_->routers[static_cast<std::size_t>(
+      topology_.node(gateway).config_index)];
+  const bool in_ospf = gw_config.ospf && gw_config.ospf->covers(
+                                             host_config.address);
+  const bool in_rip =
+      !in_ospf && gw_config.rip && gw_config.rip->covers(host_config.address);
+
+  std::vector<long> dist(static_cast<std::size_t>(n), kInf);
+  if (in_ospf) {
+    // Link-state: reverse Dijkstra from the gateway; filters do NOT affect
+    // distances, only next-hop installation below.
+    dist[static_cast<std::size_t>(gateway)] = 0;
+    using Item = std::pair<long, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+    queue.emplace(0, gateway);
+    while (!queue.empty()) {
+      const auto [d, u] = queue.top();
+      queue.pop();
+      if (d != dist[static_cast<std::size_t>(u)]) continue;
+      for (int link_id : topology_.links_of(u)) {
+        const LinkState& state =
+            link_state_[static_cast<std::size_t>(link_id)];
+        if (!state.ospf) continue;
+        const Link& link = topology_.link(link_id);
+        const int w = link.other_end(u).node;
+        // Cost of w forwarding TOWARDS u.
+        const long cost =
+            link.a.node == w ? state.cost_a_to_b : state.cost_b_to_a;
+        if (dist[static_cast<std::size_t>(u)] + cost <
+            dist[static_cast<std::size_t>(w)]) {
+          dist[static_cast<std::size_t>(w)] =
+              dist[static_cast<std::size_t>(u)] + cost;
+          queue.emplace(dist[static_cast<std::size_t>(w)], w);
+        }
+      }
+    }
+  } else if (in_rip) {
+    // Distance-vector: filters affect propagation, so they participate in
+    // the Bellman-Ford relaxation itself.
+    dist[static_cast<std::size_t>(gateway)] = 0;
+    for (int round = 0; round < n + 1; ++round) {
+      bool changed = false;
+      for (std::size_t l = 0; l < topology_.links().size(); ++l) {
+        const LinkState& state = link_state_[l];
+        if (!state.rip) continue;
+        const Link& link = topology_.link(static_cast<int>(l));
+        const auto relax = [&](int from, int to,
+                               const std::string& to_iface) {
+          if (dist[static_cast<std::size_t>(from)] >= kInf) return;
+          if (denied_igp(to, to_iface, dest_prefix)) return;
+          const long cand = dist[static_cast<std::size_t>(from)] + 1;
+          if (cand < dist[static_cast<std::size_t>(to)]) {
+            dist[static_cast<std::size_t>(to)] = cand;
+            changed = true;
+          }
+        };
+        relax(link.a.node, link.b.node, link.b.interface);
+        relax(link.b.node, link.a.node, link.a.interface);
+      }
+      if (!changed) break;
+    }
+  }
+
+  // IGP next hops: every equal-cost candidate not denied by a filter on
+  // the incoming interface.
+  if (in_ospf || in_rip) {
+    for (int r = 0; r < n; ++r) {
+      if (r == gateway || dist[static_cast<std::size_t>(r)] >= kInf) continue;
+      auto& slot = fib_slot(r, host);
+      for (int link_id : topology_.links_of(r)) {
+        const LinkState& state =
+            link_state_[static_cast<std::size_t>(link_id)];
+        if (in_ospf ? !state.ospf : !state.rip) continue;
+        const Link& link = topology_.link(link_id);
+        const int w = link.other_end(r).node;
+        const long out_cost =
+            in_ospf
+                ? (link.a.node == r ? state.cost_a_to_b : state.cost_b_to_a)
+                : 1;
+        if (dist[static_cast<std::size_t>(w)] + out_cost !=
+            dist[static_cast<std::size_t>(r)]) {
+          continue;
+        }
+        if (denied_igp(r, link.end_of(r).interface, dest_prefix)) continue;
+        slot.push_back(NextHop{link_id, w});
+      }
+      std::sort(slot.begin(), slot.end());
+    }
+  }
+
+  compute_bgp_destination(host, gateway, dest_prefix);
+
+  // Static routes: longest-prefix match against the protocol route for
+  // the host LAN; administrative distance 1 beats IGP/BGP at equal
+  // length. Connected delivery at the gateway always wins.
+  for (int r = 0; r < n; ++r) {
+    if (r == gateway) continue;
+    const auto& router =
+        configs_->routers[static_cast<std::size_t>(topology_.node(r).config_index)];
+    const StaticRoute* best = nullptr;
+    for (const auto& route : router.static_routes) {
+      if (!route.prefix.contains(host_config.address)) continue;
+      if (best == nullptr || route.prefix.length() > best->prefix.length()) {
+        best = &route;
+      }
+    }
+    if (best == nullptr) continue;
+    auto& slot = fib_slot(r, host);
+    const bool overrides =
+        slot.empty() || best->prefix.length() >= dest_prefix.length();
+    if (!overrides) continue;
+    // Resolve the next hop to a directly connected neighbor.
+    int resolved_link = -1;
+    int resolved_neighbor = -1;
+    for (int link_id : topology_.links_of(r)) {
+      const Link& link = topology_.link(link_id);
+      const LinkEnd& far = link.other_end(r);
+      if (far.address == best->next_hop) {
+        resolved_link = link_id;
+        resolved_neighbor = far.node;
+        break;
+      }
+    }
+    if (resolved_link < 0) continue;  // unresolvable next hop: keep RIB
+    slot.clear();
+    slot.push_back(NextHop{resolved_link, resolved_neighbor});
+  }
+}
+
+bool Simulation::walk(int router, int dst_host, const Ipv4Prefix* src_prefix,
+                      const Ipv4Prefix& dst_prefix, std::vector<int>& visited,
+                      std::vector<int>& current,
+                      std::vector<std::vector<int>>& out, int depth) const {
+  if (depth > kMaxPathDepth || out.size() >= kMaxPathsPerFlow) return false;
+  bool delivered = false;
+  for (const NextHop& hop : fib(router, dst_host)) {
+    if (hop.neighbor == dst_host) {
+      auto complete = current;
+      complete.push_back(dst_host);
+      out.push_back(std::move(complete));
+      delivered = true;
+      continue;
+    }
+    if (!topology_.is_router(hop.neighbor)) continue;
+    if (std::find(visited.begin(), visited.end(), hop.neighbor) !=
+        visited.end()) {
+      continue;  // forwarding loop — branch is not a complete path
+    }
+    // Inbound packet filter at the next hop: the branch is dropped, not
+    // rerouted (a data-plane black hole).
+    const Link& link = topology_.link(hop.link);
+    if (acl_blocks(hop.neighbor, link.end_of(hop.neighbor).interface,
+                   src_prefix, dst_prefix)) {
+      continue;
+    }
+    visited.push_back(hop.neighbor);
+    current.push_back(hop.neighbor);
+    delivered |= walk(hop.neighbor, dst_host, src_prefix, dst_prefix,
+                      visited, current, out, depth + 1);
+    current.pop_back();
+    visited.pop_back();
+  }
+  return delivered;
+}
+
+std::vector<std::vector<int>> Simulation::node_paths(int src_host,
+                                                     int dst_host) const {
+  std::vector<std::vector<int>> out;
+  if (src_host == dst_host) return out;
+  const int gateway = topology_.gateway_of(src_host);
+  if (gateway < 0) return out;
+  const Ipv4Prefix src_prefix =
+      configs_->hosts[static_cast<std::size_t>(
+                          topology_.node(src_host).config_index)]
+          .prefix();
+  const Ipv4Prefix dst_prefix =
+      configs_->hosts[static_cast<std::size_t>(
+                          topology_.node(dst_host).config_index)]
+          .prefix();
+  // The gateway's host-facing interface may itself filter inbound.
+  for (int link_id : topology_.links_of(src_host)) {
+    const Link& link = topology_.link(link_id);
+    if (link.other_end(src_host).node != gateway) continue;
+    if (acl_blocks(gateway, link.end_of(gateway).interface, &src_prefix,
+                   dst_prefix)) {
+      return out;
+    }
+  }
+  std::vector<int> visited{gateway};
+  std::vector<int> current{src_host, gateway};
+  walk(gateway, dst_host, &src_prefix, dst_prefix, visited, current, out, 0);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<Path> Simulation::paths(int src_host, int dst_host) const {
+  std::vector<Path> named;
+  for (const auto& node_path : node_paths(src_host, dst_host)) {
+    Path path;
+    path.reserve(node_path.size());
+    for (int node : node_path) path.push_back(topology_.node(node).name);
+    named.push_back(std::move(path));
+  }
+  std::sort(named.begin(), named.end());
+  return named;
+}
+
+DataPlane Simulation::extract_data_plane() const {
+  DataPlane dp;
+  const auto hosts = topology_.host_ids();
+  for (int src : hosts) {
+    for (int dst : hosts) {
+      if (src == dst) continue;
+      auto flow_paths = paths(src, dst);
+      if (flow_paths.empty()) continue;
+      dp.flows.emplace(
+          FlowKey{topology_.node(src).name, topology_.node(dst).name},
+          std::move(flow_paths));
+    }
+  }
+  return dp;
+}
+
+bool Simulation::reaches(int router, int host) const {
+  std::vector<std::vector<int>> out;
+  std::vector<int> visited{router};
+  std::vector<int> current{router};
+  const Ipv4Prefix dst_prefix =
+      configs_->hosts[static_cast<std::size_t>(
+                          topology_.node(host).config_index)]
+          .prefix();
+  // Control-plane reachability: packet-filter ACLs are not evaluated
+  // (src == nullptr) because there is no source host.
+  return walk(router, host, nullptr, dst_prefix, visited, current, out, 0);
+}
+
+long Simulation::igp_distance(int from, int to) const {
+  const long d =
+      igp_dist_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+  return d >= kInf ? -1 : d;
+}
+
+std::vector<int> Simulation::reachable_hosts_from(int router) const {
+  std::vector<int> reachable;
+  for (int host : topology_.host_ids()) {
+    if (reaches(router, host)) reachable.push_back(host);
+  }
+  return reachable;
+}
+
+}  // namespace confmask

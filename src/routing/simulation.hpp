@@ -1,0 +1,153 @@
+// Control-plane simulation: the repository's stand-in for Batfish.
+//
+// Given a configuration set, the simulator converges OSPF (link-state, SPF
+// with ECMP and per-interface costs), RIP (distance-vector, hop metric,
+// classful `network` statements) and BGP (eBGP sessions between border
+// routers, AS-level path-vector with shortest-AS-path preference, hot-potato
+// egress selection via the intra-AS IGP), honoring `distribute-list` /
+// `neighbor ... prefix-list in` route filters, and exposes:
+//
+//  * per-router FIBs keyed by destination host (the ⟨r̃, h̃_d, nxt⟩ entries
+//    Algorithm 1 of the paper scans),
+//  * host-to-host path enumeration and full data-plane extraction
+//    (the traceroute the strawman 2 baseline performs),
+//  * per-router host reachability (the check Algorithm 2 performs before
+//    keeping a random filter).
+//
+// Modeling notes (see DESIGN.md §5):
+//  * OSPF filters act at RIB-install time: link-state distances are computed
+//    over the full LSDB and filters only remove next-hop candidates — the
+//    Cisco behaviour ConfMask relies on, and the reason Algorithm 1 needs
+//    multiple iterations to converge.
+//  * RIP filters act at advertisement-import time and therefore propagate
+//    (a filtered router advertises the post-filter metric).
+//  * BGP session filters remove the session from an AS's import candidates
+//    for that prefix.
+//
+// The simulator keeps a global counter of constructed instances so that the
+// Fig 16 runtime benchmark can also report "number of simulation jobs", the
+// dominant cost the paper discusses in §5.4.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/config/model.hpp"
+#include "src/routing/dataplane.hpp"
+#include "src/routing/topology.hpp"
+
+namespace confmask {
+
+/// One FIB next hop of a router for some destination host.
+struct NextHop {
+  int link = -1;      ///< link id in the topology
+  int neighbor = -1;  ///< node on the other side (router, or the host itself)
+
+  friend auto operator<=>(const NextHop&, const NextHop&) = default;
+};
+
+class Simulation {
+ public:
+  /// Builds the topology and converges all routing protocols. `configs`
+  /// must outlive the simulation.
+  explicit Simulation(const ConfigSet& configs);
+
+  [[nodiscard]] const ConfigSet& configs() const { return *configs_; }
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+
+  /// FIB entries of `router` for destination host `host` (both node ids).
+  /// Empty means no route (black hole at that router).
+  [[nodiscard]] const std::vector<NextHop>& fib(int router, int host) const;
+
+  /// All complete forwarding paths from `src_host` to `dst_host` as node-id
+  /// sequences, lexicographically sorted. ECMP branches are enumerated.
+  [[nodiscard]] std::vector<std::vector<int>> node_paths(int src_host,
+                                                         int dst_host) const;
+
+  /// Same, as device-name sequences.
+  [[nodiscard]] std::vector<Path> paths(int src_host, int dst_host) const;
+
+  /// Full data plane over all ordered host pairs.
+  [[nodiscard]] DataPlane extract_data_plane() const;
+
+  /// Hosts to which forwarding starting AT `router` completes.
+  [[nodiscard]] std::vector<int> reachable_hosts_from(int router) const;
+
+  /// True if forwarding from `router` to `host` completes.
+  [[nodiscard]] bool reaches(int router, int host) const;
+
+  /// Converged IGP distance between two routers of the same AS (router
+  /// node ids), or a negative value when unreachable. This is the paper's
+  /// min_cost(r, r') used to price fake OSPF links.
+  [[nodiscard]] long igp_distance(int from, int to) const;
+
+  /// Number of Simulation instances constructed since process start; the
+  /// paper's §5.4 complexity discussion counts exactly these jobs.
+  static std::uint64_t total_runs();
+  static void reset_run_counter();
+
+ private:
+  struct LinkState {
+    bool ospf = false;        ///< OSPF adjacency (both ends covered)
+    bool rip = false;         ///< RIP adjacency
+    int cost_a_to_b = 0;      ///< OSPF cost leaving end a
+    int cost_b_to_a = 0;      ///< OSPF cost leaving end b
+    bool intra_as = false;    ///< both routers in the same AS (or no BGP)
+  };
+
+  struct Session {
+    int router_a = -1;  ///< node id
+    int router_b = -1;
+    int link = -1;
+  };
+
+  void index_protocols();
+  void compute_destination(int host);
+  /// BGP part of compute_destination: FIBs of routers outside the origin
+  /// AS (AS-level path-vector + hot-potato egress selection).
+  void compute_bgp_destination(int host, int gateway,
+                               const Ipv4Prefix& dest_prefix);
+  [[nodiscard]] bool denied_igp(int router, const std::string& interface,
+                                const Ipv4Prefix& dest) const;
+  /// Packet-filter check: true if an inbound ACL on `interface` of
+  /// `router` drops (src, dst) traffic. `src == nullptr` (control-plane
+  /// reachability checks) skips ACL evaluation.
+  [[nodiscard]] bool acl_blocks(int router, const std::string& interface,
+                                const Ipv4Prefix* src,
+                                const Ipv4Prefix& dst) const;
+  [[nodiscard]] bool denied_bgp(int router, Ipv4Address peer,
+                                const Ipv4Prefix& dest) const;
+  [[nodiscard]] int as_of(int router) const;
+  /// Intra-AS IGP distances from every router (for hot-potato selection).
+  void compute_igp_distances();
+  [[nodiscard]] std::vector<NextHop>& fib_slot(int router, int host);
+  bool walk(int router, int dst_host, const Ipv4Prefix* src_prefix,
+            const Ipv4Prefix& dst_prefix, std::vector<int>& visited,
+            std::vector<int>& current, std::vector<std::vector<int>>& out,
+            int depth) const;
+
+  const ConfigSet* configs_;
+  Topology topology_;
+  // Per router: interface name -> prefix lists bound via IGP
+  // distribute-lists, and peer address -> prefix lists bound via BGP
+  // `neighbor ... prefix-list in`.
+  std::vector<std::map<std::string, std::vector<const PrefixList*>>>
+      igp_filters_;
+  // Per router: interface name -> inbound packet-filter ACL.
+  std::vector<std::map<std::string, const AccessList*>> acl_in_;
+  std::vector<std::map<std::uint32_t, std::vector<const PrefixList*>>>
+      bgp_filters_;
+  std::vector<LinkState> link_state_;      // parallel to topology links
+  std::vector<Session> sessions_;          // eBGP sessions
+  std::vector<int> router_as_;             // AS per router (-1 = none)
+  // igp_dist_[r] = vector over routers of IGP distance from r (same AS
+  // only; -1 otherwise / unreachable).
+  std::vector<std::vector<long>> igp_dist_;
+  // fib_[router * host_count + host_index]
+  std::vector<std::vector<NextHop>> fib_;
+  std::vector<NextHop> empty_fib_;
+};
+
+}  // namespace confmask

@@ -1,0 +1,61 @@
+#include "src/spec/policies.hpp"
+
+#include <algorithm>
+
+namespace confmask {
+
+std::set<Policy> mine_policies(const DataPlane& dp) {
+  std::set<Policy> policies;
+  for (const auto& [flow, paths] : dp.flows) {
+    if (paths.empty()) continue;
+    policies.insert(Policy{Policy::Kind::kReachability, flow.first,
+                           flow.second, "", 0});
+
+    // Waypoints: interior routers present on every path of the flow.
+    std::set<std::string> common(paths[0].begin() + 1, paths[0].end() - 1);
+    for (std::size_t i = 1; i < paths.size() && !common.empty(); ++i) {
+      const std::set<std::string> here(paths[i].begin() + 1,
+                                       paths[i].end() - 1);
+      std::set<std::string> kept;
+      std::set_intersection(common.begin(), common.end(), here.begin(),
+                            here.end(), std::inserter(kept, kept.begin()));
+      common = std::move(kept);
+    }
+    for (const auto& router : common) {
+      policies.insert(Policy{Policy::Kind::kWaypoint, flow.first,
+                             flow.second, router, 0});
+    }
+
+    if (paths.size() >= 2) {
+      policies.insert(Policy{Policy::Kind::kLoadBalance, flow.first,
+                             flow.second, "",
+                             static_cast<int>(paths.size())});
+    }
+  }
+  return policies;
+}
+
+SpecComparison compare_policies(const std::set<Policy>& original,
+                                const std::set<Policy>& anonymized,
+                                const std::set<std::string>& real_hosts) {
+  SpecComparison comparison;
+  comparison.original_total = original.size();
+  for (const auto& policy : original) {
+    if (anonymized.count(policy) != 0) {
+      ++comparison.kept;
+    } else {
+      ++comparison.missing;
+    }
+  }
+  for (const auto& policy : anonymized) {
+    if (original.count(policy) != 0) continue;
+    ++comparison.introduced;
+    if (real_hosts.count(policy.src) == 0 ||
+        real_hosts.count(policy.dst) == 0) {
+      ++comparison.introduced_fake;
+    }
+  }
+  return comparison;
+}
+
+}  // namespace confmask

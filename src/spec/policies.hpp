@@ -1,0 +1,70 @@
+// Specification mining — the repository's stand-in for Config2Spec
+// (Birkner et al., NSDI'20), which the paper uses in Fig 9 to compare how
+// many network specifications survive anonymization.
+//
+// A specification is a set of policies mined from the data plane. We mine
+// the three policy classes the paper's comparison uses:
+//  * Reachability(src, dst)       — the flow has at least one path;
+//  * Waypoint(src, dst, router)   — EVERY path of the flow crosses router;
+//  * LoadBalance(src, dst, k)     — the flow is spread over k >= 2 paths.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <set>
+#include <string>
+
+#include "src/routing/dataplane.hpp"
+
+namespace confmask {
+
+struct Policy {
+  enum class Kind { kReachability, kWaypoint, kLoadBalance };
+  Kind kind = Kind::kReachability;
+  std::string src;
+  std::string dst;
+  std::string waypoint;  ///< Waypoint policies only
+  int paths = 0;         ///< LoadBalance policies only
+
+  friend auto operator<=>(const Policy&, const Policy&) = default;
+};
+
+[[nodiscard]] std::set<Policy> mine_policies(const DataPlane& dp);
+
+struct SpecComparison {
+  std::size_t original_total = 0;
+  std::size_t kept = 0;        ///< original policies still holding
+  std::size_t missing = 0;     ///< original policies violated
+  std::size_t introduced = 0;  ///< new policies not in the original spec
+  std::size_t introduced_fake = 0;  ///< ... whose src or dst is a fake host
+
+  /// Fig 9's "kept spec" bar.
+  [[nodiscard]] double kept_fraction() const {
+    return original_total == 0
+               ? 1.0
+               : static_cast<double>(kept) /
+                     static_cast<double>(original_total);
+  }
+  /// Fig 9's above-1 bar: introduced specs relative to the original count.
+  [[nodiscard]] double introduced_ratio() const {
+    return original_total == 0
+               ? 0.0
+               : static_cast<double>(introduced) /
+                     static_cast<double>(original_total);
+  }
+  /// Share of introduced specs explained by fake hosts/links (the paper
+  /// reports 96.9% for ConfMask).
+  [[nodiscard]] double introduced_fake_share() const {
+    return introduced == 0 ? 0.0
+                           : static_cast<double>(introduced_fake) /
+                                 static_cast<double>(introduced);
+  }
+};
+
+/// Compares mined specifications; `real_hosts` classifies introduced
+/// policies as fake-host-related or genuine false positives.
+[[nodiscard]] SpecComparison compare_policies(
+    const std::set<Policy>& original, const std::set<Policy>& anonymized,
+    const std::set<std::string>& real_hosts);
+
+}  // namespace confmask

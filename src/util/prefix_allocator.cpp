@@ -1,0 +1,49 @@
+#include "src/util/prefix_allocator.hpp"
+
+#include <stdexcept>
+
+namespace confmask {
+
+PrefixAllocator::PrefixAllocator(Ipv4Prefix link_pool, Ipv4Prefix host_pool)
+    : link_pool_(link_pool), host_pool_(host_pool) {}
+
+PrefixAllocator::PrefixAllocator()
+    : PrefixAllocator(*Ipv4Prefix::parse("172.20.0.0/14"),
+                      *Ipv4Prefix::parse("100.96.0.0/12")) {}
+
+void PrefixAllocator::reserve(const Ipv4Prefix& prefix) {
+  used_.push_back(prefix);
+}
+
+bool PrefixAllocator::in_use(const Ipv4Prefix& prefix) const {
+  for (const auto& existing : used_) {
+    if (existing.overlaps(prefix)) return true;
+  }
+  return false;
+}
+
+Ipv4Prefix PrefixAllocator::allocate(Ipv4Prefix pool, int length,
+                                     std::uint32_t& cursor) {
+  const std::uint32_t step = 1u << (32 - length);
+  const std::uint32_t capacity = 1u << (32 - pool.length());
+  while (cursor < capacity) {
+    const Ipv4Prefix candidate{Ipv4Address{pool.network().bits() + cursor},
+                               length};
+    cursor += step;
+    if (!in_use(candidate)) {
+      used_.push_back(candidate);
+      return candidate;
+    }
+  }
+  throw std::runtime_error("prefix pool exhausted: " + pool.str());
+}
+
+Ipv4Prefix PrefixAllocator::allocate_link() {
+  return allocate(link_pool_, 31, link_cursor_);
+}
+
+Ipv4Prefix PrefixAllocator::allocate_host_lan() {
+  return allocate(host_pool_, 24, host_cursor_);
+}
+
+}  // namespace confmask

@@ -1,0 +1,48 @@
+// Allocation of fresh IPv4 prefixes that do not collide with a network's
+// existing address space.
+//
+// ConfMask requires every fake link and fake host to live in a prefix "not
+// included by any network that appeared in the original network
+// configurations" (paper §5.3), so that added filters cannot interact with
+// real routes. The allocator records all used prefixes and hands out
+// non-overlapping blocks from configurable pools.
+#pragma once
+
+#include <vector>
+
+#include "src/util/ipv4.hpp"
+
+namespace confmask {
+
+class PrefixAllocator {
+ public:
+  /// `link_pool` supplies /31 point-to-point blocks for fake links and
+  /// `host_pool` supplies /24 LANs for fake hosts. Defaults are chosen from
+  /// ranges rarely used by the generated evaluation networks; collisions
+  /// with used prefixes are skipped, not errors.
+  PrefixAllocator(Ipv4Prefix link_pool, Ipv4Prefix host_pool);
+  PrefixAllocator();
+
+  /// Marks a prefix as occupied by the original network.
+  void reserve(const Ipv4Prefix& prefix);
+
+  /// Returns true if `prefix` overlaps anything reserved or allocated.
+  [[nodiscard]] bool in_use(const Ipv4Prefix& prefix) const;
+
+  /// Allocates a fresh /31 for a fake point-to-point link.
+  Ipv4Prefix allocate_link();
+
+  /// Allocates a fresh /24 for a fake host LAN.
+  Ipv4Prefix allocate_host_lan();
+
+ private:
+  Ipv4Prefix allocate(Ipv4Prefix pool, int length, std::uint32_t& cursor);
+
+  Ipv4Prefix link_pool_;
+  Ipv4Prefix host_pool_;
+  std::uint32_t link_cursor_ = 0;
+  std::uint32_t host_cursor_ = 0;
+  std::vector<Ipv4Prefix> used_;
+};
+
+}  // namespace confmask

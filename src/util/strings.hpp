@@ -1,0 +1,30 @@
+// Small string helpers shared by the configuration parser/emitter.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace confmask {
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// Splits on runs of spaces/tabs, dropping empty tokens.
+std::vector<std::string_view> split_ws(std::string_view text);
+
+/// Splits on a single separator character, keeping empty fields.
+std::vector<std::string_view> split(std::string_view text, char sep);
+
+/// Joins pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Counts non-empty, non-comment ("!" separator) configuration lines; this
+/// is the line count the paper's U_C metric is computed over.
+std::size_t count_config_lines(std::string_view text);
+
+}  // namespace confmask

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "src/config/emit.hpp"
+#include "src/config/model.hpp"
+#include "src/util/strings.hpp"
+
+namespace confmask {
+namespace {
+
+Ipv4Prefix pfx(const char* text) { return *Ipv4Prefix::parse(text); }
+
+TEST(PrefixListEntry, ExactMatch) {
+  PrefixListEntry entry{5, false, pfx("10.1.2.0/24"), {}, {}};
+  EXPECT_TRUE(entry.matches(pfx("10.1.2.0/24")));
+  EXPECT_FALSE(entry.matches(pfx("10.1.2.0/25")));  // longer, no le
+  EXPECT_FALSE(entry.matches(pfx("10.1.0.0/16")));  // shorter
+  EXPECT_FALSE(entry.matches(pfx("10.9.2.0/24")));  // different network
+}
+
+TEST(PrefixListEntry, LeGeRanges) {
+  PrefixListEntry le_entry{5, true, pfx("0.0.0.0/0"), 32, {}};
+  EXPECT_TRUE(le_entry.matches(pfx("10.1.2.0/24")));
+  EXPECT_TRUE(le_entry.matches(pfx("0.0.0.0/0")));
+
+  PrefixListEntry ge_entry{5, true, pfx("10.0.0.0/8"), {}, 24};
+  EXPECT_TRUE(ge_entry.matches(pfx("10.1.2.0/24")));
+  EXPECT_TRUE(ge_entry.matches(pfx("10.1.2.4/30")));
+  EXPECT_FALSE(ge_entry.matches(pfx("10.1.0.0/16")));
+}
+
+TEST(PrefixList, FirstMatchWinsWithImplicitDeny) {
+  PrefixList list{"L", {}};
+  list.add_deny(pfx("10.1.2.0/24"));
+  list.add_permit_all();
+  EXPECT_FALSE(list.permits(pfx("10.1.2.0/24")));
+  EXPECT_TRUE(list.permits(pfx("10.1.3.0/24")));
+
+  PrefixList no_permit{"N", {}};
+  no_permit.add_deny(pfx("10.1.2.0/24"));
+  EXPECT_FALSE(no_permit.permits(pfx("10.9.9.0/24")));  // implicit deny
+}
+
+TEST(PrefixList, AddPermitAllIsIdempotent) {
+  PrefixList list{"L", {}};
+  list.add_permit_all();
+  list.add_permit_all();
+  EXPECT_EQ(list.entries.size(), 1u);
+}
+
+TEST(PrefixList, SequenceNumbersIncrease) {
+  PrefixList list{"L", {}};
+  list.add_deny(pfx("10.1.0.0/24"));
+  list.add_deny(pfx("10.2.0.0/24"));
+  EXPECT_LT(list.entries[0].seq, list.entries[1].seq);
+}
+
+TEST(RouterConfig, InterfaceLookupAndTowards) {
+  RouterConfig router;
+  router.hostname = "r1";
+  InterfaceConfig eth0;
+  eth0.name = "Ethernet0";
+  eth0.address = Ipv4Address::parse("10.0.0.0");
+  eth0.prefix_length = 31;
+  router.interfaces.push_back(eth0);
+
+  EXPECT_NE(router.find_interface("Ethernet0"), nullptr);
+  EXPECT_EQ(router.find_interface("Ethernet9"), nullptr);
+  const auto* towards =
+      router.interface_towards(*Ipv4Address::parse("10.0.0.1"));
+  ASSERT_NE(towards, nullptr);
+  EXPECT_EQ(towards->name, "Ethernet0");
+  EXPECT_EQ(router.interface_towards(*Ipv4Address::parse("10.9.0.1")),
+            nullptr);
+}
+
+TEST(RouterConfig, FreshNamesDoNotCollide) {
+  RouterConfig router;
+  InterfaceConfig iface;
+  iface.name = "Ethernet100";
+  router.interfaces.push_back(iface);
+  EXPECT_EQ(router.fresh_interface_name(), "Ethernet101");
+
+  router.ensure_prefix_list("CMF_1");
+  EXPECT_EQ(router.fresh_prefix_list_name("CMF"), "CMF_2");
+}
+
+TEST(RouterConfig, EnsurePrefixListReusesExisting) {
+  RouterConfig router;
+  auto& first = router.ensure_prefix_list("L");
+  first.add_deny(pfx("10.0.0.0/24"));
+  auto& second = router.ensure_prefix_list("L");
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(router.prefix_lists.size(), 1u);
+}
+
+TEST(OspfConfig, Covers) {
+  OspfConfig ospf;
+  ospf.networks.push_back(OspfNetwork{pfx("10.0.1.0/31"), 0});
+  EXPECT_TRUE(ospf.covers(*Ipv4Address::parse("10.0.1.1")));
+  EXPECT_FALSE(ospf.covers(*Ipv4Address::parse("10.0.2.1")));
+}
+
+TEST(RipConfig, ClassfulCovers) {
+  RipConfig rip;
+  rip.networks.push_back(*Ipv4Address::parse("10.0.0.0"));
+  EXPECT_TRUE(rip.covers(*Ipv4Address::parse("10.200.1.1")));  // /8 classful
+  EXPECT_FALSE(rip.covers(*Ipv4Address::parse("11.0.0.1")));
+}
+
+TEST(ConfigSet, UsedPrefixesAreDeduplicated) {
+  ConfigSet configs;
+  RouterConfig router;
+  router.hostname = "r1";
+  InterfaceConfig iface;
+  iface.name = "Ethernet0";
+  iface.address = Ipv4Address::parse("10.0.0.0");
+  iface.prefix_length = 31;
+  router.interfaces.push_back(iface);
+  router.ospf = OspfConfig{};
+  router.ospf->networks.push_back(OspfNetwork{pfx("10.0.0.0/31"), 0});
+  configs.routers.push_back(router);
+
+  const auto prefixes = configs.used_prefixes();
+  EXPECT_EQ(prefixes.size(), 1u);
+  EXPECT_EQ(prefixes[0].str(), "10.0.0.0/31");
+}
+
+TEST(LineStats, EmitterAndStatsAgree) {
+  RouterConfig router;
+  router.hostname = "r1";
+  InterfaceConfig iface;
+  iface.name = "Ethernet0";
+  iface.address = Ipv4Address::parse("10.0.0.0");
+  iface.prefix_length = 31;
+  iface.ospf_cost = 5;
+  iface.description = "to-r2";
+  iface.extra_lines.push_back("traffic-policy mark inbound");
+  router.interfaces.push_back(iface);
+  router.ospf = OspfConfig{};
+  router.ospf->networks.push_back(OspfNetwork{pfx("10.0.0.0/31"), 0});
+  router.ospf->distribute_lists.push_back(DistributeList{"L", "Ethernet0"});
+  auto& list = router.ensure_prefix_list("L");
+  list.add_deny(pfx("10.128.0.0/24"));
+  list.add_permit_all();
+
+  const auto stats = router_line_stats(router);
+  const auto text = emit_router(router);
+  EXPECT_EQ(stats.total(), count_config_lines(text));
+  EXPECT_EQ(stats.hostname, 1u);
+  EXPECT_EQ(stats.interface, 5u);  // interface, address, cost, desc, extra
+  EXPECT_EQ(stats.protocol, 2u);   // router ospf, network
+  EXPECT_EQ(stats.filter, 3u);     // distribute-list + 2 prefix-list entries
+}
+
+TEST(LineStats, Arithmetic) {
+  LineStats a;
+  a.interface = 5;
+  a.filter = 2;
+  LineStats b;
+  b.interface = 2;
+  b.filter = 2;
+  b.protocol = 1;
+  a += b;
+  EXPECT_EQ(a.interface, 7u);
+  const auto diff = a - b;
+  EXPECT_EQ(diff.interface, 5u);
+  EXPECT_EQ(diff.protocol, 0u);
+  EXPECT_EQ(a.total(), 12u);
+}
+
+}  // namespace
+}  // namespace confmask

@@ -1,0 +1,127 @@
+// Parser/emitter round-trip tests: parse(emit(x)) must reproduce x exactly
+// for every construct the model knows, and unknown lines must survive
+// verbatim (the property the §2.3 QoS case study depends on).
+#include <gtest/gtest.h>
+
+#include "src/config/emit.hpp"
+#include "src/config/parse.hpp"
+#include "src/netgen/networks.hpp"
+
+namespace confmask {
+namespace {
+
+TEST(RoundTrip, EmitParseEmitIsIdentityOnEvaluationNetworks) {
+  for (const auto& network : evaluation_networks()) {
+    for (const auto& router : network.configs.routers) {
+      const auto text = emit_router(router);
+      const auto reparsed = parse_router(text);
+      EXPECT_EQ(emit_router(reparsed), text)
+          << network.id << " router " << router.hostname;
+    }
+    for (const auto& host : network.configs.hosts) {
+      const auto text = emit_host(host);
+      const auto reparsed = parse_host(text);
+      EXPECT_EQ(emit_host(reparsed), text)
+          << network.id << " host " << host.hostname;
+    }
+  }
+}
+
+TEST(RoundTrip, UnknownLinesSurviveVerbatim) {
+  // The QoS configuration of the paper's Listing 1 — none of these lines
+  // are modeled, all must pass through.
+  const char* text =
+      "hostname c2\n"
+      "!\n"
+      "interface Ethernet0\n"
+      " ip address 10.25.17.24 255.255.255.254\n"
+      " description to-AGG3-1\n"
+      " traffic-policy mark_agg31_high_priority inbound\n"
+      "!\n"
+      "traffic classifier is_mgmt_traffic\n"
+      "if-match any\n"
+      "traffic behavior remark_mgmt_dscp\n"
+      "remark dscp af31\n";
+  const auto router = parse_router(text);
+  ASSERT_EQ(router.interfaces.size(), 1u);
+  EXPECT_EQ(router.interfaces[0].extra_lines.size(), 1u);
+  EXPECT_EQ(router.interfaces[0].extra_lines[0],
+            "traffic-policy mark_agg31_high_priority inbound");
+  EXPECT_EQ(router.extra_lines.size(), 4u);
+
+  const auto reemitted = emit_router(router);
+  EXPECT_NE(reemitted.find("traffic-policy mark_agg31_high_priority inbound"),
+            std::string::npos);
+  EXPECT_NE(reemitted.find("remark dscp af31"), std::string::npos);
+}
+
+TEST(RoundTrip, ParsesFiltersAndBgp) {
+  const char* text =
+      "hostname r2\n"
+      "interface Ethernet0\n"
+      " ip address 10.0.9.1 255.255.255.254\n"
+      "router bgp 20\n"
+      " network 10.128.0.0 mask 255.255.255.0\n"
+      " neighbor 10.0.9.0 remote-as 10\n"
+      " neighbor 10.0.9.0 prefix-list RejPfxs in\n"
+      "router ospf 1\n"
+      " network 10.0.1.0 0.0.0.1 area 0\n"
+      " distribute-list prefix CMF_Ethernet1 in Ethernet1\n"
+      "ip prefix-list RejPfxs seq 5 deny 10.128.1.0/24\n"
+      "ip prefix-list RejPfxs seq 10 permit 0.0.0.0/0 le 32\n";
+  const auto router = parse_router(text);
+  ASSERT_TRUE(router.bgp.has_value());
+  EXPECT_EQ(router.bgp->local_as, 20);
+  ASSERT_EQ(router.bgp->neighbors.size(), 1u);
+  EXPECT_EQ(router.bgp->neighbors[0].remote_as, 10);
+  ASSERT_EQ(router.bgp->neighbors[0].prefix_lists_in.size(), 1u);
+  EXPECT_EQ(router.bgp->neighbors[0].prefix_lists_in[0], "RejPfxs");
+  ASSERT_TRUE(router.ospf.has_value());
+  ASSERT_EQ(router.ospf->distribute_lists.size(), 1u);
+  EXPECT_EQ(router.ospf->distribute_lists[0].interface, "Ethernet1");
+  ASSERT_EQ(router.prefix_lists.size(), 1u);
+  EXPECT_EQ(router.prefix_lists[0].entries.size(), 2u);
+  EXPECT_FALSE(router.prefix_lists[0].permits(
+      *Ipv4Prefix::parse("10.128.1.0/24")));
+  EXPECT_TRUE(router.prefix_lists[0].permits(
+      *Ipv4Prefix::parse("10.128.2.0/24")));
+}
+
+TEST(RoundTrip, ParserErrors) {
+  EXPECT_THROW((void)parse_router("interface E0\n ip address 10.0.0.1 "
+                                  "255.0.255.0\n"),
+               ConfigParseError);
+  EXPECT_THROW((void)parse_router("router ospf x\n"), ConfigParseError);
+  EXPECT_THROW(
+      (void)parse_router("ip prefix-list L seq 5 frobnicate 10.0.0.0/8\n"),
+      ConfigParseError);
+  EXPECT_THROW((void)parse_router("router bgp 10\n neighbor 10.0.0.1 "
+                                  "prefix-list L in\n"),
+               ConfigParseError);  // filter for unknown neighbor
+  EXPECT_THROW((void)parse_host("hostname h1\n"), ConfigParseError);
+}
+
+TEST(RoundTrip, ParseErrorCarriesLineNumber) {
+  try {
+    (void)parse_router("hostname r1\nrouter ospf 1\n network 10.0.0.0 "
+                       "0.0.255.0 area 0\n");
+    FAIL() << "expected ConfigParseError";
+  } catch (const ConfigParseError& error) {
+    EXPECT_EQ(error.line_number(), 3u);
+  }
+}
+
+TEST(RoundTrip, HostConfig) {
+  const auto network = make_figure2();
+  ASSERT_FALSE(network.hosts.empty());
+  const auto& host = network.hosts[0];
+  const auto reparsed = parse_host(emit_host(host));
+  EXPECT_EQ(reparsed.hostname, host.hostname);
+  EXPECT_EQ(reparsed.address, host.address);
+  EXPECT_EQ(reparsed.gateway, host.gateway);
+  EXPECT_TRUE(looks_like_host(emit_host(host)));
+  EXPECT_FALSE(looks_like_host(emit_router(network.routers[0])));
+}
+
+}  // namespace
+}  // namespace confmask

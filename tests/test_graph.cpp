@@ -1,0 +1,102 @@
+#include "src/graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace confmask {
+namespace {
+
+Graph triangle_plus_tail() {
+  // 0-1-2 triangle, 3 hanging off 2.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(Graph, AddEdgeRejectsSelfLoopsAndDuplicates) {
+  Graph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));
+  EXPECT_FALSE(g.add_edge(2, 2));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Graph, DegreesAndEdges) {
+  const auto g = triangle_plus_tail();
+  EXPECT_EQ(g.degrees(), (std::vector<int>{2, 2, 3, 1}));
+  const auto edges = g.edges();
+  EXPECT_EQ(edges.size(), 4u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(Graph, AddNode) {
+  Graph g(2);
+  EXPECT_EQ(g.add_node(), 2);
+  EXPECT_EQ(g.node_count(), 3);
+  EXPECT_EQ(g.degree(2), 0);
+}
+
+TEST(Graph, Connectivity) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.connected());
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.connected());
+  EXPECT_TRUE(Graph(0).connected());
+  EXPECT_TRUE(Graph(1).connected());
+}
+
+TEST(Graph, BfsDistances) {
+  const auto g = triangle_plus_tail();
+  const auto dist = g.bfs_distances(0);
+  EXPECT_EQ(dist, (std::vector<int>{0, 1, 1, 2}));
+
+  Graph disconnected(3);
+  disconnected.add_edge(0, 1);
+  EXPECT_EQ(disconnected.bfs_distances(0)[2], -1);
+}
+
+TEST(ClusteringCoefficient, KnownValues) {
+  // Triangle: every node has CC 1.
+  Graph triangle(3);
+  triangle.add_edge(0, 1);
+  triangle.add_edge(1, 2);
+  triangle.add_edge(0, 2);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(triangle), 1.0);
+
+  // Star: no closed triples at all.
+  Graph star(4);
+  star.add_edge(0, 1);
+  star.add_edge(0, 2);
+  star.add_edge(0, 3);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(star), 0.0);
+
+  // Triangle + tail: nodes 0,1 have CC 1; node 2 has CC 1/3; node 3 has 0.
+  EXPECT_NEAR(clustering_coefficient(triangle_plus_tail()),
+              (1.0 + 1.0 + 1.0 / 3.0 + 0.0) / 4.0, 1e-12);
+}
+
+TEST(DegreeAnonymity, MinSameDegreeClass) {
+  // Degrees {2,2,3,1}: classes of size 2, 1, 1 -> min 1.
+  EXPECT_EQ(min_same_degree_class(triangle_plus_tail()), 1);
+
+  Graph square(4);
+  square.add_edge(0, 1);
+  square.add_edge(1, 2);
+  square.add_edge(2, 3);
+  square.add_edge(3, 0);
+  EXPECT_EQ(min_same_degree_class(square), 4);
+  EXPECT_TRUE(is_k_degree_anonymous(square, 4));
+  EXPECT_FALSE(is_k_degree_anonymous(square, 5));
+}
+
+TEST(DegreeAnonymity, EmptyGraph) {
+  EXPECT_EQ(min_same_degree_class(Graph(0)), 0);
+}
+
+}  // namespace
+}  // namespace confmask

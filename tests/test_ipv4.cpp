@@ -1,0 +1,116 @@
+#include "src/util/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+namespace confmask {
+namespace {
+
+TEST(Ipv4Address, ParsesDottedQuad) {
+  const auto addr = Ipv4Address::parse("10.25.17.25");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->str(), "10.25.17.25");
+  EXPECT_EQ(addr->bits(), 0x0A191119u);
+}
+
+TEST(Ipv4Address, ParsesBoundaryValues) {
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->bits(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->bits(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Address, RejectsMalformedInput) {
+  EXPECT_FALSE(Ipv4Address::parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("10.0.0").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("10.0.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("10.0.0.256").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("10.0.0.-1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("10.0.0.1x").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("10..0.1").has_value());
+}
+
+TEST(Ipv4Address, ClassfulLengths) {
+  EXPECT_EQ(Ipv4Address::parse("10.1.2.3")->classful_prefix_length(), 8);
+  EXPECT_EQ(Ipv4Address::parse("127.0.0.1")->classful_prefix_length(), 8);
+  EXPECT_EQ(Ipv4Address::parse("128.0.0.1")->classful_prefix_length(), 16);
+  EXPECT_EQ(Ipv4Address::parse("172.16.0.1")->classful_prefix_length(), 16);
+  EXPECT_EQ(Ipv4Address::parse("192.168.1.1")->classful_prefix_length(), 24);
+  EXPECT_EQ(Ipv4Address::parse("224.0.0.1")->classful_prefix_length(), 32);
+}
+
+TEST(Ipv4Prefix, CanonicalizesHostBits) {
+  const Ipv4Prefix prefix{*Ipv4Address::parse("10.1.2.200"), 24};
+  EXPECT_EQ(prefix.str(), "10.1.2.0/24");
+}
+
+TEST(Ipv4Prefix, ParseRoundTrip) {
+  for (const char* text : {"0.0.0.0/0", "10.0.0.0/8", "10.1.2.0/24",
+                           "10.0.0.2/31", "192.168.7.5/32"}) {
+    const auto prefix = Ipv4Prefix::parse(text);
+    ASSERT_TRUE(prefix.has_value()) << text;
+    EXPECT_EQ(prefix->str(), text);
+  }
+}
+
+TEST(Ipv4Prefix, RejectsMalformedInput) {
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/-1").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/2x").has_value());
+}
+
+TEST(Ipv4Prefix, FromMask) {
+  const auto prefix = Ipv4Prefix::from_mask(*Ipv4Address::parse("10.1.2.3"),
+                                            *Ipv4Address::parse("255.255.255.0"));
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_EQ(prefix->str(), "10.1.2.0/24");
+  EXPECT_FALSE(Ipv4Prefix::from_mask(*Ipv4Address::parse("10.0.0.0"),
+                                     *Ipv4Address::parse("255.0.255.0"))
+                   .has_value());
+}
+
+TEST(Ipv4Prefix, FromWildcard) {
+  const auto prefix = Ipv4Prefix::from_wildcard(
+      *Ipv4Address::parse("10.0.1.0"), *Ipv4Address::parse("0.0.0.1"));
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_EQ(prefix->str(), "10.0.1.0/31");
+}
+
+TEST(Ipv4Prefix, MaskAndWildcard) {
+  const Ipv4Prefix prefix{*Ipv4Address::parse("10.1.0.0"), 16};
+  EXPECT_EQ(prefix.mask().str(), "255.255.0.0");
+  EXPECT_EQ(prefix.wildcard().str(), "0.0.255.255");
+}
+
+TEST(Ipv4Prefix, Containment) {
+  const auto p24 = *Ipv4Prefix::parse("10.1.2.0/24");
+  EXPECT_TRUE(p24.contains(*Ipv4Address::parse("10.1.2.99")));
+  EXPECT_FALSE(p24.contains(*Ipv4Address::parse("10.1.3.0")));
+  EXPECT_TRUE(p24.contains(*Ipv4Prefix::parse("10.1.2.128/25")));
+  EXPECT_FALSE(p24.contains(*Ipv4Prefix::parse("10.1.0.0/16")));
+  EXPECT_TRUE(
+      Ipv4Prefix::parse("0.0.0.0/0")->contains(*Ipv4Prefix::parse("10.0.0.0/8")));
+}
+
+TEST(Ipv4Prefix, Overlaps) {
+  const auto a = *Ipv4Prefix::parse("10.1.0.0/16");
+  const auto b = *Ipv4Prefix::parse("10.1.2.0/24");
+  const auto c = *Ipv4Prefix::parse("10.2.0.0/16");
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(Ipv4Prefix, HostIndexing) {
+  const auto lan = *Ipv4Prefix::parse("10.128.3.0/24");
+  EXPECT_EQ(lan.host(1).str(), "10.128.3.1");
+  EXPECT_EQ(lan.host(10).str(), "10.128.3.10");
+}
+
+TEST(Ipv4Prefix, ZeroLengthMatchesEverything) {
+  const Ipv4Prefix any{Ipv4Address{0u}, 0};
+  EXPECT_TRUE(any.contains(*Ipv4Address::parse("255.1.2.3")));
+  EXPECT_EQ(any.mask_bits(), 0u);
+}
+
+}  // namespace
+}  // namespace confmask

@@ -1,0 +1,178 @@
+// Properties of the Liu-Terzi k-degree anonymization: the DP must produce
+// a minimal, only-increasing, k-anonymous degree sequence, and the full
+// pipeline must produce a simple supergraph that is k-degree anonymous.
+#include "src/graph/k_degree_anonymize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace confmask {
+namespace {
+
+/// Exhaustive optimum: partition the descending-sorted sequence into
+/// contiguous groups of size >= k, each raised to its group max.
+long brute_force_cost(std::vector<int> sorted, std::size_t k,
+                      std::size_t from = 0) {
+  const std::size_t n = sorted.size();
+  if (from == n) return 0;
+  if (n - from < k) return 1L << 40;  // infeasible
+  long best = 1L << 40;
+  for (std::size_t size = k; size <= n - from; ++size) {
+    long cost = 0;
+    for (std::size_t i = from; i < from + size; ++i) {
+      cost += sorted[from] - sorted[i];
+    }
+    const long rest = brute_force_cost(sorted, k, from + size);
+    best = std::min(best, cost + rest);
+  }
+  return best;
+}
+
+long sequence_cost(const std::vector<int>& degrees,
+                   const std::vector<int>& targets) {
+  long cost = 0;
+  for (std::size_t i = 0; i < degrees.size(); ++i) {
+    cost += targets[i] - degrees[i];
+  }
+  return cost;
+}
+
+bool k_anonymous_multiset(const std::vector<int>& values, int k) {
+  std::map<int, int> counts;
+  for (int v : values) ++counts[v];
+  return std::all_of(counts.begin(), counts.end(),
+                     [&](const auto& kv) { return kv.second >= k; });
+}
+
+TEST(DegreeSequenceDp, NeverDecreasesAndIsKAnonymous) {
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = static_cast<int>(rng.range(5, 40));
+    const int k = static_cast<int>(rng.range(2, 6));
+    std::vector<int> degrees;
+    for (int i = 0; i < n; ++i) {
+      degrees.push_back(static_cast<int>(rng.range(1, 12)));
+    }
+    const auto targets = anonymize_degree_sequence(degrees, k);
+    ASSERT_EQ(targets.size(), degrees.size());
+    for (std::size_t i = 0; i < degrees.size(); ++i) {
+      EXPECT_GE(targets[i], degrees[i]);
+    }
+    EXPECT_TRUE(k_anonymous_multiset(targets, std::min(k, n)))
+        << "trial " << trial;
+  }
+}
+
+TEST(DegreeSequenceDp, MatchesBruteForceOptimum) {
+  Rng rng(321);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = static_cast<int>(rng.range(4, 11));
+    const int k = static_cast<int>(rng.range(2, 4));
+    if (n < k) continue;
+    std::vector<int> degrees;
+    for (int i = 0; i < n; ++i) {
+      degrees.push_back(static_cast<int>(rng.range(0, 9)));
+    }
+    auto sorted = degrees;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    const long expected =
+        brute_force_cost(sorted, static_cast<std::size_t>(k));
+    const auto targets = anonymize_degree_sequence(degrees, k);
+    EXPECT_EQ(sequence_cost(degrees, targets), expected) << "trial " << trial;
+  }
+}
+
+TEST(DegreeSequenceDp, AlreadyAnonymousIsUnchanged) {
+  const std::vector<int> degrees{3, 3, 3, 2, 2, 2};
+  EXPECT_EQ(anonymize_degree_sequence(degrees, 3), degrees);
+}
+
+TEST(DegreeSequenceDp, PreservesInputOrder) {
+  const std::vector<int> degrees{1, 5, 2, 5};
+  const auto targets = anonymize_degree_sequence(degrees, 2);
+  // The two 5s stay; the 1 and 2 group together at 2.
+  EXPECT_EQ(targets, (std::vector<int>{2, 5, 2, 5}));
+}
+
+TEST(DegreeSequenceDp, EmptyAndSingleton) {
+  EXPECT_TRUE(anonymize_degree_sequence({}, 3).empty());
+  EXPECT_EQ(anonymize_degree_sequence({7}, 3), (std::vector<int>{7}));
+}
+
+class KDegreeAnonymizeProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(KDegreeAnonymizeProperty, ProducesKAnonymousSupergraph) {
+  const auto [n, k, seed] = GetParam();
+  Rng graph_rng(seed);
+  Graph graph(n);
+  // Random connected-ish graph: spanning tree + extras.
+  for (int v = 1; v < n; ++v) {
+    graph.add_edge(v, static_cast<int>(graph_rng.below(
+                          static_cast<std::uint64_t>(v))));
+  }
+  const int extras = static_cast<int>(graph_rng.range(0, n));
+  for (int i = 0; i < extras; ++i) {
+    const int u = static_cast<int>(graph_rng.below(static_cast<std::uint64_t>(n)));
+    const int v = static_cast<int>(graph_rng.below(static_cast<std::uint64_t>(n)));
+    graph.add_edge(u, v);
+  }
+
+  Rng anon_rng(seed ^ 0xDEADBEEF);
+  const auto result = k_degree_anonymize(graph, k, anon_rng);
+
+  // Apply the fake edges and check every promised property.
+  Graph anonymized = graph;
+  for (const auto& [u, v] : result.added_edges) {
+    EXPECT_FALSE(graph.has_edge(u, v) && anonymized.has_edge(u, v) &&
+                 !graph.has_edge(u, v))
+        << "duplicate bookkeeping";
+    EXPECT_TRUE(anonymized.add_edge(u, v))
+        << "added edge duplicates an existing one";
+  }
+  EXPECT_TRUE(is_k_degree_anonymous(anonymized, std::min(k, n)))
+      << "n=" << n << " k=" << k << " seed=" << seed;
+  // Edge-addition only: all original edges still present.
+  for (const auto& [u, v] : graph.edges()) {
+    EXPECT_TRUE(anonymized.has_edge(u, v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KDegreeAnonymizeProperty,
+    ::testing::Combine(::testing::Values(5, 8, 13, 21, 40, 80),
+                       ::testing::Values(2, 3, 6, 10),
+                       ::testing::Values(1u, 7u, 42u)));
+
+TEST(KDegreeAnonymize, RegularGraphNeedsNoEdges) {
+  Graph square(4);
+  square.add_edge(0, 1);
+  square.add_edge(1, 2);
+  square.add_edge(2, 3);
+  square.add_edge(3, 0);
+  Rng rng(5);
+  const auto result = k_degree_anonymize(square, 4, rng);
+  EXPECT_TRUE(result.added_edges.empty());
+}
+
+TEST(KDegreeAnonymize, KLargerThanNodeCountIsClamped) {
+  Graph path(3);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  Rng rng(6);
+  const auto result = k_degree_anonymize(path, 10, rng);
+  Graph anonymized = path;
+  for (const auto& [u, v] : result.added_edges) anonymized.add_edge(u, v);
+  EXPECT_TRUE(is_k_degree_anonymous(anonymized, 3));
+}
+
+TEST(KDegreeAnonymize, EmptyGraph) {
+  Rng rng(7);
+  EXPECT_TRUE(k_degree_anonymize(Graph(0), 3, rng).added_edges.empty());
+}
+
+}  // namespace
+}  // namespace confmask

@@ -1,0 +1,118 @@
+// The generated evaluation networks must reproduce Table 2 exactly and be
+// fully functional (connected, every host pair reachable).
+#include <gtest/gtest.h>
+
+#include "src/config/emit.hpp"
+#include "src/netgen/networks.hpp"
+#include "src/routing/simulation.hpp"
+
+namespace confmask {
+namespace {
+
+struct Table2Row {
+  const char* id;
+  int routers;
+  int hosts;
+  int links;
+  const char* type;
+};
+
+// |R|, |H|, |E| straight from the paper's Table 2.
+constexpr Table2Row kTable2[] = {
+    {"A", 10, 8, 26, "BGP+OSPF"},  {"B", 13, 8, 25, "BGP+OSPF"},
+    {"C", 11, 9, 22, "BGP+OSPF"},  {"D", 49, 98, 162, "OSPF"},
+    {"E", 86, 68, 169, "OSPF"},    {"F", 161, 58, 378, "OSPF"},
+    {"G", 20, 16, 48, "OSPF"},     {"H", 72, 64, 320, "OSPF"},
+};
+
+TEST(NetGen, Table2CountsMatchThePaper) {
+  const auto networks = evaluation_networks();
+  ASSERT_EQ(networks.size(), 8u);
+  for (std::size_t i = 0; i < networks.size(); ++i) {
+    const auto& network = networks[i];
+    const auto& row = kTable2[i];
+    EXPECT_EQ(network.id, row.id);
+    EXPECT_EQ(network.type, row.type);
+    const auto topo = Topology::build(network.configs);
+    EXPECT_EQ(topo.router_count(), row.routers) << network.name;
+    EXPECT_EQ(topo.host_count(), row.hosts) << network.name;
+    EXPECT_EQ(topo.links().size(), static_cast<std::size_t>(row.links))
+        << network.name;
+  }
+}
+
+TEST(NetGen, RouterGraphsAreConnected) {
+  for (const auto& network : evaluation_networks()) {
+    const auto topo = Topology::build(network.configs);
+    EXPECT_TRUE(topo.router_graph().connected()) << network.name;
+    // Every host has exactly one gateway.
+    for (int host : topo.host_ids()) {
+      EXPECT_GE(topo.gateway_of(host), 0) << network.name;
+    }
+  }
+}
+
+TEST(NetGen, IspGeneratorIsSeedDeterministic) {
+  const auto a = make_isp_ospf("t", 20, 10, 30, 99);
+  const auto b = make_isp_ospf("t", 20, 10, 30, 99);
+  ASSERT_EQ(a.routers.size(), b.routers.size());
+  for (std::size_t i = 0; i < a.routers.size(); ++i) {
+    EXPECT_EQ(emit_router(a.routers[i]), emit_router(b.routers[i]));
+  }
+  const auto c = make_isp_ospf("t", 20, 10, 30, 100);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.routers.size(); ++i) {
+    if (emit_router(a.routers[i]) != emit_router(c.routers[i])) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(NetGen, IspGeneratorRejectsImpossibleLinkCounts) {
+  EXPECT_THROW((void)make_isp_ospf("t", 10, 5, 8, 1), std::invalid_argument);
+}
+
+class NetGenReachability : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NetGenReachability, EveryHostPairHasAPath) {
+  const auto networks = evaluation_networks();
+  const auto& network = networks[GetParam()];
+  const Simulation sim(network.configs);
+  const auto& topo = sim.topology();
+  const auto hosts = topo.host_ids();
+  std::size_t missing = 0;
+  for (int src : hosts) {
+    for (int dst : hosts) {
+      if (src != dst && sim.paths(src, dst).empty()) ++missing;
+    }
+  }
+  EXPECT_EQ(missing, 0u) << network.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNetworks, NetGenReachability,
+                         ::testing::Range<std::size_t>(0, 8));
+
+TEST(NetGen, ConfigLineVolumesAreRealistic) {
+  // Not asserted against the paper's exact counts (different emitter), but
+  // each network must produce a substantial, plausible configuration set.
+  for (const auto& network : evaluation_networks()) {
+    const auto total = config_set_total_lines(network.configs);
+    EXPECT_GT(total, 100u) << network.name;
+    EXPECT_LT(total, 50000u) << network.name;
+  }
+}
+
+TEST(NetGen, Figure2CostsAreSet) {
+  const auto configs = make_figure2();
+  const auto* r1 = configs.find_router("r1");
+  ASSERT_NE(r1, nullptr);
+  int cost1_interfaces = 0;
+  for (const auto& iface : r1->interfaces) {
+    if (iface.ospf_cost == 1) ++cost1_interfaces;
+  }
+  EXPECT_EQ(cost1_interfaces, 1);  // the r1-r3 link
+}
+
+}  // namespace
+}  // namespace confmask

@@ -1,0 +1,118 @@
+// Parser robustness: a recipient of shared configurations feeds the
+// parser arbitrary text. Mutated/truncated/garbled input must either
+// parse (unknown lines are passthrough by design) or throw
+// ConfigParseError — never crash, never mis-attribute.
+#include <gtest/gtest.h>
+
+#include "src/config/emit.hpp"
+#include "src/config/parse.hpp"
+#include "src/core/confmask.hpp"
+#include "src/netgen/networks.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/strings.hpp"
+
+namespace confmask {
+namespace {
+
+/// Parse must terminate with a value or a ConfigParseError.
+void expect_controlled(const std::string& text) {
+  try {
+    (void)parse_router(text);
+  } catch (const ConfigParseError&) {
+    // fine — controlled rejection
+  }
+}
+
+class MutationFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutationFuzz, MutatedConfigsNeverCrashTheParser) {
+  Rng rng(GetParam());
+  const auto networks = evaluation_networks();
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto& network =
+        networks[static_cast<std::size_t>(rng.below(networks.size()))];
+    const auto& router = network.configs.routers[static_cast<std::size_t>(
+        rng.below(network.configs.routers.size()))];
+    std::string text = emit_router(router);
+
+    switch (rng.below(6)) {
+      case 0: {  // truncate at a random byte
+        text.resize(static_cast<std::size_t>(rng.below(text.size() + 1)));
+        break;
+      }
+      case 1: {  // flip a random byte to a printable character
+        if (!text.empty()) {
+          text[static_cast<std::size_t>(rng.below(text.size()))] =
+              static_cast<char>('!' + rng.below(90));
+        }
+        break;
+      }
+      case 2: {  // delete a random line
+        auto lines = split(text, '\n');
+        const auto victim = rng.below(lines.size());
+        std::string rebuilt;
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+          if (i == victim) continue;
+          rebuilt += std::string(lines[i]) + "\n";
+        }
+        text = rebuilt;
+        break;
+      }
+      case 3: {  // duplicate a random line
+        auto lines = split(text, '\n');
+        const auto victim = lines[static_cast<std::size_t>(
+            rng.below(lines.size()))];
+        text += std::string(victim) + "\n";
+        break;
+      }
+      case 4: {  // strip all indentation (blocks collapse to top level)
+        std::string rebuilt;
+        for (const auto line : split(text, '\n')) {
+          rebuilt += std::string(trim(line)) + "\n";
+        }
+        text = rebuilt;
+        break;
+      }
+      case 5: {  // inject a half-formed known construct
+        text += "ip prefix-list L seq\n";
+        break;
+      }
+    }
+    expect_controlled(text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzz,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+TEST(ParserRobustness, AnonymizedOutputsOfAllNetworksRoundTrip) {
+  // The anonymizer's full emitted surface (filters, prefix lists, fake
+  // interfaces, fake hosts) must survive parse -> emit exactly.
+  for (const auto& network : evaluation_networks()) {
+    ConfMaskOptions options;
+    options.seed = 0xF00D;
+    const auto result = run_confmask(network.configs, options);
+    for (const auto& router : result.anonymized.routers) {
+      const auto text = emit_router(router);
+      EXPECT_EQ(emit_router(parse_router(text)), text)
+          << network.id << "/" << router.hostname;
+    }
+    for (const auto& host : result.anonymized.hosts) {
+      const auto text = emit_host(host);
+      EXPECT_EQ(emit_host(parse_host(text)), text)
+          << network.id << "/" << host.hostname;
+    }
+  }
+}
+
+TEST(ParserRobustness, EmptyAndDegenerateInputs) {
+  EXPECT_EQ(parse_router("").hostname, "");
+  EXPECT_EQ(parse_router("!\n!\n!\n").interfaces.size(), 0u);
+  EXPECT_EQ(parse_router("\n\n\n").extra_lines.size(), 0u);
+  // A lone indented line at top level is passthrough, not a crash.
+  const auto router = parse_router("  stray indented line\n");
+  EXPECT_EQ(router.extra_lines.size(), 1u);
+}
+
+}  // namespace
+}  // namespace confmask

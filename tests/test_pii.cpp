@@ -1,0 +1,209 @@
+// The PII add-on: prefix preservation, consistency (the renumbered network
+// simulates to the same data plane modulo renaming), and secret scrubbing.
+#include "src/pii/pii_addon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/config/emit.hpp"
+#include "src/core/confmask.hpp"
+#include "src/netgen/networks.hpp"
+#include "src/pii/crypto_pan.hpp"
+#include "src/routing/simulation.hpp"
+
+namespace confmask {
+namespace {
+
+TEST(CryptoPan, IsDeterministic) {
+  const PrefixPreservingAnonymizer a(42);
+  const PrefixPreservingAnonymizer b(42);
+  const auto addr = *Ipv4Address::parse("10.1.2.3");
+  EXPECT_EQ(a.anonymize(addr), b.anonymize(addr));
+  const PrefixPreservingAnonymizer c(43);
+  EXPECT_NE(a.anonymize(addr), c.anonymize(addr));
+}
+
+TEST(CryptoPan, CommonPrefixLength) {
+  EXPECT_EQ(common_prefix_length(*Ipv4Address::parse("10.0.0.0"),
+                                 *Ipv4Address::parse("10.0.0.0")),
+            32);
+  EXPECT_EQ(common_prefix_length(*Ipv4Address::parse("10.0.0.0"),
+                                 *Ipv4Address::parse("10.0.0.1")),
+            31);
+  EXPECT_EQ(common_prefix_length(*Ipv4Address::parse("0.0.0.0"),
+                                 *Ipv4Address::parse("128.0.0.0")),
+            0);
+}
+
+class CryptoPanProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CryptoPanProperty, PreservesCommonPrefixLengths) {
+  const PrefixPreservingAnonymizer pan(GetParam());
+  Rng rng(GetParam() ^ 0xABCD);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Ipv4Address a{static_cast<std::uint32_t>(rng.next())};
+    const Ipv4Address b{static_cast<std::uint32_t>(rng.next())};
+    EXPECT_EQ(common_prefix_length(pan.anonymize(a), pan.anonymize(b)),
+              common_prefix_length(a, b))
+        << a.str() << " vs " << b.str();
+  }
+}
+
+TEST_P(CryptoPanProperty, IsInjectiveOnSamples) {
+  const PrefixPreservingAnonymizer pan(GetParam());
+  Rng rng(GetParam() ^ 0x1234);
+  std::set<std::uint32_t> images;
+  std::set<std::uint32_t> inputs;
+  for (int trial = 0; trial < 5000; ++trial) {
+    const std::uint32_t input = static_cast<std::uint32_t>(rng.next());
+    if (!inputs.insert(input).second) continue;
+    EXPECT_TRUE(
+        images.insert(pan.anonymize(Ipv4Address{input}).bits()).second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Keys, CryptoPanProperty,
+                         ::testing::Values(1u, 99u, 0xFEEDFACEu));
+
+TEST(CryptoPan, PreservedLeadingBits) {
+  const PrefixPreservingAnonymizer pan(7, /*preserved_prefix_bits=*/8);
+  Rng rng(5);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Ipv4Address addr{static_cast<std::uint32_t>(rng.next())};
+    EXPECT_EQ(pan.anonymize(addr).bits() >> 24, addr.bits() >> 24);
+  }
+}
+
+TEST(PiiAddon, RenumberedNetworkSimulatesIdentically) {
+  // IP anonymization only (no renaming): the data plane must be EXACTLY
+  // the same, because prefix preservation keeps all membership relations.
+  for (const auto maker : {make_figure2, make_enterprise, make_fattree04}) {
+    const auto original = maker();
+    PiiOptions options;
+    options.rename_devices = false;
+    const auto result = apply_pii_addon(original, options);
+
+    const Simulation before(original);
+    const Simulation after(result.configs);
+    EXPECT_EQ(before.extract_data_plane(), after.extract_data_plane());
+  }
+}
+
+TEST(PiiAddon, RenamingKeepsStructure) {
+  const auto original = make_backbone();
+  const auto result = apply_pii_addon(original);
+  // Same counts, all names rewritten to the neutral scheme.
+  ASSERT_EQ(result.configs.routers.size(), original.routers.size());
+  ASSERT_EQ(result.configs.hosts.size(), original.hosts.size());
+  for (const auto& router : result.configs.routers) {
+    EXPECT_EQ(router.hostname[0], 'R');
+  }
+  for (const auto& host : result.configs.hosts) {
+    EXPECT_EQ(host.hostname[0], 'H');
+  }
+  // Descriptions no longer leak original peer names.
+  for (const auto& router : result.configs.routers) {
+    for (const auto& iface : router.interfaces) {
+      EXPECT_EQ(iface.description.find("to-x"), std::string::npos);
+      EXPECT_EQ(iface.description.find("to-hz"), std::string::npos);
+    }
+  }
+  // The renamed network still simulates and is fully reachable.
+  const Simulation sim(result.configs);
+  EXPECT_EQ(sim.extract_data_plane().flows.size(),
+            static_cast<std::size_t>(9 * 8));
+}
+
+TEST(PiiAddon, AsNumbersAreHashedConsistently) {
+  const auto original = make_enterprise();
+  const auto result = apply_pii_addon(original);
+  EXPECT_EQ(result.as_numbers.size(), 3u);
+  std::set<int> published;
+  for (const auto& [from, to] : result.as_numbers) {
+    EXPECT_NE(from, to);
+    EXPECT_GE(to, 64512);
+    EXPECT_LE(to, 65534);
+    EXPECT_TRUE(published.insert(to).second) << "collision";
+  }
+  // Sessions still form: inter-AS flows still work.
+  const Simulation sim(result.configs);
+  const auto& topo = sim.topology();
+  int cross_as_flows = 0;
+  const auto dp = sim.extract_data_plane();
+  for (const auto& [flow, paths] : dp.flows) {
+    if (flow.first[1] != flow.second[1]) ++cross_as_flows;  // just count
+  }
+  EXPECT_EQ(dp.flows.size(), static_cast<std::size_t>(8 * 7));
+  (void)topo;
+  (void)cross_as_flows;
+}
+
+TEST(PiiAddon, ScrubsSecrets) {
+  auto original = make_figure2();
+  original.routers[0].extra_lines.push_back(
+      "enable secret 5 $1$abc$REALHASH");
+  original.routers[0].extra_lines.push_back(
+      "snmp-server community s3cr3t RO");
+  original.routers[0].extra_lines.push_back("ip cef");  // not a secret
+  const auto result = apply_pii_addon(original);
+  EXPECT_EQ(result.scrubbed_lines, 2);
+  const auto text = emit_router(result.configs.routers[0]);
+  EXPECT_EQ(text.find("REALHASH"), std::string::npos);
+  EXPECT_EQ(text.find("s3cr3t"), std::string::npos);
+  EXPECT_NE(text.find("ip cef"), std::string::npos);
+}
+
+TEST(PiiAddon, ComposesWithConfMask) {
+  // The full paper pipeline: ConfMask then the PII add-on. The composed
+  // output still simulates, is fully reachable, and contains no original
+  // addresses.
+  const auto original = make_university();
+  ConfMaskOptions cm_options;
+  cm_options.seed = 77;
+  const auto confmask_result = run_confmask(original, cm_options);
+  ASSERT_TRUE(confmask_result.functionally_equivalent);
+
+  const auto pii_result = apply_pii_addon(confmask_result.anonymized);
+  const Simulation sim(pii_result.configs);
+  const auto& topo = sim.topology();
+  for (int src : topo.host_ids()) {
+    for (int dst : topo.host_ids()) {
+      if (src != dst) {
+        EXPECT_FALSE(sim.paths(src, dst).empty())
+            << topo.node(src).name << "->" << topo.node(dst).name;
+      }
+    }
+  }
+  // No original interface address survives verbatim.
+  std::set<std::uint32_t> original_addrs;
+  for (const auto& router : original.routers) {
+    for (const auto& iface : router.interfaces) {
+      if (iface.address) original_addrs.insert(iface.address->bits());
+    }
+  }
+  for (const auto& router : pii_result.configs.routers) {
+    for (const auto& iface : router.interfaces) {
+      if (iface.address) {
+        EXPECT_EQ(original_addrs.count(iface.address->bits()), 0u);
+      }
+    }
+  }
+}
+
+TEST(PiiAddon, DisabledStagesAreNoOps) {
+  const auto original = make_figure2();
+  PiiOptions options;
+  options.anonymize_ips = false;
+  options.rename_devices = false;
+  options.hash_as_numbers = false;
+  options.scrub_secrets = false;
+  const auto result = apply_pii_addon(original, options);
+  for (std::size_t i = 0; i < original.routers.size(); ++i) {
+    EXPECT_EQ(emit_router(result.configs.routers[i]),
+              emit_router(original.routers[i]));
+  }
+}
+
+}  // namespace
+}  // namespace confmask

@@ -1,0 +1,191 @@
+// Step 2.2 in isolation: fake host construction and Algorithm 2's
+// randomized filters with reachability rollback.
+#include "src/core/route_anonymity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/metrics.hpp"
+#include "src/netgen/networks.hpp"
+#include "src/routing/simulation.hpp"
+
+namespace confmask {
+namespace {
+
+struct Prepared {
+  ConfigSet configs;
+  OriginalIndex index;
+};
+
+Prepared prepare(const ConfigSet& original) {
+  const Simulation sim(original);
+  return Prepared{original, OriginalIndex(sim)};
+}
+
+TEST(FakeHosts, CopiesAttachToTheSameIngressRouter) {
+  auto prepared = prepare(make_figure2());
+  PrefixAllocator allocator;
+  for (const auto& p : prepared.configs.used_prefixes()) allocator.reserve(p);
+  const auto fakes =
+      add_fake_hosts(prepared.configs, prepared.index, 3, allocator);
+  EXPECT_EQ(fakes.size(), 2u * 3u);  // 3 real hosts, 2 copies each
+
+  const Topology topo = Topology::build(prepared.configs);
+  for (const auto& host : prepared.index.real_hosts()) {
+    const int real = topo.find_node(host);
+    for (int copy = 1; copy <= 2; ++copy) {
+      const int fake = topo.find_node(host + "_" + std::to_string(copy));
+      ASSERT_GE(fake, 0);
+      EXPECT_EQ(topo.gateway_of(fake), topo.gateway_of(real)) << host;
+    }
+  }
+}
+
+TEST(FakeHosts, FreshPrefixesOutsideOriginalSpace) {
+  auto prepared = prepare(make_bics());
+  PrefixAllocator allocator;
+  for (const auto& p : prepared.configs.used_prefixes()) allocator.reserve(p);
+  const auto originals = prepared.configs.used_prefixes();
+  const auto fakes =
+      add_fake_hosts(prepared.configs, prepared.index, 2, allocator);
+
+  std::set<std::string> fake_set(fakes.begin(), fakes.end());
+  for (const auto& host : prepared.configs.hosts) {
+    if (fake_set.count(host.hostname) == 0) continue;
+    for (const auto& original : originals) {
+      EXPECT_FALSE(original.overlaps(host.prefix()))
+          << host.hostname << " overlaps " << original.str();
+    }
+  }
+}
+
+TEST(FakeHosts, CoveredByGatewayProtocols) {
+  auto prepared = prepare(make_enterprise());
+  PrefixAllocator allocator;
+  for (const auto& p : prepared.configs.used_prefixes()) allocator.reserve(p);
+  const auto fakes =
+      add_fake_hosts(prepared.configs, prepared.index, 2, allocator);
+  const Topology topo = Topology::build(prepared.configs);
+  for (const auto& name : fakes) {
+    const auto* fake = prepared.configs.find_host(name);
+    ASSERT_NE(fake, nullptr);
+    const int node = topo.find_node(name);
+    const int gateway = topo.gateway_of(node);
+    ASSERT_GE(gateway, 0);
+    const auto& router = prepared.configs.routers[static_cast<std::size_t>(
+        topo.node(gateway).config_index)];
+    EXPECT_TRUE(router.ospf->covers(fake->address)) << name;
+    // BGP gateways must also advertise the fake LAN.
+    bool advertised = false;
+    for (const auto& network : router.bgp->networks) {
+      if (network.contains(fake->address)) advertised = true;
+    }
+    EXPECT_TRUE(advertised) << name;
+  }
+}
+
+TEST(FakeHosts, KhOneAddsNothing) {
+  auto prepared = prepare(make_figure2());
+  PrefixAllocator allocator;
+  const auto fakes =
+      add_fake_hosts(prepared.configs, prepared.index, 1, allocator);
+  EXPECT_TRUE(fakes.empty());
+  EXPECT_EQ(prepared.configs.hosts.size(), 3u);
+}
+
+TEST(Algorithm2, ZeroNoiseAddsNoFilters) {
+  auto prepared = prepare(make_figure2());
+  PrefixAllocator allocator;
+  for (const auto& p : prepared.configs.used_prefixes()) allocator.reserve(p);
+  const auto fakes =
+      add_fake_hosts(prepared.configs, prepared.index, 2, allocator);
+  Rng rng(5);
+  const auto outcome = anonymize_routes(prepared.configs, fakes, 0.0, rng);
+  EXPECT_EQ(outcome.filters_added, 0);
+  EXPECT_EQ(outcome.filters_rolled_back, 0);
+}
+
+TEST(Algorithm2, PreservesFakeHostReachabilityEverywhere) {
+  auto prepared = prepare(make_fattree04());
+  PrefixAllocator allocator;
+  for (const auto& p : prepared.configs.used_prefixes()) allocator.reserve(p);
+  const auto fakes =
+      add_fake_hosts(prepared.configs, prepared.index, 2, allocator);
+  Rng rng(17);
+  // Aggressive noise to force rollbacks.
+  const auto outcome = anonymize_routes(prepared.configs, fakes, 0.8, rng);
+  EXPECT_GT(outcome.filters_added, 0);
+
+  const Simulation sim(prepared.configs);
+  const Topology& topo = sim.topology();
+  for (const auto& name : fakes) {
+    const int fake = topo.find_node(name);
+    for (int r = 0; r < topo.router_count(); ++r) {
+      EXPECT_TRUE(sim.reaches(r, fake))
+          << topo.node(r).name << " lost " << name;
+    }
+  }
+}
+
+TEST(Algorithm2, RealFlowsAreUntouched) {
+  auto prepared = prepare(make_university());
+  PrefixAllocator allocator;
+  for (const auto& p : prepared.configs.used_prefixes()) allocator.reserve(p);
+  const auto fakes =
+      add_fake_hosts(prepared.configs, prepared.index, 3, allocator);
+
+  const DataPlane before = [&] {
+    const Simulation sim(prepared.configs);
+    return sim.extract_data_plane().restricted_to(prepared.index.real_hosts());
+  }();
+
+  Rng rng(23);
+  (void)anonymize_routes(prepared.configs, fakes, 0.5, rng);
+
+  const DataPlane after = [&] {
+    const Simulation sim(prepared.configs);
+    return sim.extract_data_plane().restricted_to(prepared.index.real_hosts());
+  }();
+  EXPECT_EQ(before, after);
+}
+
+TEST(Algorithm2, NoiseDivertsSomeFakeFlows) {
+  // With enough noise, at least one fake host's paths differ from its
+  // original's paths — that divergence is what creates route anonymity.
+  auto prepared = prepare(make_fattree04());
+  PrefixAllocator allocator;
+  for (const auto& p : prepared.configs.used_prefixes()) allocator.reserve(p);
+  const auto fakes =
+      add_fake_hosts(prepared.configs, prepared.index, 2, allocator);
+  Rng rng(29);
+  (void)anonymize_routes(prepared.configs, fakes, 0.5, rng);
+
+  const Simulation sim(prepared.configs);
+  const Topology& topo = sim.topology();
+  bool any_divergence = false;
+  for (const auto& real_name : prepared.index.real_hosts()) {
+    const int real = topo.find_node(real_name);
+    const int fake = topo.find_node(real_name + "_1");
+    for (const auto& other_name : prepared.index.real_hosts()) {
+      if (other_name == real_name) continue;
+      const int other = topo.find_node(other_name);
+      const auto real_paths = sim.node_paths(other, real);
+      const auto fake_paths = sim.node_paths(other, fake);
+      // Compare interior router sequences.
+      std::set<std::vector<int>> real_interiors;
+      std::set<std::vector<int>> fake_interiors;
+      for (const auto& p : real_paths) {
+        real_interiors.insert({p.begin() + 1, p.end() - 1});
+      }
+      for (const auto& p : fake_paths) {
+        fake_interiors.insert({p.begin() + 1, p.end() - 1});
+      }
+      if (real_interiors != fake_interiors) any_divergence = true;
+    }
+  }
+  EXPECT_TRUE(any_divergence);
+}
+
+}  // namespace
+}  // namespace confmask

@@ -1,0 +1,135 @@
+// BGP semantics: eBGP session discovery, shortest-AS-path selection,
+// hot-potato egress choice via the intra-AS IGP, and per-session inbound
+// prefix-list filters (the mechanism Algorithm 1 uses on fake inter-AS
+// links).
+#include <gtest/gtest.h>
+
+#include "src/netgen/builder.hpp"
+#include "src/netgen/networks.hpp"
+#include "src/routing/simulation.hpp"
+
+namespace confmask {
+namespace {
+
+/// Three ASes in a line: X { x1 } -- Y { y1 } -- Z { z1 }, plus a direct
+/// X--Z shortcut we can filter.
+ConfigSet three_as_line(bool with_shortcut) {
+  NetworkBuilder builder;
+  for (const auto& [name, as] :
+       std::vector<std::pair<std::string, int>>{{"x1", 1}, {"y1", 2},
+                                                {"z1", 3}}) {
+    builder.router(name);
+    builder.enable_ospf(name);
+    builder.enable_bgp(name, as);
+  }
+  builder.ebgp_link("x1", "y1");
+  builder.ebgp_link("y1", "z1");
+  if (with_shortcut) builder.ebgp_link("x1", "z1");
+  builder.host("hx", "x1");
+  builder.host("hz", "z1");
+  return builder.take();
+}
+
+TEST(SimulationBgp, ShortestAsPathWins) {
+  const auto configs = three_as_line(/*with_shortcut=*/true);
+  const Simulation sim(configs);
+  const auto& topo = sim.topology();
+  const auto paths = sim.paths(topo.find_node("hx"), topo.find_node("hz"));
+  ASSERT_EQ(paths.size(), 1u);
+  // Direct X--Z beats X--Y--Z.
+  EXPECT_EQ(paths[0], (Path{"hx", "x1", "z1", "hz"}));
+}
+
+TEST(SimulationBgp, SessionFilterForcesLongerAsPath) {
+  auto configs = three_as_line(/*with_shortcut=*/true);
+  // Deny hz's prefix on x1's session towards z1.
+  auto* x1 = configs.find_router("x1");
+  const auto dest = configs.find_host("hz")->prefix();
+  // The shortcut session is x1's second neighbor.
+  ASSERT_EQ(x1->bgp->neighbors.size(), 2u);
+  auto& list = x1->ensure_prefix_list("CMF_B");
+  list.add_deny(dest);
+  list.add_permit_all();
+  x1->bgp->neighbors[1].prefix_lists_in.push_back("CMF_B");
+
+  const Simulation sim(configs);
+  const auto& topo = sim.topology();
+  const auto paths = sim.paths(topo.find_node("hx"), topo.find_node("hz"));
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (Path{"hx", "x1", "y1", "z1", "hz"}));
+  // Unfiltered destinations still use the shortcut (in reverse, hz->hx).
+  const auto back = sim.paths(topo.find_node("hz"), topo.find_node("hx"));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0], (Path{"hz", "z1", "x1", "hx"}));
+}
+
+TEST(SimulationBgp, IntraAsTrafficUsesIgpOnly) {
+  const auto configs = make_backbone();
+  const Simulation sim(configs);
+  const auto& topo = sim.topology();
+  // hx2 -> hx3 stays inside AS 65201.
+  const auto paths = sim.paths(topo.find_node("hx2"), topo.find_node("hx3"));
+  ASSERT_FALSE(paths.empty());
+  for (const auto& path : paths) {
+    for (const auto& node : path) {
+      EXPECT_TRUE(node[0] == 'x' || node[0] == 'h') << node;
+    }
+  }
+}
+
+TEST(SimulationBgp, HotPotatoPicksNearestEgress) {
+  const auto configs = make_backbone();
+  const Simulation sim(configs);
+  const auto& topo = sim.topology();
+  // AS X reaches AS Z directly via the z3--x4 session. From hx2, the
+  // nearest egress is x4 (one IGP hop from x2 either way around the ring,
+  // through x1 or x3 at equal cost).
+  const auto paths = sim.paths(topo.find_node("hx2"), topo.find_node("hz1"));
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& path : paths) {
+    EXPECT_EQ(path[3], "x4");  // egress border router
+    EXPECT_EQ(path[4], "z3");  // peer across the session
+  }
+}
+
+TEST(SimulationBgp, AllEvaluationBgpNetworksFullyReachable) {
+  for (const auto& maker :
+       {make_enterprise, make_university, make_backbone}) {
+    const auto configs = maker();
+    const Simulation sim(configs);
+    const auto& topo = sim.topology();
+    const auto hosts = topo.host_ids();
+    for (int src : hosts) {
+      for (int dst : hosts) {
+        if (src == dst) continue;
+        EXPECT_FALSE(sim.paths(src, dst).empty())
+            << topo.node(src).name << " -> " << topo.node(dst).name;
+      }
+    }
+  }
+}
+
+TEST(SimulationBgp, NoSessionMeansNoInterAsRoute) {
+  // Two ASes with a link but only one side configures the neighbor:
+  // no session, no reachability.
+  NetworkBuilder builder;
+  builder.router("x1");
+  builder.enable_ospf("x1");
+  builder.enable_bgp("x1", 1);
+  builder.router("y1");
+  builder.enable_ospf("y1");
+  builder.enable_bgp("y1", 2);
+  builder.ebgp_link("x1", "y1");
+  builder.host("hx", "x1");
+  builder.host("hy", "y1");
+  auto configs = builder.take();
+  // Break the reciprocity: remove y1's neighbor statement.
+  configs.find_router("y1")->bgp->neighbors.clear();
+
+  const Simulation sim(configs);
+  const auto& topo = sim.topology();
+  EXPECT_TRUE(sim.paths(topo.find_node("hx"), topo.find_node("hy")).empty());
+}
+
+}  // namespace
+}  // namespace confmask

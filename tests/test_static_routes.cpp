@@ -1,0 +1,175 @@
+// Static routes (`ip route`): parsing, emission, and admin-distance /
+// longest-prefix-match semantics in the simulator.
+#include <gtest/gtest.h>
+
+#include "src/config/emit.hpp"
+#include "src/config/parse.hpp"
+#include "src/netgen/builder.hpp"
+#include "src/routing/simulation.hpp"
+
+namespace confmask {
+namespace {
+
+/// Square a-l-b / a-r-b diamond with equal costs (two ECMP paths).
+ConfigSet diamond() {
+  NetworkBuilder builder;
+  for (const char* name : {"a", "l", "r", "b"}) {
+    builder.router(name);
+    builder.enable_ospf(name);
+  }
+  builder.link("a", "l");
+  builder.link("a", "r");
+  builder.link("l", "b");
+  builder.link("r", "b");
+  builder.host("hs", "a");
+  builder.host("hd", "b");
+  return builder.take();
+}
+
+/// The next-hop address `router` would use towards `peer`: the address of
+/// PEER's interface on their shared link.
+Ipv4Address address_towards(const ConfigSet& configs,
+                            const std::string& router,
+                            const std::string& peer) {
+  const Topology topo = Topology::build(configs);
+  const int r = topo.find_node(router);
+  const int p = topo.find_node(peer);
+  for (int link_id : topo.links_of(r)) {
+    const Link& link = topo.link(link_id);
+    if (link.other_end(r).node == p) return link.other_end(r).address;
+  }
+  throw std::logic_error("no link " + router + "-" + peer);
+}
+
+TEST(StaticRoutes, ParseEmitRoundTrip) {
+  const char* text =
+      "hostname r1\n"
+      "ip route 10.128.5.0 255.255.255.0 10.0.0.3\n";
+  const auto router = parse_router(text);
+  ASSERT_EQ(router.static_routes.size(), 1u);
+  EXPECT_EQ(router.static_routes[0].prefix.str(), "10.128.5.0/24");
+  EXPECT_EQ(router.static_routes[0].next_hop.str(), "10.0.0.3");
+  const auto reemitted = emit_router(router);
+  EXPECT_NE(reemitted.find("ip route 10.128.5.0 255.255.255.0 10.0.0.3"),
+            std::string::npos);
+  EXPECT_EQ(emit_router(parse_router(reemitted)), reemitted);
+}
+
+TEST(StaticRoutes, ParseErrors) {
+  EXPECT_THROW((void)parse_router("ip route 10.0.0.0 255.0.255.0 10.0.0.1\n"),
+               ConfigParseError);
+  EXPECT_THROW((void)parse_router("ip route 10.0.0.0 255.0.0.0 nexthop\n"),
+               ConfigParseError);
+}
+
+TEST(StaticRoutes, OverridesEqualLengthIgpRoute) {
+  auto configs = diamond();
+  // Pin a's route for hd's /24 to the right branch; OSPF would use both.
+  const auto dest = configs.find_host("hd")->prefix();
+  configs.find_router("a")->static_routes.push_back(
+      StaticRoute{dest, address_towards(configs, "a", "r")});
+
+  const Simulation sim(configs);
+  const auto& topo = sim.topology();
+  const auto paths = sim.paths(topo.find_node("hs"), topo.find_node("hd"));
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0][2], "r");
+  // Other destinations keep ECMP (reverse direction untouched).
+  EXPECT_EQ(sim.paths(topo.find_node("hd"), topo.find_node("hs")).size(), 2u);
+}
+
+TEST(StaticRoutes, LongestPrefixMatchWins) {
+  auto configs = diamond();
+  // A /16 static covering the host LAN must NOT override the /24 IGP
+  // route.
+  const auto dest = configs.find_host("hd")->prefix();
+  const Ipv4Prefix shorter{dest.network(), 16};
+  configs.find_router("a")->static_routes.push_back(
+      StaticRoute{shorter, address_towards(configs, "a", "r")});
+
+  const Simulation sim(configs);
+  const auto& topo = sim.topology();
+  EXPECT_EQ(sim.paths(topo.find_node("hs"), topo.find_node("hd")).size(), 2u);
+}
+
+TEST(StaticRoutes, CoversDestinationsWithNoIgpRoute) {
+  // Break IGP coverage of the destination LAN, then restore reachability
+  // with statics hop by hop.
+  NetworkBuilder builder;
+  for (const char* name : {"a", "m", "b"}) {
+    builder.router(name);
+    builder.enable_ospf(name);
+  }
+  builder.link("a", "m");
+  builder.link("m", "b");
+  builder.host("hs", "a");
+  builder.host("hd", "b");
+  auto configs = builder.take();
+  // Remove the OSPF advertisement of hd's LAN.
+  auto* b = configs.find_router("b");
+  const auto dest = configs.find_host("hd")->prefix();
+  std::erase_if(b->ospf->networks, [&](const OspfNetwork& network) {
+    return network.prefix == dest;
+  });
+
+  {
+    const Simulation sim(configs);
+    const auto& topo = sim.topology();
+    EXPECT_TRUE(
+        sim.paths(topo.find_node("hs"), topo.find_node("hd")).empty());
+  }
+  configs.find_router("a")->static_routes.push_back(
+      StaticRoute{dest, address_towards(configs, "a", "m")});
+  configs.find_router("m")->static_routes.push_back(
+      StaticRoute{dest, address_towards(configs, "m", "b")});
+  {
+    const Simulation sim(configs);
+    const auto& topo = sim.topology();
+    const auto paths = sim.paths(topo.find_node("hs"), topo.find_node("hd"));
+    ASSERT_EQ(paths.size(), 1u);
+    EXPECT_EQ(paths[0].size(), 5u);
+  }
+}
+
+TEST(StaticRoutes, UnresolvableNextHopIsIgnored) {
+  auto configs = diamond();
+  const auto dest = configs.find_host("hd")->prefix();
+  configs.find_router("a")->static_routes.push_back(
+      StaticRoute{dest, *Ipv4Address::parse("192.0.2.99")});  // not a neighbor
+
+  const Simulation sim(configs);
+  const auto& topo = sim.topology();
+  // IGP routing is untouched.
+  EXPECT_EQ(sim.paths(topo.find_node("hs"), topo.find_node("hd")).size(), 2u);
+}
+
+TEST(StaticRoutes, MisconfiguredLoopIsDetectedAsNoPath) {
+  // a and m point the destination at each other: forwarding loops, the
+  // walk terminates, and the flow has no complete path (routing-loop
+  // preservation is one of the paper's utility properties).
+  NetworkBuilder builder;
+  for (const char* name : {"a", "m", "b"}) {
+    builder.router(name);
+    builder.enable_ospf(name);
+  }
+  builder.link("a", "m");
+  builder.link("m", "b");
+  builder.host("hs", "a");
+  builder.host("hd", "b");
+  auto configs = builder.take();
+  const auto dest = configs.find_host("hd")->prefix();
+  // /32 statics so they beat the /24 OSPF route.
+  const Ipv4Prefix host32{configs.find_host("hd")->address, 32};
+  configs.find_router("a")->static_routes.push_back(
+      StaticRoute{host32, address_towards(configs, "a", "m")});
+  configs.find_router("m")->static_routes.push_back(
+      StaticRoute{host32, address_towards(configs, "m", "a")});
+
+  const Simulation sim(configs);
+  const auto& topo = sim.topology();
+  EXPECT_TRUE(sim.paths(topo.find_node("hs"), topo.find_node("hd")).empty());
+  (void)dest;
+}
+
+}  // namespace
+}  // namespace confmask

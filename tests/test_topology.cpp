@@ -1,0 +1,103 @@
+#include "src/routing/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/netgen/networks.hpp"
+
+namespace confmask {
+namespace {
+
+TEST(Topology, Figure2Reconstruction) {
+  const auto configs = make_figure2();
+  const auto topo = Topology::build(configs);
+
+  EXPECT_EQ(topo.router_count(), 4);
+  EXPECT_EQ(topo.host_count(), 3);
+  EXPECT_EQ(topo.links().size(), 7u);  // 4 router links + 3 host links
+  EXPECT_EQ(topo.router_link_count(), 4u);
+
+  const int r1 = topo.find_node("r1");
+  const int r3 = topo.find_node("r3");
+  const int h1 = topo.find_node("h1");
+  ASSERT_GE(r1, 0);
+  ASSERT_GE(r3, 0);
+  ASSERT_GE(h1, 0);
+  EXPECT_TRUE(topo.is_router(r1));
+  EXPECT_FALSE(topo.is_router(h1));
+  EXPECT_EQ(topo.gateway_of(h1), r1);
+  EXPECT_EQ(topo.find_node("nope"), -1);
+
+  const auto graph = topo.router_graph();
+  EXPECT_EQ(graph.node_count(), 4);
+  EXPECT_EQ(graph.edge_count(), 4u);
+  EXPECT_TRUE(graph.has_edge(r1, r3));
+}
+
+TEST(Topology, LinkEndsCarryInterfaceNames) {
+  const auto configs = make_figure2();
+  const auto topo = Topology::build(configs);
+  for (const auto& link : topo.links()) {
+    EXPECT_FALSE(link.a.interface.empty());
+    EXPECT_FALSE(link.b.interface.empty());
+    EXPECT_NE(link.a.node, link.b.node);
+    EXPECT_TRUE(link.prefix.contains(link.a.address));
+    EXPECT_TRUE(link.prefix.contains(link.b.address));
+  }
+}
+
+TEST(Topology, ShutdownInterfacesAreExcluded) {
+  auto configs = make_figure2();
+  // Shut down one side of the r1-r2 link; the link must disappear.
+  auto* r1 = configs.find_router("r1");
+  ASSERT_NE(r1, nullptr);
+  ASSERT_FALSE(r1->interfaces.empty());
+  r1->interfaces[0].shutdown = true;
+  const auto topo = Topology::build(configs);
+  EXPECT_EQ(topo.router_link_count(), 3u);
+}
+
+TEST(Topology, IgnoresAddresslessInterfaces) {
+  auto configs = make_figure2();
+  auto* r1 = configs.find_router("r1");
+  InterfaceConfig bare;
+  bare.name = "Ethernet99";
+  r1->interfaces.push_back(bare);
+  const auto topo = Topology::build(configs);
+  EXPECT_EQ(topo.router_link_count(), 4u);  // unchanged
+}
+
+TEST(Topology, EndAccessors) {
+  const auto configs = make_figure2();
+  const auto topo = Topology::build(configs);
+  const auto& link = topo.link(0);
+  EXPECT_EQ(link.end_of(link.a.node).node, link.a.node);
+  EXPECT_EQ(link.other_end(link.a.node).node, link.b.node);
+  EXPECT_TRUE(link.touches(link.a.node));
+  EXPECT_TRUE(link.touches(link.b.node));
+}
+
+TEST(Topology, FakeInterfacePairFormsLink) {
+  // Simulates what topology anonymization does: a matching /31 pair on two
+  // routers with no routing coverage still appears as a link.
+  auto configs = make_figure2();
+  auto* r1 = configs.find_router("r1");
+  auto* r4 = configs.find_router("r4");
+  InterfaceConfig a;
+  a.name = "Ethernet100";
+  a.address = Ipv4Address::parse("172.20.0.0");
+  a.prefix_length = 31;
+  r1->interfaces.push_back(a);
+  InterfaceConfig b;
+  b.name = "Ethernet100";
+  b.address = Ipv4Address::parse("172.20.0.1");
+  b.prefix_length = 31;
+  r4->interfaces.push_back(b);
+
+  const auto topo = Topology::build(configs);
+  EXPECT_EQ(topo.router_link_count(), 5u);
+  const auto graph = topo.router_graph();
+  EXPECT_TRUE(graph.has_edge(topo.find_node("r1"), topo.find_node("r4")));
+}
+
+}  // namespace
+}  // namespace confmask

@@ -1,0 +1,196 @@
+// Step 1 in isolation: fake links must make the (two-level) router graph
+// k-degree anonymous while looking exactly like real links in the
+// configurations.
+#include "src/core/topology_anonymization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/metrics.hpp"
+#include "src/netgen/builder.hpp"
+#include "src/netgen/networks.hpp"
+#include "src/routing/simulation.hpp"
+
+namespace confmask {
+namespace {
+
+struct Stage1 {
+  ConfigSet configs;
+  TopologyAnonymizationOutcome outcome;
+};
+
+Stage1 run_stage1(const ConfigSet& original, int k_r,
+                  FakeLinkCostPolicy policy = FakeLinkCostPolicy::kMinCost,
+                  std::uint64_t seed = 11) {
+  Stage1 stage;
+  stage.configs = original;
+  const OriginalIndex index = [&] {
+    const Simulation sim(original);
+    return OriginalIndex(sim);
+  }();
+  PrefixAllocator allocator;
+  for (const auto& prefix : original.used_prefixes()) {
+    allocator.reserve(prefix);
+  }
+  Rng rng(seed);
+  stage.outcome =
+      anonymize_topology(stage.configs, k_r, policy, rng, allocator);
+  return stage;
+}
+
+TEST(TopologyAnonymization, BicsBecomesKDegreeAnonymous) {
+  const auto original = make_bics();
+  for (int k_r : {2, 6, 10}) {
+    const auto stage = run_stage1(original, k_r);
+    EXPECT_GE(topology_min_degree_class(stage.configs), k_r) << "k=" << k_r;
+  }
+}
+
+TEST(TopologyAnonymization, OriginalLinksAreKept) {
+  const auto original = make_fattree04();
+  const auto stage = run_stage1(original, 6);
+  const auto before = Topology::build(original);
+  const auto after = Topology::build(stage.configs);
+  const auto graph_after = after.router_graph();
+  for (const auto& link : before.links()) {
+    if (!before.is_router(link.a.node) || !before.is_router(link.b.node)) {
+      continue;
+    }
+    const int a = after.find_node(before.node(link.a.node).name);
+    const int b = after.find_node(before.node(link.b.node).name);
+    EXPECT_TRUE(graph_after.has_edge(a, b));
+  }
+}
+
+TEST(TopologyAnonymization, FakeLinksLookLikeRealOnes) {
+  const auto original = make_bics();
+  const auto stage = run_stage1(original, 6);
+  ASSERT_FALSE(stage.outcome.intra_as_links.empty());
+  const auto& [name_a, name_b] = stage.outcome.intra_as_links.front();
+  const auto* ra = stage.configs.find_router(name_a);
+  const auto* rb = stage.configs.find_router(name_b);
+  ASSERT_NE(ra, nullptr);
+  ASSERT_NE(rb, nullptr);
+
+  // Locate the fake interface pair: outside the original 10/8 space with
+  // a description naming the fake peer.
+  const Ipv4Prefix original_space{Ipv4Address{10, 0, 0, 0}, 8};
+  const InterfaceConfig* ia = nullptr;
+  for (const auto& iface : ra->interfaces) {
+    if (iface.address && !original_space.contains(*iface.address) &&
+        iface.description == "to-" + name_b) {
+      ia = &iface;
+    }
+  }
+  ASSERT_NE(ia, nullptr);
+  EXPECT_EQ(ia->prefix_length, 31);
+  // Covered by OSPF network statements, like every real link.
+  EXPECT_TRUE(ra->ospf->covers(*ia->address));
+  // Interface boilerplate is mimicked from real interfaces.
+  EXPECT_EQ(ia->extra_lines, ra->interfaces.front().extra_lines);
+  const auto* ib = rb->interface_towards(*ia->address);
+  ASSERT_NE(ib, nullptr);
+  EXPECT_TRUE(rb->ospf->covers(*ib->address));
+}
+
+TEST(TopologyAnonymization, MinCostPolicySetsOriginalDistance) {
+  const auto original = make_bics();
+  const OriginalIndex index = [&] {
+    const Simulation sim(original);
+    return OriginalIndex(sim);
+  }();
+  const auto stage = run_stage1(original, 6, FakeLinkCostPolicy::kMinCost);
+  for (const auto& [name_a, name_b] : stage.outcome.intra_as_links) {
+    const auto* ra = stage.configs.find_router(name_a);
+    // Find the fake interface for THIS pair: outside the original 10/8
+    // space, described as pointing at name_b.
+    const Ipv4Prefix original_space{Ipv4Address{10, 0, 0, 0}, 8};
+    bool found = false;
+    for (const auto& iface : ra->interfaces) {
+      if (!iface.address || original_space.contains(*iface.address)) continue;
+      if (iface.description != "to-" + name_b) continue;
+      ASSERT_TRUE(iface.ospf_cost.has_value());
+      EXPECT_EQ(*iface.ospf_cost,
+                static_cast<int>(index.igp_distance(name_a, name_b)));
+      found = true;
+    }
+    EXPECT_TRUE(found) << name_a << "-" << name_b;
+  }
+}
+
+TEST(TopologyAnonymization, LargeAndDefaultCostPolicies) {
+  const auto original = make_figure2();
+  const auto large = run_stage1(original, 4, FakeLinkCostPolicy::kLarge);
+  const Ipv4Prefix original_space{Ipv4Address{10, 0, 0, 0}, 8};
+  bool saw_fake = false;
+  for (const auto& router : large.configs.routers) {
+    for (const auto& iface : router.interfaces) {
+      if (!iface.address || original_space.contains(*iface.address)) continue;
+      saw_fake = true;
+      EXPECT_EQ(iface.ospf_cost, 60000);
+    }
+  }
+  EXPECT_TRUE(saw_fake);
+
+  const auto dflt = run_stage1(original, 4, FakeLinkCostPolicy::kDefault);
+  for (const auto& router : dflt.configs.routers) {
+    for (const auto& iface : router.interfaces) {
+      if (!iface.address || original_space.contains(*iface.address)) continue;
+      EXPECT_FALSE(iface.ospf_cost.has_value());
+    }
+  }
+}
+
+TEST(TopologyAnonymization, BgpNetworksGetTwoLevelAnonymity) {
+  const auto original = make_enterprise();
+  const auto stage = run_stage1(original, 6);
+  // AS sizes are 4/3/3, so the achievable k is 3.
+  EXPECT_GE(topology_min_degree_class_two_level(stage.configs), 3);
+}
+
+TEST(TopologyAnonymization, FakeInterAsLinksCarryEbgpSessions) {
+  // A 4-AS line (AS graph path) forces AS-level edge additions.
+  ConfigSet original = [&] {
+    NetworkBuilder builder;
+    for (int as = 1; as <= 4; ++as) {
+      for (int i = 1; i <= 2; ++i) {
+        const auto name = "r" + std::to_string(as) + std::to_string(i);
+        builder.router(name);
+        builder.enable_ospf(name);
+        builder.enable_bgp(name, as);
+      }
+      builder.link("r" + std::to_string(as) + "1",
+                   "r" + std::to_string(as) + "2");
+      builder.host("h" + std::to_string(as), "r" + std::to_string(as) + "1");
+    }
+    builder.ebgp_link("r12", "r21");
+    builder.ebgp_link("r22", "r31");
+    builder.ebgp_link("r32", "r41");
+    return builder.take();
+  }();
+
+  const auto stage = run_stage1(original, 3);
+  EXPECT_FALSE(stage.outcome.inter_as_links.empty());
+  for (const auto& [name_a, name_b] : stage.outcome.inter_as_links) {
+    const auto* ra = stage.configs.find_router(name_a);
+    const auto* rb = stage.configs.find_router(name_b);
+    // Reciprocal neighbor statements over the fake link.
+    const auto& ia = ra->interfaces.back();
+    const auto& ib = rb->interfaces.back();
+    EXPECT_NE(ra->bgp->find_neighbor(*ib.address), nullptr);
+    EXPECT_NE(rb->bgp->find_neighbor(*ia.address), nullptr);
+    // No IGP coverage on eBGP interfaces.
+    EXPECT_FALSE(ra->ospf->covers(*ia.address));
+  }
+}
+
+TEST(TopologyAnonymization, AlreadyAnonymousNetworkGetsNoFakeLinks) {
+  // FatTree04 degree classes: 8 edge routers (degree 2... with hosts
+  // excluded: edge=2, agg=4, core=4) — min class is 8, so k_r=6 needs
+  // nothing.
+  const auto original = make_fattree04();
+  const auto stage = run_stage1(original, 6);
+  EXPECT_EQ(stage.outcome.total_links(), 0u);
+}
+
+}  // namespace
+}  // namespace confmask

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/prefix_allocator.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/strings.hpp"
+
+namespace confmask {
+namespace {
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello \t"), "hello");
+  EXPECT_EQ(trim("\r\n"), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitWs) {
+  const auto tokens = split_ws("  ip   address 10.0.0.1 ");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "ip");
+  EXPECT_EQ(tokens[2], "10.0.0.1");
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto fields = split("a\n\nb", '\n');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, CountConfigLines) {
+  EXPECT_EQ(count_config_lines("hostname r1\n!\ninterface E0\n ip x\n!\n"),
+            3u);
+  EXPECT_EQ(count_config_lines(""), 0u);
+  EXPECT_EQ(count_config_lines("!\n!\n"), 0u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(PrefixAllocator, SkipsReservedPrefixes) {
+  PrefixAllocator alloc(*Ipv4Prefix::parse("172.20.0.0/24"),
+                        *Ipv4Prefix::parse("100.96.0.0/16"));
+  alloc.reserve(*Ipv4Prefix::parse("172.20.0.0/30"));
+  const auto link = alloc.allocate_link();
+  EXPECT_FALSE(Ipv4Prefix::parse("172.20.0.0/30")->overlaps(link));
+  EXPECT_EQ(link.length(), 31);
+}
+
+TEST(PrefixAllocator, AllocationsAreDisjoint) {
+  PrefixAllocator alloc;
+  std::vector<Ipv4Prefix> all;
+  for (int i = 0; i < 50; ++i) all.push_back(alloc.allocate_link());
+  for (int i = 0; i < 50; ++i) all.push_back(alloc.allocate_host_lan());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_FALSE(all[i].overlaps(all[j]))
+          << all[i].str() << " vs " << all[j].str();
+    }
+  }
+}
+
+TEST(PrefixAllocator, ThrowsWhenPoolExhausted) {
+  PrefixAllocator alloc(*Ipv4Prefix::parse("172.20.0.0/30"),
+                        *Ipv4Prefix::parse("100.96.0.0/22"));
+  (void)alloc.allocate_link();
+  (void)alloc.allocate_link();
+  EXPECT_THROW((void)alloc.allocate_link(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace confmask
