@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_node_addition.dir/bench_extension_node_addition.cpp.o"
+  "CMakeFiles/bench_extension_node_addition.dir/bench_extension_node_addition.cpp.o.d"
+  "bench_extension_node_addition"
+  "bench_extension_node_addition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_node_addition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

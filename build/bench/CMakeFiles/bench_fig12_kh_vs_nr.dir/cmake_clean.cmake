@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_kh_vs_nr.dir/bench_fig12_kh_vs_nr.cpp.o"
+  "CMakeFiles/bench_fig12_kh_vs_nr.dir/bench_fig12_kh_vs_nr.cpp.o.d"
+  "bench_fig12_kh_vs_nr"
+  "bench_fig12_kh_vs_nr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_kh_vs_nr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

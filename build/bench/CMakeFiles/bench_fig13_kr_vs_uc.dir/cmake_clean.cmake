@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_kr_vs_uc.dir/bench_fig13_kr_vs_uc.cpp.o"
+  "CMakeFiles/bench_fig13_kr_vs_uc.dir/bench_fig13_kr_vs_uc.cpp.o.d"
+  "bench_fig13_kr_vs_uc"
+  "bench_fig13_kr_vs_uc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_kr_vs_uc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

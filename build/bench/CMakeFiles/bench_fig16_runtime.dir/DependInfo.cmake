@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig16_runtime.cpp" "bench/CMakeFiles/bench_fig16_runtime.dir/bench_fig16_runtime.cpp.o" "gcc" "bench/CMakeFiles/bench_fig16_runtime.dir/bench_fig16_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nethide/CMakeFiles/confmask_nethide.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/confmask_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/confmask_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/netgen/CMakeFiles/confmask_netgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/confmask_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/confmask_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/confmask_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/confmask_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

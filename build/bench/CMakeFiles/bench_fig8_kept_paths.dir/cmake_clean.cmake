@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_kept_paths.dir/bench_fig8_kept_paths.cpp.o"
+  "CMakeFiles/bench_fig8_kept_paths.dir/bench_fig8_kept_paths.cpp.o.d"
+  "bench_fig8_kept_paths"
+  "bench_fig8_kept_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_kept_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

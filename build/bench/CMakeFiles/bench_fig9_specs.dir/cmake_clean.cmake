@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_specs.dir/bench_fig9_specs.cpp.o"
+  "CMakeFiles/bench_fig9_specs.dir/bench_fig9_specs.cpp.o.d"
+  "bench_fig9_specs"
+  "bench_fig9_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_evaluation.dir/attack_evaluation.cpp.o"
+  "CMakeFiles/attack_evaluation.dir/attack_evaluation.cpp.o.d"
+  "attack_evaluation"
+  "attack_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaborative_debugging.dir/collaborative_debugging.cpp.o"
+  "CMakeFiles/collaborative_debugging.dir/collaborative_debugging.cpp.o.d"
+  "collaborative_debugging"
+  "collaborative_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaborative_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

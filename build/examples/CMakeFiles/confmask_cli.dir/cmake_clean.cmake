@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confmask_cli.dir/confmask_cli.cpp.o"
+  "CMakeFiles/confmask_cli.dir/confmask_cli.cpp.o.d"
+  "confmask_cli"
+  "confmask_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confmask_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/research_sharing.dir/research_sharing.cpp.o"
+  "CMakeFiles/research_sharing.dir/research_sharing.cpp.o.d"
+  "research_sharing"
+  "research_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/research_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

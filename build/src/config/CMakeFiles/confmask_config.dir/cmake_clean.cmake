@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confmask_config.dir/emit.cpp.o"
+  "CMakeFiles/confmask_config.dir/emit.cpp.o.d"
+  "CMakeFiles/confmask_config.dir/model.cpp.o"
+  "CMakeFiles/confmask_config.dir/model.cpp.o.d"
+  "CMakeFiles/confmask_config.dir/parse.cpp.o"
+  "CMakeFiles/confmask_config.dir/parse.cpp.o.d"
+  "libconfmask_config.a"
+  "libconfmask_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confmask_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/confmask.cpp" "src/core/CMakeFiles/confmask_core.dir/confmask.cpp.o" "gcc" "src/core/CMakeFiles/confmask_core.dir/confmask.cpp.o.d"
+  "/root/repo/src/core/deanonymize.cpp" "src/core/CMakeFiles/confmask_core.dir/deanonymize.cpp.o" "gcc" "src/core/CMakeFiles/confmask_core.dir/deanonymize.cpp.o.d"
+  "/root/repo/src/core/filters.cpp" "src/core/CMakeFiles/confmask_core.dir/filters.cpp.o" "gcc" "src/core/CMakeFiles/confmask_core.dir/filters.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/confmask_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/confmask_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/node_addition.cpp" "src/core/CMakeFiles/confmask_core.dir/node_addition.cpp.o" "gcc" "src/core/CMakeFiles/confmask_core.dir/node_addition.cpp.o.d"
+  "/root/repo/src/core/original_index.cpp" "src/core/CMakeFiles/confmask_core.dir/original_index.cpp.o" "gcc" "src/core/CMakeFiles/confmask_core.dir/original_index.cpp.o.d"
+  "/root/repo/src/core/route_anonymity.cpp" "src/core/CMakeFiles/confmask_core.dir/route_anonymity.cpp.o" "gcc" "src/core/CMakeFiles/confmask_core.dir/route_anonymity.cpp.o.d"
+  "/root/repo/src/core/route_equivalence.cpp" "src/core/CMakeFiles/confmask_core.dir/route_equivalence.cpp.o" "gcc" "src/core/CMakeFiles/confmask_core.dir/route_equivalence.cpp.o.d"
+  "/root/repo/src/core/strawman.cpp" "src/core/CMakeFiles/confmask_core.dir/strawman.cpp.o" "gcc" "src/core/CMakeFiles/confmask_core.dir/strawman.cpp.o.d"
+  "/root/repo/src/core/topology_anonymization.cpp" "src/core/CMakeFiles/confmask_core.dir/topology_anonymization.cpp.o" "gcc" "src/core/CMakeFiles/confmask_core.dir/topology_anonymization.cpp.o.d"
+  "/root/repo/src/core/utility_properties.cpp" "src/core/CMakeFiles/confmask_core.dir/utility_properties.cpp.o" "gcc" "src/core/CMakeFiles/confmask_core.dir/utility_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/confmask_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/confmask_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/confmask_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/confmask_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confmask_core.dir/confmask.cpp.o"
+  "CMakeFiles/confmask_core.dir/confmask.cpp.o.d"
+  "CMakeFiles/confmask_core.dir/deanonymize.cpp.o"
+  "CMakeFiles/confmask_core.dir/deanonymize.cpp.o.d"
+  "CMakeFiles/confmask_core.dir/filters.cpp.o"
+  "CMakeFiles/confmask_core.dir/filters.cpp.o.d"
+  "CMakeFiles/confmask_core.dir/metrics.cpp.o"
+  "CMakeFiles/confmask_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/confmask_core.dir/node_addition.cpp.o"
+  "CMakeFiles/confmask_core.dir/node_addition.cpp.o.d"
+  "CMakeFiles/confmask_core.dir/original_index.cpp.o"
+  "CMakeFiles/confmask_core.dir/original_index.cpp.o.d"
+  "CMakeFiles/confmask_core.dir/route_anonymity.cpp.o"
+  "CMakeFiles/confmask_core.dir/route_anonymity.cpp.o.d"
+  "CMakeFiles/confmask_core.dir/route_equivalence.cpp.o"
+  "CMakeFiles/confmask_core.dir/route_equivalence.cpp.o.d"
+  "CMakeFiles/confmask_core.dir/strawman.cpp.o"
+  "CMakeFiles/confmask_core.dir/strawman.cpp.o.d"
+  "CMakeFiles/confmask_core.dir/topology_anonymization.cpp.o"
+  "CMakeFiles/confmask_core.dir/topology_anonymization.cpp.o.d"
+  "CMakeFiles/confmask_core.dir/utility_properties.cpp.o"
+  "CMakeFiles/confmask_core.dir/utility_properties.cpp.o.d"
+  "libconfmask_core.a"
+  "libconfmask_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confmask_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

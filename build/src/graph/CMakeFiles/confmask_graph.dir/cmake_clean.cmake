@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confmask_graph.dir/graph.cpp.o"
+  "CMakeFiles/confmask_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/confmask_graph.dir/k_degree_anonymize.cpp.o"
+  "CMakeFiles/confmask_graph.dir/k_degree_anonymize.cpp.o.d"
+  "libconfmask_graph.a"
+  "libconfmask_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confmask_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netgen/boilerplate.cpp" "src/netgen/CMakeFiles/confmask_netgen.dir/boilerplate.cpp.o" "gcc" "src/netgen/CMakeFiles/confmask_netgen.dir/boilerplate.cpp.o.d"
+  "/root/repo/src/netgen/builder.cpp" "src/netgen/CMakeFiles/confmask_netgen.dir/builder.cpp.o" "gcc" "src/netgen/CMakeFiles/confmask_netgen.dir/builder.cpp.o.d"
+  "/root/repo/src/netgen/networks.cpp" "src/netgen/CMakeFiles/confmask_netgen.dir/networks.cpp.o" "gcc" "src/netgen/CMakeFiles/confmask_netgen.dir/networks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/confmask_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/confmask_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confmask_netgen.dir/boilerplate.cpp.o"
+  "CMakeFiles/confmask_netgen.dir/boilerplate.cpp.o.d"
+  "CMakeFiles/confmask_netgen.dir/builder.cpp.o"
+  "CMakeFiles/confmask_netgen.dir/builder.cpp.o.d"
+  "CMakeFiles/confmask_netgen.dir/networks.cpp.o"
+  "CMakeFiles/confmask_netgen.dir/networks.cpp.o.d"
+  "libconfmask_netgen.a"
+  "libconfmask_netgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confmask_netgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confmask_nethide.dir/nethide.cpp.o"
+  "CMakeFiles/confmask_nethide.dir/nethide.cpp.o.d"
+  "libconfmask_nethide.a"
+  "libconfmask_nethide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confmask_nethide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for confmask_nethide.
+# This may be replaced when dependencies are built.

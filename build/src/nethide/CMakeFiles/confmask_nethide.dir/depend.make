@@ -1,0 +1,2 @@
+# Empty dependencies file for confmask_nethide.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pii/crypto_pan.cpp" "src/pii/CMakeFiles/confmask_pii.dir/crypto_pan.cpp.o" "gcc" "src/pii/CMakeFiles/confmask_pii.dir/crypto_pan.cpp.o.d"
+  "/root/repo/src/pii/pii_addon.cpp" "src/pii/CMakeFiles/confmask_pii.dir/pii_addon.cpp.o" "gcc" "src/pii/CMakeFiles/confmask_pii.dir/pii_addon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/confmask_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/confmask_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

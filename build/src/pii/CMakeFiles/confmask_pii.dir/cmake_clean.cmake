@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confmask_pii.dir/crypto_pan.cpp.o"
+  "CMakeFiles/confmask_pii.dir/crypto_pan.cpp.o.d"
+  "CMakeFiles/confmask_pii.dir/pii_addon.cpp.o"
+  "CMakeFiles/confmask_pii.dir/pii_addon.cpp.o.d"
+  "libconfmask_pii.a"
+  "libconfmask_pii.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confmask_pii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

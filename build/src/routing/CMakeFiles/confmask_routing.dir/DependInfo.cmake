@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/dataplane.cpp" "src/routing/CMakeFiles/confmask_routing.dir/dataplane.cpp.o" "gcc" "src/routing/CMakeFiles/confmask_routing.dir/dataplane.cpp.o.d"
+  "/root/repo/src/routing/simulation.cpp" "src/routing/CMakeFiles/confmask_routing.dir/simulation.cpp.o" "gcc" "src/routing/CMakeFiles/confmask_routing.dir/simulation.cpp.o.d"
+  "/root/repo/src/routing/topology.cpp" "src/routing/CMakeFiles/confmask_routing.dir/topology.cpp.o" "gcc" "src/routing/CMakeFiles/confmask_routing.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/confmask_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/confmask_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/confmask_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

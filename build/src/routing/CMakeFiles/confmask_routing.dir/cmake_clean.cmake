@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confmask_routing.dir/dataplane.cpp.o"
+  "CMakeFiles/confmask_routing.dir/dataplane.cpp.o.d"
+  "CMakeFiles/confmask_routing.dir/simulation.cpp.o"
+  "CMakeFiles/confmask_routing.dir/simulation.cpp.o.d"
+  "CMakeFiles/confmask_routing.dir/topology.cpp.o"
+  "CMakeFiles/confmask_routing.dir/topology.cpp.o.d"
+  "libconfmask_routing.a"
+  "libconfmask_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confmask_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

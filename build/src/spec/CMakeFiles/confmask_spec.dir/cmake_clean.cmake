@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confmask_spec.dir/policies.cpp.o"
+  "CMakeFiles/confmask_spec.dir/policies.cpp.o.d"
+  "libconfmask_spec.a"
+  "libconfmask_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confmask_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

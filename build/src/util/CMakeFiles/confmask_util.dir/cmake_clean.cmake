@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confmask_util.dir/ipv4.cpp.o"
+  "CMakeFiles/confmask_util.dir/ipv4.cpp.o.d"
+  "CMakeFiles/confmask_util.dir/prefix_allocator.cpp.o"
+  "CMakeFiles/confmask_util.dir/prefix_allocator.cpp.o.d"
+  "CMakeFiles/confmask_util.dir/rng.cpp.o"
+  "CMakeFiles/confmask_util.dir/rng.cpp.o.d"
+  "CMakeFiles/confmask_util.dir/strings.cpp.o"
+  "CMakeFiles/confmask_util.dir/strings.cpp.o.d"
+  "libconfmask_util.a"
+  "libconfmask_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confmask_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

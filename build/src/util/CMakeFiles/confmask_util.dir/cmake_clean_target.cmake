@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libconfmask_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_model.dir/test_config_model.cpp.o"
+  "CMakeFiles/test_config_model.dir/test_config_model.cpp.o.d"
+  "test_config_model"
+  "test_config_model.pdb"
+  "test_config_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deanonymize.dir/test_deanonymize.cpp.o"
+  "CMakeFiles/test_deanonymize.dir/test_deanonymize.cpp.o.d"
+  "test_deanonymize"
+  "test_deanonymize.pdb"
+  "test_deanonymize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deanonymize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

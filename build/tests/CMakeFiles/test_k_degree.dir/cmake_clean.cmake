@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_k_degree.dir/test_k_degree.cpp.o"
+  "CMakeFiles/test_k_degree.dir/test_k_degree.cpp.o.d"
+  "test_k_degree"
+  "test_k_degree.pdb"
+  "test_k_degree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_k_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nethide.dir/test_nethide.cpp.o"
+  "CMakeFiles/test_nethide.dir/test_nethide.cpp.o.d"
+  "test_nethide"
+  "test_nethide.pdb"
+  "test_nethide[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nethide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

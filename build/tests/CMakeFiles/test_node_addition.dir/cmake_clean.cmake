@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_addition.dir/test_node_addition.cpp.o"
+  "CMakeFiles/test_node_addition.dir/test_node_addition.cpp.o.d"
+  "test_node_addition"
+  "test_node_addition.pdb"
+  "test_node_addition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_addition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pii.dir/test_pii.cpp.o"
+  "CMakeFiles/test_pii.dir/test_pii.cpp.o.d"
+  "test_pii"
+  "test_pii.pdb"
+  "test_pii[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_pipeline_composition.cpp" "tests/CMakeFiles/test_pipeline_composition.dir/test_pipeline_composition.cpp.o" "gcc" "tests/CMakeFiles/test_pipeline_composition.dir/test_pipeline_composition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/confmask_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nethide/CMakeFiles/confmask_nethide.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/confmask_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/pii/CMakeFiles/confmask_pii.dir/DependInfo.cmake"
+  "/root/repo/build/src/netgen/CMakeFiles/confmask_netgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/confmask_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/confmask_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/confmask_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/confmask_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

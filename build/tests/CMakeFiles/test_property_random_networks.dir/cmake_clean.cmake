@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_random_networks.dir/test_property_random_networks.cpp.o"
+  "CMakeFiles/test_property_random_networks.dir/test_property_random_networks.cpp.o.d"
+  "test_property_random_networks"
+  "test_property_random_networks.pdb"
+  "test_property_random_networks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_random_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

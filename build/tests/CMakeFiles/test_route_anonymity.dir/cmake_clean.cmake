@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route_anonymity.dir/test_route_anonymity.cpp.o"
+  "CMakeFiles/test_route_anonymity.dir/test_route_anonymity.cpp.o.d"
+  "test_route_anonymity"
+  "test_route_anonymity.pdb"
+  "test_route_anonymity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route_anonymity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

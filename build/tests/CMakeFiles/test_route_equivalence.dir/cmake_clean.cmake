@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route_equivalence.dir/test_route_equivalence.cpp.o"
+  "CMakeFiles/test_route_equivalence.dir/test_route_equivalence.cpp.o.d"
+  "test_route_equivalence"
+  "test_route_equivalence.pdb"
+  "test_route_equivalence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulation_ospf.dir/test_simulation_ospf.cpp.o"
+  "CMakeFiles/test_simulation_ospf.dir/test_simulation_ospf.cpp.o.d"
+  "test_simulation_ospf"
+  "test_simulation_ospf.pdb"
+  "test_simulation_ospf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulation_ospf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

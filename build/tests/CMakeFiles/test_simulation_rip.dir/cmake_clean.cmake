@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulation_rip.dir/test_simulation_rip.cpp.o"
+  "CMakeFiles/test_simulation_rip.dir/test_simulation_rip.cpp.o.d"
+  "test_simulation_rip"
+  "test_simulation_rip.pdb"
+  "test_simulation_rip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulation_rip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

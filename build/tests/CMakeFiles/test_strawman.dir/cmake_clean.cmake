@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strawman.dir/test_strawman.cpp.o"
+  "CMakeFiles/test_strawman.dir/test_strawman.cpp.o.d"
+  "test_strawman"
+  "test_strawman.pdb"
+  "test_strawman[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strawman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

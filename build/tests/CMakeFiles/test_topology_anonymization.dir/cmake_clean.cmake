@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_anonymization.dir/test_topology_anonymization.cpp.o"
+  "CMakeFiles/test_topology_anonymization.dir/test_topology_anonymization.cpp.o.d"
+  "test_topology_anonymization"
+  "test_topology_anonymization.pdb"
+  "test_topology_anonymization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_anonymization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_utility_properties.dir/test_utility_properties.cpp.o"
+  "CMakeFiles/test_utility_properties.dir/test_utility_properties.cpp.o.d"
+  "test_utility_properties"
+  "test_utility_properties.pdb"
+  "test_utility_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_utility_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
