@@ -1,0 +1,53 @@
+# CTest driver proving the CLI's fail-closed contract end to end:
+# with an injected verification divergence (via the CONFMASK_FAULTS
+# environment channel of the fault registry), confmask_cli must
+#   * exit with the NonConvergent category code (12),
+#   * write NO anonymized configuration files,
+#   * emit diagnostics JSON flagging the Verification stage.
+# Invoked as:
+#   cmake -DCLI=<path-to-confmask_cli> -DWORK_DIR=<scratch> -P check_fail_closed.cmake
+if(NOT DEFINED CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=... -DWORK_DIR=... -P check_fail_closed.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(INPUT_DIR "${WORK_DIR}/demo")
+set(OUTPUT_DIR "${WORK_DIR}/anon")
+set(DIAG_JSON "${WORK_DIR}/diagnostics.json")
+
+execute_process(COMMAND "${CLI}" --demo "${INPUT_DIR}" RESULT_VARIABLE demo_result)
+if(NOT demo_result EQUAL 0)
+  message(FATAL_ERROR "confmask_cli --demo failed: ${demo_result}")
+endif()
+
+# Arm the verification-divergence fault for every attempt the ladder makes.
+set(ENV{CONFMASK_FAULTS} "confmask.verification.diverge=99")
+execute_process(
+  COMMAND "${CLI}" "${INPUT_DIR}" "${OUTPUT_DIR}" --diagnostics-json "${DIAG_JSON}"
+  RESULT_VARIABLE cli_result
+  OUTPUT_VARIABLE cli_stdout
+  ERROR_VARIABLE cli_stderr)
+
+if(NOT cli_result EQUAL 12)  # exit_code_for(NonConvergent)
+  message(FATAL_ERROR "expected exit code 12 (NonConvergent), got "
+                      "'${cli_result}'\nstdout:\n${cli_stdout}\nstderr:\n${cli_stderr}")
+endif()
+
+file(GLOB leaked "${OUTPUT_DIR}/*.cfg")
+if(leaked)
+  message(FATAL_ERROR "fail-closed violated: configs were written: ${leaked}")
+endif()
+
+file(READ "${DIAG_JSON}" diag)
+if(NOT diag MATCHES "\"ok\": false")
+  message(FATAL_ERROR "diagnostics JSON does not flag failure: ${diag}")
+endif()
+if(NOT diag MATCHES "\"stage\": \"Verification\"")
+  message(FATAL_ERROR "diagnostics JSON does not name Verification: ${diag}")
+endif()
+if(NOT diag MATCHES "\"divergence\": \\[\n")
+  message(FATAL_ERROR "diagnostics JSON has empty divergence: ${diag}")
+endif()
+
+message(STATUS "fail-closed contract holds: exit 12, no configs, divergence reported")

@@ -2,11 +2,22 @@
 //
 //   usage: confmask_cli <input-dir> <output-dir> [--kr N] [--kh N]
 //                       [--p FLOAT] [--seed N] [--fake-routers N] [--pii B]
+//                       [--diagnostics-json FILE]
 //
 // Reads every *.cfg file in <input-dir> (host configurations are detected
-// by their `ip default-gateway` line), runs the full ConfMask pipeline,
-// verifies functional equivalence by simulation, and writes the
-// anonymized files to <output-dir>. Exits non-zero if verification fails.
+// by their `ip default-gateway` line), runs the full ConfMask pipeline
+// under the guarded runner (retry/fallback ladder + fail-closed
+// verification gate), and writes the anonymized files to <output-dir>.
+//
+// The CLI NEVER writes configs whose functional equivalence was not
+// verified. On failure it prints the diagnostics (stage, category, the
+// first divergent ⟨router, host, next-hop⟩ triples) and exits with a
+// category-specific code:
+//   0  success           10  InfeasibleParams   11  ResourceExhausted
+//   1  I/O failure       12  NonConvergent      13  ParseError
+//   2  usage             14  Internal
+// --diagnostics-json additionally writes the full machine-readable
+// diagnostics (status, fallback ladder events, divergence) to FILE.
 //
 // Try it on the output of the `research_sharing` example, or generate an
 // input set with `confmask_cli --demo <dir>` which writes the paper's
@@ -16,11 +27,13 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <system_error>
 
 #include "src/config/emit.hpp"
 #include "src/config/parse.hpp"
 #include "src/core/confmask.hpp"
 #include "src/core/metrics.hpp"
+#include "src/core/pipeline_runner.hpp"
 #include "src/netgen/networks.hpp"
 #include "src/pii/pii_addon.hpp"
 
@@ -33,7 +46,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: confmask_cli <input-dir> <output-dir> [--kr N] "
                "[--kh N] [--p FLOAT] [--seed N] [--fake-routers N] "
-               "[--pii 0|1]\n"
+               "[--pii 0|1] [--diagnostics-json FILE]\n"
                "       confmask_cli --demo <dir>   (write a demo network)\n");
   return 2;
 }
@@ -45,6 +58,84 @@ void write_config_set(const ConfigSet& configs, const fs::path& dir) {
   }
   for (const auto& host : configs.hosts) {
     std::ofstream(dir / (host.hostname + ".cfg")) << emit_host(host);
+  }
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_string_array(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + json_escape(items[i]) + "\"";
+  }
+  return out + "]";
+}
+
+/// Machine-readable diagnostics: status, terminal error, every fallback
+/// ladder event, and the divergence triples of the fail-closed gate.
+void write_diagnostics_json(const fs::path& file,
+                            const PipelineDiagnostics& diag) {
+  std::ofstream out(file);
+  out << "{\n" << "  \"ok\": " << (diag.ok ? "true" : "false") << ",\n";
+  if (diag.ok) {
+    // Stage/category describe a terminal error; there is none on success.
+    out << "  \"stage\": null,\n  \"category\": null,\n";
+  } else {
+    out << "  \"stage\": \"" << to_string(diag.stage) << "\",\n"
+        << "  \"category\": \"" << to_string(diag.category) << "\",\n";
+  }
+  out << "  \"exit_code\": " << (diag.ok ? 0 : exit_code_for(diag.category))
+      << ",\n"
+      << "  \"message\": \"" << json_escape(diag.message) << "\",\n"
+      << "  \"attempts\": " << diag.attempts << ",\n";
+  out << "  \"fallbacks\": [";
+  for (std::size_t i = 0; i < diag.fallbacks.size(); ++i) {
+    const auto& event = diag.fallbacks[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"kind\": \""
+        << to_string(event.kind) << "\", \"attempt\": " << event.attempt
+        << ", \"detail\": \"" << json_escape(event.detail) << "\"}";
+  }
+  out << (diag.fallbacks.empty() ? "],\n" : "\n  ],\n");
+  out << "  \"divergence\": [";
+  for (std::size_t i = 0; i < diag.divergence.size(); ++i) {
+    const auto& entry = diag.divergence[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"source\": \""
+        << json_escape(entry.source) << "\", \"destination\": \""
+        << json_escape(entry.destination) << "\", \"router\": \""
+        << json_escape(entry.router) << "\", \"expected_next_hops\": "
+        << json_string_array(entry.lhs_next_hops)
+        << ", \"actual_next_hops\": "
+        << json_string_array(entry.rhs_next_hops) << "}";
+  }
+  out << (diag.divergence.empty() ? "]\n" : "\n  ]\n");
+  out << "}\n";
+}
+
+void print_fallbacks(const PipelineDiagnostics& diag) {
+  for (const auto& event : diag.fallbacks) {
+    std::fprintf(stderr, "fallback [attempt %d] %s: %s\n", event.attempt,
+                 to_string(event.kind), event.detail.c_str());
   }
 }
 
@@ -60,7 +151,12 @@ int main(int argc, char** argv) {
 
   ConfMaskOptions options;
   bool apply_pii = false;
-  for (int i = 3; i + 1 < argc; i += 2) {
+  std::string diagnostics_json;
+  for (int i = 3; i < argc; i += 2) {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      return usage();
+    }
     if (std::strcmp(argv[i], "--kr") == 0) {
       options.k_r = std::atoi(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--kh") == 0) {
@@ -73,27 +169,45 @@ int main(int argc, char** argv) {
       options.fake_routers = std::atoi(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--pii") == 0) {
       apply_pii = std::atoi(argv[i + 1]) != 0;
+    } else if (std::strcmp(argv[i], "--diagnostics-json") == 0) {
+      diagnostics_json = argv[i + 1];
     } else {
       return usage();
     }
   }
 
-  // Ingest.
+  // Ingest. Parse errors name the failing file (ConfigParseError source).
+  std::error_code io_error;
+  fs::directory_iterator input_it(argv[1], io_error);
+  if (io_error) {
+    std::fprintf(stderr, "cannot read %s: %s\n", argv[1],
+                 io_error.message().c_str());
+    return 1;
+  }
   ConfigSet original;
-  for (const auto& entry : fs::directory_iterator(argv[1])) {
+  for (const auto& entry : input_it) {
     if (entry.path().extension() != ".cfg") continue;
     std::ifstream in(entry.path());
     const std::string text((std::istreambuf_iterator<char>(in)),
                            std::istreambuf_iterator<char>());
+    const std::string source = entry.path().filename().string();
     try {
       if (looks_like_host(text)) {
-        original.hosts.push_back(parse_host(text));
+        original.hosts.push_back(parse_host(text, source));
       } else {
-        original.routers.push_back(parse_router(text));
+        original.routers.push_back(parse_router(text, source));
       }
     } catch (const ConfigParseError& error) {
-      std::fprintf(stderr, "%s: %s\n", entry.path().c_str(), error.what());
-      return 1;
+      std::fprintf(stderr, "parse error: %s\n", error.what());
+      if (!diagnostics_json.empty()) {
+        PipelineDiagnostics diag;
+        diag.category = ErrorCategory::kParseError;
+        diag.stage = PipelineStage::kPreprocess;
+        diag.message = error.what();
+        diag.attempts = 0;
+        write_diagnostics_json(diagnostics_json, diag);
+      }
+      return exit_code_for(ErrorCategory::kParseError);
     }
   }
   if (original.routers.empty()) {
@@ -103,28 +217,60 @@ int main(int argc, char** argv) {
   std::printf("read %zu routers, %zu hosts from %s\n",
               original.routers.size(), original.hosts.size(), argv[1]);
 
-  // Anonymize + verify.
-  const auto result = run_confmask(original, options);
+  // Anonymize under the guarded runner: retries/fallbacks are automatic
+  // and verification failure can never fail open into written configs.
+  const auto guarded = run_pipeline_guarded(original, options);
+  const auto& diag = guarded.diagnostics;
+  if (!diagnostics_json.empty()) write_diagnostics_json(diagnostics_json, diag);
+  print_fallbacks(diag);
+
+  if (!guarded.ok()) {
+    std::fprintf(stderr,
+                 "pipeline FAILED closed after %d attempt(s) at stage %s "
+                 "(%s): %s\n",
+                 diag.attempts, to_string(diag.stage),
+                 to_string(diag.category), diag.message.c_str());
+    for (const auto& entry : diag.divergence) {
+      std::string expected = "{";
+      for (const auto& hop : entry.lhs_next_hops) {
+        expected += (expected.size() > 1 ? ", " : "") + hop;
+      }
+      expected += "}";
+      std::string actual = "{";
+      for (const auto& hop : entry.rhs_next_hops) {
+        actual += (actual.size() > 1 ? ", " : "") + hop;
+      }
+      actual += "}";
+      std::fprintf(stderr,
+                   "  divergence: flow %s -> %s at %s: expected next hops "
+                   "%s, got %s\n",
+                   entry.source.c_str(), entry.destination.c_str(),
+                   entry.router.empty() ? "(whole flow)"
+                                        : entry.router.c_str(),
+                   expected.c_str(), actual.c_str());
+    }
+    std::fprintf(stderr, "no configuration files were written\n");
+    return exit_code_for(diag.category);
+  }
+
+  const auto& result = *guarded.result;
+  const auto& effective = guarded.effective_options;
   std::printf("k_R=%d k_H=%d p=%.2f seed=%llu: +%zu fake links, +%zu fake "
-              "hosts, +%zu lines, %d filters, %.2fs (%llu simulations)\n",
-              options.k_r, options.k_h, options.noise_p,
-              static_cast<unsigned long long>(options.seed),
+              "hosts, +%zu lines, %d filters, %.2fs (%llu simulations, %d "
+              "attempt(s))\n",
+              effective.k_r, effective.k_h, effective.noise_p,
+              static_cast<unsigned long long>(effective.seed),
               result.stats.fake_intra_links + result.stats.fake_inter_links,
               result.stats.fake_hosts, result.stats.added_lines(),
               result.stats.equivalence_filters + result.stats.anonymity_filters,
               result.stats.seconds,
-              static_cast<unsigned long long>(result.stats.simulations));
-  if (!result.equivalence_converged || !result.functionally_equivalent) {
-    std::fprintf(stderr,
-                 "functional-equivalence verification FAILED; refusing to "
-                 "write output\n");
-    return 1;
-  }
+              static_cast<unsigned long long>(result.stats.simulations),
+              diag.attempts);
 
   ConfigSet published = result.anonymized;
   if (apply_pii) {
     PiiOptions pii_options;
-    pii_options.key = options.seed ^ 0x9E3779B97F4A7C15ULL;
+    pii_options.key = effective.seed ^ 0x9E3779B97F4A7C15ULL;
     auto pii = apply_pii_addon(published, pii_options);
     published = std::move(pii.configs);
     std::printf("PII add-on: renumbered addresses, renamed %zu devices, "

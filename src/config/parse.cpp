@@ -270,9 +270,20 @@ void parse_access_list_line(RouterConfig& router,
   router.access_lists.push_back(AccessList{number, {entry}});
 }
 
-}  // namespace
+/// Runs a parser body, attaching `source` to any ConfigParseError escaping
+/// it — the block parsers throw with line context only; the entry points
+/// know which configuration is being parsed.
+template <typename Fn>
+auto with_parse_source(std::string_view source, Fn&& body) {
+  if (source.empty()) return body();
+  try {
+    return body();
+  } catch (const ConfigParseError& error) {
+    throw error.with_source(source);
+  }
+}
 
-RouterConfig parse_router(std::string_view text) {
+RouterConfig parse_router_impl(std::string_view text) {
   RouterConfig router;
   LineCursor cursor(text);
   while (!cursor.done()) {
@@ -326,7 +337,7 @@ RouterConfig parse_router(std::string_view text) {
   return router;
 }
 
-HostConfig parse_host(std::string_view text) {
+HostConfig parse_host_impl(std::string_view text) {
   HostConfig host;
   bool saw_gateway = false;
   LineCursor cursor(text);
@@ -363,6 +374,16 @@ HostConfig parse_host(std::string_view text) {
     throw ConfigParseError(1, "host configuration lacks ip default-gateway");
   }
   return host;
+}
+
+}  // namespace
+
+RouterConfig parse_router(std::string_view text, std::string_view source) {
+  return with_parse_source(source, [&] { return parse_router_impl(text); });
+}
+
+HostConfig parse_host(std::string_view text, std::string_view source) {
+  return with_parse_source(source, [&] { return parse_host_impl(text); });
 }
 
 bool looks_like_host(std::string_view text) {

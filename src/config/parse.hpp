@@ -17,25 +17,48 @@ namespace confmask {
 
 /// Thrown on malformed input that claims to be a known construct (e.g.
 /// `ip address` with a bad mask). Unknown lines never throw — they are
-/// passthrough by design.
+/// passthrough by design. When the caller names the configuration being
+/// parsed (router hostname, file name), the error carries it so batch runs
+/// can report WHICH config failed, not just a line number.
 class ConfigParseError : public std::runtime_error {
  public:
   ConfigParseError(std::size_t line_number, const std::string& message)
-      : std::runtime_error("line " + std::to_string(line_number) + ": " +
-                           message),
-        line_number_(line_number) {}
+      : ConfigParseError({}, line_number, message) {}
 
+  ConfigParseError(const std::string& source, std::size_t line_number,
+                   const std::string& message)
+      : std::runtime_error((source.empty() ? "" : source + ": ") + "line " +
+                           std::to_string(line_number) + ": " + message),
+        source_(source),
+        line_number_(line_number),
+        message_(message) {}
+
+  /// Which configuration failed ("" when the caller did not say).
+  [[nodiscard]] const std::string& source() const { return source_; }
   [[nodiscard]] std::size_t line_number() const { return line_number_; }
+  /// The bare message, without the "source: line N:" prefix.
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// The same error with a source name attached (used by the parser entry
+  /// points to contextualize errors thrown deep inside block parsers).
+  [[nodiscard]] ConfigParseError with_source(std::string_view source) const {
+    return ConfigParseError(std::string(source), line_number_, message_);
+  }
 
  private:
+  std::string source_;
   std::size_t line_number_;
+  std::string message_;
 };
 
-/// Parses a router configuration.
-[[nodiscard]] RouterConfig parse_router(std::string_view text);
+/// Parses a router configuration. `source` (file name or hostname, may be
+/// empty) is attached to any ConfigParseError thrown.
+[[nodiscard]] RouterConfig parse_router(std::string_view text,
+                                        std::string_view source = {});
 
 /// Parses a host configuration (must contain `ip default-gateway`).
-[[nodiscard]] HostConfig parse_host(std::string_view text);
+[[nodiscard]] HostConfig parse_host(std::string_view text,
+                                    std::string_view source = {});
 
 /// Heuristic: host configurations contain `ip default-gateway`.
 [[nodiscard]] bool looks_like_host(std::string_view text);

@@ -2,12 +2,14 @@
 
 #include <chrono>
 
+#include "src/core/errors.hpp"
 #include "src/core/node_addition.hpp"
 #include "src/core/original_index.hpp"
 #include "src/core/route_anonymity.hpp"
 #include "src/core/route_equivalence.hpp"
 #include "src/core/strawman.hpp"
 #include "src/routing/simulation.hpp"
+#include "src/util/fault_points.hpp"
 #include "src/util/prefix_allocator.hpp"
 
 namespace confmask {
@@ -24,13 +26,16 @@ PipelineResult run_pipeline(const ConfigSet& original,
 
   // Preprocessing: simulate the original network once and snapshot the
   // baseline (topology, FIBs, data plane, IGP distances).
-  const OriginalIndex index = [&] {
-    const Simulation sim(original);
-    return OriginalIndex(sim);
-  }();
+  const OriginalIndex index =
+      run_stage(PipelineStage::kPreprocess, [&] {
+        const Simulation sim(original);
+        return OriginalIndex(sim);
+      });
   result.original_dp = index.data_plane();
 
-  PrefixAllocator allocator;
+  PrefixAllocator allocator(
+      options.link_pool.value_or(PrefixAllocator::default_link_pool()),
+      options.host_pool.value_or(PrefixAllocator::default_host_pool()));
   for (const auto& prefix : original.used_prefixes()) {
     allocator.reserve(prefix);
   }
@@ -39,54 +44,70 @@ PipelineResult run_pipeline(const ConfigSet& original,
   // Step 0 (extension, §9): network-scale obfuscation via fake routers,
   // before Step 1 so their degrees are k-anonymized too.
   if (options.fake_routers > 0) {
-    NodeAdditionOptions node_options;
-    node_options.fake_routers = options.fake_routers;
-    node_options.links_per_fake = options.links_per_fake_router;
-    const auto nodes = add_fake_routers(result.anonymized, index,
-                                        node_options, rng, allocator);
-    result.fake_routers = nodes.fake_routers;
+    run_stage(PipelineStage::kNodeAddition, [&] {
+      NodeAdditionOptions node_options;
+      node_options.fake_routers = options.fake_routers;
+      node_options.links_per_fake = options.links_per_fake_router;
+      const auto nodes = add_fake_routers(result.anonymized, index,
+                                          node_options, rng, allocator);
+      result.fake_routers = nodes.fake_routers;
+    });
   }
 
   // Step 1: topology anonymization.
-  const auto topo_outcome =
-      anonymize_topology(result.anonymized, options.k_r,
-                         options.cost_policy, rng, allocator);
+  const auto topo_outcome = run_stage(PipelineStage::kTopologyAnon, [&] {
+    return anonymize_topology(result.anonymized, options.k_r,
+                              options.cost_policy, rng, allocator);
+  });
   result.stats.fake_intra_links = topo_outcome.intra_as_links.size();
   result.stats.fake_inter_links = topo_outcome.inter_as_links.size();
 
   // Step 2.1: route equivalence.
-  RouteEquivalenceOutcome equivalence;
-  switch (strategy) {
-    case EquivalenceStrategy::kConfMask:
-      equivalence = enforce_route_equivalence(
-          result.anonymized, index, options.max_equivalence_iterations);
-      break;
-    case EquivalenceStrategy::kStrawman1:
-      equivalence = strawman1_route_fix(result.anonymized, index);
-      break;
-    case EquivalenceStrategy::kStrawman2:
-      equivalence = strawman2_route_fix(result.anonymized, index);
-      break;
-  }
+  const RouteEquivalenceOutcome equivalence =
+      run_stage(PipelineStage::kRouteEquivalence, [&] {
+        switch (strategy) {
+          case EquivalenceStrategy::kStrawman1:
+            return strawman1_route_fix(result.anonymized, index);
+          case EquivalenceStrategy::kStrawman2:
+            return strawman2_route_fix(result.anonymized, index);
+          case EquivalenceStrategy::kConfMask:
+            break;
+        }
+        return enforce_route_equivalence(result.anonymized, index,
+                                         options.max_equivalence_iterations);
+      });
   result.stats.equivalence_iterations = equivalence.iterations;
   result.stats.equivalence_filters = equivalence.filters_added;
   result.equivalence_converged = equivalence.converged;
 
   // Step 2.2: route anonymity.
-  result.fake_hosts =
-      add_fake_hosts(result.anonymized, index, options.k_h, allocator);
-  result.stats.fake_hosts = result.fake_hosts.size();
-  const auto anonymity = anonymize_routes(result.anonymized,
-                                          result.fake_hosts,
-                                          options.noise_p, rng);
-  result.stats.anonymity_filters = anonymity.filters_added;
-  result.stats.anonymity_rollbacks = anonymity.filters_rolled_back;
+  run_stage(PipelineStage::kRouteAnonymity, [&] {
+    result.fake_hosts =
+        add_fake_hosts(result.anonymized, index, options.k_h, allocator);
+    result.stats.fake_hosts = result.fake_hosts.size();
+    const auto anonymity = anonymize_routes(result.anonymized,
+                                            result.fake_hosts,
+                                            options.noise_p, rng);
+    result.stats.anonymity_filters = anonymity.filters_added;
+    result.stats.anonymity_rollbacks = anonymity.filters_rolled_back;
+  });
 
   // Final verification: the anonymized data plane over real hosts must be
   // EXACTLY the original data plane.
-  {
+  run_stage(PipelineStage::kVerification, [&] {
     const Simulation sim(result.anonymized);
     result.anonymized_dp = sim.extract_data_plane();
+  });
+  if (faults::fire(faults::kVerificationDiverge)) {
+    // Injected divergence: drop one real-host flow so the comparison below
+    // genuinely fails — this is how tests prove the fail-closed gate.
+    for (auto it = result.anonymized_dp.flows.begin();
+         it != result.anonymized_dp.flows.end(); ++it) {
+      if (result.original_dp.flows.count(it->first) != 0) {
+        result.anonymized_dp.flows.erase(it);
+        break;
+      }
+    }
   }
   result.functionally_equivalent =
       result.anonymized_dp.restricted_to(index.real_hosts()) ==

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "src/config/model.hpp"
 #include "src/core/topology_anonymization.hpp"
 #include "src/routing/dataplane.hpp"
+#include "src/util/ipv4.hpp"
 
 namespace confmask {
 
@@ -35,6 +37,11 @@ struct ConfMaskOptions {
   /// add before topology anonymization (0 = paper's base system).
   int fake_routers = 0;
   int links_per_fake_router = 2;
+  /// Overrides for the fake-link /31 and fake-host /24 prefix pools
+  /// (defaults: PrefixAllocator's pools). The guarded runner widens these
+  /// on ResourceExhausted instead of failing the run.
+  std::optional<Ipv4Prefix> link_pool;
+  std::optional<Ipv4Prefix> host_pool;
 };
 
 /// Which Step-2.1 implementation the pipeline uses.

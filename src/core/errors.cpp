@@ -1,0 +1,132 @@
+#include "src/core/errors.hpp"
+
+#include "src/config/parse.hpp"
+#include "src/graph/k_degree_anonymize.hpp"
+#include "src/util/prefix_allocator.hpp"
+
+namespace confmask {
+
+namespace {
+
+std::string format_message(PipelineStage stage, ErrorCategory category,
+                           const std::string& message,
+                           const ErrorContext& context) {
+  std::string out = "[";
+  out += to_string(stage);
+  out += "/";
+  out += to_string(category);
+  out += "] ";
+  out += message;
+  std::string extras;
+  const auto append = [&](const std::string& piece) {
+    if (!extras.empty()) extras += ", ";
+    extras += piece;
+  };
+  if (!context.router.empty()) append("router=" + context.router);
+  if (!context.host.empty()) append("host=" + context.host);
+  if (context.iterations >= 0) {
+    append("iterations=" + std::to_string(context.iterations));
+  }
+  if (context.k >= 0) append("k=" + std::to_string(context.k));
+  if (!context.detail.empty()) append(context.detail);
+  if (!extras.empty()) out += " (" + extras + ")";
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(PipelineStage stage) {
+  switch (stage) {
+    case PipelineStage::kPreprocess: return "Preprocess";
+    case PipelineStage::kNodeAddition: return "NodeAddition";
+    case PipelineStage::kTopologyAnon: return "TopologyAnon";
+    case PipelineStage::kRouteEquivalence: return "RouteEquivalence";
+    case PipelineStage::kRouteAnonymity: return "RouteAnonymity";
+    case PipelineStage::kVerification: return "Verification";
+  }
+  return "Unknown";
+}
+
+const char* to_string(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::kInfeasibleParams: return "InfeasibleParams";
+    case ErrorCategory::kResourceExhausted: return "ResourceExhausted";
+    case ErrorCategory::kNonConvergent: return "NonConvergent";
+    case ErrorCategory::kParseError: return "ParseError";
+    case ErrorCategory::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+int exit_code_for(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::kInfeasibleParams: return 10;
+    case ErrorCategory::kResourceExhausted: return 11;
+    case ErrorCategory::kNonConvergent: return 12;
+    case ErrorCategory::kParseError: return 13;
+    case ErrorCategory::kInternal: return 14;
+  }
+  return 14;
+}
+
+bool default_retryable(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::kInfeasibleParams:
+    case ErrorCategory::kResourceExhausted:
+    case ErrorCategory::kNonConvergent:
+      return true;
+    case ErrorCategory::kParseError:
+    case ErrorCategory::kInternal:
+      return false;
+  }
+  return false;
+}
+
+PipelineError::PipelineError(PipelineStage stage, ErrorCategory category,
+                             const std::string& message, ErrorContext context,
+                             std::optional<bool> retryable)
+    : std::runtime_error(format_message(stage, category, message, context)),
+      stage_(stage),
+      category_(category),
+      retryable_(retryable.value_or(default_retryable(category))),
+      context_(std::move(context)),
+      message_(message) {}
+
+PipelineError translate_exception(PipelineStage stage,
+                                  const std::exception& error) {
+  if (const auto* pool = dynamic_cast<const PrefixPoolExhausted*>(&error)) {
+    ErrorContext context;
+    context.detail = "pool=" + pool->pool().str() + "/" +
+                     std::to_string(pool->requested_length()) +
+                     ", allocated=" + std::to_string(pool->allocated());
+    return PipelineError(stage, ErrorCategory::kResourceExhausted,
+                         pool->what(), std::move(context));
+  }
+  if (const auto* kdeg = dynamic_cast<const KDegreeError*>(&error)) {
+    ErrorContext context;
+    context.k = kdeg->k();
+    context.iterations = kdeg->probe_rounds();
+    context.detail = "nodes=" + std::to_string(kdeg->nodes());
+    const ErrorCategory category =
+        kdeg->kind() == KDegreeError::Kind::kNonConvergent
+            ? ErrorCategory::kNonConvergent
+            : ErrorCategory::kInfeasibleParams;
+    // A saturated/infeasible graph can still be retried: randomized probing
+    // means another seed may find a different (feasible) edge order, and
+    // the ladder then relaxes k. Pin retryable=true for both kinds.
+    return PipelineError(stage, category, kdeg->what(), std::move(context),
+                         true);
+  }
+  if (const auto* parse = dynamic_cast<const ConfigParseError*>(&error)) {
+    ErrorContext context;
+    context.detail = parse->source().empty()
+                         ? "line=" + std::to_string(parse->line_number())
+                         : parse->source() + ":" +
+                               std::to_string(parse->line_number());
+    return PipelineError(stage, ErrorCategory::kParseError, parse->what(),
+                         std::move(context));
+  }
+  return PipelineError(stage, ErrorCategory::kInternal, error.what());
+}
+
+}  // namespace confmask

@@ -1,0 +1,214 @@
+#include "src/core/pipeline_runner.hpp"
+
+#include <algorithm>
+
+#include "src/util/prefix_allocator.hpp"
+
+namespace confmask {
+
+namespace {
+
+/// Deterministic seed evolution (splitmix64 finalizer): retries are
+/// reproducible for a given starting seed, yet successive seeds are
+/// uncorrelated enough to re-randomize every tie-break in the pipeline.
+std::uint64_t next_seed(std::uint64_t seed) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Widens `pool` by `bits` (e.g. /14 → /12), realigning the network
+/// address to the new length. Never widens past /4.
+Ipv4Prefix widen(const Ipv4Prefix& pool, int bits) {
+  const int length = std::max(4, pool.length() - bits);
+  return Ipv4Prefix(pool.network(), length);
+}
+
+/// First ladder value strictly above the current budget (nullopt = ladder
+/// exhausted).
+std::optional<int> next_iteration_budget(const RetryPolicy& policy,
+                                         int current) {
+  std::optional<int> best;
+  for (const int value : policy.equivalence_iteration_ladder) {
+    if (value > current && (!best || value < *best)) best = value;
+  }
+  return best;
+}
+
+/// The divergence between the original data plane and the anonymized one,
+/// restricted to the hosts the original knows (fake-host flows are not
+/// divergences — they are the anonymization).
+std::vector<DataPlaneDiffEntry> divergence_of(const PipelineResult& result,
+                                              std::size_t limit) {
+  return result.original_dp.diff(
+      result.anonymized_dp.restricted_to(result.original_dp.hosts()), limit);
+}
+
+}  // namespace
+
+const char* to_string(FallbackKind kind) {
+  switch (kind) {
+    case FallbackKind::kReseed: return "Reseed";
+    case FallbackKind::kRelaxKr: return "RelaxKr";
+    case FallbackKind::kExpandPrefixPool: return "ExpandPrefixPool";
+    case FallbackKind::kEscalateIterations: return "EscalateIterations";
+  }
+  return "Unknown";
+}
+
+GuardedPipelineResult run_pipeline_guarded(const ConfigSet& original,
+                                           const ConfMaskOptions& options,
+                                           const RetryPolicy& policy,
+                                           EquivalenceStrategy strategy) {
+  GuardedPipelineResult out;
+  ConfMaskOptions opts = options;
+  auto& diag = out.diagnostics;
+
+  int reseeds = 0;
+  int pool_expansions = 0;
+
+  const auto record = [&](FallbackKind kind, std::string detail) {
+    diag.fallbacks.push_back(
+        FallbackEvent{kind, diag.attempts, std::move(detail)});
+  };
+
+  // One reseed rung shared by every randomness-sensitive failure.
+  const auto try_reseed = [&](const char* why) {
+    if (reseeds >= policy.max_reseeds) return false;
+    ++reseeds;
+    const std::uint64_t fresh = next_seed(opts.seed);
+    record(FallbackKind::kReseed,
+           std::string(why) + ": seed " + std::to_string(opts.seed) +
+               " -> " + std::to_string(fresh));
+    opts.seed = fresh;
+    return true;
+  };
+
+  const auto try_relax_kr = [&] {
+    const int relaxed = opts.k_r - policy.k_r_step;
+    if (relaxed < policy.k_r_floor) return false;
+    record(FallbackKind::kRelaxKr, "k_r " + std::to_string(opts.k_r) +
+                                       " -> " + std::to_string(relaxed));
+    opts.k_r = relaxed;
+    return true;
+  };
+
+  const auto try_expand_pools = [&] {
+    if (pool_expansions >= policy.max_pool_expansions) return false;
+    ++pool_expansions;
+    const Ipv4Prefix link =
+        opts.link_pool.value_or(PrefixAllocator::default_link_pool());
+    const Ipv4Prefix host =
+        opts.host_pool.value_or(PrefixAllocator::default_host_pool());
+    opts.link_pool = widen(link, policy.pool_widen_bits);
+    opts.host_pool = widen(host, policy.pool_widen_bits);
+    record(FallbackKind::kExpandPrefixPool,
+           "link " + link.str() + " -> " + opts.link_pool->str() + ", host " +
+               host.str() + " -> " + opts.host_pool->str());
+    return true;
+  };
+
+  const auto try_escalate_iterations = [&] {
+    const auto budget =
+        next_iteration_budget(policy, opts.max_equivalence_iterations);
+    if (!budget) return false;
+    record(FallbackKind::kEscalateIterations,
+           "max_equivalence_iterations " +
+               std::to_string(opts.max_equivalence_iterations) + " -> " +
+               std::to_string(*budget));
+    opts.max_equivalence_iterations = *budget;
+    return true;
+  };
+
+  const auto fail_with = [&](PipelineStage stage, ErrorCategory category,
+                             std::string message, ErrorContext context = {}) {
+    diag.ok = false;
+    diag.stage = stage;
+    diag.category = category;
+    diag.message = std::move(message);
+    diag.context = std::move(context);
+    out.effective_options = opts;
+    return out;
+  };
+
+  while (diag.attempts < policy.max_attempts) {
+    ++diag.attempts;
+    PipelineResult result;
+    try {
+      result = run_pipeline(original, opts, strategy);
+    } catch (const PipelineError& error) {
+      if (!error.retryable()) {
+        return fail_with(error.stage(), error.category(), error.message(),
+                         error.context());
+      }
+      bool acted = false;
+      switch (error.category()) {
+        case ErrorCategory::kInfeasibleParams:
+        case ErrorCategory::kNonConvergent:
+          // Randomized-substrate failure: fresh randomness first; when the
+          // reseed budget is spent, trade anonymity for feasibility.
+          acted = try_reseed(to_string(error.category())) || try_relax_kr();
+          break;
+        case ErrorCategory::kResourceExhausted:
+          acted = try_expand_pools();
+          break;
+        case ErrorCategory::kParseError:
+        case ErrorCategory::kInternal:
+          break;
+      }
+      if (!acted) {
+        return fail_with(error.stage(), error.category(),
+                         error.message() + " (fallback ladder exhausted)",
+                         error.context());
+      }
+      continue;
+    } catch (const std::exception& error) {
+      // A bare exception escaping run_pipeline is a translation gap — by
+      // definition an internal bug, never retried.
+      return fail_with(PipelineStage::kVerification,
+                       ErrorCategory::kInternal, error.what());
+    }
+
+    if (!result.equivalence_converged) {
+      if (try_escalate_iterations()) continue;
+      ErrorContext context;
+      context.iterations = result.stats.equivalence_iterations;
+      auto failed = fail_with(
+          PipelineStage::kRouteEquivalence, ErrorCategory::kNonConvergent,
+          "route equivalence fixpoint not reached within " +
+              std::to_string(opts.max_equivalence_iterations) +
+              " iterations (escalation ladder exhausted)",
+          std::move(context));
+      failed.diagnostics.divergence =
+          divergence_of(result, policy.diff_limit);
+      return failed;
+    }
+
+    if (!result.functionally_equivalent) {
+      if (try_reseed("verification diverged")) continue;
+      auto failed = fail_with(
+          PipelineStage::kVerification, ErrorCategory::kNonConvergent,
+          "anonymized data plane diverges from the original over real hosts"
+          " (all retries exhausted); refusing to return configs");
+      failed.diagnostics.divergence =
+          divergence_of(result, policy.diff_limit);
+      return failed;
+    }
+
+    // Verified functionally equivalent — the only path that yields configs.
+    diag.ok = true;
+    diag.stage = PipelineStage::kVerification;
+    diag.category = ErrorCategory::kInternal;  // unused on success
+    diag.message = "verified functionally equivalent";
+    out.effective_options = opts;
+    out.result = std::move(result);
+    return out;
+  }
+
+  return fail_with(PipelineStage::kVerification, ErrorCategory::kNonConvergent,
+                   "attempt budget exhausted (" +
+                       std::to_string(policy.max_attempts) + " runs)");
+}
+
+}  // namespace confmask

@@ -1,0 +1,113 @@
+// Fail-closed, self-healing driver over run_pipeline.
+//
+// run_pipeline is a single shot: it runs the stages once with the given
+// parameters and reports what happened — including, today, returning
+// anonymized configs whose verification FAILED (the caller must check
+// `functionally_equivalent`). That fail-open contract is unacceptable for a
+// tool whose whole point is that sharing its output is safe.
+//
+// run_pipeline_guarded closes it. It drives run_pipeline through a
+// retry/fallback ladder keyed on the error taxonomy (errors.hpp):
+//
+//   InfeasibleParams / NonConvergent (thrown, randomized stages)
+//       → reseed and retry (fresh randomness, up to RetryPolicy::max_reseeds)
+//       → then relax k_r stepwise down to RetryPolicy::k_r_floor
+//   ResourceExhausted (prefix pools)
+//       → widen both pools by pool_widen_bits and retry
+//   Route-equivalence fixpoint not converged (returned, not thrown)
+//       → escalate max_equivalence_iterations up the ladder (64 → 128 → 256)
+//   Verification failed (anonymized ≠ original over real hosts)
+//       → reseed and retry; after all retries: FAIL CLOSED
+//
+// Fail closed means: the returned GuardedPipelineResult carries NO
+// anonymized configs — only diagnostics, including the first N divergent
+// ⟨router, host, next-hop⟩ triples (DataPlane::diff) so the operator can see
+// *where* equivalence broke. Every fallback rung that fired is recorded, so
+// a successful run still tells you how hard it had to work.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/confmask.hpp"
+#include "src/core/errors.hpp"
+#include "src/routing/dataplane.hpp"
+
+namespace confmask {
+
+/// Which rung of the fallback ladder fired.
+enum class FallbackKind {
+  kReseed,              ///< fresh seed for the randomized stages
+  kRelaxKr,             ///< lowered the topology anonymity parameter
+  kExpandPrefixPool,    ///< widened the fake link/host prefix pools
+  kEscalateIterations,  ///< raised the route-equivalence iteration budget
+};
+
+[[nodiscard]] const char* to_string(FallbackKind kind);
+
+struct FallbackEvent {
+  FallbackKind kind;
+  int attempt = 0;     ///< 1-based attempt whose failure triggered the rung
+  std::string detail;  ///< human-readable "what changed"
+};
+
+/// Ladder configuration. The defaults match the ISSUE/DESIGN contract;
+/// tests shrink them to force specific rungs.
+struct RetryPolicy {
+  /// Reseed-and-retry budget shared by all reseed-triggering failures.
+  int max_reseeds = 2;
+  /// k_r relaxation: step down by `k_r_step` but never below `k_r_floor`
+  /// (k < 2 would make "k-anonymity" meaningless).
+  int k_r_floor = 2;
+  int k_r_step = 1;
+  /// Prefix-pool expansion: widen each pool by `pool_widen_bits` bits per
+  /// ResourceExhausted failure, at most `max_pool_expansions` times.
+  int max_pool_expansions = 2;
+  int pool_widen_bits = 2;
+  /// Escalation ladder for max_equivalence_iterations; values at or below
+  /// the current budget are skipped.
+  std::vector<int> equivalence_iteration_ladder{64, 128, 256};
+  /// Cap on divergence triples reported by the fail-closed gate.
+  std::size_t diff_limit = 16;
+  /// Hard backstop on total pipeline attempts.
+  int max_attempts = 16;
+};
+
+/// What happened, whether or not configs were produced. On failure `stage`,
+/// `category`, `message` and `context` describe the terminal error;
+/// `divergence` is populated when verification (or the equivalence
+/// fixpoint) is what failed.
+struct PipelineDiagnostics {
+  bool ok = false;
+  PipelineStage stage = PipelineStage::kVerification;
+  ErrorCategory category = ErrorCategory::kInternal;
+  std::string message;
+  ErrorContext context;
+  int attempts = 0;  ///< pipeline runs performed (≥ 1)
+  std::vector<FallbackEvent> fallbacks;
+  std::vector<DataPlaneDiffEntry> divergence;
+};
+
+struct GuardedPipelineResult {
+  /// Engaged IFF the final attempt converged AND verified functionally
+  /// equivalent — the fail-closed guarantee: no verified equivalence, no
+  /// configs.
+  std::optional<PipelineResult> result;
+  /// The options of the final attempt (reseeded seed, relaxed k_r, widened
+  /// pools, escalated iteration budget) — what it actually took.
+  ConfMaskOptions effective_options;
+  PipelineDiagnostics diagnostics;
+
+  [[nodiscard]] bool ok() const { return result.has_value(); }
+};
+
+/// Runs the pipeline under the retry/fallback ladder. Never throws for
+/// pipeline-level failures (they land in diagnostics); never returns
+/// configs that were not verified functionally equivalent.
+[[nodiscard]] GuardedPipelineResult run_pipeline_guarded(
+    const ConfigSet& original, const ConfMaskOptions& options,
+    const RetryPolicy& policy = {},
+    EquivalenceStrategy strategy = EquivalenceStrategy::kConfMask);
+
+}  // namespace confmask

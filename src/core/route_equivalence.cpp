@@ -1,7 +1,9 @@
 #include "src/core/route_equivalence.hpp"
 
+#include "src/core/errors.hpp"
 #include "src/core/filters.hpp"
 #include "src/routing/simulation.hpp"
+#include "src/util/fault_points.hpp"
 
 namespace confmask {
 
@@ -36,6 +38,20 @@ RouteEquivalenceOutcome enforce_route_equivalence(ConfigSet& configs,
             continue;
           }
           const auto* host_config = configs.find_host(host_name);
+          if (host_config == nullptr) {
+            // The topology names a host the config set does not contain —
+            // an invariant violation (configs and topology are built from
+            // each other). Fail typed instead of dereferencing null.
+            ErrorContext context;
+            context.router = router_name;
+            context.host = host_name;
+            context.iterations = outcome.iterations;
+            throw PipelineError(PipelineStage::kRouteEquivalence,
+                                ErrorCategory::kInternal,
+                                "host present in topology but missing from "
+                                "config set",
+                                std::move(context));
+          }
           if (add_route_filter(configs, topo, r, topo.link(hop.link),
                                host_config->prefix())) {
             ++added;
@@ -48,6 +64,13 @@ RouteEquivalenceOutcome enforce_route_equivalence(ConfigSet& configs,
       outcome.converged = true;
       break;
     }
+  }
+  // Injected non-convergence: report the fixpoint as not reached so the
+  // guarded runner's iteration-escalation rung can be exercised on
+  // networks that in reality converge quickly.
+  if (outcome.converged &&
+      faults::fire(faults::kRouteEquivalenceNonConvergent)) {
+    outcome.converged = false;
   }
   return outcome;
 }

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "src/util/fault_points.hpp"
+
 namespace confmask {
 
 namespace {
@@ -20,6 +22,17 @@ long group_cost(const std::vector<int>& sorted, std::size_t i,
 }
 
 }  // namespace
+
+KDegreeError::KDegreeError(Kind kind, int nodes, int k, int probe_rounds,
+                           const std::string& message)
+    : std::runtime_error(message + " (n=" + std::to_string(nodes) +
+                         ", k=" + std::to_string(k) +
+                         ", probe_rounds=" + std::to_string(probe_rounds) +
+                         ")"),
+      kind_(kind),
+      nodes_(nodes),
+      k_(k),
+      probe_rounds_(probe_rounds) {}
 
 std::vector<int> anonymize_degree_sequence(const std::vector<int>& degrees,
                                            int k) {
@@ -73,7 +86,8 @@ std::vector<int> anonymize_degree_sequence(const std::vector<int>& degrees,
     }
   }
   if (best[n - 1] >= kInfinity) {
-    throw std::logic_error("degree sequence anonymization infeasible");
+    throw KDegreeError(KDegreeError::Kind::kInfeasible, static_cast<int>(n),
+                       k, 0, "degree sequence anonymization infeasible");
   }
 
   // Reconstruct groups and assign targets.
@@ -96,6 +110,10 @@ KDegreeAnonymizationResult k_degree_anonymize(const Graph& graph, int k,
   const int n = graph.node_count();
   if (n == 0) return {};
   const int k_eff = std::min(k, n);
+  if (faults::fire(faults::kKDegreeInfeasible)) {
+    throw KDegreeError(KDegreeError::Kind::kInfeasible, n, k_eff, 0,
+                       "k-degree anonymization infeasible (injected)");
+  }
 
   Graph work = graph;
   KDegreeAnonymizationResult result;
@@ -166,7 +184,8 @@ KDegreeAnonymizationResult k_degree_anonymize(const Graph& graph, int k,
       }
     }
     if (candidates.empty()) {
-      throw std::runtime_error(
+      throw KDegreeError(
+          KDegreeError::Kind::kSaturated, n, k_eff, result.probe_rounds,
           "k-degree anonymization: node already adjacent to all others");
     }
     const int v = rng.pick(candidates);
@@ -175,7 +194,9 @@ KDegreeAnonymizationResult k_degree_anonymize(const Graph& graph, int k,
                                     std::max(stuck_node, v));
     ++result.probe_rounds;
   }
-  throw std::runtime_error("k-degree anonymization did not converge");
+  throw KDegreeError(KDegreeError::Kind::kNonConvergent, n, k_eff,
+                     kMaxProbeRounds,
+                     "k-degree anonymization did not converge");
 }
 
 }  // namespace confmask

@@ -16,6 +16,8 @@
 //     the result is verified k-anonymous.
 #pragma once
 
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -23,6 +25,38 @@
 #include "src/util/rng.hpp"
 
 namespace confmask {
+
+/// Typed failure of k-degree anonymization, carrying the parameters the
+/// guarded pipeline runner needs to pick a fallback rung (reseed for
+/// non-convergence, relax k for infeasibility). Derives from
+/// std::runtime_error for backward compatibility with pre-taxonomy catchers.
+class KDegreeError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kInfeasible,     ///< no k-anonymous supergraph exists for these params
+    kSaturated,      ///< a deficient node is already adjacent to all others
+    kNonConvergent,  ///< probing fallback exceeded its round budget
+  };
+
+  KDegreeError(Kind kind, int nodes, int k, int probe_rounds,
+               const std::string& message);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] int nodes() const { return nodes_; }
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] int probe_rounds() const { return probe_rounds_; }
+  /// Randomized tie-breaking means a fresh seed may succeed; a truly
+  /// infeasible parameter set will not.
+  [[nodiscard]] bool retry_may_help() const {
+    return kind_ == Kind::kNonConvergent;
+  }
+
+ private:
+  Kind kind_;
+  int nodes_;
+  int k_;
+  int probe_rounds_;
+};
 
 /// Stage 1: minimal-cost k-anonymous target degree sequence with
 /// target[i] >= degrees[i] for all i. Input order is preserved.
@@ -37,8 +71,9 @@ struct KDegreeAnonymizationResult {
 };
 
 /// Full pipeline: returns the fake edges that make `graph` k-degree
-/// anonymous. The input graph is not modified. Throws std::runtime_error if
-/// no simple supergraph can be found (possible only for k > node count).
+/// anonymous. The input graph is not modified. Throws KDegreeError if no
+/// simple supergraph can be found (possible only for k > node count) or the
+/// probing fallback exhausts its round budget.
 [[nodiscard]] KDegreeAnonymizationResult k_degree_anonymize(
     const Graph& graph, int k, Rng& rng);
 

@@ -1,6 +1,30 @@
 #include "src/routing/dataplane.hpp"
 
+#include <algorithm>
+
 namespace confmask {
+
+namespace {
+
+/// Per-device sets of next hops toward this flow's destination, derived
+/// from the flow's path set: in (h_s, r_1, ..., r_n, h_d) every device
+/// forwards to its successor.
+std::map<std::string, std::set<std::string>> next_hops_of(
+    const std::vector<Path>& paths) {
+  std::map<std::string, std::set<std::string>> hops;
+  for (const Path& path : paths) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      hops[path[i]].insert(path[i + 1]);
+    }
+  }
+  return hops;
+}
+
+std::vector<std::string> to_vector(const std::set<std::string>& items) {
+  return {items.begin(), items.end()};
+}
+
+}  // namespace
 
 std::size_t DataPlane::path_count() const {
   std::size_t count = 0;
@@ -16,6 +40,77 @@ DataPlane DataPlane::restricted_to(const std::set<std::string>& hosts) const {
     }
   }
   return result;
+}
+
+std::set<std::string> DataPlane::hosts() const {
+  std::set<std::string> result;
+  for (const auto& [flow, paths] : flows) {
+    result.insert(flow.first);
+    result.insert(flow.second);
+  }
+  return result;
+}
+
+std::vector<DataPlaneDiffEntry> DataPlane::diff(const DataPlane& other,
+                                                std::size_t limit) const {
+  std::vector<DataPlaneDiffEntry> entries;
+  if (limit == 0) return entries;
+
+  // Union of flow keys in map order, so reports are deterministic.
+  std::set<FlowKey> keys;
+  for (const auto& [flow, paths] : flows) keys.insert(flow);
+  for (const auto& [flow, paths] : other.flows) keys.insert(flow);
+
+  for (const FlowKey& flow : keys) {
+    const auto lhs = flows.find(flow);
+    const auto rhs = other.flows.find(flow);
+    if (lhs == flows.end() || rhs == other.flows.end()) {
+      DataPlaneDiffEntry entry;
+      entry.source = flow.first;
+      entry.destination = flow.second;
+      const auto& present =
+          lhs != flows.end() ? lhs->second : rhs->second;
+      // Report the present side's first hop so the triple names a device.
+      auto& hops = lhs != flows.end() ? entry.lhs_next_hops
+                                      : entry.rhs_next_hops;
+      for (const Path& path : present) {
+        if (path.size() > 1) hops.push_back(path[1]);
+      }
+      std::sort(hops.begin(), hops.end());
+      hops.erase(std::unique(hops.begin(), hops.end()), hops.end());
+      entries.push_back(std::move(entry));
+      if (entries.size() >= limit) return entries;
+      continue;
+    }
+    if (lhs->second == rhs->second) continue;
+
+    const auto lhs_hops = next_hops_of(lhs->second);
+    const auto rhs_hops = next_hops_of(rhs->second);
+    std::set<std::string> devices;
+    for (const auto& [device, hops] : lhs_hops) devices.insert(device);
+    for (const auto& [device, hops] : rhs_hops) devices.insert(device);
+    bool reported = false;
+    for (const std::string& device : devices) {
+      static const std::set<std::string> kNone;
+      const auto l = lhs_hops.find(device);
+      const auto r = rhs_hops.find(device);
+      const auto& lset = l != lhs_hops.end() ? l->second : kNone;
+      const auto& rset = r != rhs_hops.end() ? r->second : kNone;
+      if (lset == rset) continue;
+      entries.push_back(DataPlaneDiffEntry{flow.first, flow.second, device,
+                                           to_vector(lset), to_vector(rset)});
+      reported = true;
+      if (entries.size() >= limit) return entries;
+    }
+    if (!reported) {
+      // Same per-device next-hop sets but different path sets (e.g. a path
+      // multiplicity difference): still a divergence — report the flow.
+      entries.push_back(DataPlaneDiffEntry{flow.first, flow.second, {},
+                                           {}, {}});
+      if (entries.size() >= limit) return entries;
+    }
+  }
+  return entries;
 }
 
 double DataPlane::exactly_kept_fraction(const DataPlane& original,

@@ -22,6 +22,23 @@ using Path = std::vector<std::string>;
 /// Key: (source host, destination host).
 using FlowKey = std::pair<std::string, std::string>;
 
+/// One divergence between two data planes: on flow (source → destination),
+/// device `router` forwards to different next hops in each plane. A flow
+/// entirely missing from one plane is reported with `router` empty and the
+/// missing side's next-hop list empty. This is the ⟨router, host, next-hop⟩
+/// triple the fail-closed gate reports instead of silently publishing
+/// non-equivalent configs.
+struct DataPlaneDiffEntry {
+  std::string source;
+  std::string destination;
+  std::string router;  ///< diverging device ("" = flow missing on one side)
+  std::vector<std::string> lhs_next_hops;  ///< sorted, duplicate-free
+  std::vector<std::string> rhs_next_hops;
+
+  friend bool operator==(const DataPlaneDiffEntry&,
+                         const DataPlaneDiffEntry&) = default;
+};
+
 struct DataPlane {
   /// Complete (delivered) paths per flow; each vector is sorted and
   /// duplicate-free. Flows with no complete path are absent.
@@ -38,6 +55,16 @@ struct DataPlane {
   /// equivalence, Appendix A).
   [[nodiscard]] DataPlane restricted_to(
       const std::set<std::string>& hosts) const;
+
+  /// Every host appearing as a flow endpoint.
+  [[nodiscard]] std::set<std::string> hosts() const;
+
+  /// The first `limit` divergences against `other` (this = lhs), in flow
+  /// order: per differing flow, every device whose per-destination next-hop
+  /// set differs, plus flows missing from one side. Empty ⟺ the planes are
+  /// path-set equal.
+  [[nodiscard]] std::vector<DataPlaneDiffEntry> diff(
+      const DataPlane& other, std::size_t limit = 16) const;
 
   /// Fraction of flows of `original` whose path set is EXACTLY preserved
   /// in `anonymized` (the paper's P_U, Fig 8). Flows missing from

@@ -1,0 +1,94 @@
+#include "src/util/fault_points.hpp"
+
+#if defined(CONFMASK_FAULT_INJECTION)
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace confmask::faults {
+
+namespace {
+
+std::mutex g_mutex;
+std::map<std::string, int, std::less<>> g_armed;
+// Fast path: fire() is on hot allocator/solver paths, so an un-armed
+// registry must cost no more than one atomic load.
+std::atomic<bool> g_any_armed{false};
+bool g_env_loaded = false;
+
+/// Parses CONFMASK_FAULTS="point=count,point=count" once. Malformed pairs
+/// are ignored — this is a test-only channel, not an input surface.
+void load_env_locked() {
+  if (g_env_loaded) return;
+  g_env_loaded = true;
+  const char* spec = std::getenv("CONFMASK_FAULTS");
+  if (spec == nullptr) return;
+  std::string_view rest(spec);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view pair = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;
+    const int count = std::atoi(std::string(pair.substr(eq + 1)).c_str());
+    if (count > 0) {
+      g_armed[std::string(pair.substr(0, eq))] = count;
+      g_any_armed.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace
+
+void arm(std::string_view point, int count) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  load_env_locked();
+  if (count <= 0) {
+    g_armed.erase(std::string(point));
+  } else {
+    g_armed[std::string(point)] = count;
+  }
+  g_any_armed.store(!g_armed.empty(), std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_env_loaded = true;  // an explicit reset also discards env armings
+  g_armed.clear();
+  g_any_armed.store(false, std::memory_order_relaxed);
+}
+
+bool fire(std::string_view point) {
+  if (!g_any_armed.load(std::memory_order_relaxed)) {
+    // Environment armings must be visible before the first query even if
+    // nobody called arm(); take the slow path once per process.
+    static const bool env_checked = [] {
+      const std::lock_guard<std::mutex> lock(g_mutex);
+      load_env_locked();
+      return true;
+    }();
+    (void)env_checked;
+    if (!g_any_armed.load(std::memory_order_relaxed)) return false;
+  }
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  const auto it = g_armed.find(point);
+  if (it == g_armed.end() || it->second <= 0) return false;
+  if (--it->second == 0) g_armed.erase(it);
+  g_any_armed.store(!g_armed.empty(), std::memory_order_relaxed);
+  return true;
+}
+
+int remaining(std::string_view point) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  load_env_locked();
+  const auto it = g_armed.find(point);
+  return it == g_armed.end() ? 0 : it->second;
+}
+
+}  // namespace confmask::faults
+
+#endif  // CONFMASK_FAULT_INJECTION

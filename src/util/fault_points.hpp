@@ -1,0 +1,62 @@
+// Test-only fault-injection hook registry.
+//
+// The robustness of the guarded pipeline runner (retry/fallback ladder,
+// fail-closed verification gate) is proven by *forcing* the failure modes it
+// guards against — allocator exhaustion, infeasible k-degree sequences,
+// equivalence non-convergence, verification divergence — at deterministic
+// points, rather than hoping a network triggers them. Production code marks
+// those points with `faults::fire("confmask.<site>")`; tests arm them with a
+// count of how many queries should fail.
+//
+// The registry is compiled in only when the CMake option
+// CONFMASK_FAULT_INJECTION is ON (the default, so the shipped test suite
+// exercises every ladder rung). When OFF, `fire()` is a constexpr false and
+// every hook branch compiles away — zero cost and no way to arm faults in a
+// hardened build. Even when compiled in, an un-armed registry costs one
+// relaxed atomic load per hook.
+//
+// For end-to-end CLI tests (which cannot call arm() in-process), armings can
+// be passed through the environment variable CONFMASK_FAULTS as a
+// comma-separated list of `point=count` pairs, read once on first use.
+#pragma once
+
+#include <string_view>
+
+namespace confmask::faults {
+
+// Well-known fault point names (shared between production hooks and tests).
+inline constexpr std::string_view kPrefixPoolExhausted =
+    "confmask.prefix_allocator.exhausted";
+inline constexpr std::string_view kKDegreeInfeasible =
+    "confmask.k_degree.infeasible";
+inline constexpr std::string_view kRouteEquivalenceNonConvergent =
+    "confmask.route_equivalence.nonconvergent";
+inline constexpr std::string_view kVerificationDiverge =
+    "confmask.verification.diverge";
+
+#if defined(CONFMASK_FAULT_INJECTION)
+
+/// Arms `point` so the next `count` fire() queries on it return true.
+/// Re-arming replaces the previous count.
+void arm(std::string_view point, int count);
+
+/// Disarms every point and forgets environment-provided armings.
+void disarm_all();
+
+/// Queries the hook: true iff `point` is armed with a remaining count > 0
+/// (the count is decremented). False for unknown/disarmed points.
+bool fire(std::string_view point);
+
+/// Remaining fire count for `point` (0 if disarmed).
+[[nodiscard]] int remaining(std::string_view point);
+
+#else  // fault injection compiled out: hooks vanish entirely.
+
+inline void arm(std::string_view, int) {}
+inline void disarm_all() {}
+inline constexpr bool fire(std::string_view) { return false; }
+[[nodiscard]] inline constexpr int remaining(std::string_view) { return 0; }
+
+#endif
+
+}  // namespace confmask::faults

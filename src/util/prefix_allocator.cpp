@@ -1,15 +1,31 @@
 #include "src/util/prefix_allocator.hpp"
 
-#include <stdexcept>
+#include "src/util/fault_points.hpp"
 
 namespace confmask {
+
+PrefixPoolExhausted::PrefixPoolExhausted(Ipv4Prefix pool, int requested_length,
+                                         std::size_t allocated)
+    : std::runtime_error("prefix pool exhausted: " + pool.str() + " (/" +
+                         std::to_string(requested_length) + " blocks, " +
+                         std::to_string(allocated) + " already allocated)"),
+      pool_(pool),
+      requested_length_(requested_length),
+      allocated_(allocated) {}
 
 PrefixAllocator::PrefixAllocator(Ipv4Prefix link_pool, Ipv4Prefix host_pool)
     : link_pool_(link_pool), host_pool_(host_pool) {}
 
 PrefixAllocator::PrefixAllocator()
-    : PrefixAllocator(*Ipv4Prefix::parse("172.20.0.0/14"),
-                      *Ipv4Prefix::parse("100.96.0.0/12")) {}
+    : PrefixAllocator(default_link_pool(), default_host_pool()) {}
+
+Ipv4Prefix PrefixAllocator::default_link_pool() {
+  return *Ipv4Prefix::parse("172.20.0.0/14");
+}
+
+Ipv4Prefix PrefixAllocator::default_host_pool() {
+  return *Ipv4Prefix::parse("100.96.0.0/12");
+}
 
 void PrefixAllocator::reserve(const Ipv4Prefix& prefix) {
   used_.push_back(prefix);
@@ -24,6 +40,9 @@ bool PrefixAllocator::in_use(const Ipv4Prefix& prefix) const {
 
 Ipv4Prefix PrefixAllocator::allocate(Ipv4Prefix pool, int length,
                                      std::uint32_t& cursor) {
+  if (faults::fire(faults::kPrefixPoolExhausted)) {
+    throw PrefixPoolExhausted(pool, length, allocation_count_);
+  }
   const std::uint32_t step = 1u << (32 - length);
   const std::uint32_t capacity = 1u << (32 - pool.length());
   while (cursor < capacity) {
@@ -32,10 +51,11 @@ Ipv4Prefix PrefixAllocator::allocate(Ipv4Prefix pool, int length,
     cursor += step;
     if (!in_use(candidate)) {
       used_.push_back(candidate);
+      ++allocation_count_;
       return candidate;
     }
   }
-  throw std::runtime_error("prefix pool exhausted: " + pool.str());
+  throw PrefixPoolExhausted(pool, length, allocation_count_);
 }
 
 Ipv4Prefix PrefixAllocator::allocate_link() {

@@ -8,11 +8,35 @@
 // non-overlapping blocks from configurable pools.
 #pragma once
 
+#include <cstddef>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/util/ipv4.hpp"
 
 namespace confmask {
+
+/// Thrown when a pool has no block left of the requested length. Carries
+/// enough context (which pool, what was requested, how much was handed out)
+/// for the guarded pipeline runner to widen the pool and retry instead of
+/// aborting the run. Derives from std::runtime_error for backward
+/// compatibility with pre-taxonomy catch sites.
+class PrefixPoolExhausted : public std::runtime_error {
+ public:
+  PrefixPoolExhausted(Ipv4Prefix pool, int requested_length,
+                      std::size_t allocated);
+
+  [[nodiscard]] const Ipv4Prefix& pool() const { return pool_; }
+  [[nodiscard]] int requested_length() const { return requested_length_; }
+  /// Prefixes successfully handed out from this allocator before failure.
+  [[nodiscard]] std::size_t allocated() const { return allocated_; }
+
+ private:
+  Ipv4Prefix pool_;
+  int requested_length_;
+  std::size_t allocated_;
+};
 
 class PrefixAllocator {
  public:
@@ -23,6 +47,14 @@ class PrefixAllocator {
   PrefixAllocator(Ipv4Prefix link_pool, Ipv4Prefix host_pool);
   PrefixAllocator();
 
+  /// The pools a default-constructed allocator draws from (the fallback
+  /// ladder widens these on exhaustion).
+  [[nodiscard]] static Ipv4Prefix default_link_pool();
+  [[nodiscard]] static Ipv4Prefix default_host_pool();
+
+  [[nodiscard]] const Ipv4Prefix& link_pool() const { return link_pool_; }
+  [[nodiscard]] const Ipv4Prefix& host_pool() const { return host_pool_; }
+
   /// Marks a prefix as occupied by the original network.
   void reserve(const Ipv4Prefix& prefix);
 
@@ -30,9 +62,11 @@ class PrefixAllocator {
   [[nodiscard]] bool in_use(const Ipv4Prefix& prefix) const;
 
   /// Allocates a fresh /31 for a fake point-to-point link.
+  /// Throws PrefixPoolExhausted when the link pool is spent.
   Ipv4Prefix allocate_link();
 
   /// Allocates a fresh /24 for a fake host LAN.
+  /// Throws PrefixPoolExhausted when the host pool is spent.
   Ipv4Prefix allocate_host_lan();
 
  private:
@@ -42,6 +76,7 @@ class PrefixAllocator {
   Ipv4Prefix host_pool_;
   std::uint32_t link_cursor_ = 0;
   std::uint32_t host_cursor_ = 0;
+  std::size_t allocation_count_ = 0;
   std::vector<Ipv4Prefix> used_;
 };
 

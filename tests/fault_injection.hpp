@@ -1,0 +1,33 @@
+// Test-side helpers for the fault-injection harness (src/util/fault_points).
+//
+// Arm faults through ScopedFault so a failing assertion can never leak an
+// armed fault into the next test: disarming happens in the destructor,
+// unconditionally and globally.
+//
+// Arming counts are in units of FAILED PIPELINE RUNS for the throwing
+// points (kPrefixPoolExhausted, kKDegreeInfeasible): each of those points
+// is queried once per run before any real work, and a firing aborts the
+// run — so arm(point, n) makes exactly the next n runs fail. The
+// non-throwing points (kRouteEquivalenceNonConvergent, kVerificationDiverge)
+// are queried once per completed run, so the unit is the same.
+#pragma once
+
+#include "src/util/fault_points.hpp"
+
+#if !defined(CONFMASK_FAULT_INJECTION)
+#error "fault-injection tests require -DCONFMASK_FAULT_INJECTION=ON"
+#endif
+
+namespace confmask {
+
+class ScopedFault {
+ public:
+  ScopedFault(std::string_view point, int count) {
+    faults::arm(point, count);
+  }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+  ~ScopedFault() { faults::disarm_all(); }
+};
+
+}  // namespace confmask

@@ -105,6 +105,36 @@ TEST(ParserRobustness, AnonymizedOutputsOfAllNetworksRoundTrip) {
   }
 }
 
+// Batch ingestion must be able to say WHICH configuration failed: the
+// entry points attach the caller-provided source name to every
+// ConfigParseError, prefix included in what().
+TEST(ParserRobustness, ParseErrorsCarrySourceName) {
+  const char* bad = "interface E0\n ip address 10.0.0.1 255.0.255.0\n";
+  try {
+    (void)parse_router(bad, "r7.cfg");
+    FAIL() << "expected ConfigParseError";
+  } catch (const ConfigParseError& error) {
+    EXPECT_EQ(error.source(), "r7.cfg");
+    EXPECT_EQ(error.line_number(), 2u);
+    EXPECT_NE(std::string(error.what()).find("r7.cfg: line 2:"),
+              std::string::npos);
+  }
+  try {
+    (void)parse_host("hostname h1\n", "h1.cfg");
+    FAIL() << "expected ConfigParseError";
+  } catch (const ConfigParseError& error) {
+    EXPECT_EQ(error.source(), "h1.cfg");
+  }
+  // Without a source the error is unchanged (back-compat).
+  try {
+    (void)parse_router(bad);
+    FAIL() << "expected ConfigParseError";
+  } catch (const ConfigParseError& error) {
+    EXPECT_TRUE(error.source().empty());
+    EXPECT_EQ(std::string(error.what()).find("r7.cfg"), std::string::npos);
+  }
+}
+
 TEST(ParserRobustness, EmptyAndDegenerateInputs) {
   EXPECT_EQ(parse_router("").hostname, "");
   EXPECT_EQ(parse_router("!\n!\n!\n").interfaces.size(), 0u);

@@ -1,0 +1,241 @@
+// The guarded pipeline runner without fault injection: clean-run behavior,
+// genuine route-equivalence non-convergence (iteration budget of 1 on a
+// network that needs more), the iteration-escalation rung, the fail-closed
+// gate, the error taxonomy, and DataPlane::diff divergence reporting.
+#include "src/core/pipeline_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/config/parse.hpp"
+#include "src/core/confmask.hpp"
+#include "src/core/errors.hpp"
+#include "src/core/route_equivalence.hpp"
+#include "src/graph/k_degree_anonymize.hpp"
+#include "src/netgen/networks.hpp"
+#include "src/routing/dataplane.hpp"
+#include "src/routing/simulation.hpp"
+#include "src/util/prefix_allocator.hpp"
+
+namespace confmask {
+namespace {
+
+ConfMaskOptions figure2_options() {
+  ConfMaskOptions options;
+  // k_r = 4 forces all four routers of Fig 2 into one degree class, so
+  // fake links (and therefore equivalence-restoring filters) are
+  // guaranteed to be needed.
+  options.k_r = 4;
+  options.k_h = 2;
+  options.seed = 7;
+  return options;
+}
+
+bool has_fallback(const PipelineDiagnostics& diag, FallbackKind kind) {
+  for (const auto& event : diag.fallbacks) {
+    if (event.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(PipelineRunner, CleanRunSucceedsFirstAttempt) {
+  const auto guarded =
+      run_pipeline_guarded(make_figure2(), figure2_options());
+  ASSERT_TRUE(guarded.ok());
+  EXPECT_TRUE(guarded.diagnostics.ok);
+  EXPECT_EQ(guarded.diagnostics.attempts, 1);
+  EXPECT_TRUE(guarded.diagnostics.fallbacks.empty());
+  EXPECT_TRUE(guarded.result->functionally_equivalent);
+  EXPECT_TRUE(guarded.result->equivalence_converged);
+  EXPECT_FALSE(guarded.result->anonymized.routers.empty());
+}
+
+// The satellite contract: max_equivalence_iterations = 1 on a network that
+// needs more iterations is genuinely non-convergent...
+TEST(PipelineRunner, SingleIterationBudgetIsGenuinelyNonConvergent) {
+  const auto original = make_figure2();
+  const Simulation sim(original);
+  OriginalIndex index(sim);
+  ConfigSet configs = original;
+  PrefixAllocator allocator;
+  for (const auto& prefix : original.used_prefixes()) {
+    allocator.reserve(prefix);
+  }
+  Rng rng(3);
+  const auto topo = anonymize_topology(configs, 4,
+                                       FakeLinkCostPolicy::kMinCost, rng,
+                                       allocator);
+  ASSERT_GT(topo.total_links(), 0u);
+
+  const auto outcome = enforce_route_equivalence(configs, index,
+                                                 /*max_iterations=*/1);
+  EXPECT_FALSE(outcome.converged);
+  EXPECT_GT(outcome.filters_added, 0);
+}
+
+// ... the guarded driver recovers by escalating the iteration budget ...
+TEST(PipelineRunner, EscalatesIterationBudgetOnNonConvergence) {
+  auto options = figure2_options();
+  options.max_equivalence_iterations = 1;
+  RetryPolicy policy;
+  policy.equivalence_iteration_ladder = {64};
+
+  const auto guarded =
+      run_pipeline_guarded(make_figure2(), options, policy);
+  ASSERT_TRUE(guarded.ok());
+  EXPECT_EQ(guarded.diagnostics.attempts, 2);
+  EXPECT_TRUE(has_fallback(guarded.diagnostics,
+                           FallbackKind::kEscalateIterations));
+  EXPECT_EQ(guarded.effective_options.max_equivalence_iterations, 64);
+  EXPECT_TRUE(guarded.result->equivalence_converged);
+  EXPECT_TRUE(guarded.result->functionally_equivalent);
+}
+
+// ... and with no escalation left it fails CLOSED: no configs, diagnostics
+// populated.
+TEST(PipelineRunner, FailsClosedWhenEscalationLadderExhausted) {
+  auto options = figure2_options();
+  options.max_equivalence_iterations = 1;
+  RetryPolicy policy;
+  policy.equivalence_iteration_ladder = {};  // no rungs left
+
+  const auto guarded =
+      run_pipeline_guarded(make_figure2(), options, policy);
+  EXPECT_FALSE(guarded.ok());
+  EXPECT_FALSE(guarded.result.has_value());
+  EXPECT_EQ(guarded.diagnostics.stage, PipelineStage::kRouteEquivalence);
+  EXPECT_EQ(guarded.diagnostics.category, ErrorCategory::kNonConvergent);
+  EXPECT_FALSE(guarded.diagnostics.message.empty());
+  EXPECT_EQ(guarded.diagnostics.attempts, 1);
+}
+
+TEST(ErrorTaxonomy, ExitCodesAreDistinctAndStable) {
+  EXPECT_EQ(exit_code_for(ErrorCategory::kInfeasibleParams), 10);
+  EXPECT_EQ(exit_code_for(ErrorCategory::kResourceExhausted), 11);
+  EXPECT_EQ(exit_code_for(ErrorCategory::kNonConvergent), 12);
+  EXPECT_EQ(exit_code_for(ErrorCategory::kParseError), 13);
+  EXPECT_EQ(exit_code_for(ErrorCategory::kInternal), 14);
+}
+
+TEST(ErrorTaxonomy, RetryabilityDefaults) {
+  EXPECT_TRUE(default_retryable(ErrorCategory::kInfeasibleParams));
+  EXPECT_TRUE(default_retryable(ErrorCategory::kResourceExhausted));
+  EXPECT_TRUE(default_retryable(ErrorCategory::kNonConvergent));
+  EXPECT_FALSE(default_retryable(ErrorCategory::kParseError));
+  EXPECT_FALSE(default_retryable(ErrorCategory::kInternal));
+}
+
+TEST(ErrorTaxonomy, PipelineErrorCarriesStageCategoryContext) {
+  ErrorContext context;
+  context.router = "r1";
+  context.host = "h2";
+  context.iterations = 3;
+  const PipelineError error(PipelineStage::kRouteEquivalence,
+                            ErrorCategory::kInternal, "boom", context);
+  EXPECT_EQ(error.stage(), PipelineStage::kRouteEquivalence);
+  EXPECT_EQ(error.category(), ErrorCategory::kInternal);
+  EXPECT_FALSE(error.retryable());
+  EXPECT_EQ(error.context().router, "r1");
+  const std::string what = error.what();
+  EXPECT_NE(what.find("RouteEquivalence"), std::string::npos);
+  EXPECT_NE(what.find("Internal"), std::string::npos);
+  EXPECT_NE(what.find("router=r1"), std::string::npos);
+  EXPECT_NE(what.find("host=h2"), std::string::npos);
+  EXPECT_NE(what.find("iterations=3"), std::string::npos);
+}
+
+TEST(ErrorTaxonomy, TranslatesLowerLayerErrors) {
+  const PrefixPoolExhausted pool(*Ipv4Prefix::parse("172.20.0.0/14"), 31, 5);
+  const auto from_pool =
+      translate_exception(PipelineStage::kTopologyAnon, pool);
+  EXPECT_EQ(from_pool.category(), ErrorCategory::kResourceExhausted);
+  EXPECT_EQ(from_pool.stage(), PipelineStage::kTopologyAnon);
+  EXPECT_TRUE(from_pool.retryable());
+
+  const KDegreeError infeasible(KDegreeError::Kind::kInfeasible, 10, 6, 0,
+                                "infeasible");
+  const auto from_infeasible =
+      translate_exception(PipelineStage::kTopologyAnon, infeasible);
+  EXPECT_EQ(from_infeasible.category(), ErrorCategory::kInfeasibleParams);
+  EXPECT_TRUE(from_infeasible.retryable());
+  EXPECT_EQ(from_infeasible.context().k, 6);
+
+  const KDegreeError stuck(KDegreeError::Kind::kNonConvergent, 10, 6, 500,
+                           "did not converge");
+  EXPECT_EQ(translate_exception(PipelineStage::kTopologyAnon, stuck)
+                .category(),
+            ErrorCategory::kNonConvergent);
+
+  const ConfigParseError parse("r1.cfg", 12, "bad mask");
+  const auto from_parse =
+      translate_exception(PipelineStage::kPreprocess, parse);
+  EXPECT_EQ(from_parse.category(), ErrorCategory::kParseError);
+  EXPECT_FALSE(from_parse.retryable());
+
+  const std::runtime_error other("mystery");
+  EXPECT_EQ(translate_exception(PipelineStage::kVerification, other)
+                .category(),
+            ErrorCategory::kInternal);
+}
+
+TEST(DataPlaneDiff, EqualPlanesHaveEmptyDiff) {
+  DataPlane plane;
+  plane.flows[{"h1", "h2"}] = {{"h1", "r1", "r2", "h2"}};
+  EXPECT_TRUE(plane.diff(plane).empty());
+}
+
+TEST(DataPlaneDiff, ReportsDivergingNextHopTriple) {
+  DataPlane lhs;
+  lhs.flows[{"h1", "h2"}] = {{"h1", "r1", "r2", "h2"}};
+  DataPlane rhs;
+  rhs.flows[{"h1", "h2"}] = {{"h1", "r1", "r3", "h2"}};
+
+  const auto entries = lhs.diff(rhs);
+  ASSERT_FALSE(entries.empty());
+  // r1 forwards to r2 in lhs but r3 in rhs.
+  bool found = false;
+  for (const auto& entry : entries) {
+    if (entry.router == "r1") {
+      found = true;
+      EXPECT_EQ(entry.source, "h1");
+      EXPECT_EQ(entry.destination, "h2");
+      EXPECT_EQ(entry.lhs_next_hops, std::vector<std::string>{"r2"});
+      EXPECT_EQ(entry.rhs_next_hops, std::vector<std::string>{"r3"});
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DataPlaneDiff, ReportsMissingFlow) {
+  DataPlane lhs;
+  lhs.flows[{"h1", "h2"}] = {{"h1", "r1", "h2"}};
+  const DataPlane rhs;
+
+  const auto entries = lhs.diff(rhs);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].source, "h1");
+  EXPECT_EQ(entries[0].destination, "h2");
+  EXPECT_TRUE(entries[0].router.empty());
+  EXPECT_EQ(entries[0].lhs_next_hops, std::vector<std::string>{"r1"});
+  EXPECT_TRUE(entries[0].rhs_next_hops.empty());
+}
+
+TEST(DataPlaneDiff, RespectsLimit) {
+  DataPlane lhs;
+  DataPlane rhs;
+  for (int i = 0; i < 10; ++i) {
+    const std::string src = "h" + std::to_string(i);
+    lhs.flows[{src, "hd"}] = {{src, "r1", "hd"}};
+  }
+  const auto entries = lhs.diff(rhs, /*limit=*/3);
+  EXPECT_EQ(entries.size(), 3u);
+}
+
+TEST(DataPlaneDiff, HostsCollectsEndpoints) {
+  DataPlane plane;
+  plane.flows[{"h1", "h2"}] = {{"h1", "r1", "h2"}};
+  plane.flows[{"h2", "h3"}] = {{"h2", "r1", "h3"}};
+  EXPECT_EQ(plane.hosts(), (std::set<std::string>{"h1", "h2", "h3"}));
+}
+
+}  // namespace
+}  // namespace confmask
