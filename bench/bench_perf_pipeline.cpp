@@ -1,0 +1,115 @@
+// Performance trajectory of the simulation engine: the full ConfMask
+// pipeline on all eight evaluation networks in three modes —
+//   serial    : 1 worker, incremental re-simulation OFF (the from-scratch
+//               rebuild sequence the original implementation used);
+//   parallel  : default worker count, incremental OFF;
+//   par+inc   : default worker count, incremental re-simulation ON (the
+//               production default).
+// All three modes produce bit-identical anonymized configs and data planes
+// (tests/test_determinism.cpp proves it); this bench only measures time.
+//
+// Besides the usual table + CSV lines it writes BENCH_pipeline.json in the
+// current directory so CI can archive a machine-readable perf trajectory
+// across PRs. Timings are min-of-N to shrug off scheduler noise.
+#include <algorithm>
+#include <thread>
+
+#include "bench/bench_common.hpp"
+#include "src/routing/simulation.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace {
+
+struct ModeResult {
+  double seconds = 1e30;          // min over repetitions
+  std::uint64_t simulations = 0;  // simulation jobs (§5.4 cost unit)
+  bool equivalent = true;
+};
+
+ModeResult run_mode(const confmask::ConfigSet& configs, unsigned workers,
+                    bool incremental, int repetitions) {
+  using namespace confmask;
+  ThreadPool::configure(workers);
+  ModeResult result;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    auto options = bench::default_options();
+    options.incremental_simulation = incremental;
+    const auto outcome = run_confmask(configs, options);
+    result.seconds = std::min(result.seconds, outcome.stats.seconds);
+    result.simulations = outcome.stats.simulations;
+    result.equivalent = result.equivalent && outcome.functionally_equivalent;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace confmask;
+  const unsigned jobs = ThreadPool::default_workers();
+  const unsigned cores = std::thread::hardware_concurrency();
+  bench::header("Pipeline speed: serial vs parallel vs parallel+incremental",
+                "identical outputs, fewer rebuilt FIBs (target >=2x on the "
+                "largest network with >=4 cores)");
+  std::printf("jobs=%u hardware_concurrency=%u\n\n", jobs, cores);
+  std::printf("%-3s %-11s | %9s %9s %9s | %8s %8s | %5s %5s\n", "ID",
+              "Network", "ser (s)", "par (s)", "inc (s)", "par/ser",
+              "inc/ser", "simS", "simI");
+
+  const int repetitions = 3;
+  std::string json = "{\n  \"jobs\": " + std::to_string(jobs) +
+                     ",\n  \"hardware_concurrency\": " +
+                     std::to_string(cores) +
+                     ",\n  \"repetitions\": " + std::to_string(repetitions) +
+                     ",\n  \"networks\": [";
+  bool first = true;
+  bool all_equivalent = true;
+  for (const auto& network : bench::networks()) {
+    const auto serial = run_mode(network.configs, 1, false, repetitions);
+    const auto parallel = run_mode(network.configs, 0, false, repetitions);
+    const auto par_inc = run_mode(network.configs, 0, true, repetitions);
+    const double speedup_par = serial.seconds / parallel.seconds;
+    const double speedup_inc = serial.seconds / par_inc.seconds;
+    const bool equivalent =
+        serial.equivalent && parallel.equivalent && par_inc.equivalent;
+    all_equivalent = all_equivalent && equivalent;
+    std::printf("%-3s %-11s | %9.4f %9.4f %9.4f | %7.2fx %7.2fx | %5llu "
+                "%5llu%s\n",
+                network.id.c_str(), network.name.c_str(), serial.seconds,
+                parallel.seconds, par_inc.seconds, speedup_par, speedup_inc,
+                static_cast<unsigned long long>(serial.simulations),
+                static_cast<unsigned long long>(par_inc.simulations),
+                equivalent ? "" : "  [FE FAILED]");
+    bench::csv("perf_pipeline," + network.id + "," +
+               std::to_string(serial.seconds) + "," +
+               std::to_string(parallel.seconds) + "," +
+               std::to_string(par_inc.seconds) + "," +
+               std::to_string(speedup_inc));
+    json += std::string(first ? "" : ",") + "\n    {\"id\": \"" + network.id +
+            "\", \"name\": \"" + network.name +
+            "\", \"serial_s\": " + std::to_string(serial.seconds) +
+            ", \"parallel_s\": " + std::to_string(parallel.seconds) +
+            ", \"parallel_incremental_s\": " + std::to_string(par_inc.seconds) +
+            ", \"speedup_parallel\": " + std::to_string(speedup_par) +
+            ", \"speedup_parallel_incremental\": " +
+            std::to_string(speedup_inc) +
+            ", \"simulations_serial\": " + std::to_string(serial.simulations) +
+            ", \"simulations_incremental\": " +
+            std::to_string(par_inc.simulations) +
+            ", \"functionally_equivalent\": " +
+            (equivalent ? "true" : "false") + "}";
+    first = false;
+  }
+  json += "\n  ]\n}\n";
+
+  std::FILE* out = std::fopen("BENCH_pipeline.json", "w");
+  if (out != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("\nwrote BENCH_pipeline.json\n");
+  } else {
+    std::printf("\nfailed to open BENCH_pipeline.json for writing\n");
+    return 1;
+  }
+  return all_equivalent ? 0 : 1;
+}

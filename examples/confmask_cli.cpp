@@ -2,7 +2,11 @@
 //
 //   usage: confmask_cli <input-dir> <output-dir> [--kr N] [--kh N]
 //                       [--p FLOAT] [--seed N] [--fake-routers N] [--pii B]
-//                       [--diagnostics-json FILE]
+//                       [--jobs N] [--diagnostics-json FILE]
+//
+// --jobs N sets the simulation worker-thread count (default: the
+// CONFMASK_JOBS environment variable, else hardware concurrency). Results
+// are bit-identical for any value.
 //
 // Reads every *.cfg file in <input-dir> (host configurations are detected
 // by their `ip default-gateway` line), runs the full ConfMask pipeline
@@ -36,6 +40,7 @@
 #include "src/core/pipeline_runner.hpp"
 #include "src/netgen/networks.hpp"
 #include "src/pii/pii_addon.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace {
 
@@ -46,7 +51,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: confmask_cli <input-dir> <output-dir> [--kr N] "
                "[--kh N] [--p FLOAT] [--seed N] [--fake-routers N] "
-               "[--pii 0|1] [--diagnostics-json FILE]\n"
+               "[--pii 0|1] [--jobs N] [--diagnostics-json FILE]\n"
                "       confmask_cli --demo <dir>   (write a demo network)\n");
   return 2;
 }
@@ -169,6 +174,13 @@ int main(int argc, char** argv) {
       options.fake_routers = std::atoi(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--pii") == 0) {
       apply_pii = std::atoi(argv[i + 1]) != 0;
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      const int jobs = std::atoi(argv[i + 1]);
+      if (jobs < 1) {
+        std::fprintf(stderr, "--jobs must be >= 1\n");
+        return usage();
+      }
+      ThreadPool::configure(static_cast<unsigned>(jobs));
     } else if (std::strcmp(argv[i], "--diagnostics-json") == 0) {
       diagnostics_json = argv[i + 1];
     } else {

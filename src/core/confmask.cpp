@@ -1,6 +1,7 @@
 #include "src/core/confmask.hpp"
 
 #include <chrono>
+#include <memory>
 
 #include "src/core/errors.hpp"
 #include "src/core/node_addition.hpp"
@@ -74,20 +75,24 @@ PipelineResult run_pipeline(const ConfigSet& original,
             break;
         }
         return enforce_route_equivalence(result.anonymized, index,
-                                         options.max_equivalence_iterations);
+                                         options.max_equivalence_iterations,
+                                         options.incremental_simulation);
       });
   result.stats.equivalence_iterations = equivalence.iterations;
   result.stats.equivalence_filters = equivalence.filters_added;
   result.equivalence_converged = equivalence.converged;
 
-  // Step 2.2: route anonymity.
+  // Step 2.2: route anonymity. In incremental mode Algorithm 2 hands back
+  // the simulation matching its final config state, sparing verification a
+  // from-scratch rebuild.
+  std::unique_ptr<Simulation> final_simulation;
   run_stage(PipelineStage::kRouteAnonymity, [&] {
     result.fake_hosts =
         add_fake_hosts(result.anonymized, index, options.k_h, allocator);
     result.stats.fake_hosts = result.fake_hosts.size();
-    const auto anonymity = anonymize_routes(result.anonymized,
-                                            result.fake_hosts,
-                                            options.noise_p, rng);
+    const auto anonymity = anonymize_routes(
+        result.anonymized, result.fake_hosts, options.noise_p, rng,
+        options.incremental_simulation, &final_simulation);
     result.stats.anonymity_filters = anonymity.filters_added;
     result.stats.anonymity_rollbacks = anonymity.filters_rolled_back;
   });
@@ -95,8 +100,13 @@ PipelineResult run_pipeline(const ConfigSet& original,
   // Final verification: the anonymized data plane over real hosts must be
   // EXACTLY the original data plane.
   run_stage(PipelineStage::kVerification, [&] {
-    const Simulation sim(result.anonymized);
-    result.anonymized_dp = sim.extract_data_plane();
+    if (final_simulation != nullptr) {
+      result.anonymized_dp = final_simulation->extract_data_plane();
+    } else {
+      const Simulation sim(result.anonymized);
+      result.anonymized_dp = sim.extract_data_plane();
+    }
+    final_simulation.reset();
   });
   if (faults::fire(faults::kVerificationDiverge)) {
     // Injected divergence: drop one real-host flow so the comparison below
@@ -110,8 +120,8 @@ PipelineResult run_pipeline(const ConfigSet& original,
     }
   }
   result.functionally_equivalent =
-      result.anonymized_dp.restricted_to(index.real_hosts()) ==
-      result.original_dp;
+      result.anonymized_dp.equals_restricted(result.original_dp,
+                                             index.real_hosts());
 
   result.stats.anonymized_lines = config_set_line_stats(result.anonymized);
   result.stats.simulations = Simulation::total_runs() - runs_before;

@@ -42,6 +42,13 @@ struct ConfMaskOptions {
   /// on ResourceExhausted instead of failing the run.
   std::optional<Ipv4Prefix> link_pool;
   std::optional<Ipv4Prefix> host_pool;
+  /// Incremental re-simulation (SimulationDelta dirty-set reuse) between
+  /// Algorithm-1 iterations and Algorithm-2 rollback rounds. Bit-identical
+  /// results either way; OFF reproduces the seed's from-scratch rebuild
+  /// sequence (the serial baseline `bench_perf_pipeline` measures).
+  /// Worker-thread count is process-global, not per-run: see
+  /// ThreadPool::configure / the CONFMASK_JOBS environment variable.
+  bool incremental_simulation = true;
 };
 
 /// Which Step-2.1 implementation the pipeline uses.

@@ -1,11 +1,14 @@
 #include "src/core/route_anonymity.hpp"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <set>
+#include <utility>
 
 #include "src/core/filters.hpp"
 #include "src/routing/simulation.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace confmask {
 
@@ -86,8 +89,10 @@ std::vector<std::string> add_fake_hosts(ConfigSet& configs,
 
 RouteAnonymityOutcome anonymize_routes(
     ConfigSet& configs, const std::vector<std::string>& fake_hosts,
-    double noise_p, Rng& rng) {
+    double noise_p, Rng& rng, bool incremental,
+    std::unique_ptr<Simulation>* final_simulation) {
   RouteAnonymityOutcome outcome;
+  if (final_simulation != nullptr) final_simulation->reset();
   if (fake_hosts.empty() || noise_p <= 0.0) return outcome;
 
   const std::set<std::string> fake_set(fake_hosts.begin(), fake_hosts.end());
@@ -99,55 +104,89 @@ RouteAnonymityOutcome anonymize_routes(
   // cases where effects propagate), we batch all routers into one noise
   // pass followed by rollback rounds — same filters kept, a fraction of
   // the simulation jobs (§5.4's dominant cost).
-  const Simulation initial(configs);
-  const Topology& topo = initial.topology();
+  auto current = std::make_unique<Simulation>(configs);
+  // Shared ownership: the rollback rounds replace `current`, and a fresh
+  // (non-incremental) rebuild constructs its own Topology — node ids are
+  // identical since the node set is frozen, but the original object would
+  // be freed under us without this handle.
+  const std::shared_ptr<const Topology> topo_ref = current->topology_ptr();
+  const Topology& topo = *topo_ref;
 
   std::vector<int> fake_nodes;
   for (int host : topo.host_ids()) {
     if (fake_set.count(topo.node(host).name) != 0) fake_nodes.push_back(host);
   }
-
-  // DstH_old: per router, the fake hosts reachable before any noise.
-  std::vector<std::set<int>> reachable_before(
-      static_cast<std::size_t>(topo.router_count()));
-  for (int r = 0; r < topo.router_count(); ++r) {
-    for (int fh : fake_nodes) {
-      if (initial.reaches(r, fh)) {
-        reachable_before[static_cast<std::size_t>(r)].insert(fh);
-      }
-    }
+  std::map<int, std::size_t> fake_index;  // fake node id -> fake_nodes slot
+  for (std::size_t i = 0; i < fake_nodes.size(); ++i) {
+    fake_index[fake_nodes[i]] = i;
   }
 
+  // DstH_old: which routers reach each fake host before any noise. One
+  // reverse sweep per fake host (instead of R × |fake_hosts| independent
+  // `reaches` walks re-deriving the same prefixes), fanned out over the
+  // pool; each sweep writes only its own slot.
+  std::vector<std::vector<char>> reachable_before(fake_nodes.size());
+  ThreadPool::shared().parallel_for(fake_nodes.size(), [&](std::size_t i) {
+    reachable_before[i] = current->routers_reaching(fake_nodes[i]);
+  });
+
   // Noise pass: deny fake-host FIB entries with probability p (never the
-  // connected delivery at the gateway).
+  // connected delivery at the gateway). Serial — the RNG draw order is
+  // part of the seeded contract.
   std::map<std::pair<int, int>, std::vector<int>> added;  // (r, fh) -> links
+  SimulationDelta delta;  // filter edits since `current` was built
   for (int r = 0; r < topo.router_count(); ++r) {
     for (int fh : fake_nodes) {
       const auto* host_config =
           configs.hosts.data() + topo.node(fh).config_index;
-      for (const NextHop& hop : initial.fib(r, fh)) {
+      for (const NextHop& hop : current->fib(r, fh)) {
         if (hop.neighbor == fh) continue;
         if (!rng.chance(noise_p)) continue;
         if (add_route_filter(configs, topo, r, topo.link(hop.link),
                              host_config->prefix())) {
           added[{r, fh}].push_back(hop.link);
+          delta.record(r, host_config->prefix());
         }
       }
     }
   }
-  if (added.empty()) return outcome;
 
   // Rollback rounds: remove any filter set that took a previously
   // reachable fake host out of reach (DstH_old \ DstH_new), re-simulating
-  // until nothing more needs rolling back.
+  // until nothing more needs rolling back. The topology is frozen (fake
+  // hosts already exist), so re-simulation goes through the incremental
+  // dirty-set path: only destinations the round's filter edits can affect
+  // are recomputed.
   constexpr int kMaxRollbackRounds = 16;
   for (int round = 0; round < kMaxRollbackRounds && !added.empty(); ++round) {
-    const Simulation resim(configs);
+    current = incremental
+                  ? std::make_unique<Simulation>(configs, *current, delta)
+                  : std::make_unique<Simulation>(configs);
+    delta.clear();
+
+    // Fake hosts still carrying filters, for this round's batched sweeps.
+    std::vector<int> pending;
+    for (const auto& [key, links] : added) {
+      if (pending.empty() || pending.back() != key.second) {
+        pending.push_back(key.second);
+      }
+    }
+    std::sort(pending.begin(), pending.end());
+    pending.erase(std::unique(pending.begin(), pending.end()), pending.end());
+    std::vector<std::vector<char>> reach_now(pending.size());
+    ThreadPool::shared().parallel_for(pending.size(), [&](std::size_t i) {
+      reach_now[i] = current->routers_reaching(pending[i]);
+    });
+    std::map<int, std::size_t> pending_index;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      pending_index[pending[i]] = i;
+    }
+
     bool rolled_back = false;
     for (auto it = added.begin(); it != added.end();) {
       const auto [r, fh] = it->first;
-      if (reachable_before[static_cast<std::size_t>(r)].count(fh) == 0 ||
-          resim.reaches(r, fh)) {
+      if (reachable_before[fake_index[fh]][static_cast<std::size_t>(r)] == 0 ||
+          reach_now[pending_index[fh]][static_cast<std::size_t>(r)] != 0) {
         ++it;
         continue;
       }
@@ -157,6 +196,7 @@ RouteAnonymityOutcome anonymize_routes(
         if (remove_route_filter(configs, topo, r, topo.link(link_id),
                                 host_config->prefix())) {
           ++outcome.filters_rolled_back;
+          delta.record(r, host_config->prefix());
         }
       }
       it = added.erase(it);
@@ -166,6 +206,17 @@ RouteAnonymityOutcome anonymize_routes(
   }
   for (const auto& [key, links] : added) {
     outcome.filters_added += static_cast<int>(links.size());
+  }
+
+  // Hand the simulation matching the final config state to the caller so
+  // verification need not rebuild from scratch. Only in incremental mode —
+  // the serial baseline keeps the seed's exact build sequence.
+  if (final_simulation != nullptr && incremental) {
+    if (!delta.empty()) {
+      // The last round rolled filters back after `current` was built.
+      current = std::make_unique<Simulation>(configs, *current, delta);
+    }
+    *final_simulation = std::move(current);
   }
   return outcome;
 }

@@ -14,6 +14,7 @@
 // real routing paths among k_H−1 plausible companions.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,8 @@
 #include "src/util/rng.hpp"
 
 namespace confmask {
+
+class Simulation;
 
 /// Adds k_h − 1 fake copies per real host; returns the fake host names.
 std::vector<std::string> add_fake_hosts(ConfigSet& configs,
@@ -35,8 +38,19 @@ struct RouteAnonymityOutcome {
 };
 
 /// Algorithm 2 (randomized filters + reachability rollback).
+///
+/// The reachability checks batch into one reverse sweep per fake host
+/// (`Simulation::routers_reaching`) instead of R × |fake_hosts| DFS walks,
+/// and with `incremental` (the default) the rollback rounds re-simulate
+/// through the SimulationDelta dirty-set path — the topology is frozen once
+/// the fake hosts exist. When `incremental` and `final_simulation` are both
+/// set, the simulation matching the RETURNED config state is handed back so
+/// the caller (pipeline verification) need not rebuild it; in
+/// non-incremental mode it is left null, preserving the serial baseline's
+/// exact behavior.
 RouteAnonymityOutcome anonymize_routes(
     ConfigSet& configs, const std::vector<std::string>& fake_hosts,
-    double noise_p, Rng& rng);
+    double noise_p, Rng& rng, bool incremental = true,
+    std::unique_ptr<Simulation>* final_simulation = nullptr);
 
 }  // namespace confmask

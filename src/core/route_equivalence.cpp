@@ -1,5 +1,7 @@
 #include "src/core/route_equivalence.hpp"
 
+#include <memory>
+
 #include "src/core/errors.hpp"
 #include "src/core/filters.hpp"
 #include "src/routing/simulation.hpp"
@@ -9,13 +11,21 @@ namespace confmask {
 
 RouteEquivalenceOutcome enforce_route_equivalence(ConfigSet& configs,
                                                   const OriginalIndex& index,
-                                                  int max_iterations) {
+                                                  int max_iterations,
+                                                  bool incremental) {
   RouteEquivalenceOutcome outcome;
+  // Step 1 froze the topology (all fake edges exist already); Algorithm 1
+  // only edits route filters. So after the first full build, each
+  // iteration re-simulates incrementally through the dirty set of filters
+  // it just added.
+  std::unique_ptr<Simulation> simulation;
   for (int iteration = 0; iteration < max_iterations; ++iteration) {
-    const Simulation sim(configs);
+    if (simulation == nullptr) simulation = std::make_unique<Simulation>(configs);
+    const Simulation& sim = *simulation;
     const Topology& topo = sim.topology();
     ++outcome.iterations;
 
+    SimulationDelta delta;
     int added = 0;
     for (int r = 0; r < topo.router_count(); ++r) {
       const std::string& router_name = topo.node(r).name;
@@ -55,6 +65,7 @@ RouteEquivalenceOutcome enforce_route_equivalence(ConfigSet& configs,
           if (add_route_filter(configs, topo, r, topo.link(hop.link),
                                host_config->prefix())) {
             ++added;
+            delta.record(r, host_config->prefix());
           }
         }
       }
@@ -63,6 +74,12 @@ RouteEquivalenceOutcome enforce_route_equivalence(ConfigSet& configs,
     if (added == 0) {
       outcome.converged = true;
       break;
+    }
+    if (iteration + 1 >= max_iterations) break;
+    if (incremental) {
+      simulation = std::make_unique<Simulation>(configs, sim, delta);
+    } else {
+      simulation.reset();
     }
   }
   // Injected non-convergence: report the fixpoint as not reached so the

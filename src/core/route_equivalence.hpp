@@ -24,8 +24,13 @@ struct RouteEquivalenceOutcome {
   bool converged = false;
 };
 
+/// With `incremental` (the default), iterations after the first re-simulate
+/// through the SimulationDelta dirty-set path — the topology is frozen
+/// after Step 1, so only destinations whose prefix a new filter matches are
+/// recomputed. Results are bit-identical to `incremental = false`.
 RouteEquivalenceOutcome enforce_route_equivalence(ConfigSet& configs,
                                                   const OriginalIndex& index,
-                                                  int max_iterations = 64);
+                                                  int max_iterations = 64,
+                                                  bool incremental = true);
 
 }  // namespace confmask

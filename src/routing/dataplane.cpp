@@ -42,6 +42,20 @@ DataPlane DataPlane::restricted_to(const std::set<std::string>& hosts) const {
   return result;
 }
 
+bool DataPlane::equals_restricted(const DataPlane& original,
+                                  const std::set<std::string>& hosts) const {
+  std::size_t matched = 0;
+  for (const auto& [flow, paths] : flows) {
+    if (hosts.count(flow.first) == 0 || hosts.count(flow.second) == 0) {
+      continue;
+    }
+    const auto it = original.flows.find(flow);
+    if (it == original.flows.end() || it->second != paths) return false;
+    ++matched;
+  }
+  return matched == original.flows.size();
+}
+
 std::set<std::string> DataPlane::hosts() const {
   std::set<std::string> result;
   for (const auto& [flow, paths] : flows) {

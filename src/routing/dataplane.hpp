@@ -56,6 +56,12 @@ struct DataPlane {
   [[nodiscard]] DataPlane restricted_to(
       const std::set<std::string>& hosts) const;
 
+  /// True iff `restricted_to(hosts) == original`, without materializing
+  /// the restricted copy (the verification gate runs this on every
+  /// pipeline invocation; path vectors are large under ECMP).
+  [[nodiscard]] bool equals_restricted(const DataPlane& original,
+                                       const std::set<std::string>& hosts) const;
+
   /// Every host appearing as a flow endpoint.
   [[nodiscard]] std::set<std::string> hosts() const;
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <limits>
 #include <queue>
+
+#include "src/util/thread_pool.hpp"
 
 namespace confmask {
 
@@ -22,14 +25,86 @@ std::uint64_t Simulation::total_runs() { return g_simulation_runs.load(); }
 void Simulation::reset_run_counter() { g_simulation_runs.store(0); }
 
 Simulation::Simulation(const ConfigSet& configs)
-    : configs_(&configs), topology_(Topology::build(configs)) {
+    : configs_(&configs),
+      topology_(std::make_shared<const Topology>(Topology::build(configs))) {
   ++g_simulation_runs;
-  const int hosts = topology_.host_count();
-  fib_.resize(static_cast<std::size_t>(topology_.router_count()) *
+  const int hosts = topology_->host_count();
+  fib_.resize(static_cast<std::size_t>(topology_->router_count()) *
               static_cast<std::size_t>(hosts));
+  dest_dist_.resize(static_cast<std::size_t>(hosts));
   index_protocols();
   compute_igp_distances();
-  for (int host : topology_.host_ids()) compute_destination(host);
+  const auto host_ids = topology_->host_ids();
+  ThreadPool::shared().parallel_for(host_ids.size(), [&](std::size_t i) {
+    compute_destination(host_ids[i], nullptr);
+  });
+}
+
+Simulation::Simulation(const ConfigSet& configs, const Simulation& previous,
+                       const SimulationDelta& delta)
+    : configs_(&configs), topology_(previous.topology_) {
+  ++g_simulation_runs;
+  const int n = topology_->router_count();
+  const int hosts = topology_->host_count();
+  fib_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(hosts));
+  dest_dist_.resize(static_cast<std::size_t>(hosts));
+  // Filters changed, so the filter/ACL/session index must be rebuilt over
+  // the CURRENT configs (the previous simulation's PrefixList pointers may
+  // dangle after prefix-list edits). Cheap: one pass over the configs.
+  index_protocols();
+  // The hot-potato IGP matrix never sees filters (it is computed over the
+  // full adjacency, OSPF costs / RIP hop metric only) and the topology is
+  // frozen, so it carries over verbatim.
+  igp_dist_ = previous.igp_dist_;
+
+  const auto host_ids = topology_->host_ids();
+  // -1 = column inherited; otherwise the DestAction taken. Written by
+  // disjoint indices in the parallel loop, tallied serially below.
+  std::vector<signed char> actions(host_ids.size(), -1);
+  ThreadPool::shared().parallel_for(host_ids.size(), [&](std::size_t i) {
+    const int host = host_ids[i];
+    const std::size_t idx = static_cast<std::size_t>(host - n);
+    const Ipv4Prefix host_prefix =
+        configs_->hosts[static_cast<std::size_t>(
+                            topology_->node(host).config_index)]
+            .prefix();
+    bool dirty = false;
+    for (const auto& change : delta.changes) {
+      if (change.prefix.overlaps(host_prefix)) {
+        dirty = true;
+        break;
+      }
+    }
+    if (!dirty) {
+      for (int r = 0; r < n; ++r) {
+        const std::size_t slot = static_cast<std::size_t>(r) *
+                                     static_cast<std::size_t>(hosts) +
+                                 idx;
+        fib_[slot] = previous.fib_[slot];
+      }
+      dest_dist_[idx] = previous.dest_dist_[idx];
+      return;
+    }
+    actions[i] = static_cast<signed char>(
+        compute_destination(host, &previous.dest_dist_[idx]));
+  });
+  for (const signed char action : actions) {
+    if (action < 0) {
+      ++incremental_stats_.destinations_reused;
+      continue;
+    }
+    ++incremental_stats_.destinations_recomputed;
+    switch (static_cast<DestAction>(action)) {
+      case DestAction::kDistReused:
+        ++incremental_stats_.distance_vectors_reused;
+        break;
+      case DestAction::kDistComputed:
+        ++incremental_stats_.distance_vectors_recomputed;
+        break;
+      case DestAction::kFresh:
+        break;
+    }
+  }
 }
 
 int Simulation::as_of(int router) const {
@@ -39,13 +114,13 @@ int Simulation::as_of(int router) const {
 std::vector<NextHop>& Simulation::fib_slot(int router, int host) {
   const std::size_t index =
       static_cast<std::size_t>(router) *
-          static_cast<std::size_t>(topology_.host_count()) +
-      static_cast<std::size_t>(host - topology_.router_count());
+          static_cast<std::size_t>(topology_->host_count()) +
+      static_cast<std::size_t>(host - topology_->router_count());
   return fib_[index];
 }
 
 const std::vector<NextHop>& Simulation::fib(int router, int host) const {
-  if (!topology_.is_router(router) || topology_.is_router(host)) {
+  if (!topology_->is_router(router) || topology_->is_router(host)) {
     return empty_fib_;
   }
   return const_cast<Simulation*>(this)->fib_slot(router, host);
@@ -93,17 +168,17 @@ void Simulation::index_protocols() {
   }
 
   // Classify links and discover eBGP sessions.
-  link_state_.assign(topology_.links().size(), LinkState{});
-  for (std::size_t l = 0; l < topology_.links().size(); ++l) {
-    const Link& link = topology_.link(static_cast<int>(l));
-    if (!topology_.is_router(link.a.node) ||
-        !topology_.is_router(link.b.node)) {
+  link_state_.assign(topology_->links().size(), LinkState{});
+  for (std::size_t l = 0; l < topology_->links().size(); ++l) {
+    const Link& link = topology_->link(static_cast<int>(l));
+    if (!topology_->is_router(link.a.node) ||
+        !topology_->is_router(link.b.node)) {
       continue;  // host attachment, not a routing adjacency
     }
     const auto& ra = routers[static_cast<std::size_t>(
-        topology_.node(link.a.node).config_index)];
+        topology_->node(link.a.node).config_index)];
     const auto& rb = routers[static_cast<std::size_t>(
-        topology_.node(link.b.node).config_index)];
+        topology_->node(link.b.node).config_index)];
     const auto* ia = ra.find_interface(link.a.interface);
     const auto* ib = rb.find_interface(link.b.interface);
     LinkState& state = link_state_[l];
@@ -171,35 +246,40 @@ bool Simulation::acl_blocks(int router, const std::string& interface,
 }
 
 void Simulation::compute_igp_distances() {
-  const int n = topology_.router_count();
-  igp_dist_.assign(static_cast<std::size_t>(n),
-                   std::vector<long>(static_cast<std::size_t>(n), kInf));
-  for (int src = 0; src < n; ++src) {
-    auto& dist = igp_dist_[static_cast<std::size_t>(src)];
-    dist[static_cast<std::size_t>(src)] = 0;
-    using Item = std::pair<long, int>;
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
-    queue.emplace(0, src);
-    while (!queue.empty()) {
-      const auto [d, u] = queue.top();
-      queue.pop();
-      if (d != dist[static_cast<std::size_t>(u)]) continue;
-      for (int link_id : topology_.links_of(u)) {
-        const LinkState& state = link_state_[static_cast<std::size_t>(link_id)];
-        if (!state.ospf && !state.rip) continue;
-        const Link& link = topology_.link(link_id);
-        const int w = link.other_end(u).node;
-        const long out_cost =
-            state.ospf
-                ? (link.a.node == u ? state.cost_a_to_b : state.cost_b_to_a)
-                : 1;  // RIP hop metric
-        if (d + out_cost < dist[static_cast<std::size_t>(w)]) {
-          dist[static_cast<std::size_t>(w)] = d + out_cost;
-          queue.emplace(d + out_cost, w);
+  const int n = topology_->router_count();
+  igp_dist_.assign(static_cast<std::size_t>(n), {});
+  // Per-source Dijkstra; each source owns its own distance row, so the
+  // sources fan out over the pool with no shared writes.
+  ThreadPool::shared().parallel_for(
+      static_cast<std::size_t>(n), [&](std::size_t src_index) {
+        const int src = static_cast<int>(src_index);
+        auto& dist = igp_dist_[src_index];
+        dist.assign(static_cast<std::size_t>(n), kInf);
+        dist[src_index] = 0;
+        using Item = std::pair<long, int>;
+        std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+        queue.emplace(0, src);
+        while (!queue.empty()) {
+          const auto [d, u] = queue.top();
+          queue.pop();
+          if (d != dist[static_cast<std::size_t>(u)]) continue;
+          for (int link_id : topology_->links_of(u)) {
+            const LinkState& state =
+                link_state_[static_cast<std::size_t>(link_id)];
+            if (!state.ospf && !state.rip) continue;
+            const Link& link = topology_->link(link_id);
+            const int w = link.other_end(u).node;
+            const long out_cost =
+                state.ospf
+                    ? (link.a.node == u ? state.cost_a_to_b : state.cost_b_to_a)
+                    : 1;  // RIP hop metric
+            if (d + out_cost < dist[static_cast<std::size_t>(w)]) {
+              dist[static_cast<std::size_t>(w)] = d + out_cost;
+              queue.emplace(d + out_cost, w);
+            }
+          }
         }
-      }
-    }
-  }
+      });
 }
 
 void Simulation::compute_bgp_destination(int host, int gateway,
@@ -207,9 +287,9 @@ void Simulation::compute_bgp_destination(int host, int gateway,
   // Fill FIBs of routers in autonomous systems OTHER than the origin AS.
   const int origin_as = as_of(gateway);
   const auto& gw_config = configs_->routers[static_cast<std::size_t>(
-      topology_.node(gateway).config_index)];
+      topology_->node(gateway).config_index)];
   const auto& host_config = configs_->hosts[static_cast<std::size_t>(
-      topology_.node(host).config_index)];
+      topology_->node(host).config_index)];
   const bool bgp_advertised = [&] {
     if (!gw_config.bgp) return false;
     return std::any_of(gw_config.bgp->networks.begin(),
@@ -219,7 +299,7 @@ void Simulation::compute_bgp_destination(int host, int gateway,
                        });
   }();
   if (origin_as < 0 || !bgp_advertised || sessions_.empty()) return;
-  const int n = topology_.router_count();
+  const int n = topology_->router_count();
 
   // AS-level path-vector (shortest AS path), honoring per-session inbound
   // filters. `as_dist[X]` = AS hops from X to the origin AS.
@@ -232,7 +312,7 @@ void Simulation::compute_bgp_destination(int host, int gateway,
   for (;;) {
     bool changed = false;
     for (const Session& session : sessions_) {
-      const Link& link = topology_.link(session.link);
+      const Link& link = topology_->link(session.link);
       const auto import = [&](int importer, int exporter,
                               Ipv4Address peer_addr) {
         const int imp_as = as_of(importer);
@@ -264,7 +344,7 @@ void Simulation::compute_bgp_destination(int host, int gateway,
     int best_session_link = -1;
     long best_igp = kInf;
     for (const Session& session : sessions_) {
-      const Link& link = topology_.link(session.link);
+      const Link& link = topology_->link(session.link);
       const auto consider = [&](int border, int peer) {
         if (as_of(border) != my_as) return;
         if (dist_of(as_of(peer)) + 1 != dist_of(my_as)) return;
@@ -291,7 +371,7 @@ void Simulation::compute_bgp_destination(int host, int gateway,
 
     auto& slot = fib_slot(r, host);
     if (r == best_border) {
-      const Link& link = topology_.link(best_session_link);
+      const Link& link = topology_->link(best_session_link);
       slot.push_back(
           NextHop{best_session_link, link.other_end(r).node});
       continue;
@@ -299,10 +379,10 @@ void Simulation::compute_bgp_destination(int host, int gateway,
     // Internal transit towards the chosen border router along IGP
     // shortest paths (each hop re-evaluates, so only the immediate next
     // hops are installed here).
-    for (int link_id : topology_.links_of(r)) {
+    for (int link_id : topology_->links_of(r)) {
       const LinkState& state = link_state_[static_cast<std::size_t>(link_id)];
       if (!state.ospf && !state.rip) continue;
-      const Link& link = topology_.link(link_id);
+      const Link& link = topology_->link(link_id);
       const int w = link.other_end(r).node;
       const long out_cost =
           state.ospf
@@ -322,18 +402,21 @@ void Simulation::compute_bgp_destination(int host, int gateway,
   }
 }
 
-void Simulation::compute_destination(int host) {
-  const int gateway = topology_.gateway_of(host);
-  if (gateway < 0) return;
+Simulation::DestAction Simulation::compute_destination(
+    int host, const std::vector<long>* reuse_dist) {
+  const int gateway = topology_->gateway_of(host);
+  if (gateway < 0) return DestAction::kFresh;
   const auto& host_config = configs_->hosts[static_cast<std::size_t>(
-      topology_.node(host).config_index)];
+      topology_->node(host).config_index)];
   const Ipv4Prefix dest_prefix = host_config.prefix();
-  const int n = topology_.router_count();
+  const int n = topology_->router_count();
+  const std::size_t dest_index =
+      static_cast<std::size_t>(host - topology_->router_count());
 
   // Delivery at the gateway: the connected host link (never filtered —
   // connected routes are not subject to distribute-lists).
-  for (int link_id : topology_.links_of(host)) {
-    const Link& link = topology_.link(link_id);
+  for (int link_id : topology_->links_of(host)) {
+    const Link& link = topology_->link(link_id);
     if (link.other_end(host).node == gateway) {
       fib_slot(gateway, host).push_back(NextHop{link_id, host});
       break;
@@ -341,16 +424,24 @@ void Simulation::compute_destination(int host) {
   }
 
   const auto& gw_config = configs_->routers[static_cast<std::size_t>(
-      topology_.node(gateway).config_index)];
+      topology_->node(gateway).config_index)];
   const bool in_ospf = gw_config.ospf && gw_config.ospf->covers(
                                              host_config.address);
   const bool in_rip =
       !in_ospf && gw_config.rip && gw_config.rip->covers(host_config.address);
 
+  DestAction action = DestAction::kFresh;
   std::vector<long> dist(static_cast<std::size_t>(n), kInf);
-  if (in_ospf) {
+  if (in_ospf && reuse_dist != nullptr && !reuse_dist->empty()) {
+    // Link-state distances are computed over the full LSDB — filters only
+    // gate next-hop installation — so a previous simulation's converged
+    // vector for this destination is still exact after filter edits.
+    dist = *reuse_dist;
+    action = DestAction::kDistReused;
+  } else if (in_ospf) {
     // Link-state: reverse Dijkstra from the gateway; filters do NOT affect
     // distances, only next-hop installation below.
+    action = DestAction::kDistComputed;
     dist[static_cast<std::size_t>(gateway)] = 0;
     using Item = std::pair<long, int>;
     std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
@@ -359,11 +450,11 @@ void Simulation::compute_destination(int host) {
       const auto [d, u] = queue.top();
       queue.pop();
       if (d != dist[static_cast<std::size_t>(u)]) continue;
-      for (int link_id : topology_.links_of(u)) {
+      for (int link_id : topology_->links_of(u)) {
         const LinkState& state =
             link_state_[static_cast<std::size_t>(link_id)];
         if (!state.ospf) continue;
-        const Link& link = topology_.link(link_id);
+        const Link& link = topology_->link(link_id);
         const int w = link.other_end(u).node;
         // Cost of w forwarding TOWARDS u.
         const long cost =
@@ -378,14 +469,16 @@ void Simulation::compute_destination(int host) {
     }
   } else if (in_rip) {
     // Distance-vector: filters affect propagation, so they participate in
-    // the Bellman-Ford relaxation itself.
+    // the Bellman-Ford relaxation itself — a cached vector from before a
+    // filter edit would be stale, hence always recomputed.
+    action = DestAction::kDistComputed;
     dist[static_cast<std::size_t>(gateway)] = 0;
     for (int round = 0; round < n + 1; ++round) {
       bool changed = false;
-      for (std::size_t l = 0; l < topology_.links().size(); ++l) {
+      for (std::size_t l = 0; l < topology_->links().size(); ++l) {
         const LinkState& state = link_state_[l];
         if (!state.rip) continue;
-        const Link& link = topology_.link(static_cast<int>(l));
+        const Link& link = topology_->link(static_cast<int>(l));
         const auto relax = [&](int from, int to,
                                const std::string& to_iface) {
           if (dist[static_cast<std::size_t>(from)] >= kInf) return;
@@ -409,11 +502,11 @@ void Simulation::compute_destination(int host) {
     for (int r = 0; r < n; ++r) {
       if (r == gateway || dist[static_cast<std::size_t>(r)] >= kInf) continue;
       auto& slot = fib_slot(r, host);
-      for (int link_id : topology_.links_of(r)) {
+      for (int link_id : topology_->links_of(r)) {
         const LinkState& state =
             link_state_[static_cast<std::size_t>(link_id)];
         if (in_ospf ? !state.ospf : !state.rip) continue;
-        const Link& link = topology_.link(link_id);
+        const Link& link = topology_->link(link_id);
         const int w = link.other_end(r).node;
         const long out_cost =
             in_ospf
@@ -438,7 +531,7 @@ void Simulation::compute_destination(int host) {
   for (int r = 0; r < n; ++r) {
     if (r == gateway) continue;
     const auto& router =
-        configs_->routers[static_cast<std::size_t>(topology_.node(r).config_index)];
+        configs_->routers[static_cast<std::size_t>(topology_->node(r).config_index)];
     const StaticRoute* best = nullptr;
     for (const auto& route : router.static_routes) {
       if (!route.prefix.contains(host_config.address)) continue;
@@ -454,8 +547,8 @@ void Simulation::compute_destination(int host) {
     // Resolve the next hop to a directly connected neighbor.
     int resolved_link = -1;
     int resolved_neighbor = -1;
-    for (int link_id : topology_.links_of(r)) {
-      const Link& link = topology_.link(link_id);
+    for (int link_id : topology_->links_of(r)) {
+      const Link& link = topology_->link(link_id);
       const LinkEnd& far = link.other_end(r);
       if (far.address == best->next_hop) {
         resolved_link = link_id;
@@ -467,13 +560,20 @@ void Simulation::compute_destination(int host) {
     slot.clear();
     slot.push_back(NextHop{resolved_link, resolved_neighbor});
   }
+
+  if (in_ospf || in_rip) dest_dist_[dest_index] = std::move(dist);
+  return action;
 }
 
 bool Simulation::walk(int router, int dst_host, const Ipv4Prefix* src_prefix,
-                      const Ipv4Prefix& dst_prefix, std::vector<int>& visited,
-                      std::vector<int>& current,
-                      std::vector<std::vector<int>>& out, int depth) const {
-  if (depth > kMaxPathDepth || out.size() >= kMaxPathsPerFlow) return false;
+                      const Ipv4Prefix& dst_prefix,
+                      std::vector<char>& visited, std::vector<int>& current,
+                      std::vector<std::vector<int>>& out, int depth,
+                      bool& truncated) const {
+  if (depth > kMaxPathDepth || out.size() >= kMaxPathsPerFlow) {
+    truncated = true;
+    return false;
+  }
   bool delivered = false;
   for (const NextHop& hop : fib(router, dst_host)) {
     if (hop.neighbor == dst_host) {
@@ -483,65 +583,72 @@ bool Simulation::walk(int router, int dst_host, const Ipv4Prefix* src_prefix,
       delivered = true;
       continue;
     }
-    if (!topology_.is_router(hop.neighbor)) continue;
-    if (std::find(visited.begin(), visited.end(), hop.neighbor) !=
-        visited.end()) {
+    if (!topology_->is_router(hop.neighbor)) continue;
+    if (visited[static_cast<std::size_t>(hop.neighbor)] != 0) {
       continue;  // forwarding loop — branch is not a complete path
     }
     // Inbound packet filter at the next hop: the branch is dropped, not
     // rerouted (a data-plane black hole).
-    const Link& link = topology_.link(hop.link);
+    const Link& link = topology_->link(hop.link);
     if (acl_blocks(hop.neighbor, link.end_of(hop.neighbor).interface,
                    src_prefix, dst_prefix)) {
       continue;
     }
-    visited.push_back(hop.neighbor);
+    visited[static_cast<std::size_t>(hop.neighbor)] = 1;
     current.push_back(hop.neighbor);
     delivered |= walk(hop.neighbor, dst_host, src_prefix, dst_prefix,
-                      visited, current, out, depth + 1);
+                      visited, current, out, depth + 1, truncated);
     current.pop_back();
-    visited.pop_back();
+    visited[static_cast<std::size_t>(hop.neighbor)] = 0;
   }
   return delivered;
 }
 
 std::vector<std::vector<int>> Simulation::node_paths(int src_host,
-                                                     int dst_host) const {
+                                                     int dst_host,
+                                                     bool* truncated) const {
   std::vector<std::vector<int>> out;
+  if (truncated != nullptr) *truncated = false;
   if (src_host == dst_host) return out;
-  const int gateway = topology_.gateway_of(src_host);
+  const int gateway = topology_->gateway_of(src_host);
   if (gateway < 0) return out;
   const Ipv4Prefix src_prefix =
       configs_->hosts[static_cast<std::size_t>(
-                          topology_.node(src_host).config_index)]
+                          topology_->node(src_host).config_index)]
           .prefix();
   const Ipv4Prefix dst_prefix =
       configs_->hosts[static_cast<std::size_t>(
-                          topology_.node(dst_host).config_index)]
+                          topology_->node(dst_host).config_index)]
           .prefix();
   // The gateway's host-facing interface may itself filter inbound.
-  for (int link_id : topology_.links_of(src_host)) {
-    const Link& link = topology_.link(link_id);
+  for (int link_id : topology_->links_of(src_host)) {
+    const Link& link = topology_->link(link_id);
     if (link.other_end(src_host).node != gateway) continue;
     if (acl_blocks(gateway, link.end_of(gateway).interface, &src_prefix,
                    dst_prefix)) {
       return out;
     }
   }
-  std::vector<int> visited{gateway};
+  std::vector<char> visited(static_cast<std::size_t>(topology_->node_count()),
+                            0);
+  visited[static_cast<std::size_t>(gateway)] = 1;
   std::vector<int> current{src_host, gateway};
-  walk(gateway, dst_host, &src_prefix, dst_prefix, visited, current, out, 0);
+  bool hit_caps = false;
+  walk(gateway, dst_host, &src_prefix, dst_prefix, visited, current, out, 0,
+       hit_caps);
+  if (truncated != nullptr) *truncated = hit_caps;
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
-std::vector<Path> Simulation::paths(int src_host, int dst_host) const {
+std::vector<Path> Simulation::paths(int src_host, int dst_host,
+                                    bool* truncated) const {
   std::vector<Path> named;
-  for (const auto& node_path : node_paths(src_host, dst_host)) {
+  for (const auto& node_path : node_paths(src_host, dst_host, truncated)) {
     Path path;
     path.reserve(node_path.size());
-    for (int node : node_path) path.push_back(topology_.node(node).name);
+    for (int node : node_path) path.push_back(topology_->node(node).name);
     named.push_back(std::move(path));
   }
   std::sort(named.begin(), named.end());
@@ -550,31 +657,163 @@ std::vector<Path> Simulation::paths(int src_host, int dst_host) const {
 
 DataPlane Simulation::extract_data_plane() const {
   DataPlane dp;
-  const auto hosts = topology_.host_ids();
-  for (int src : hosts) {
-    for (int dst : hosts) {
-      if (src == dst) continue;
-      auto flow_paths = paths(src, dst);
-      if (flow_paths.empty()) continue;
-      dp.flows.emplace(
-          FlowKey{topology_.node(src).name, topology_.node(dst).name},
-          std::move(flow_paths));
+  const auto hosts = topology_->host_ids();
+  // When no inbound packet ACL exists anywhere, the walk from a gateway to
+  // a destination does not depend on the source host, so all sources
+  // behind one gateway share a single enumeration (and the per-source ACL
+  // checks in node_paths are no-ops by construction).
+  bool acl_free = true;
+  for (const auto& per_iface : acl_in_) {
+    if (!per_iface.empty()) {
+      acl_free = false;
+      break;
     }
+  }
+
+  // One slot per destination: the destinations fan out over the pool and
+  // each writes only its own slot; the merge below is serial and ordered.
+  std::vector<std::vector<std::pair<int, std::vector<Path>>>> per_dst(
+      hosts.size());
+  std::vector<unsigned> truncated_flows(hosts.size(), 0);
+  ThreadPool::shared().parallel_for(hosts.size(), [&](std::size_t di) {
+    const int dst = hosts[di];
+    auto& flows_out = per_dst[di];
+    if (!acl_free) {
+      for (const int src : hosts) {
+        if (src == dst) continue;
+        bool hit_caps = false;
+        auto flow_paths = paths(src, dst, &hit_caps);
+        if (hit_caps) ++truncated_flows[di];
+        if (flow_paths.empty()) continue;
+        flows_out.emplace_back(src, std::move(flow_paths));
+      }
+      return;
+    }
+    const Ipv4Prefix dst_prefix =
+        configs_->hosts[static_cast<std::size_t>(
+                            topology_->node(dst).config_index)]
+            .prefix();
+    // gateway -> (named gateway→dst path suffixes, sorted and deduped;
+    // enumeration hit the caps). Prepending the (per-source) host name
+    // later keeps the sort order: all entries share that first element.
+    std::map<int, std::pair<std::vector<Path>, bool>> by_gateway;
+    for (const int src : hosts) {
+      if (src == dst) continue;
+      const int gateway = topology_->gateway_of(src);
+      if (gateway < 0) continue;
+      auto it = by_gateway.find(gateway);
+      if (it == by_gateway.end()) {
+        std::vector<char> visited(
+            static_cast<std::size_t>(topology_->node_count()), 0);
+        visited[static_cast<std::size_t>(gateway)] = 1;
+        std::vector<int> current{gateway};
+        std::vector<std::vector<int>> from_gateway;
+        bool hit_caps = false;
+        walk(gateway, dst, nullptr, dst_prefix, visited, current,
+             from_gateway, 0, hit_caps);
+        std::vector<Path> suffixes;
+        suffixes.reserve(from_gateway.size());
+        for (const auto& node_path : from_gateway) {
+          Path path;
+          path.reserve(node_path.size() + 1);
+          for (int node : node_path) {
+            path.push_back(topology_->node(node).name);
+          }
+          suffixes.push_back(std::move(path));
+        }
+        std::sort(suffixes.begin(), suffixes.end());
+        suffixes.erase(std::unique(suffixes.begin(), suffixes.end()),
+                       suffixes.end());
+        it = by_gateway
+                 .emplace(gateway,
+                          std::make_pair(std::move(suffixes), hit_caps))
+                 .first;
+      }
+      const auto& [suffixes, hit_caps] = it->second;
+      if (hit_caps) ++truncated_flows[di];
+      if (suffixes.empty()) continue;
+      std::vector<Path> named;
+      named.reserve(suffixes.size());
+      const std::string& src_name = topology_->node(src).name;
+      for (const auto& suffix : suffixes) {
+        Path path;
+        path.reserve(suffix.size() + 1);
+        path.push_back(src_name);
+        path.insert(path.end(), suffix.begin(), suffix.end());
+        named.push_back(std::move(path));
+      }
+      flows_out.emplace_back(src, std::move(named));
+    }
+  });
+
+  std::size_t total_truncated = 0;
+  for (std::size_t di = 0; di < hosts.size(); ++di) {
+    total_truncated += truncated_flows[di];
+    const std::string& dst_name = topology_->node(hosts[di]).name;
+    for (auto& [src, flow_paths] : per_dst[di]) {
+      dp.flows.emplace(FlowKey{topology_->node(src).name, dst_name},
+                       std::move(flow_paths));
+    }
+  }
+  if (total_truncated > 0) {
+    // Once per extraction: capped enumeration must never be silently
+    // mistaken for complete coverage.
+    std::fprintf(stderr,
+                 "confmask: path enumeration truncated for %zu flow(s) "
+                 "(caps: %zu paths/flow, depth %d); data-plane coverage is "
+                 "partial\n",
+                 total_truncated, kMaxPathsPerFlow, kMaxPathDepth);
   }
   return dp;
 }
 
 bool Simulation::reaches(int router, int host) const {
   std::vector<std::vector<int>> out;
-  std::vector<int> visited{router};
+  std::vector<char> visited(static_cast<std::size_t>(topology_->node_count()),
+                            0);
+  visited[static_cast<std::size_t>(router)] = 1;
   std::vector<int> current{router};
   const Ipv4Prefix dst_prefix =
       configs_->hosts[static_cast<std::size_t>(
-                          topology_.node(host).config_index)]
+                          topology_->node(host).config_index)]
           .prefix();
   // Control-plane reachability: packet-filter ACLs are not evaluated
   // (src == nullptr) because there is no source host.
-  return walk(router, host, nullptr, dst_prefix, visited, current, out, 0);
+  bool hit_caps = false;
+  return walk(router, host, nullptr, dst_prefix, visited, current, out, 0,
+              hit_caps);
+}
+
+std::vector<char> Simulation::routers_reaching(int host) const {
+  const int n = topology_->router_count();
+  std::vector<char> reach(static_cast<std::size_t>(n), 0);
+  // Reverse FIB edges for this destination: rev[v] = routers whose FIB
+  // forwards towards v. Routers delivering directly seed the sweep.
+  std::vector<std::vector<int>> rev(static_cast<std::size_t>(n));
+  std::vector<int> queue;
+  for (int r = 0; r < n; ++r) {
+    for (const NextHop& hop : fib(r, host)) {
+      if (hop.neighbor == host) {
+        if (reach[static_cast<std::size_t>(r)] == 0) {
+          reach[static_cast<std::size_t>(r)] = 1;
+          queue.push_back(r);
+        }
+      } else if (topology_->is_router(hop.neighbor)) {
+        rev[static_cast<std::size_t>(hop.neighbor)].push_back(r);
+      }
+    }
+  }
+  while (!queue.empty()) {
+    const int v = queue.back();
+    queue.pop_back();
+    for (const int r : rev[static_cast<std::size_t>(v)]) {
+      if (reach[static_cast<std::size_t>(r)] == 0) {
+        reach[static_cast<std::size_t>(r)] = 1;
+        queue.push_back(r);
+      }
+    }
+  }
+  return reach;
 }
 
 long Simulation::igp_distance(int from, int to) const {
@@ -585,7 +824,7 @@ long Simulation::igp_distance(int from, int to) const {
 
 std::vector<int> Simulation::reachable_hosts_from(int router) const {
   std::vector<int> reachable;
-  for (int host : topology_.host_ids()) {
+  for (int host : topology_->host_ids()) {
     if (reaches(router, host)) reachable.push_back(host);
   }
   return reachable;

@@ -27,10 +27,18 @@
 // The simulator keeps a global counter of constructed instances so that the
 // Fig 16 runtime benchmark can also report "number of simulation jobs", the
 // dominant cost the paper discusses in §5.4.
+//
+// Performance (DESIGN.md §8): the embarrassingly parallel loops — per-source
+// Dijkstra, per-destination FIB fill, per-destination data-plane walks — fan
+// out over ThreadPool::shared() with disjoint writes (bit-identical results
+// for any worker count), and the incremental constructor re-simulates only
+// the destinations a SimulationDelta's filter edits can affect, reusing the
+// frozen topology, the IGP distance matrix, and clean FIB columns.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,14 +56,70 @@ struct NextHop {
   friend auto operator<=>(const NextHop&, const NextHop&) = default;
 };
 
+/// The route-filter edits applied to a ConfigSet since a previous
+/// Simulation was built over it — the dirty set driving incremental
+/// re-simulation. Both additions and removals are recorded the same way:
+/// what matters for invalidation is WHICH destination prefixes a change
+/// can affect, not its direction.
+struct SimulationDelta {
+  struct FilterChange {
+    int router = -1;     ///< topology node id of the filtering router
+    Ipv4Prefix prefix;   ///< the denied destination prefix
+  };
+  std::vector<FilterChange> changes;
+
+  void record(int router, const Ipv4Prefix& prefix) {
+    changes.push_back(FilterChange{router, prefix});
+  }
+  [[nodiscard]] bool empty() const { return changes.empty(); }
+  void clear() { changes.clear(); }
+};
+
+/// What an incremental rebuild actually recomputed (all zero for a fresh
+/// build). Distance-vector counters only cover IGP-routed destinations:
+/// OSPF distances are filter-independent (computed over the full LSDB) and
+/// are reused even for dirty destinations, while RIP distances embed
+/// filter effects in the Bellman-Ford relaxation and must be recomputed.
+struct IncrementalStats {
+  int destinations_reused = 0;
+  int destinations_recomputed = 0;
+  int distance_vectors_reused = 0;
+  int distance_vectors_recomputed = 0;
+};
+
 class Simulation {
  public:
   /// Builds the topology and converges all routing protocols. `configs`
   /// must outlive the simulation.
   explicit Simulation(const ConfigSet& configs);
 
+  /// Incremental re-simulation. `previous` must have been built over the
+  /// SAME frozen topology (identical routers, hosts, interfaces and
+  /// links — only route filters may differ between the two config states)
+  /// and `delta` must record every filter added or removed since
+  /// `previous` was built. Destinations whose prefix overlaps no delta
+  /// entry inherit their FIB column and per-destination distances from
+  /// `previous`; dirty OSPF destinations reuse distances (filters only
+  /// gate next-hop installation) and dirty RIP destinations recompute
+  /// them (filters shape distance-vector propagation). The result is
+  /// bit-identical to a fresh `Simulation(configs)`.
+  Simulation(const ConfigSet& configs, const Simulation& previous,
+             const SimulationDelta& delta);
+
   [[nodiscard]] const ConfigSet& configs() const { return *configs_; }
-  [[nodiscard]] const Topology& topology() const { return topology_; }
+  [[nodiscard]] const Topology& topology() const { return *topology_; }
+  /// Shared ownership of the frozen topology — hold this when the
+  /// Simulation itself may be replaced (e.g. across re-simulation rounds)
+  /// but node/link lookups must stay valid.
+  [[nodiscard]] std::shared_ptr<const Topology> topology_ptr() const {
+    return topology_;
+  }
+
+  /// What the incremental constructor reused vs recomputed (all zero for
+  /// a fresh build).
+  [[nodiscard]] const IncrementalStats& incremental_stats() const {
+    return incremental_stats_;
+  }
 
   /// FIB entries of `router` for destination host `host` (both node ids).
   /// Empty means no route (black hole at that router).
@@ -63,13 +127,18 @@ class Simulation {
 
   /// All complete forwarding paths from `src_host` to `dst_host` as node-id
   /// sequences, lexicographically sorted. ECMP branches are enumerated.
-  [[nodiscard]] std::vector<std::vector<int>> node_paths(int src_host,
-                                                         int dst_host) const;
+  /// If `truncated` is non-null it is set to true when enumeration hit the
+  /// per-flow path or depth cap, i.e. the returned set may be incomplete.
+  [[nodiscard]] std::vector<std::vector<int>> node_paths(
+      int src_host, int dst_host, bool* truncated = nullptr) const;
 
   /// Same, as device-name sequences.
-  [[nodiscard]] std::vector<Path> paths(int src_host, int dst_host) const;
+  [[nodiscard]] std::vector<Path> paths(int src_host, int dst_host,
+                                        bool* truncated = nullptr) const;
 
-  /// Full data plane over all ordered host pairs.
+  /// Full data plane over all ordered host pairs. Flows whose enumeration
+  /// hit the path/depth caps are logged once per extraction (capped
+  /// coverage must never be mistaken for complete coverage).
   [[nodiscard]] DataPlane extract_data_plane() const;
 
   /// Hosts to which forwarding starting AT `router` completes.
@@ -77,6 +146,13 @@ class Simulation {
 
   /// True if forwarding from `router` to `host` completes.
   [[nodiscard]] bool reaches(int router, int host) const;
+
+  /// For every router r: whether forwarding from r to `host` completes,
+  /// computed in ONE reverse sweep over the host's FIB column (O(R + E))
+  /// instead of R independent `reaches` walks re-deriving the same
+  /// prefixes. Matches `reaches` whenever the DFS caps do not bind (path
+  /// existence in the FIB digraph equals simple-path existence).
+  [[nodiscard]] std::vector<char> routers_reaching(int host) const;
 
   /// Converged IGP distance between two routers of the same AS (router
   /// node ids), or a negative value when unreachable. This is the paper's
@@ -104,7 +180,18 @@ class Simulation {
   };
 
   void index_protocols();
-  void compute_destination(int host);
+  /// Converges one destination host's FIB column. `reuse_dist` (from a
+  /// previous simulation over the same topology) is adopted verbatim for
+  /// OSPF-routed destinations — link-state distances are filter-free —
+  /// and ignored (recomputed) for RIP ones. Returns the action taken for
+  /// the incremental-stats tally.
+  enum class DestAction : signed char {
+    kFresh,         ///< no distance vector applicable (static/BGP only)
+    kDistReused,    ///< OSPF: distances adopted from `reuse_dist`
+    kDistComputed,  ///< distances computed from scratch
+  };
+  DestAction compute_destination(int host,
+                                 const std::vector<long>* reuse_dist);
   /// BGP part of compute_destination: FIBs of routers outside the origin
   /// AS (AS-level path-vector + hot-potato egress selection).
   void compute_bgp_destination(int host, int gateway,
@@ -123,13 +210,18 @@ class Simulation {
   /// Intra-AS IGP distances from every router (for hot-potato selection).
   void compute_igp_distances();
   [[nodiscard]] std::vector<NextHop>& fib_slot(int router, int host);
+  /// DFS path enumeration over the FIB. `visited` is an O(1)-membership
+  /// bitmap indexed by node id (sized node_count). `truncated` latches
+  /// true when the path-count or depth cap cut enumeration short.
   bool walk(int router, int dst_host, const Ipv4Prefix* src_prefix,
-            const Ipv4Prefix& dst_prefix, std::vector<int>& visited,
+            const Ipv4Prefix& dst_prefix, std::vector<char>& visited,
             std::vector<int>& current, std::vector<std::vector<int>>& out,
-            int depth) const;
+            int depth, bool& truncated) const;
 
   const ConfigSet* configs_;
-  Topology topology_;
+  // Shared with incremental descendants: between filter-only config edits
+  // the topology is frozen, so re-simulations alias one immutable build.
+  std::shared_ptr<const Topology> topology_;
   // Per router: interface name -> prefix lists bound via IGP
   // distribute-lists, and peer address -> prefix lists bound via BGP
   // `neighbor ... prefix-list in`.
@@ -145,9 +237,15 @@ class Simulation {
   // igp_dist_[r] = vector over routers of IGP distance from r (same AS
   // only; -1 otherwise / unreachable).
   std::vector<std::vector<long>> igp_dist_;
+  // Per destination host (index host - router_count): the converged IGP
+  // distance vector towards that host, kept so incremental rebuilds can
+  // adopt it for dirty OSPF destinations. Empty when the destination is
+  // not IGP-routed.
+  std::vector<std::vector<long>> dest_dist_;
   // fib_[router * host_count + host_index]
   std::vector<std::vector<NextHop>> fib_;
   std::vector<NextHop> empty_fib_;
+  IncrementalStats incremental_stats_;
 };
 
 }  // namespace confmask

@@ -1,0 +1,128 @@
+#include "src/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace confmask {
+
+namespace {
+
+// True while the current thread is executing a parallel_for body; nested
+// parallel_for calls then run inline instead of deadlocking on the pool.
+thread_local bool t_inside_pool_body = false;
+
+std::mutex g_shared_mutex;
+std::unique_ptr<ThreadPool> g_shared_pool;
+
+}  // namespace
+
+unsigned ThreadPool::default_workers() {
+  if (const char* env = std::getenv("CONFMASK_JOBS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<unsigned>(std::min(parsed, 256L));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool& ThreadPool::shared() {
+  const std::lock_guard<std::mutex> lock(g_shared_mutex);
+  if (!g_shared_pool) g_shared_pool = std::make_unique<ThreadPool>();
+  return *g_shared_pool;
+}
+
+void ThreadPool::configure(unsigned workers) {
+  const std::lock_guard<std::mutex> lock(g_shared_mutex);
+  g_shared_pool = std::make_unique<ThreadPool>(workers);
+}
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) workers = default_workers();
+  threads_.reserve(workers - 1);
+  for (unsigned i = 0; i + 1 < workers; ++i) {
+    threads_.emplace_back([this](std::stop_token stop) { worker_loop(stop); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& thread : threads_) thread.request_stop();
+  }
+  cv_start_.notify_all();
+  // Deterministic join order: creation order, explicitly (jthread's
+  // implicit joins would run in reverse member order).
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::drain(const std::function<void(std::size_t)>& body,
+                       std::size_t n) {
+  t_inside_pool_body = true;
+  for (;;) {
+    const std::size_t index = next_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= n) break;
+    try {
+      body(index);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+  t_inside_pool_body = false;
+}
+
+void ThreadPool::worker_loop(std::stop_token stop) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock, stop,
+                     [&] { return generation_ != seen_generation; });
+      if (stop.stop_requested() && generation_ == seen_generation) return;
+      seen_generation = generation_;
+      body = body_;
+      n = n_;
+    }
+    drain(*body, n);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // Serial fast path: a single-worker pool, a single-element batch, or a
+  // nested call from inside a body. Identical results by construction.
+  if (threads_.empty() || n == 1 || t_inside_pool_body) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &body;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    active_ = threads_.size();
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  drain(body, n);  // the caller is a worker too
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return active_ == 0; });
+    body_ = nullptr;
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace confmask

@@ -1,0 +1,81 @@
+// A small reusable worker pool for the simulation engine's embarrassingly
+// parallel loops (per-source Dijkstra, per-destination FIB fill, per-flow
+// data-plane walks, per-router reachability sweeps).
+//
+// Design constraints, in order:
+//  * Determinism: parallel_for makes NO scheduling decision visible to the
+//    caller — every index runs exactly once and all writes the bodies make
+//    must target disjoint slots, so results are bit-identical to a serial
+//    loop regardless of worker count or interleaving. The pool is a
+//    throughput device, never a semantics device.
+//  * Deterministic lifecycle: workers are std::jthread, created once and
+//    joined in creation order by the destructor.
+//  * Zero surprise under nesting: a parallel_for issued from inside a pool
+//    body runs inline on the calling worker (no deadlock, no oversubscribe).
+//
+// Worker-count policy: an explicit count wins; otherwise the CONFMASK_JOBS
+// environment variable; otherwise std::thread::hardware_concurrency(). The
+// process-wide pool (`ThreadPool::shared()`) is what the simulator uses and
+// is resized via `ThreadPool::configure()` (the CLI's --jobs flag).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace confmask {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers - 1` threads (the caller participates as the last
+  /// worker in parallel_for). `workers == 0` means default_workers().
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers including the calling thread (always >= 1).
+  [[nodiscard]] unsigned workers() const {
+    return static_cast<unsigned>(threads_.size()) + 1;
+  }
+
+  /// Runs body(i) exactly once for every i in [0, n), distributing indices
+  /// over the workers, and blocks until all are done. The first exception
+  /// thrown by a body is rethrown here after the batch drains. Bodies must
+  /// write only to disjoint slots (see file comment). Nested calls from
+  /// inside a body run inline on the calling thread.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// CONFMASK_JOBS env var if set and >= 1, else hardware concurrency.
+  [[nodiscard]] static unsigned default_workers();
+
+  /// The process-wide pool the simulation engine uses.
+  [[nodiscard]] static ThreadPool& shared();
+
+  /// Replaces the shared pool with one of `workers` workers (0 = default).
+  /// Not safe to call concurrently with a parallel_for on the shared pool;
+  /// intended for startup (--jobs) and test setup.
+  static void configure(unsigned workers);
+
+ private:
+  void worker_loop(std::stop_token stop);
+  void drain(const std::function<void(std::size_t)>& body, std::size_t n);
+
+  std::mutex mutex_;
+  std::condition_variable_any cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t n_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t active_ = 0;       // workers still draining the current batch
+  std::uint64_t generation_ = 0;  // bumped per batch to wake the workers
+  std::exception_ptr error_;
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace confmask

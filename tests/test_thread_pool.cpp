@@ -1,0 +1,153 @@
+// The simulation engine's worker pool: every index runs exactly once,
+// results match the serial loop for any worker count, exceptions
+// propagate, nested calls run inline, and the CONFMASK_JOBS policy holds.
+// The hammer tests double as the ThreadSanitizer workload in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/thread_pool.hpp"
+
+namespace confmask {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (const unsigned workers : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(workers);
+    std::vector<int> hits(1000, 0);
+    // Disjoint slots: each index owns hits[i].
+    pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000)
+        << "workers=" << workers;
+    for (const int hit : hits) ASSERT_EQ(hit, 1);
+  }
+}
+
+TEST(ThreadPool, MoreWorkersThanItems) {
+  ThreadPool pool(8);
+  std::vector<int> hits(3, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ThreadPool, EmptyAndSingletonBatches) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+  pool.parallel_for(1, [&](std::size_t i) {
+    called = true;
+    EXPECT_EQ(i, 0u);
+  });
+  EXPECT_TRUE(called);
+}
+
+TEST(ThreadPool, SumMatchesSerial) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  const std::size_t n = 10000;
+  pool.parallel_for(n, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long>(i) * static_cast<long>(i),
+                  std::memory_order_relaxed);
+  });
+  long expected = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    expected += static_cast<long>(i) * static_cast<long>(i);
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPool, SingleWorkerPoolRunsInOrder) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(64, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 64u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The batch drained and the pool accepts new work afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(50, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, HammerRepeatedBatches) {
+  // Many small batches back to back: the generation handshake and the
+  // done-notification must never lose a worker or an index (this is the
+  // test TSan watches).
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(64, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(count.load(), 64);
+  }
+}
+
+TEST(ThreadPool, WorkersIncludesCaller) {
+  EXPECT_EQ(ThreadPool(1).workers(), 1u);
+  EXPECT_EQ(ThreadPool(4).workers(), 4u);
+  EXPECT_GE(ThreadPool(0).workers(), 1u);  // default, machine-dependent
+}
+
+TEST(ThreadPool, DefaultWorkersRespectsEnvironment) {
+  const char* saved = std::getenv("CONFMASK_JOBS");
+  const std::string saved_value = saved != nullptr ? saved : "";
+
+  setenv("CONFMASK_JOBS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_workers(), 3u);
+  setenv("CONFMASK_JOBS", "9999", 1);
+  EXPECT_EQ(ThreadPool::default_workers(), 256u);  // clamped
+  setenv("CONFMASK_JOBS", "0", 1);
+  EXPECT_GE(ThreadPool::default_workers(), 1u);  // invalid -> hardware
+  setenv("CONFMASK_JOBS", "garbage", 1);
+  EXPECT_GE(ThreadPool::default_workers(), 1u);
+
+  if (saved != nullptr) {
+    setenv("CONFMASK_JOBS", saved_value.c_str(), 1);
+  } else {
+    unsetenv("CONFMASK_JOBS");
+  }
+}
+
+TEST(ThreadPool, ConfigureResizesSharedPool) {
+  ThreadPool::configure(2);
+  EXPECT_EQ(ThreadPool::shared().workers(), 2u);
+  std::atomic<int> count{0};
+  ThreadPool::shared().parallel_for(16, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 16);
+  ThreadPool::configure(1);
+  EXPECT_EQ(ThreadPool::shared().workers(), 1u);
+}
+
+}  // namespace
+}  // namespace confmask
