@@ -10,11 +10,17 @@
 //
 // Besides the usual table + CSV lines it writes BENCH_pipeline.json in the
 // current directory so CI can archive a machine-readable perf trajectory
-// across PRs. Timings are min-of-N to shrug off scheduler noise.
+// across PRs. Timings are min-of-N to shrug off scheduler noise. Each
+// network entry also carries per-phase timings (PipelineTrace top-level
+// spans, from the min-time repetition) for the serial and par+inc modes.
 #include <algorithm>
+#include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_common.hpp"
+#include "src/core/pipeline_trace.hpp"
 #include "src/routing/simulation.hpp"
 #include "src/util/thread_pool.hpp"
 
@@ -24,6 +30,8 @@ struct ModeResult {
   double seconds = 1e30;          // min over repetitions
   std::uint64_t simulations = 0;  // simulation jobs (§5.4 cost unit)
   bool equivalent = true;
+  /// Top-level phase timings of the min-time repetition, path-sorted.
+  std::vector<std::pair<std::string, double>> phase_seconds;
 };
 
 ModeResult run_mode(const confmask::ConfigSet& configs, unsigned workers,
@@ -34,12 +42,34 @@ ModeResult run_mode(const confmask::ConfigSet& configs, unsigned workers,
   for (int rep = 0; rep < repetitions; ++rep) {
     auto options = bench::default_options();
     options.incremental_simulation = incremental;
+    // One trace per repetition (no NDJSON sink — aggregation only), so the
+    // min-time repetition's per-phase breakdown lands in the JSON.
+    PipelineTrace trace;
     const auto outcome = run_confmask(configs, options);
-    result.seconds = std::min(result.seconds, outcome.stats.seconds);
+    if (outcome.stats.seconds < result.seconds) {
+      result.seconds = outcome.stats.seconds;
+      result.phase_seconds.clear();
+      for (const auto& span : trace.metrics()) {
+        if (span.path.find('/') != std::string::npos) continue;  // top level
+        result.phase_seconds.emplace_back(
+            span.path, static_cast<double>(span.total_ns) * 1e-9);
+      }
+    }
     result.simulations = outcome.stats.simulations;
     result.equivalent = result.equivalent && outcome.functionally_equivalent;
   }
   return result;
+}
+
+std::string phases_json(const ModeResult& result) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [path, seconds] : result.phase_seconds) {
+    out += std::string(first ? "" : ", ") + "\"" + path +
+           "\": " + std::to_string(seconds);
+    first = false;
+  }
+  return out + "}";
 }
 
 }  // namespace
@@ -97,7 +127,10 @@ int main() {
             ", \"simulations_incremental\": " +
             std::to_string(par_inc.simulations) +
             ", \"functionally_equivalent\": " +
-            (equivalent ? "true" : "false") + "}";
+            (equivalent ? "true" : "false") +
+            ", \"phases_serial_s\": " + phases_json(serial) +
+            ", \"phases_parallel_incremental_s\": " + phases_json(par_inc) +
+            "}";
     first = false;
   }
   json += "\n  ]\n}\n";

@@ -3,10 +3,18 @@
 //   usage: confmask_cli <input-dir> <output-dir> [--kr N] [--kh N]
 //                       [--p FLOAT] [--seed N] [--fake-routers N] [--pii B]
 //                       [--jobs N] [--diagnostics-json FILE]
+//                       [--trace FILE] [--metrics-json FILE]
 //
 // --jobs N sets the simulation worker-thread count (default: the
 // CONFMASK_JOBS environment variable, else hardware concurrency). Results
 // are bit-identical for any value.
+//
+// --trace FILE streams the run as NDJSON span/event lines
+// (confmask.trace/1); --metrics-json FILE writes the end-of-run metrics
+// summary (confmask.metrics/1: per-phase counters, histograms, timings,
+// pool utilization). Both are written whether the run succeeds or fails
+// closed. The summary's deterministic content (spans/totals/histograms) is
+// identical for any --jobs value; only "timings"/"pool" vary.
 //
 // Reads every *.cfg file in <input-dir> (host configurations are detected
 // by their `ip default-gateway` line), runs the full ConfMask pipeline
@@ -25,11 +33,13 @@
 //
 // Try it on the output of the `research_sharing` example, or generate an
 // input set with `confmask_cli --demo <dir>` which writes the paper's
-// Figure 2 network.
+// Figure 2 network; `--demo <dir> <ID>` (ID in A..H) writes one of the
+// Table 2 evaluation networks instead.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <system_error>
 
@@ -38,6 +48,7 @@
 #include "src/core/confmask.hpp"
 #include "src/core/metrics.hpp"
 #include "src/core/pipeline_runner.hpp"
+#include "src/core/pipeline_trace.hpp"
 #include "src/netgen/networks.hpp"
 #include "src/pii/pii_addon.hpp"
 #include "src/util/thread_pool.hpp"
@@ -51,8 +62,10 @@ int usage() {
   std::fprintf(stderr,
                "usage: confmask_cli <input-dir> <output-dir> [--kr N] "
                "[--kh N] [--p FLOAT] [--seed N] [--fake-routers N] "
-               "[--pii 0|1] [--jobs N] [--diagnostics-json FILE]\n"
-               "       confmask_cli --demo <dir>   (write a demo network)\n");
+               "[--pii 0|1] [--jobs N] [--diagnostics-json FILE] "
+               "[--trace FILE] [--metrics-json FILE]\n"
+               "       confmask_cli --demo <dir> [A-H]   (write a demo "
+               "network: paper Fig 2, or evaluation network A..H)\n");
   return 2;
 }
 
@@ -133,7 +146,24 @@ void write_diagnostics_json(const fs::path& file,
         << ", \"actual_next_hops\": "
         << json_string_array(entry.rhs_next_hops) << "}";
   }
-  out << (diag.divergence.empty() ? "]\n" : "\n  ]\n");
+  out << (diag.divergence.empty() ? "],\n" : "\n  ],\n");
+  // Per-phase span aggregates (populated only when a trace was active);
+  // counts/counters aggregate across all attempts.
+  out << "  \"phases\": [";
+  for (std::size_t i = 0; i < diag.span_metrics.size(); ++i) {
+    const auto& span = diag.span_metrics[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"path\": \""
+        << json_escape(span.path) << "\", \"count\": " << span.count
+        << ", \"total_ns\": " << span.total_ns << ", \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : span.counters) {
+      out << (first ? "" : ", ") << "\"" << json_escape(name)
+          << "\": " << value;
+      first = false;
+    }
+    out << "}}";
+  }
+  out << (diag.span_metrics.empty() ? "]\n" : "\n  ]\n");
   out << "}\n";
 }
 
@@ -148,6 +178,20 @@ void print_fallbacks(const PipelineDiagnostics& diag) {
 
 int main(int argc, char** argv) {
   if (argc >= 3 && std::strcmp(argv[1], "--demo") == 0) {
+    if (argc >= 4) {
+      for (const auto& network : evaluation_networks()) {
+        if (network.id == argv[3]) {
+          write_config_set(network.configs, argv[2]);
+          std::printf("wrote evaluation network %s (%s, %s) to %s\n",
+                      network.id.c_str(), network.name.c_str(),
+                      network.type.c_str(), argv[2]);
+          return 0;
+        }
+      }
+      std::fprintf(stderr, "unknown evaluation network '%s' (want A..H)\n",
+                   argv[3]);
+      return 2;
+    }
     write_config_set(make_figure2(), argv[2]);
     std::printf("wrote demo network (paper Fig 2) to %s\n", argv[2]);
     return 0;
@@ -157,6 +201,8 @@ int main(int argc, char** argv) {
   ConfMaskOptions options;
   bool apply_pii = false;
   std::string diagnostics_json;
+  std::string trace_file;
+  std::string metrics_file;
   for (int i = 3; i < argc; i += 2) {
     if (i + 1 >= argc) {
       std::fprintf(stderr, "missing value for %s\n", argv[i]);
@@ -183,6 +229,10 @@ int main(int argc, char** argv) {
       ThreadPool::configure(static_cast<unsigned>(jobs));
     } else if (std::strcmp(argv[i], "--diagnostics-json") == 0) {
       diagnostics_json = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_file = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      metrics_file = argv[i + 1];
     } else {
       return usage();
     }
@@ -229,11 +279,32 @@ int main(int argc, char** argv) {
   std::printf("read %zu routers, %zu hosts from %s\n",
               original.routers.size(), original.hosts.size(), argv[1]);
 
+  // Observability: install a PipelineTrace when --trace/--metrics-json was
+  // asked for. The NDJSON stream flows while the run happens; the metrics
+  // summary is written below, success or failure.
+  std::ofstream trace_out;
+  if (!trace_file.empty()) {
+    trace_out.open(trace_file);
+    if (!trace_out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_file.c_str());
+      return 1;
+    }
+  }
+  std::unique_ptr<PipelineTrace> trace;
+  if (!trace_file.empty() || !metrics_file.empty()) {
+    PipelineTrace::Options trace_options;
+    if (trace_out.is_open()) trace_options.trace_sink = &trace_out;
+    trace = std::make_unique<PipelineTrace>(trace_options);
+  }
+
   // Anonymize under the guarded runner: retries/fallbacks are automatic
   // and verification failure can never fail open into written configs.
   const auto guarded = run_pipeline_guarded(original, options);
   const auto& diag = guarded.diagnostics;
   if (!diagnostics_json.empty()) write_diagnostics_json(diagnostics_json, diag);
+  if (!metrics_file.empty()) {
+    std::ofstream(metrics_file) << trace->metrics_json(true);
+  }
   print_fallbacks(diag);
 
   if (!guarded.ok()) {

@@ -6,6 +6,7 @@
 #include "src/core/errors.hpp"
 #include "src/core/node_addition.hpp"
 #include "src/core/original_index.hpp"
+#include "src/core/pipeline_trace.hpp"
 #include "src/core/route_anonymity.hpp"
 #include "src/core/route_equivalence.hpp"
 #include "src/core/strawman.hpp"
@@ -21,18 +22,35 @@ PipelineResult run_pipeline(const ConfigSet& original,
   const auto start = std::chrono::steady_clock::now();
   const std::uint64_t runs_before = Simulation::total_runs();
 
+  // Per-stage simulation-job deltas for the phase spans (§5.4 cost unit).
+  std::uint64_t sims_mark = runs_before;
+  const auto sims_since_mark = [&sims_mark] {
+    const std::uint64_t now = Simulation::total_runs();
+    const std::uint64_t delta = now - sims_mark;
+    sims_mark = now;
+    return delta;
+  };
+
   PipelineResult result;
   result.anonymized = original;
   result.stats.original_lines = config_set_line_stats(original);
 
   // Preprocessing: simulate the original network once and snapshot the
   // baseline (topology, FIBs, data plane, IGP distances).
+  auto preprocess_span = PipelineTrace::begin("preprocess");
   const OriginalIndex index =
       run_stage(PipelineStage::kPreprocess, [&] {
         const Simulation sim(original);
         return OriginalIndex(sim);
       });
   result.original_dp = index.data_plane();
+  if (preprocess_span) {
+    preprocess_span.add("routers", original.routers.size());
+    preprocess_span.add("hosts", original.hosts.size());
+    preprocess_span.add("flows", result.original_dp.flows.size());
+    preprocess_span.add("simulations", sims_since_mark());
+  }
+  preprocess_span.end();
 
   PrefixAllocator allocator(
       options.link_pool.value_or(PrefixAllocator::default_link_pool()),
@@ -45,6 +63,7 @@ PipelineResult run_pipeline(const ConfigSet& original,
   // Step 0 (extension, §9): network-scale obfuscation via fake routers,
   // before Step 1 so their degrees are k-anonymized too.
   if (options.fake_routers > 0) {
+    auto span = PipelineTrace::begin("node_addition");
     run_stage(PipelineStage::kNodeAddition, [&] {
       NodeAdditionOptions node_options;
       node_options.fake_routers = options.fake_routers;
@@ -53,17 +72,29 @@ PipelineResult run_pipeline(const ConfigSet& original,
                                           node_options, rng, allocator);
       result.fake_routers = nodes.fake_routers;
     });
+    if (span) {
+      span.add("fake_routers", result.fake_routers.size());
+      span.add("simulations", sims_since_mark());
+    }
   }
 
-  // Step 1: topology anonymization.
+  // Step 1: topology anonymization (k-degree).
+  auto topo_span = PipelineTrace::begin("topology_anon");
   const auto topo_outcome = run_stage(PipelineStage::kTopologyAnon, [&] {
     return anonymize_topology(result.anonymized, options.k_r,
                               options.cost_policy, rng, allocator);
   });
   result.stats.fake_intra_links = topo_outcome.intra_as_links.size();
   result.stats.fake_inter_links = topo_outcome.inter_as_links.size();
+  if (topo_span) {
+    topo_span.add("fake_intra_links", result.stats.fake_intra_links);
+    topo_span.add("fake_inter_links", result.stats.fake_inter_links);
+    topo_span.add("simulations", sims_since_mark());
+  }
+  topo_span.end();
 
   // Step 2.1: route equivalence.
+  auto equivalence_span = PipelineTrace::begin("route_equivalence");
   const RouteEquivalenceOutcome equivalence =
       run_stage(PipelineStage::kRouteEquivalence, [&] {
         switch (strategy) {
@@ -81,11 +112,19 @@ PipelineResult run_pipeline(const ConfigSet& original,
   result.stats.equivalence_iterations = equivalence.iterations;
   result.stats.equivalence_filters = equivalence.filters_added;
   result.equivalence_converged = equivalence.converged;
+  if (equivalence_span) {
+    equivalence_span.add("iterations", equivalence.iterations);
+    equivalence_span.add("filters_added", equivalence.filters_added);
+    equivalence_span.add("converged", equivalence.converged ? 1 : 0);
+    equivalence_span.add("simulations", sims_since_mark());
+  }
+  equivalence_span.end();
 
   // Step 2.2: route anonymity. In incremental mode Algorithm 2 hands back
   // the simulation matching its final config state, sparing verification a
   // from-scratch rebuild.
   std::unique_ptr<Simulation> final_simulation;
+  auto anonymity_span = PipelineTrace::begin("route_anonymity");
   run_stage(PipelineStage::kRouteAnonymity, [&] {
     result.fake_hosts =
         add_fake_hosts(result.anonymized, index, options.k_h, allocator);
@@ -96,9 +135,18 @@ PipelineResult run_pipeline(const ConfigSet& original,
     result.stats.anonymity_filters = anonymity.filters_added;
     result.stats.anonymity_rollbacks = anonymity.filters_rolled_back;
   });
+  if (anonymity_span) {
+    anonymity_span.add("fake_hosts", result.stats.fake_hosts);
+    anonymity_span.add("filters_kept", result.stats.anonymity_filters);
+    anonymity_span.add("filters_rolled_back",
+                       result.stats.anonymity_rollbacks);
+    anonymity_span.add("simulations", sims_since_mark());
+  }
+  anonymity_span.end();
 
   // Final verification: the anonymized data plane over real hosts must be
   // EXACTLY the original data plane.
+  auto verification_span = PipelineTrace::begin("verification");
   run_stage(PipelineStage::kVerification, [&] {
     if (final_simulation != nullptr) {
       result.anonymized_dp = final_simulation->extract_data_plane();
@@ -122,6 +170,13 @@ PipelineResult run_pipeline(const ConfigSet& original,
   result.functionally_equivalent =
       result.anonymized_dp.equals_restricted(result.original_dp,
                                              index.real_hosts());
+  if (verification_span) {
+    verification_span.add("flows_compared", result.anonymized_dp.flows.size());
+    verification_span.add("equivalent",
+                          result.functionally_equivalent ? 1 : 0);
+    verification_span.add("simulations", sims_since_mark());
+  }
+  verification_span.end();
 
   result.stats.anonymized_lines = config_set_line_stats(result.anonymized);
   result.stats.simulations = Simulation::total_runs() - runs_before;

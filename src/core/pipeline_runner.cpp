@@ -69,6 +69,12 @@ GuardedPipelineResult run_pipeline_guarded(const ConfigSet& original,
   int pool_expansions = 0;
 
   const auto record = [&](FallbackKind kind, std::string detail) {
+    // Fallback rungs are point events on the trace stream (not spans):
+    // stage span paths stay identical whether a run took one attempt or
+    // ten, so metrics diffs across configurations remain meaningful.
+    if (PipelineTrace* trace = PipelineTrace::active()) {
+      trace->event(std::string("fallback.") + to_string(kind), detail);
+    }
     diag.fallbacks.push_back(
         FallbackEvent{kind, diag.attempts, std::move(detail)});
   };
@@ -128,12 +134,21 @@ GuardedPipelineResult run_pipeline_guarded(const ConfigSet& original,
     diag.category = category;
     diag.message = std::move(message);
     diag.context = std::move(context);
+    if (PipelineTrace* trace = PipelineTrace::active()) {
+      trace->event("pipeline_failed", diag.message);
+      diag.span_metrics = trace->metrics();
+    }
     out.effective_options = opts;
     return out;
   };
 
   while (diag.attempts < policy.max_attempts) {
     ++diag.attempts;
+    if (PipelineTrace* trace = PipelineTrace::active()) {
+      trace->event("attempt_begin",
+                   "attempt " + std::to_string(diag.attempts) + ", seed " +
+                       std::to_string(opts.seed));
+    }
     PipelineResult result;
     try {
       result = run_pipeline(original, opts, strategy);
@@ -201,6 +216,11 @@ GuardedPipelineResult run_pipeline_guarded(const ConfigSet& original,
     diag.stage = PipelineStage::kVerification;
     diag.category = ErrorCategory::kInternal;  // unused on success
     diag.message = "verified functionally equivalent";
+    if (PipelineTrace* trace = PipelineTrace::active()) {
+      trace->event("pipeline_verified",
+                   "attempts " + std::to_string(diag.attempts));
+      diag.span_metrics = trace->metrics();
+    }
     out.effective_options = opts;
     out.result = std::move(result);
     return out;

@@ -32,6 +32,7 @@
 
 #include "src/core/confmask.hpp"
 #include "src/core/errors.hpp"
+#include "src/core/pipeline_trace.hpp"
 #include "src/routing/dataplane.hpp"
 
 namespace confmask {
@@ -87,6 +88,12 @@ struct PipelineDiagnostics {
   int attempts = 0;  ///< pipeline runs performed (≥ 1)
   std::vector<FallbackEvent> fallbacks;
   std::vector<DataPlaneDiffEntry> divergence;
+  /// Per-phase span aggregates from the active PipelineTrace, captured at
+  /// exit (success or failure). Empty when no trace was installed. Counts
+  /// aggregate across ALL attempts — the stage paths are identical whether
+  /// the run needed one attempt or ten (attempt boundaries are NDJSON
+  /// `event` lines, not spans, so path taxonomy stays uniform).
+  std::vector<SpanMetrics> span_metrics;
 };
 
 struct GuardedPipelineResult {

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/core/filters.hpp"
+#include "src/core/pipeline_trace.hpp"
 #include "src/routing/simulation.hpp"
 #include "src/util/thread_pool.hpp"
 
@@ -135,11 +136,14 @@ RouteAnonymityOutcome anonymize_routes(
   // part of the seeded contract.
   std::map<std::pair<int, int>, std::vector<int>> added;  // (r, fh) -> links
   SimulationDelta delta;  // filter edits since `current` was built
+  auto noise_span = PipelineTrace::begin("noise_pass");
+  std::uint64_t fib_entries_scanned = 0;
   for (int r = 0; r < topo.router_count(); ++r) {
     for (int fh : fake_nodes) {
       const auto* host_config =
           configs.hosts.data() + topo.node(fh).config_index;
       for (const NextHop& hop : current->fib(r, fh)) {
+        ++fib_entries_scanned;
         if (hop.neighbor == fh) continue;
         if (!rng.chance(noise_p)) continue;
         if (add_route_filter(configs, topo, r, topo.link(hop.link),
@@ -150,6 +154,12 @@ RouteAnonymityOutcome anonymize_routes(
       }
     }
   }
+  if (noise_span) {
+    noise_span.add("fib_entries_scanned", fib_entries_scanned);
+    noise_span.add("filters_added", delta.changes.size());
+    PipelineTrace::record("anonymity_dirty_set", delta.changes.size());
+  }
+  noise_span.end();
 
   // Rollback rounds: remove any filter set that took a previously
   // reachable fake host out of reach (DstH_old \ DstH_new), re-simulating
@@ -159,9 +169,19 @@ RouteAnonymityOutcome anonymize_routes(
   // are recomputed.
   constexpr int kMaxRollbackRounds = 16;
   for (int round = 0; round < kMaxRollbackRounds && !added.empty(); ++round) {
+    auto round_span = PipelineTrace::begin("rollback_round");
     current = incremental
                   ? std::make_unique<Simulation>(configs, *current, delta)
                   : std::make_unique<Simulation>(configs);
+    if (round_span) {
+      const IncrementalStats& inc = current->incremental_stats();
+      round_span.add("destinations_reused",
+                     static_cast<std::uint64_t>(inc.destinations_reused));
+      round_span.add("destinations_recomputed",
+                     static_cast<std::uint64_t>(inc.destinations_recomputed));
+      round_span.add("dirty_prefixes", delta.changes.size());
+      PipelineTrace::record("anonymity_dirty_set", delta.changes.size());
+    }
     delta.clear();
 
     // Fake hosts still carrying filters, for this round's batched sweeps.
@@ -183,6 +203,7 @@ RouteAnonymityOutcome anonymize_routes(
     }
 
     bool rolled_back = false;
+    const int rolled_back_before = outcome.filters_rolled_back;
     for (auto it = added.begin(); it != added.end();) {
       const auto [r, fh] = it->first;
       if (reachable_before[fake_index[fh]][static_cast<std::size_t>(r)] == 0 ||
@@ -201,6 +222,12 @@ RouteAnonymityOutcome anonymize_routes(
       }
       it = added.erase(it);
       rolled_back = true;
+    }
+    if (round_span) {
+      round_span.add("pending_hosts", pending.size());
+      round_span.add("filters_rolled_back",
+                     static_cast<std::uint64_t>(outcome.filters_rolled_back -
+                                                rolled_back_before));
     }
     if (!rolled_back) break;
   }

@@ -4,6 +4,7 @@
 
 #include "src/core/errors.hpp"
 #include "src/core/filters.hpp"
+#include "src/core/pipeline_trace.hpp"
 #include "src/routing/simulation.hpp"
 #include "src/util/fault_points.hpp"
 
@@ -20,13 +21,25 @@ RouteEquivalenceOutcome enforce_route_equivalence(ConfigSet& configs,
   // it just added.
   std::unique_ptr<Simulation> simulation;
   for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    // One child span per Algorithm 1 iteration (aggregated under
+    // "route_equivalence/iteration"): FIB entries scanned, filters added,
+    // and what the incremental rebuild feeding this iteration reused.
+    auto iteration_span = PipelineTrace::begin("iteration");
     if (simulation == nullptr) simulation = std::make_unique<Simulation>(configs);
     const Simulation& sim = *simulation;
     const Topology& topo = sim.topology();
     ++outcome.iterations;
+    if (iteration_span) {
+      const IncrementalStats& inc = sim.incremental_stats();
+      iteration_span.add("destinations_reused",
+                         static_cast<std::uint64_t>(inc.destinations_reused));
+      iteration_span.add("destinations_recomputed",
+                         static_cast<std::uint64_t>(inc.destinations_recomputed));
+    }
 
     SimulationDelta delta;
     int added = 0;
+    std::uint64_t fib_entries_scanned = 0;
     for (int r = 0; r < topo.router_count(); ++r) {
       const std::string& router_name = topo.node(r).name;
       // Fake routers (node-addition extension) never carry real transit —
@@ -40,6 +53,7 @@ RouteEquivalenceOutcome enforce_route_equivalence(ConfigSet& configs,
         // fake-host routes are Step 2.2's raw material.
         if (index.real_hosts().count(host_name) == 0) continue;
         for (const NextHop& hop : sim.fib(r, host)) {
+          ++fib_entries_scanned;
           if (!topo.is_router(hop.neighbor)) continue;  // delivery
           const std::string& next_name = topo.node(hop.neighbor).name;
           // Line 3 of Algorithm 1: nxt ∉ DP[r̃, h̃_d] ∧ (r̃, nxt) ∉ E.
@@ -71,6 +85,13 @@ RouteEquivalenceOutcome enforce_route_equivalence(ConfigSet& configs,
       }
     }
     outcome.filters_added += added;
+    if (iteration_span) {
+      iteration_span.add("fib_entries_scanned", fib_entries_scanned);
+      iteration_span.add("filters_added", static_cast<std::uint64_t>(added));
+      iteration_span.add("dirty_prefixes", delta.changes.size());
+      PipelineTrace::record("equivalence_dirty_set", delta.changes.size());
+    }
+    iteration_span.end();
     if (added == 0) {
       outcome.converged = true;
       break;

@@ -3,6 +3,8 @@
 #if defined(CONFMASK_FAULT_INJECTION)
 
 #include <atomic>
+#include <charconv>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -19,8 +21,11 @@ std::map<std::string, int, std::less<>> g_armed;
 std::atomic<bool> g_any_armed{false};
 bool g_env_loaded = false;
 
-/// Parses CONFMASK_FAULTS="point=count,point=count" once. Malformed pairs
-/// are ignored — this is a test-only channel, not an input surface.
+/// Parses CONFMASK_FAULTS="point=count,point=count" once. A malformed pair
+/// (no '=', empty name, non-numeric or trailing-junk count) is reported on
+/// stderr and skipped — a misspelled fault spec silently dropped would make
+/// a "the fault never fired" test pass vacuously. An explicit count <= 0 is
+/// a valid spelling of "disarmed" and stays silent.
 void load_env_locked() {
   if (g_env_loaded) return;
   g_env_loaded = true;
@@ -32,9 +37,21 @@ void load_env_locked() {
     const std::string_view pair = rest.substr(0, comma);
     rest = comma == std::string_view::npos ? std::string_view{}
                                            : rest.substr(comma + 1);
+    if (pair.empty()) continue;
     const std::size_t eq = pair.find('=');
-    if (eq == std::string_view::npos || eq == 0) continue;
-    const int count = std::atoi(std::string(pair.substr(eq + 1)).c_str());
+    int count = 0;
+    const char* count_begin = pair.data() + (eq + 1);
+    const char* count_end = pair.data() + pair.size();
+    const auto parsed =
+        eq == std::string_view::npos || eq == 0
+            ? std::from_chars_result{count_begin, std::errc::invalid_argument}
+            : std::from_chars(count_begin, count_end, count);
+    if (parsed.ec != std::errc{} || parsed.ptr != count_end) {
+      std::fprintf(stderr,
+                   "CONFMASK_FAULTS: ignoring malformed pair '%.*s'\n",
+                   static_cast<int>(pair.size()), pair.data());
+      continue;
+    }
     if (count > 0) {
       g_armed[std::string(pair.substr(0, eq))] = count;
       g_any_armed.store(true, std::memory_order_relaxed);
@@ -60,6 +77,14 @@ void disarm_all() {
   g_env_loaded = true;  // an explicit reset also discards env armings
   g_armed.clear();
   g_any_armed.store(false, std::memory_order_relaxed);
+}
+
+void reload_env_for_testing() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_armed.clear();
+  g_any_armed.store(false, std::memory_order_relaxed);
+  g_env_loaded = false;
+  load_env_locked();
 }
 
 bool fire(std::string_view point) {

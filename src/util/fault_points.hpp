@@ -50,10 +50,16 @@ bool fire(std::string_view point);
 /// Remaining fire count for `point` (0 if disarmed).
 [[nodiscard]] int remaining(std::string_view point);
 
+/// Discards all armings and re-reads CONFMASK_FAULTS from the current
+/// environment. The env var is normally parsed once per process; tests of
+/// the parsing itself need to re-trigger it after setenv().
+void reload_env_for_testing();
+
 #else  // fault injection compiled out: hooks vanish entirely.
 
 inline void arm(std::string_view, int) {}
 inline void disarm_all() {}
+inline void reload_env_for_testing() {}
 inline constexpr bool fire(std::string_view) { return false; }
 [[nodiscard]] inline constexpr int remaining(std::string_view) { return 0; }
 

@@ -16,6 +16,11 @@ std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
     const char* end = text.data() + text.size();
     auto [ptr, ec] = std::from_chars(begin, end, value);
     if (ec != std::errc{} || ptr == begin || value > 255) return std::nullopt;
+    // Router-config semantics: octets are plain decimals of at most three
+    // digits, and "010" is not a spelling of 10 (some stacks read leading
+    // zeros as octal — safest to reject outright).
+    const auto digits = static_cast<std::size_t>(ptr - begin);
+    if (digits > 3 || (digits > 1 && *begin == '0')) return std::nullopt;
     octets[static_cast<std::size_t>(i)] = value;
     pos = static_cast<std::size_t>(ptr - text.data());
     if (i < 3) {
@@ -112,6 +117,12 @@ bool Ipv4Prefix::overlaps(const Ipv4Prefix& other) const {
 }
 
 Ipv4Address Ipv4Prefix::host(std::uint32_t index) const {
+  // An index wider than the host-bit count would OR into a neighboring
+  // prefix and silently alias another network's address space.
+  if (length_ > 0 && (index >> (32 - length_)) != 0) {
+    throw std::out_of_range("host index " + std::to_string(index) +
+                            " out of range for " + str());
+  }
   return Ipv4Address{network_.bits() | index};
 }
 

@@ -26,7 +26,9 @@ class Ipv4Address {
               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
 
   /// Parses dotted-quad notation ("10.0.0.1"). Returns nullopt on any
-  /// malformed input (wrong number of octets, octet > 255, junk characters).
+  /// malformed input (wrong number of octets, octet > 255, junk
+  /// characters, leading-zero or >3-digit octets — "010.0.0.1" is
+  /// rejected to match router-config semantics).
   static std::optional<Ipv4Address> parse(std::string_view text);
 
   [[nodiscard]] constexpr std::uint32_t bits() const { return bits_; }
@@ -76,6 +78,8 @@ class Ipv4Prefix {
   [[nodiscard]] bool overlaps(const Ipv4Prefix& other) const;
 
   /// The i-th host address inside this prefix (0 = network address).
+  /// Throws std::out_of_range when `index` does not fit in the host bits
+  /// (it would otherwise wrap into a neighboring prefix).
   [[nodiscard]] Ipv4Address host(std::uint32_t index) const;
 
   [[nodiscard]] std::string str() const;

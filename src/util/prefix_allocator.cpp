@@ -39,15 +39,19 @@ bool PrefixAllocator::in_use(const Ipv4Prefix& prefix) const {
 }
 
 Ipv4Prefix PrefixAllocator::allocate(Ipv4Prefix pool, int length,
-                                     std::uint32_t& cursor) {
+                                     std::uint64_t& cursor) {
   if (faults::fire(faults::kPrefixPoolExhausted)) {
     throw PrefixPoolExhausted(pool, length, allocation_count_);
   }
-  const std::uint32_t step = 1u << (32 - length);
-  const std::uint32_t capacity = 1u << (32 - pool.length());
+  // 64-bit arithmetic throughout: `1u << (32 - length)` is UB for a /0
+  // pool (shift by 32), and a /0 pool's capacity (2^32) does not fit in
+  // 32 bits at all.
+  const std::uint64_t step = std::uint64_t{1} << (32 - length);
+  const std::uint64_t capacity = std::uint64_t{1} << (32 - pool.length());
   while (cursor < capacity) {
-    const Ipv4Prefix candidate{Ipv4Address{pool.network().bits() + cursor},
-                               length};
+    const Ipv4Prefix candidate{
+        Ipv4Address{pool.network().bits() + static_cast<std::uint32_t>(cursor)},
+        length};
     cursor += step;
     if (!in_use(candidate)) {
       used_.push_back(candidate);

@@ -70,12 +70,13 @@ class PrefixAllocator {
   Ipv4Prefix allocate_host_lan();
 
  private:
-  Ipv4Prefix allocate(Ipv4Prefix pool, int length, std::uint32_t& cursor);
+  Ipv4Prefix allocate(Ipv4Prefix pool, int length, std::uint64_t& cursor);
 
   Ipv4Prefix link_pool_;
   Ipv4Prefix host_pool_;
-  std::uint32_t link_cursor_ = 0;
-  std::uint32_t host_cursor_ = 0;
+  // 64-bit: a /0 pool holds 2^32 addresses, one past std::uint32_t's range.
+  std::uint64_t link_cursor_ = 0;
+  std::uint64_t host_cursor_ = 0;
   std::size_t allocation_count_ = 0;
   std::vector<Ipv4Prefix> used_;
 };

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <memory>
 
+#include "src/util/observability.hpp"
+
 namespace confmask {
 
 namespace {
@@ -15,7 +17,17 @@ thread_local bool t_inside_pool_body = false;
 std::mutex g_shared_mutex;
 std::unique_ptr<ThreadPool> g_shared_pool;
 
+std::atomic<bool> g_idle_tracking{false};
+
 }  // namespace
+
+void ThreadPool::set_idle_tracking(bool enabled) {
+  g_idle_tracking.store(enabled, std::memory_order_relaxed);
+}
+
+bool ThreadPool::idle_tracking() {
+  return g_idle_tracking.load(std::memory_order_relaxed);
+}
 
 unsigned ThreadPool::default_workers() {
   if (const char* env = std::getenv("CONFMASK_JOBS")) {
@@ -39,9 +51,16 @@ void ThreadPool::configure(unsigned workers) {
 
 ThreadPool::ThreadPool(unsigned workers) {
   if (workers == 0) workers = default_workers();
+  worker_tasks_ = std::make_unique<std::atomic<std::uint64_t>[]>(workers);
+  worker_idle_ns_ = std::make_unique<std::atomic<std::uint64_t>[]>(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    worker_tasks_[i].store(0, std::memory_order_relaxed);
+    worker_idle_ns_[i].store(0, std::memory_order_relaxed);
+  }
   threads_.reserve(workers - 1);
   for (unsigned i = 0; i + 1 < workers; ++i) {
-    threads_.emplace_back([this](std::stop_token stop) { worker_loop(stop); });
+    threads_.emplace_back(
+        [this, i](std::stop_token stop) { worker_loop(i, stop); });
   }
 }
 
@@ -57,11 +76,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::drain(const std::function<void(std::size_t)>& body,
-                       std::size_t n) {
+                       std::size_t n, std::size_t worker) {
   t_inside_pool_body = true;
+  std::uint64_t executed = 0;
   for (;;) {
     const std::size_t index = next_.fetch_add(1, std::memory_order_relaxed);
     if (index >= n) break;
+    ++executed;
     try {
       body(index);
     } catch (...) {
@@ -70,13 +91,20 @@ void ThreadPool::drain(const std::function<void(std::size_t)>& body,
     }
   }
   t_inside_pool_body = false;
+  if (executed != 0) {
+    worker_tasks_[worker].fetch_add(executed, std::memory_order_relaxed);
+  }
 }
 
-void ThreadPool::worker_loop(std::stop_token stop) {
+void ThreadPool::worker_loop(std::size_t worker, std::stop_token stop) {
   std::uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(std::size_t)>* body = nullptr;
     std::size_t n = 0;
+    // Idle accounting is opt-in (observability): measure the whole wait,
+    // spurious wakeups included — that time is idle either way.
+    const std::uint64_t wait_start =
+        idle_tracking() ? obs::monotonic_ns() : 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_start_.wait(lock, stop,
@@ -86,7 +114,11 @@ void ThreadPool::worker_loop(std::stop_token stop) {
       body = body_;
       n = n_;
     }
-    drain(*body, n);
+    if (wait_start != 0) {
+      worker_idle_ns_[worker].fetch_add(obs::monotonic_ns() - wait_start,
+                                        std::memory_order_relaxed);
+    }
+    drain(*body, n, worker);
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (--active_ == 0) cv_done_.notify_all();
@@ -94,13 +126,30 @@ void ThreadPool::worker_loop(std::stop_token stop) {
   }
 }
 
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats out;
+  out.batches = batches_.load(std::memory_order_relaxed);
+  const std::size_t workers = threads_.size() + 1;
+  out.workers.resize(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    out.workers[i].tasks = worker_tasks_[i].load(std::memory_order_relaxed);
+    out.workers[i].idle_ns =
+        worker_idle_ns_[i].load(std::memory_order_relaxed);
+    out.tasks += out.workers[i].tasks;
+  }
+  return out;
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+  batches_.fetch_add(1, std::memory_order_relaxed);
   // Serial fast path: a single-worker pool, a single-element batch, or a
   // nested call from inside a body. Identical results by construction.
   if (threads_.empty() || n == 1 || t_inside_pool_body) {
     for (std::size_t i = 0; i < n; ++i) body(i);
+    // Attribute serial/nested work to the calling-thread slot.
+    worker_tasks_[threads_.size()].fetch_add(n, std::memory_order_relaxed);
     return;
   }
   {
@@ -113,7 +162,7 @@ void ThreadPool::parallel_for(std::size_t n,
     ++generation_;
   }
   cv_start_.notify_all();
-  drain(body, n);  // the caller is a worker too
+  drain(body, n, threads_.size());  // the caller is a worker too
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(mutex_);

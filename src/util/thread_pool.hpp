@@ -23,11 +23,29 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace confmask {
+
+/// Cumulative utilization counters of one pool since its construction.
+/// `workers` has one entry per worker; the LAST entry is the calling
+/// thread (which participates in every parallel_for). Task counts are
+/// always maintained (one relaxed atomic add per worker per batch);
+/// idle_ns is only accumulated while ThreadPool::set_idle_tracking(true)
+/// is in effect (the observability layer enables it for traced runs) so
+/// untraced runs never touch the clock.
+struct ThreadPoolStats {
+  struct Worker {
+    std::uint64_t tasks = 0;    ///< parallel_for indices this worker ran
+    std::uint64_t idle_ns = 0;  ///< time spent waiting for a batch
+  };
+  std::uint64_t batches = 0;  ///< parallel_for calls (including serial path)
+  std::uint64_t tasks = 0;    ///< total indices executed
+  std::vector<Worker> workers;
+};
 
 class ThreadPool {
  public:
@@ -62,9 +80,20 @@ class ThreadPool {
   /// intended for startup (--jobs) and test setup.
   static void configure(unsigned workers);
 
+  /// Snapshot of the cumulative utilization counters. Exact once all
+  /// batches have drained (parallel_for returned).
+  [[nodiscard]] ThreadPoolStats stats() const;
+
+  /// Process-global switch for per-worker idle-time accounting (two
+  /// steady_clock reads per worker per batch). Off by default so untraced
+  /// runs pay nothing; PipelineTrace flips it on for its lifetime.
+  static void set_idle_tracking(bool enabled);
+  [[nodiscard]] static bool idle_tracking();
+
  private:
-  void worker_loop(std::stop_token stop);
-  void drain(const std::function<void(std::size_t)>& body, std::size_t n);
+  void worker_loop(std::size_t worker, std::stop_token stop);
+  void drain(const std::function<void(std::size_t)>& body, std::size_t n,
+             std::size_t worker);
 
   std::mutex mutex_;
   std::condition_variable_any cv_start_;
@@ -75,6 +104,11 @@ class ThreadPool {
   std::size_t active_ = 0;       // workers still draining the current batch
   std::uint64_t generation_ = 0;  // bumped per batch to wake the workers
   std::exception_ptr error_;
+  // Utilization counters, one slot per worker (last = calling thread).
+  // Plain arrays of atomics: each worker writes only its own slot.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> worker_tasks_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> worker_idle_ns_;
+  std::atomic<std::uint64_t> batches_{0};
   std::vector<std::jthread> threads_;
 };
 

@@ -7,6 +7,9 @@
 //   (c) injected verification divergence makes run_pipeline_guarded fail
 //       CLOSED — an error with non-empty DataPlane::diff diagnostics and no
 //       anonymized configs.
+#include <cstdlib>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "src/core/pipeline_runner.hpp"
@@ -58,6 +61,46 @@ TEST(FaultRegistry, InjectedExhaustionThrowsTypedError) {
   PrefixAllocator allocator;
   EXPECT_THROW((void)allocator.allocate_link(), PrefixPoolExhausted);
   EXPECT_NO_THROW((void)allocator.allocate_link());
+}
+
+// CONFMASK_FAULTS env parsing: well-formed pairs arm; malformed pairs are
+// reported on stderr and skipped (previously std::atoi mapped "abc" to 0
+// and dropped misspelled fault specs without a word).
+TEST(FaultRegistry, EnvParsingArmsWellFormedPairs) {
+  ::setenv("CONFMASK_FAULTS", "confmask.test.a=2,confmask.test.b=1", 1);
+  faults::reload_env_for_testing();
+  EXPECT_EQ(faults::remaining("confmask.test.a"), 2);
+  EXPECT_EQ(faults::remaining("confmask.test.b"), 1);
+  EXPECT_TRUE(faults::fire("confmask.test.a"));
+  ::unsetenv("CONFMASK_FAULTS");
+  faults::disarm_all();
+}
+
+TEST(FaultRegistry, EnvParsingRejectsMalformedPairsLoudly) {
+  ::setenv("CONFMASK_FAULTS",
+           "parse=abc,=3,noequals,confmask.test.ok=2,trail=2x,confmask.test."
+           "zero=0,confmask.test.neg=-1",
+           1);
+  ::testing::internal::CaptureStderr();
+  faults::reload_env_for_testing();
+  const std::string stderr_text = ::testing::internal::GetCapturedStderr();
+  // The one well-formed positive pair is armed...
+  EXPECT_EQ(faults::remaining("confmask.test.ok"), 2);
+  // ...malformed counts arm nothing...
+  EXPECT_EQ(faults::remaining("parse"), 0);
+  EXPECT_EQ(faults::remaining("trail"), 0);
+  // ...and each malformed pair is called out by name.
+  EXPECT_NE(stderr_text.find("parse=abc"), std::string::npos) << stderr_text;
+  EXPECT_NE(stderr_text.find("=3"), std::string::npos);
+  EXPECT_NE(stderr_text.find("noequals"), std::string::npos);
+  EXPECT_NE(stderr_text.find("trail=2x"), std::string::npos);
+  // Explicit zero/negative counts are valid spellings of "disarmed": no
+  // arming, no warning.
+  EXPECT_EQ(faults::remaining("confmask.test.zero"), 0);
+  EXPECT_EQ(stderr_text.find("confmask.test.zero"), std::string::npos);
+  EXPECT_EQ(stderr_text.find("confmask.test.neg"), std::string::npos);
+  ::unsetenv("CONFMASK_FAULTS");
+  faults::disarm_all();
 }
 
 // (a) rung 1: an injected infeasible k-degree sequence on the first run is

@@ -1,5 +1,7 @@
 #include "src/util/ipv4.hpp"
 
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 namespace confmask {
@@ -26,6 +28,26 @@ TEST(Ipv4Address, RejectsMalformedInput) {
   EXPECT_FALSE(Ipv4Address::parse("10.0.0.1x").has_value());
   EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").has_value());
   EXPECT_FALSE(Ipv4Address::parse("10..0.1").has_value());
+}
+
+TEST(Ipv4Address, RejectsLeadingZeroOctets) {
+  // "010" is octal 8 on some stacks and decimal 10 on others; router-config
+  // semantics reject the spelling outright.
+  EXPECT_FALSE(Ipv4Address::parse("010.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("10.0.0.01").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("10.00.0.1").has_value());
+  // A single "0" octet is still fine.
+  EXPECT_TRUE(Ipv4Address::parse("0.0.0.0").has_value());
+  EXPECT_TRUE(Ipv4Address::parse("10.0.0.1").has_value());
+}
+
+TEST(Ipv4Address, RejectsParserEdgeCases) {
+  EXPECT_FALSE(Ipv4Address::parse(".10.0.0.1").has_value());   // empty octet
+  EXPECT_FALSE(Ipv4Address::parse("10.0..1").has_value());     // empty octet
+  EXPECT_FALSE(Ipv4Address::parse("10.0.0.1.").has_value());   // trailing dot
+  EXPECT_FALSE(Ipv4Address::parse("10.0.0.").has_value());     // trailing dot
+  EXPECT_FALSE(Ipv4Address::parse("10.0.0.0001").has_value()); // >3 digits
+  EXPECT_FALSE(Ipv4Address::parse("1000.0.0.1").has_value());  // >3 digits
 }
 
 TEST(Ipv4Address, ClassfulLengths) {
@@ -104,6 +126,24 @@ TEST(Ipv4Prefix, HostIndexing) {
   const auto lan = *Ipv4Prefix::parse("10.128.3.0/24");
   EXPECT_EQ(lan.host(1).str(), "10.128.3.1");
   EXPECT_EQ(lan.host(10).str(), "10.128.3.10");
+}
+
+TEST(Ipv4Prefix, HostIndexOutOfRangeThrows) {
+  // An index wider than the host bits used to OR into the NEXT prefix
+  // (10.128.3.0/24 host(256) == 10.128.2.0/24's space corrupted) — now it
+  // throws instead of silently aliasing a neighbor.
+  const auto lan = *Ipv4Prefix::parse("10.128.3.0/24");
+  EXPECT_EQ(lan.host(255).str(), "10.128.3.255");
+  EXPECT_THROW((void)lan.host(256), std::out_of_range);
+  const auto p2p = *Ipv4Prefix::parse("10.0.0.2/31");
+  EXPECT_EQ(p2p.host(1).str(), "10.0.0.3");
+  EXPECT_THROW((void)p2p.host(2), std::out_of_range);
+  const auto host_route = *Ipv4Prefix::parse("10.0.0.7/32");
+  EXPECT_EQ(host_route.host(0).str(), "10.0.0.7");
+  EXPECT_THROW((void)host_route.host(1), std::out_of_range);
+  // /0 has 32 host bits: every index is in range.
+  const Ipv4Prefix any{Ipv4Address{0u}, 0};
+  EXPECT_EQ(any.host(0xFFFFFFFFu).str(), "255.255.255.255");
 }
 
 TEST(Ipv4Prefix, ZeroLengthMatchesEverything) {

@@ -124,6 +124,25 @@ TEST(PrefixAllocator, AllocationsAreDisjoint) {
   }
 }
 
+TEST(PrefixAllocator, AllocatesFromZeroLengthPool) {
+  // Regression: capacity was computed as `1u << (32 - pool.length())`,
+  // which for a /0 pool shifts a 32-bit value by 32 — undefined behavior
+  // that in practice yielded capacity 1 and spurious exhaustion.
+  PrefixAllocator alloc(*Ipv4Prefix::parse("0.0.0.0/0"),
+                        *Ipv4Prefix::parse("128.0.0.0/1"));
+  const auto link1 = alloc.allocate_link();
+  const auto link2 = alloc.allocate_link();
+  EXPECT_EQ(link1.length(), 31);
+  EXPECT_EQ(link2.length(), 31);
+  EXPECT_FALSE(link1.overlaps(link2));
+  const auto lan1 = alloc.allocate_host_lan();
+  const auto lan2 = alloc.allocate_host_lan();
+  EXPECT_EQ(lan1.length(), 24);
+  EXPECT_TRUE(Ipv4Prefix::parse("128.0.0.0/1")->contains(lan1));
+  EXPECT_FALSE(lan1.overlaps(lan2));
+  EXPECT_FALSE(lan1.overlaps(link1));
+}
+
 TEST(PrefixAllocator, ThrowsWhenPoolExhausted) {
   PrefixAllocator alloc(*Ipv4Prefix::parse("172.20.0.0/30"),
                         *Ipv4Prefix::parse("100.96.0.0/22"));
