@@ -221,18 +221,32 @@ void parse_prefix_list_line(RouterConfig& router,
 }
 
 /// Parses one `access-list N {permit|deny} ip SRC DST` line, where each
-/// operand is either `any` or `ADDR WILDCARD`.
+/// operand is either `any` or `ADDR WILDCARD`. Truncated lines throw: an
+/// ACL that silently drops out of the model would change which packets a
+/// simulated interface filters.
 void parse_access_list_line(RouterConfig& router,
                             const std::vector<std::string_view>& tokens,
                             std::size_t line_number) {
   AclEntry entry;
+  if (tokens.size() < 2) {
+    throw ConfigParseError(line_number,
+                           "truncated access-list: missing list number");
+  }
   const int number = parse_int(tokens[1], line_number, "acl number");
+  if (tokens.size() < 3) {
+    throw ConfigParseError(line_number,
+                           "truncated access-list: missing permit/deny");
+  }
   if (tokens[2] == "permit") {
     entry.permit = true;
   } else if (tokens[2] == "deny") {
     entry.permit = false;
   } else {
     throw ConfigParseError(line_number, "expected permit/deny");
+  }
+  if (tokens.size() < 4) {
+    throw ConfigParseError(line_number,
+                           "truncated access-list: missing protocol");
   }
   std::size_t pos = 4;
   const auto operand = [&]() -> Ipv4Prefix {
@@ -314,8 +328,12 @@ RouterConfig parse_router_impl(std::string_view text) {
                tokens[1] == "prefix-list") {
       parse_prefix_list_line(router, tokens, line_number);
       cursor.advance();
-    } else if (tokens.size() >= 5 && tokens[0] == "access-list" &&
-               tokens[3] == "ip") {
+    } else if (tokens[0] == "access-list" &&
+               (tokens.size() < 4 || tokens[3] == "ip")) {
+      // Non-"ip" protocols (tcp/udp/...) are outside the model and kept as
+      // extra lines; everything else that says "access-list" must parse or
+      // throw — a truncated line silently becoming an extra line would
+      // drop a packet filter from the simulation.
       parse_access_list_line(router, tokens, line_number);
       cursor.advance();
     } else if (tokens.size() == 5 && tokens[0] == "ip" &&

@@ -7,6 +7,10 @@ namespace confmask {
 
 namespace {
 
+// Single active trace per process, installed by compare-exchange (a second
+// concurrent trace simply records nothing). Relaxed ordering is enough:
+// the trace object is fully constructed before install, and spans /
+// counters synchronize internally.
 std::atomic<PipelineTrace*> g_active{nullptr};
 
 std::string quoted(std::string_view text) {

@@ -1,0 +1,41 @@
+// Seeded random evaluation networks for the differential fuzz harness.
+//
+// The eight Table-2 networks exercise a handful of fixed topology shapes;
+// the input space the simulator must get right (topologies × protocol
+// mixes × costs × filter placements) is far wider. This generator grows a
+// random connected network from a seed using the same NetworkBuilder the
+// curated networks use, so every random case is a well-formed ConfigSet
+// the whole pipeline — parser, anonymizer, both simulation engines —
+// can consume. Semantic decoration that needs the built topology (route
+// filters, static routes, packet ACLs) lives in src/testing/differential;
+// this layer owns shape: routers, links, costs, protocol mix, hosts.
+#pragma once
+
+#include <cstdint>
+
+#include "src/config/model.hpp"
+
+namespace confmask {
+
+struct RandomNetworkOptions {
+  int min_routers = 3;
+  int max_routers = 10;
+  int min_hosts = 2;
+  int max_hosts = 6;
+  /// Extra (non-spanning-tree) links as a fraction of the router count.
+  double extra_link_factor = 0.8;
+  /// Probability that a router link carries explicit random OSPF costs
+  /// (1..20 per direction) instead of the default cost.
+  double random_cost_probability = 0.5;
+  bool allow_rip = true;   ///< include RIP-only networks in the mix
+  bool allow_bgp = true;   ///< include multi-AS BGP+OSPF networks
+  int max_as_count = 3;    ///< ASes for the BGP mix (>= 2)
+};
+
+/// Builds a random connected network. The same (options, seed) pair always
+/// produces the same ConfigSet. Router hostnames are "r0".."rN", hosts
+/// "h0".."hM".
+[[nodiscard]] ConfigSet make_random_network(const RandomNetworkOptions& options,
+                                            std::uint64_t seed);
+
+}  // namespace confmask

@@ -17,17 +17,24 @@ constexpr int kDefaultOspfCost = 10;
 constexpr std::size_t kMaxPathsPerFlow = 256;
 constexpr int kMaxPathDepth = 64;
 
+// Pure statistic (see the invariant on Simulation::total_runs): relaxed
+// ordering everywhere — no acquire/release pairing, nothing reads other
+// memory through this counter.
 std::atomic<std::uint64_t> g_simulation_runs{0};
 
 }  // namespace
 
-std::uint64_t Simulation::total_runs() { return g_simulation_runs.load(); }
-void Simulation::reset_run_counter() { g_simulation_runs.store(0); }
+std::uint64_t Simulation::total_runs() {
+  return g_simulation_runs.load(std::memory_order_relaxed);
+}
+void Simulation::reset_run_counter() {
+  g_simulation_runs.store(0, std::memory_order_relaxed);
+}
 
 Simulation::Simulation(const ConfigSet& configs)
     : configs_(&configs),
       topology_(std::make_shared<const Topology>(Topology::build(configs))) {
-  ++g_simulation_runs;
+  g_simulation_runs.fetch_add(1, std::memory_order_relaxed);
   const int hosts = topology_->host_count();
   fib_.resize(static_cast<std::size_t>(topology_->router_count()) *
               static_cast<std::size_t>(hosts));
@@ -43,7 +50,7 @@ Simulation::Simulation(const ConfigSet& configs)
 Simulation::Simulation(const ConfigSet& configs, const Simulation& previous,
                        const SimulationDelta& delta)
     : configs_(&configs), topology_(previous.topology_) {
-  ++g_simulation_runs;
+  g_simulation_runs.fetch_add(1, std::memory_order_relaxed);
   const int n = topology_->router_count();
   const int hosts = topology_->host_count();
   fib_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(hosts));

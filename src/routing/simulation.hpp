@@ -161,6 +161,14 @@ class Simulation {
 
   /// Number of Simulation instances constructed since process start; the
   /// paper's §5.4 complexity discussion counts exactly these jobs.
+  ///
+  /// Invariant: the counter is a pure statistic — nothing synchronizes on
+  /// it and no other memory is published through it, so all accesses use
+  /// relaxed atomics. Concurrent constructions (e.g. pipeline workers)
+  /// each count exactly once; total_runs() observes some valid count but
+  /// is only exact once construction activity has quiesced.
+  /// reset_run_counter() is for sequential measurement code only — racing
+  /// it against constructions loses increments by design.
   static std::uint64_t total_runs();
   static void reset_run_counter();
 

@@ -1,0 +1,96 @@
+// Cross-engine differential testing: the fast simulation engine checked
+// against the independent reference oracle on randomized networks.
+//
+// One differential case, from one seed:
+//   1. generate a random network (netgen/random_network) and decorate it
+//      with random packet ACLs, static routes and route filters — the
+//      semantic features the curated Table-2 networks barely exercise;
+//   2. assert fast engine ≡ reference oracle, both at the FIB level and on
+//      the extracted data plane (DataPlane::diff);
+//   3. apply random filter edits and assert incremental re-simulation ≡
+//      full re-simulation, and that the edited network still matches the
+//      oracle;
+//   4. assert the engine is worker-count invariant (--jobs 1 ≡ --jobs N).
+// On mismatch the case is minimized (greedy config-element removal while
+// the failure reproduces) and dumped as a repro artifact: the emitted
+// configuration files plus a README naming the seed and the failing check
+// — exactly what DESIGN.md §10 describes turning into a regression test.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/netgen/random_network.hpp"
+#include "src/routing/dataplane.hpp"
+
+namespace confmask {
+
+struct DifferentialOptions {
+  RandomNetworkOptions network;  ///< topology / protocol-mix knobs
+  int max_route_filters = 4;     ///< random pre-decoration filters
+  int max_static_routes = 2;
+  int max_acl_bindings = 2;
+  int incremental_edits = 3;     ///< filter edits for the incremental check
+  unsigned jobs_high = 4;        ///< worker count for the jobs-N check
+  bool check_incremental = true;
+  bool check_jobs = true;
+  /// When non-empty, failing cases are minimized and dumped under
+  /// `<repro_dir>/seed-<seed>/`.
+  std::string repro_dir;
+};
+
+/// One confirmed divergence. `check` is which invariant broke: "oracle",
+/// "fib", "oracle_after_edits", "fib_after_edits", "incremental", "jobs".
+struct DifferentialFinding {
+  std::uint64_t seed = 0;
+  std::string check;
+  std::string detail;                    ///< human-readable first mismatch
+  std::vector<DataPlaneDiffEntry> diff;  ///< data-plane divergences, if any
+  std::string repro_path;                ///< artifact directory, if written
+};
+
+struct DifferentialResult {
+  std::uint64_t seed = 0;
+  bool ok = true;
+  /// True when the reference enumeration hit the path/depth caps and the
+  /// oracle comparison was skipped (truncated sets are order-dependent).
+  bool truncated_skip = false;
+  std::optional<DifferentialFinding> finding;
+};
+
+/// Runs the full check ladder for one seed.
+[[nodiscard]] DifferentialResult run_differential_case(
+    std::uint64_t seed, const DifferentialOptions& options = {});
+
+struct DifferentialCorpusStats {
+  int cases = 0;
+  int failures = 0;
+  int truncated_skips = 0;
+  std::vector<DifferentialFinding> findings;
+};
+
+/// Runs cases for seeds [start_seed, start_seed + cases). A positive
+/// `budget_seconds` stops early (after the current case) once exceeded —
+/// the CI job uses this to pin wall-clock cost while keeping seeds fixed.
+[[nodiscard]] DifferentialCorpusStats run_differential_corpus(
+    std::uint64_t start_seed, int cases, const DifferentialOptions& options,
+    double budget_seconds = 0.0);
+
+/// The random semantic decoration applied on top of make_random_network
+/// (exposed for tests that need a decorated network without the checks).
+void decorate_random_network(ConfigSet& configs, std::uint64_t seed,
+                             const DifferentialOptions& options);
+
+/// Greedy repro minimizer: repeatedly deletes one config element at a time
+/// (hosts, routers, static routes, ACL bindings / entries, prefix-list
+/// entries, distribute lists) and keeps every deletion under which
+/// `still_fails` holds, until a fixpoint. `still_fails` must tolerate any
+/// subset of the original elements, including empty router / host sets.
+[[nodiscard]] ConfigSet minimize_failing_config(
+    ConfigSet configs,
+    const std::function<bool(const ConfigSet&)>& still_fails);
+
+}  // namespace confmask

@@ -19,6 +19,8 @@ std::map<std::string, int, std::less<>> g_armed;
 // Fast path: fire() is on hot allocator/solver paths, so an un-armed
 // registry must cost no more than one atomic load.
 std::atomic<bool> g_any_armed{false};
+// Plain bool by design: every read and write happens under g_mutex (the
+// lazy check in fire() takes the lock before calling load_env_locked).
 bool g_env_loaded = false;
 
 /// Parses CONFMASK_FAULTS="point=count,point=count" once. A malformed pair

@@ -135,6 +135,63 @@ TEST(ParserRobustness, ParseErrorsCarrySourceName) {
   }
 }
 
+/// Expects parse_router(text) to throw a ConfigParseError whose message
+/// contains `fragment` and names line 1.
+void expect_acl_rejected(const std::string& text,
+                         const std::string& fragment) {
+  try {
+    (void)parse_router(text);
+    FAIL() << "expected ConfigParseError for: " << text;
+  } catch (const ConfigParseError& error) {
+    EXPECT_EQ(error.line_number(), 1u) << text;
+    EXPECT_NE(std::string(error.what()).find(fragment), std::string::npos)
+        << "message '" << error.what() << "' lacks '" << fragment
+        << "' for: " << text;
+  }
+}
+
+// Truncated access-list lines must throw, not silently fall through to
+// extra_lines — a dropped ACL entry changes which packets the simulated
+// interface filters.
+TEST(ParserRobustness, TruncatedAccessListsAreRejected) {
+  expect_acl_rejected("access-list\n", "missing list number");
+  expect_acl_rejected("access-list 100\n", "missing permit/deny");
+  expect_acl_rejected("access-list 100 permit\n", "missing protocol");
+  expect_acl_rejected("access-list 100 permit ip\n", "missing ACL operand");
+  expect_acl_rejected("access-list 100 permit ip any\n",
+                      "missing ACL operand");
+  expect_acl_rejected("access-list 100 permit ip 10.0.0.0\n",
+                      "missing ACL wildcard");
+  expect_acl_rejected("access-list 100 permit ip any 10.0.0.0\n",
+                      "missing ACL wildcard");
+}
+
+TEST(ParserRobustness, MalformedAccessListsAreRejected) {
+  expect_acl_rejected("access-list x permit ip any any\n", "acl number");
+  expect_acl_rejected("access-list 100 allow ip any any\n",
+                      "expected permit/deny");
+  expect_acl_rejected("access-list 100 permit ip bogus 0.0.0.3 any\n",
+                      "acl address");
+  expect_acl_rejected("access-list 100 permit ip 10.0.0.0 0.0.3.0 any\n",
+                      "non-contiguous ACL wildcard");
+  expect_acl_rejected("access-list 100 permit ip any any extra\n",
+                      "trailing tokens");
+}
+
+// Non-"ip" protocols are outside the model and stay passthrough; a parsed
+// line lands in access_lists, not extra_lines.
+TEST(ParserRobustness, AccessListDispatchBoundaries) {
+  const auto tcp = parse_router("access-list 100 permit tcp any any\n");
+  EXPECT_TRUE(tcp.access_lists.empty());
+  ASSERT_EQ(tcp.extra_lines.size(), 1u);
+
+  const auto ip = parse_router("access-list 100 deny ip any any\n");
+  EXPECT_TRUE(ip.extra_lines.empty());
+  ASSERT_EQ(ip.access_lists.size(), 1u);
+  ASSERT_EQ(ip.access_lists[0].entries.size(), 1u);
+  EXPECT_FALSE(ip.access_lists[0].entries[0].permit);
+}
+
 TEST(ParserRobustness, EmptyAndDegenerateInputs) {
   EXPECT_EQ(parse_router("").hostname, "");
   EXPECT_EQ(parse_router("!\n!\n!\n").interfaces.size(), 0u);
