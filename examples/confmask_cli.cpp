@@ -4,6 +4,18 @@
 //                       [--p FLOAT] [--seed N] [--fake-routers N] [--pii B]
 //                       [--jobs N] [--diagnostics-json FILE]
 //                       [--trace FILE] [--metrics-json FILE]
+//                       [--cache-dir DIR]
+//          confmask_cli --version
+//
+// --version prints the build stamp (the same string the artifact cache
+// embeds in entry metadata for stale-binary invalidation).
+//
+// --cache-dir DIR consults the serving layer's content-addressed cache
+// before running: a prior run with the same network and parameters (by any
+// confmask_cli or confmaskd sharing DIR) is replayed byte-identically
+// without re-simulation, and fresh successful runs are stored. Caching is
+// bypassed when --pii is on: the PII key derives from the EFFECTIVE seed
+// of a live run, which a cache hit does not replay.
 //
 // --jobs N sets the simulation worker-thread count (default: the
 // CONFMASK_JOBS environment variable, else hardware concurrency). Results
@@ -51,6 +63,9 @@
 #include "src/core/pipeline_trace.hpp"
 #include "src/netgen/networks.hpp"
 #include "src/pii/pii_addon.hpp"
+#include "src/service/artifact_cache.hpp"
+#include "src/service/cache_key.hpp"
+#include "src/util/build_info.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace {
@@ -63,9 +78,10 @@ int usage() {
                "usage: confmask_cli <input-dir> <output-dir> [--kr N] "
                "[--kh N] [--p FLOAT] [--seed N] [--fake-routers N] "
                "[--pii 0|1] [--jobs N] [--diagnostics-json FILE] "
-               "[--trace FILE] [--metrics-json FILE]\n"
+               "[--trace FILE] [--metrics-json FILE] [--cache-dir DIR]\n"
                "       confmask_cli --demo <dir> [A-H]   (write a demo "
-               "network: paper Fig 2, or evaluation network A..H)\n");
+               "network: paper Fig 2, or evaluation network A..H)\n"
+               "       confmask_cli --version             (build stamp)\n");
   return 2;
 }
 
@@ -79,92 +95,12 @@ void write_config_set(const ConfigSet& configs, const fs::path& dir) {
   }
 }
 
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string json_string_array(const std::vector<std::string>& items) {
-  std::string out = "[";
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    if (i > 0) out += ", ";
-    out += "\"" + json_escape(items[i]) + "\"";
-  }
-  return out + "]";
-}
-
-/// Machine-readable diagnostics: status, terminal error, every fallback
-/// ladder event, and the divergence triples of the fail-closed gate.
+/// Machine-readable diagnostics — the shared renderer (diagnostics_to_json)
+/// also backs the serving layer's cached diagnostics artifact, so the two
+/// payloads can never fork.
 void write_diagnostics_json(const fs::path& file,
                             const PipelineDiagnostics& diag) {
-  std::ofstream out(file);
-  out << "{\n" << "  \"ok\": " << (diag.ok ? "true" : "false") << ",\n";
-  if (diag.ok) {
-    // Stage/category describe a terminal error; there is none on success.
-    out << "  \"stage\": null,\n  \"category\": null,\n";
-  } else {
-    out << "  \"stage\": \"" << to_string(diag.stage) << "\",\n"
-        << "  \"category\": \"" << to_string(diag.category) << "\",\n";
-  }
-  out << "  \"exit_code\": " << (diag.ok ? 0 : exit_code_for(diag.category))
-      << ",\n"
-      << "  \"message\": \"" << json_escape(diag.message) << "\",\n"
-      << "  \"attempts\": " << diag.attempts << ",\n";
-  out << "  \"fallbacks\": [";
-  for (std::size_t i = 0; i < diag.fallbacks.size(); ++i) {
-    const auto& event = diag.fallbacks[i];
-    out << (i == 0 ? "\n" : ",\n") << "    {\"kind\": \""
-        << to_string(event.kind) << "\", \"attempt\": " << event.attempt
-        << ", \"detail\": \"" << json_escape(event.detail) << "\"}";
-  }
-  out << (diag.fallbacks.empty() ? "],\n" : "\n  ],\n");
-  out << "  \"divergence\": [";
-  for (std::size_t i = 0; i < diag.divergence.size(); ++i) {
-    const auto& entry = diag.divergence[i];
-    out << (i == 0 ? "\n" : ",\n") << "    {\"source\": \""
-        << json_escape(entry.source) << "\", \"destination\": \""
-        << json_escape(entry.destination) << "\", \"router\": \""
-        << json_escape(entry.router) << "\", \"expected_next_hops\": "
-        << json_string_array(entry.lhs_next_hops)
-        << ", \"actual_next_hops\": "
-        << json_string_array(entry.rhs_next_hops) << "}";
-  }
-  out << (diag.divergence.empty() ? "],\n" : "\n  ],\n");
-  // Per-phase span aggregates (populated only when a trace was active);
-  // counts/counters aggregate across all attempts.
-  out << "  \"phases\": [";
-  for (std::size_t i = 0; i < diag.span_metrics.size(); ++i) {
-    const auto& span = diag.span_metrics[i];
-    out << (i == 0 ? "\n" : ",\n") << "    {\"path\": \""
-        << json_escape(span.path) << "\", \"count\": " << span.count
-        << ", \"total_ns\": " << span.total_ns << ", \"counters\": {";
-    bool first = true;
-    for (const auto& [name, value] : span.counters) {
-      out << (first ? "" : ", ") << "\"" << json_escape(name)
-          << "\": " << value;
-      first = false;
-    }
-    out << "}}";
-  }
-  out << (diag.span_metrics.empty() ? "]\n" : "\n  ]\n");
-  out << "}\n";
+  std::ofstream(file) << diagnostics_to_json(diag);
 }
 
 void print_fallbacks(const PipelineDiagnostics& diag) {
@@ -177,6 +113,10 @@ void print_fallbacks(const PipelineDiagnostics& diag) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", build_stamp().c_str());
+    return 0;
+  }
   if (argc >= 3 && std::strcmp(argv[1], "--demo") == 0) {
     if (argc >= 4) {
       for (const auto& network : evaluation_networks()) {
@@ -203,6 +143,7 @@ int main(int argc, char** argv) {
   std::string diagnostics_json;
   std::string trace_file;
   std::string metrics_file;
+  std::string cache_dir;
   for (int i = 3; i < argc; i += 2) {
     if (i + 1 >= argc) {
       std::fprintf(stderr, "missing value for %s\n", argv[i]);
@@ -233,6 +174,8 @@ int main(int argc, char** argv) {
       trace_file = argv[i + 1];
     } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
       metrics_file = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--cache-dir") == 0) {
+      cache_dir = argv[i + 1];
     } else {
       return usage();
     }
@@ -279,8 +222,47 @@ int main(int argc, char** argv) {
   std::printf("read %zu routers, %zu hosts from %s\n",
               original.routers.size(), original.hosts.size(), argv[1]);
 
+  // Content-addressed cache (the serving layer's ArtifactCache) for
+  // one-shot runs. A hit replays a prior verified run byte-identically.
+  if (!cache_dir.empty() && apply_pii) {
+    std::fprintf(stderr,
+                 "--pii bypasses --cache-dir: the PII key derives from the "
+                 "effective seed of a live run\n");
+    cache_dir.clear();
+  }
+  std::unique_ptr<ArtifactCache> cache;
+  CacheKey cache_key;
+  if (!cache_dir.empty()) {
+    // Cached runs must execute on the canonical device ordering — device
+    // order feeds pipeline tie-breaks, and the key is over canonical text.
+    original = canonicalize(std::move(original));
+    cache = std::make_unique<ArtifactCache>(cache_dir);
+    cache_key = compute_cache_key(original, options, RetryPolicy{},
+                                  EquivalenceStrategy::kConfMask);
+    if (const auto hit = cache->lookup(cache_key)) {
+      if (!diagnostics_json.empty()) {
+        std::ofstream(diagnostics_json) << hit->diagnostics_json;
+      }
+      if (!metrics_file.empty()) {
+        // The cached summary is the deterministic half (no timings).
+        std::ofstream(metrics_file) << hit->metrics_json;
+      }
+      try {
+        write_config_set(parse_config_set(hit->anonymized_configs), argv[2]);
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "corrupt cache entry %s: %s\n",
+                     cache_key.hex().c_str(), error.what());
+        return 1;
+      }
+      std::printf("cache hit %s: anonymized configs written to %s\n",
+                  cache_key.hex().c_str(), argv[2]);
+      return 0;
+    }
+  }
+
   // Observability: install a PipelineTrace when --trace/--metrics-json was
-  // asked for. The NDJSON stream flows while the run happens; the metrics
+  // asked for (or a cache store will need the deterministic metrics
+  // artifact). The NDJSON stream flows while the run happens; the metrics
   // summary is written below, success or failure.
   std::ofstream trace_out;
   if (!trace_file.empty()) {
@@ -291,7 +273,7 @@ int main(int argc, char** argv) {
     }
   }
   std::unique_ptr<PipelineTrace> trace;
-  if (!trace_file.empty() || !metrics_file.empty()) {
+  if (!trace_file.empty() || !metrics_file.empty() || cache != nullptr) {
     PipelineTrace::Options trace_options;
     if (trace_out.is_open()) trace_options.trace_sink = &trace_out;
     trace = std::make_unique<PipelineTrace>(trace_options);
@@ -338,6 +320,13 @@ int main(int argc, char** argv) {
 
   const auto& result = *guarded.result;
   const auto& effective = guarded.effective_options;
+  if (cache != nullptr) {
+    CacheArtifacts artifacts;
+    artifacts.anonymized_configs = canonical_config_set_text(result.anonymized);
+    artifacts.diagnostics_json = diagnostics_to_json(diag);
+    artifacts.metrics_json = trace->metrics_json(/*include_timings=*/false);
+    cache->store(cache_key, artifacts);
+  }
   std::printf("k_R=%d k_H=%d p=%.2f seed=%llu: +%zu fake links, +%zu fake "
               "hosts, +%zu lines, %d filters, %.2fs (%llu simulations, %d "
               "attempt(s))\n",

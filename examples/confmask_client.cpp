@@ -1,0 +1,222 @@
+// confmask-client — command-line client for confmaskd.
+//
+//   usage: confmask-client --socket PATH <command> [args]
+//     submit <config-dir> [--kr N] [--kh N] [--p FLOAT] [--seed N]
+//            [--fake-routers N]      submit every *.cfg under <config-dir>
+//     status <job>                   one status line
+//     wait <job>                     poll until the job is terminal
+//     result <job> [--out DIR]      fetch artifacts; --out writes the
+//                                    anonymized configs as *.cfg files
+//     cancel <job>
+//     stats
+//     shutdown [drain|cancel]
+//
+// Every command prints the daemon's raw JSON response line to stdout (so
+// scripts can grep fields like "job" or "cache_hit") and exits 0 when the
+// response says ok, 1 on a protocol error, 2 on usage/transport problems.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+
+#include "src/config/emit.hpp"
+#include "src/config/parse.hpp"
+#include "src/service/client.hpp"
+#include "src/service/json_line.hpp"
+
+namespace {
+
+using namespace confmask;
+namespace fs = std::filesystem;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: confmask-client --socket PATH <command> [args]\n"
+      "  submit <config-dir> [--kr N] [--kh N] [--p FLOAT] [--seed N] "
+      "[--fake-routers N]\n"
+      "  status <job> | wait <job> | result <job> [--out DIR] | "
+      "cancel <job>\n"
+      "  stats | shutdown [drain|cancel]\n");
+  return 2;
+}
+
+/// Sends one request; prints the response; returns the exit code. Fills
+/// `response_out` for callers that need the parsed object.
+int roundtrip(const std::string& socket_path, const std::string& request,
+              JsonObject* response_out = nullptr) {
+  std::string error;
+  const auto response = client_roundtrip(socket_path, request, &error);
+  if (!response) {
+    std::fprintf(stderr, "confmask-client: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("%s\n", response->c_str());
+  const auto parsed = parse_json_line(*response);
+  if (!parsed) {
+    std::fprintf(stderr, "confmask-client: unparsable response\n");
+    return 2;
+  }
+  if (response_out != nullptr) *response_out = *parsed;
+  return get_bool(*parsed, "ok") == true ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  int arg = 1;
+  if (arg + 1 < argc && std::strcmp(argv[arg], "--socket") == 0) {
+    socket_path = argv[arg + 1];
+    arg += 2;
+  }
+  if (socket_path.empty() || arg >= argc) return usage();
+  const std::string command = argv[arg++];
+
+  if (command == "submit") {
+    if (arg >= argc) return usage();
+    const std::string dir = argv[arg++];
+    JsonLineWriter request;
+    request.string("op", "submit");
+
+    ConfigSet configs;
+    std::error_code io_error;
+    fs::directory_iterator it(dir, io_error);
+    if (io_error) {
+      std::fprintf(stderr, "cannot read %s: %s\n", dir.c_str(),
+                   io_error.message().c_str());
+      return 2;
+    }
+    try {
+      for (const auto& entry : it) {
+        if (entry.path().extension() != ".cfg") continue;
+        std::ifstream in(entry.path());
+        const std::string text((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+        if (looks_like_host(text)) {
+          configs.hosts.push_back(
+              parse_host(text, entry.path().filename().string()));
+        } else {
+          configs.routers.push_back(
+              parse_router(text, entry.path().filename().string()));
+        }
+      }
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "parse error: %s\n", error.what());
+      return 2;
+    }
+    if (configs.routers.empty()) {
+      std::fprintf(stderr, "no router configurations found in %s\n",
+                   dir.c_str());
+      return 2;
+    }
+    request.string("configs",
+                   canonical_config_set_text(canonicalize(configs)));
+
+    for (; arg + 1 < argc; arg += 2) {
+      if (std::strcmp(argv[arg], "--kr") == 0) {
+        request.number("k_r", std::atoi(argv[arg + 1]));
+      } else if (std::strcmp(argv[arg], "--kh") == 0) {
+        request.number("k_h", std::atoi(argv[arg + 1]));
+      } else if (std::strcmp(argv[arg], "--p") == 0) {
+        request.real("noise_p", std::atof(argv[arg + 1]));
+      } else if (std::strcmp(argv[arg], "--seed") == 0) {
+        request.number_u64("seed",
+                           std::strtoull(argv[arg + 1], nullptr, 10));
+      } else if (std::strcmp(argv[arg], "--fake-routers") == 0) {
+        request.number("fake_routers", std::atoi(argv[arg + 1]));
+      } else {
+        return usage();
+      }
+    }
+    return roundtrip(socket_path, request.str());
+  }
+
+  if (command == "status" || command == "wait" || command == "cancel") {
+    if (arg >= argc) return usage();
+    const std::uint64_t job = std::strtoull(argv[arg], nullptr, 10);
+    const std::string op = command == "wait" ? "status" : command;
+    const std::string request =
+        JsonLineWriter{}.string("op", op).number_u64("job", job).str();
+    if (command != "wait") return roundtrip(socket_path, request);
+    for (;;) {
+      std::string error;
+      const auto response = client_roundtrip(socket_path, request, &error);
+      if (!response) {
+        std::fprintf(stderr, "confmask-client: %s\n", error.c_str());
+        return 2;
+      }
+      const auto parsed = parse_json_line(*response);
+      const auto state =
+          parsed ? get_string(*parsed, "state") : std::nullopt;
+      if (!parsed || get_bool(*parsed, "ok") != true) {
+        std::printf("%s\n", response->c_str());
+        return 1;
+      }
+      if (state == "done" || state == "failed" || state == "cancelled") {
+        std::printf("%s\n", response->c_str());
+        return state == "done" ? 0 : 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  if (command == "result") {
+    if (arg >= argc) return usage();
+    const std::uint64_t job = std::strtoull(argv[arg++], nullptr, 10);
+    std::string out_dir;
+    if (arg + 1 < argc && std::strcmp(argv[arg], "--out") == 0) {
+      out_dir = argv[arg + 1];
+      arg += 2;
+    }
+    JsonObject response;
+    const int code = roundtrip(
+        socket_path,
+        JsonLineWriter{}.string("op", "result").number_u64("job", job).str(),
+        &response);
+    if (code != 0 || out_dir.empty()) return code;
+    const auto bundle = get_string(response, "configs");
+    if (!bundle || bundle->empty()) {
+      std::fprintf(stderr, "no configs in result (failed job?)\n");
+      return 1;
+    }
+    try {
+      const ConfigSet configs = parse_config_set(*bundle);
+      fs::create_directories(out_dir);
+      for (const auto& router : configs.routers) {
+        std::ofstream(fs::path(out_dir) / (router.hostname + ".cfg"))
+            << emit_router(router);
+      }
+      for (const auto& host : configs.hosts) {
+        std::ofstream(fs::path(out_dir) / (host.hostname + ".cfg"))
+            << emit_host(host);
+      }
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "cannot write %s: %s\n", out_dir.c_str(),
+                   error.what());
+      return 1;
+    }
+    return 0;
+  }
+
+  if (command == "stats") {
+    return roundtrip(socket_path,
+                     JsonLineWriter{}.string("op", "stats").str());
+  }
+
+  if (command == "shutdown") {
+    std::string mode = "drain";
+    if (arg < argc) mode = argv[arg];
+    if (mode != "drain" && mode != "cancel") return usage();
+    return roundtrip(
+        socket_path,
+        JsonLineWriter{}.string("op", "shutdown").string("mode", mode).str());
+  }
+
+  return usage();
+}

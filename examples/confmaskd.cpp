@@ -1,0 +1,103 @@
+// confmaskd — the batch anonymization daemon.
+//
+//   usage: confmaskd --socket PATH --cache-dir DIR
+//                    [--max-concurrent-jobs N] [--max-pending N]
+//                    [--trace FILE] [--jobs N]
+//          confmaskd --version
+//
+// Serves the confmaskd protocol (src/service/protocol.hpp) over a
+// unix-domain socket: clients submit anonymization jobs, poll status,
+// fetch artifacts, and ask for shutdown. Identical resubmissions are
+// served byte-identically from the content-addressed cache under
+// --cache-dir without re-running the pipeline.
+//
+// --max-concurrent-jobs bounds pipelines running at once (each still fans
+// its simulations out over the shared worker pool; --jobs sets that pool's
+// size, as in confmask_cli). --trace streams every job's pipeline spans as
+// NDJSON tagged with "job": "job-<id>".
+//
+// Stops on a protocol shutdown request: "drain" finishes queued jobs,
+// "cancel" abandons them; running jobs always complete (fail-closed — no
+// partial cache entries either way).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "src/service/daemon.hpp"
+#include "src/util/build_info.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: confmaskd --socket PATH --cache-dir DIR "
+               "[--max-concurrent-jobs N] [--max-pending N] [--trace FILE] "
+               "[--jobs N]\n"
+               "       confmaskd --version\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", confmask::build_stamp().c_str());
+    return 0;
+  }
+
+  confmask::Daemon::Options options;
+  std::string trace_file;
+  for (int i = 1; i < argc; i += 2) {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      return usage();
+    }
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      options.socket_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--cache-dir") == 0) {
+      options.cache_dir = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--max-concurrent-jobs") == 0) {
+      options.max_concurrent_jobs = std::atoi(argv[i + 1]);
+      if (options.max_concurrent_jobs < 1) {
+        std::fprintf(stderr, "--max-concurrent-jobs must be >= 1\n");
+        return usage();
+      }
+    } else if (std::strcmp(argv[i], "--max-pending") == 0) {
+      const int pending = std::atoi(argv[i + 1]);
+      if (pending < 1) {
+        std::fprintf(stderr, "--max-pending must be >= 1\n");
+        return usage();
+      }
+      options.max_pending = static_cast<std::size_t>(pending);
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_file = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      const int jobs = std::atoi(argv[i + 1]);
+      if (jobs < 1) {
+        std::fprintf(stderr, "--jobs must be >= 1\n");
+        return usage();
+      }
+      confmask::ThreadPool::configure(static_cast<unsigned>(jobs));
+    } else {
+      return usage();
+    }
+  }
+  if (options.socket_path.empty() || options.cache_dir.empty()) {
+    return usage();
+  }
+
+  std::ofstream trace_out;
+  if (!trace_file.empty()) {
+    trace_out.open(trace_file);
+    if (!trace_out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_file.c_str());
+      return 1;
+    }
+    options.trace_stream = &trace_out;
+  }
+
+  confmask::Daemon daemon(options);
+  return daemon.run();
+}

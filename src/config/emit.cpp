@@ -1,5 +1,7 @@
 #include "src/config/emit.hpp"
 
+#include <algorithm>
+
 namespace confmask {
 
 LineStats& LineStats::operator+=(const LineStats& rhs) {
@@ -233,6 +235,30 @@ LineStats config_set_line_stats(const ConfigSet& configs) {
 
 std::size_t config_set_total_lines(const ConfigSet& configs) {
   return config_set_line_stats(configs).total();
+}
+
+ConfigSet canonicalize(ConfigSet configs) {
+  const auto by_hostname = [](const auto& a, const auto& b) {
+    return a.hostname < b.hostname;
+  };
+  std::stable_sort(configs.routers.begin(), configs.routers.end(),
+                   by_hostname);
+  std::stable_sort(configs.hosts.begin(), configs.hosts.end(), by_hostname);
+  return configs;
+}
+
+std::string canonical_config_set_text(const ConfigSet& configs) {
+  const ConfigSet canonical = canonicalize(configs);
+  std::string out;
+  for (const auto& router : canonical.routers) {
+    out += std::string(kDeviceMarker) + router.hostname + "\n";
+    out += emit_router(router);
+  }
+  for (const auto& host : canonical.hosts) {
+    out += std::string(kDeviceMarker) + host.hostname + "\n";
+    out += emit_host(host);
+  }
+  return out;
 }
 
 }  // namespace confmask

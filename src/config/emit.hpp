@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 
 #include "src/config/model.hpp"
 
@@ -56,5 +57,27 @@ struct LineStats {
 
 /// Total emitted line count of a configuration set (the paper's P_l).
 [[nodiscard]] std::size_t config_set_total_lines(const ConfigSet& configs);
+
+/// Marker line opening each device in the canonical bundle format
+/// ("!>> device <hostname>"). Starts with "!" so it reads as a comment to
+/// every config-line consumer (count_config_lines skips it).
+inline constexpr std::string_view kDeviceMarker = "!>> device ";
+
+/// The whole network as ONE deterministic byte string: routers sorted by
+/// hostname, then hosts sorted by hostname, each preceded by its
+/// kDeviceMarker line and emitted by emit_router/emit_host. This is the
+/// serving layer's canonical form — cache keys are hashes of it, cached
+/// artifacts store it, and the request protocol ships it — so its bytes
+/// must be a pure function of the ConfigSet contents (no ordering leaks
+/// from the filesystem or the client). parse_config_set (parse.hpp)
+/// inverts it; emit → parse → emit is byte-stable (tested).
+[[nodiscard]] std::string canonical_config_set_text(const ConfigSet& configs);
+
+/// The `configs` with devices reordered into canonical order (routers
+/// sorted by hostname, hosts sorted by hostname). The pipeline's
+/// randomized tie-breaks see device order, so cached runs execute on the
+/// canonical order — this is what makes one cache key correspond to one
+/// byte-exact artifact regardless of how the submitter enumerated files.
+[[nodiscard]] ConfigSet canonicalize(ConfigSet configs);
 
 }  // namespace confmask

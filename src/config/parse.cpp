@@ -1,7 +1,9 @@
 #include "src/config/parse.hpp"
 
 #include <charconv>
+#include <utility>
 
+#include "src/config/emit.hpp"
 #include "src/util/strings.hpp"
 
 namespace confmask {
@@ -406,6 +408,62 @@ HostConfig parse_host(std::string_view text, std::string_view source) {
 
 bool looks_like_host(std::string_view text) {
   return text.find("ip default-gateway") != std::string_view::npos;
+}
+
+ConfigSet parse_config_set(std::string_view text) {
+  ConfigSet out;
+  std::vector<std::pair<std::string, std::string>> chunks;  // name, text
+  std::string current_name;
+  std::string current_text;
+  std::size_t line_number = 0;
+  bool in_device = false;
+  for (const std::string_view raw : split(text, '\n')) {
+    ++line_number;
+    if (starts_with(raw, kDeviceMarker)) {
+      if (in_device) {
+        chunks.emplace_back(std::move(current_name),
+                            std::move(current_text));
+        current_text.clear();
+      }
+      current_name = std::string(trim(raw.substr(kDeviceMarker.size())));
+      if (current_name.empty()) {
+        throw ConfigParseError(line_number, "device marker without a name");
+      }
+      in_device = true;
+      continue;
+    }
+    if (!in_device) {
+      // Only emptiness/comments may precede the first marker — anything
+      // else is a device we cannot attribute, and silently dropping it
+      // would make two different inputs canonicalize identically.
+      if (!trim(raw).empty() && trim(raw)[0] != '!') {
+        throw ConfigParseError(
+            line_number, "configuration text before the first device marker");
+      }
+      continue;
+    }
+    current_text += raw;
+    current_text += '\n';
+  }
+  if (in_device) {
+    chunks.emplace_back(std::move(current_name), std::move(current_text));
+  }
+  if (chunks.empty()) {
+    throw ConfigParseError(1, "no device markers in configuration bundle");
+  }
+  for (const auto& [name, body] : chunks) {
+    for (const auto& [other_name, other_body] : chunks) {
+      if (&body != &other_body && name == other_name) {
+        throw ConfigParseError(1, "duplicate device marker '" + name + "'");
+      }
+    }
+    if (looks_like_host(body)) {
+      out.hosts.push_back(parse_host(body, name));
+    } else {
+      out.routers.push_back(parse_router(body, name));
+    }
+  }
+  return out;
 }
 
 }  // namespace confmask

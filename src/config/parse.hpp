@@ -63,4 +63,12 @@ class ConfigParseError : public std::runtime_error {
 /// Heuristic: host configurations contain `ip default-gateway`.
 [[nodiscard]] bool looks_like_host(std::string_view text);
 
+/// Parses a canonical bundle (see canonical_config_set_text): devices are
+/// delimited by kDeviceMarker lines; each chunk is dispatched to
+/// parse_router/parse_host with the marker's device name as the error
+/// source. Text before the first marker must be empty/comments only.
+/// Throws ConfigParseError on a malformed bundle (no markers, duplicate
+/// device names, content before the first marker).
+[[nodiscard]] ConfigSet parse_config_set(std::string_view text);
+
 }  // namespace confmask

@@ -20,12 +20,16 @@ PipelineResult run_pipeline(const ConfigSet& original,
                             const ConfMaskOptions& options,
                             EquivalenceStrategy strategy) {
   const auto start = std::chrono::steady_clock::now();
-  const std::uint64_t runs_before = Simulation::total_runs();
+  // Per-THREAD counter, not the process-global one: every Simulation of
+  // this run is constructed on this (orchestration) thread, and the job
+  // scheduler runs several pipelines concurrently — global-counter deltas
+  // would blend their simulation counts together.
+  const std::uint64_t runs_before = Simulation::runs_on_this_thread();
 
   // Per-stage simulation-job deltas for the phase spans (§5.4 cost unit).
   std::uint64_t sims_mark = runs_before;
   const auto sims_since_mark = [&sims_mark] {
-    const std::uint64_t now = Simulation::total_runs();
+    const std::uint64_t now = Simulation::runs_on_this_thread();
     const std::uint64_t delta = now - sims_mark;
     sims_mark = now;
     return delta;
@@ -179,7 +183,7 @@ PipelineResult run_pipeline(const ConfigSet& original,
   verification_span.end();
 
   result.stats.anonymized_lines = config_set_line_stats(result.anonymized);
-  result.stats.simulations = Simulation::total_runs() - runs_before;
+  result.stats.simulations = Simulation::runs_on_this_thread() - runs_before;
   result.stats.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

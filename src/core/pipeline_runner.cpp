@@ -2,11 +2,25 @@
 
 #include <algorithm>
 
+#include "src/util/observability.hpp"
 #include "src/util/prefix_allocator.hpp"
 
 namespace confmask {
 
 namespace {
+
+std::string quoted(std::string_view text) {
+  return "\"" + obs::json_escape(text) + "\"";
+}
+
+std::string json_string_array(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += quoted(items[i]);
+  }
+  return out + "]";
+}
 
 /// Deterministic seed evolution (splitmix64 finalizer): retries are
 /// reproducible for a given starting seed, yet successive seeds are
@@ -229,6 +243,64 @@ GuardedPipelineResult run_pipeline_guarded(const ConfigSet& original,
   return fail_with(PipelineStage::kVerification, ErrorCategory::kNonConvergent,
                    "attempt budget exhausted (" +
                        std::to_string(policy.max_attempts) + " runs)");
+}
+
+std::string diagnostics_to_json(const PipelineDiagnostics& diag) {
+  std::string out;
+  out += "{\n";
+  out += std::string("  \"ok\": ") + (diag.ok ? "true" : "false") + ",\n";
+  if (diag.ok) {
+    // Stage/category describe a terminal error; there is none on success.
+    out += "  \"stage\": null,\n  \"category\": null,\n";
+  } else {
+    out += std::string("  \"stage\": ") + quoted(to_string(diag.stage)) +
+           ",\n  \"category\": " + quoted(to_string(diag.category)) + ",\n";
+  }
+  out += "  \"exit_code\": " +
+         std::to_string(diag.ok ? 0 : exit_code_for(diag.category)) + ",\n";
+  out += "  \"message\": " + quoted(diag.message) + ",\n";
+  out += "  \"attempts\": " + std::to_string(diag.attempts) + ",\n";
+  out += "  \"fallbacks\": [";
+  for (std::size_t i = 0; i < diag.fallbacks.size(); ++i) {
+    const auto& event = diag.fallbacks[i];
+    out += std::string(i == 0 ? "\n" : ",\n") + "    {\"kind\": " +
+           quoted(to_string(event.kind)) +
+           ", \"attempt\": " + std::to_string(event.attempt) +
+           ", \"detail\": " + quoted(event.detail) + "}";
+  }
+  out += diag.fallbacks.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"divergence\": [";
+  for (std::size_t i = 0; i < diag.divergence.size(); ++i) {
+    const auto& entry = diag.divergence[i];
+    out += std::string(i == 0 ? "\n" : ",\n") + "    {\"source\": " +
+           quoted(entry.source) + ", \"destination\": " +
+           quoted(entry.destination) + ", \"router\": " +
+           quoted(entry.router) + ", \"expected_next_hops\": " +
+           json_string_array(entry.lhs_next_hops) +
+           ", \"actual_next_hops\": " +
+           json_string_array(entry.rhs_next_hops) + "}";
+  }
+  out += diag.divergence.empty() ? "],\n" : "\n  ],\n";
+  // Per-phase span aggregates (populated only when a trace was active);
+  // counts/counters aggregate across all attempts.
+  out += "  \"phases\": [";
+  for (std::size_t i = 0; i < diag.span_metrics.size(); ++i) {
+    const auto& span = diag.span_metrics[i];
+    out += std::string(i == 0 ? "\n" : ",\n") + "    {\"path\": " +
+           quoted(span.path) + ", \"count\": " + std::to_string(span.count) +
+           ", \"total_ns\": " + std::to_string(span.total_ns) +
+           ", \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : span.counters) {
+      out += std::string(first ? "" : ", ") + quoted(name) + ": " +
+             std::to_string(value);
+      first = false;
+    }
+    out += "}}";
+  }
+  out += diag.span_metrics.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
 }
 
 }  // namespace confmask

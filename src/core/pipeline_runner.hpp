@@ -117,4 +117,11 @@ struct GuardedPipelineResult {
     const RetryPolicy& policy = {},
     EquivalenceStrategy strategy = EquivalenceStrategy::kConfMask);
 
+/// Machine-readable rendering of the diagnostics: status, terminal error,
+/// every fallback-ladder event, the fail-closed gate's divergence triples,
+/// and per-phase span aggregates. One implementation shared by the CLI's
+/// --diagnostics-json and the serving layer's cached diagnostics artifact,
+/// so the payload can never fork between the two.
+[[nodiscard]] std::string diagnostics_to_json(const PipelineDiagnostics& diag);
+
 }  // namespace confmask

@@ -13,6 +13,11 @@ namespace {
 // counters synchronize internally.
 std::atomic<PipelineTrace*> g_active{nullptr};
 
+// Thread-scoped installs (Options::Scope::kThread): one slot per thread,
+// consulted before the process-wide slot so each scheduler job thread sees
+// its own trace while the rest of the process stays untraced.
+thread_local PipelineTrace* t_active = nullptr;
+
 std::string quoted(std::string_view text) {
   return "\"" + obs::json_escape(text) + "\"";
 }
@@ -33,22 +38,33 @@ std::string counters_json(const std::map<std::string, std::uint64_t>& map) {
 }  // namespace
 
 PipelineTrace* PipelineTrace::active() {
+  if (t_active != nullptr) return t_active;
   return g_active.load(std::memory_order_relaxed);
 }
 
 PipelineTrace::PipelineTrace() : PipelineTrace(Options{}) {}
 
-PipelineTrace::PipelineTrace(Options options) : options_(options) {
-  if (options_.trace_sink != nullptr) {
+PipelineTrace::PipelineTrace(Options options) : options_(std::move(options)) {
+  if (options_.shared_sink == nullptr && options_.trace_sink != nullptr) {
     sink_ = std::make_unique<obs::NdjsonSink>(*options_.trace_sink);
   }
-  PipelineTrace* expected = nullptr;
-  installed_ = g_active.compare_exchange_strong(expected, this,
-                                                std::memory_order_relaxed);
+  if (options_.scope == Options::Scope::kThread) {
+    installed_ = t_active == nullptr;
+    if (installed_) t_active = this;
+  } else {
+    PipelineTrace* expected = nullptr;
+    installed_ = g_active.compare_exchange_strong(expected, this,
+                                                  std::memory_order_relaxed);
+  }
   pool_baseline_ = ThreadPool::shared().stats();
-  idle_tracking_was_on_ = ThreadPool::idle_tracking();
-  ThreadPool::set_idle_tracking(true);
-  if (sink_) {
+  if (options_.scope == Options::Scope::kProcess) {
+    // Idle tracking is a process-global switch; concurrent thread-scoped
+    // traces flipping it would fight, so only the solo-pipeline mode
+    // opts the pool into idle accounting.
+    idle_tracking_was_on_ = ThreadPool::idle_tracking();
+    ThreadPool::set_idle_tracking(true);
+  }
+  if (out_sink() != nullptr) {
     emit("{\"schema\": \"confmask.trace/1\", \"type\": \"trace_begin\", "
          "\"seq\": " +
          std::to_string(next_seq_++) + "}");
@@ -72,13 +88,17 @@ PipelineTrace::~PipelineTrace() {
       }
     }
   }
-  if (sink_) {
+  if (out_sink() != nullptr) {
     emit("{\"type\": \"trace_end\", \"seq\": " + std::to_string(next_seq_++) +
          ", \"spans\": " + std::to_string(next_id_) + "}");
   }
-  ThreadPool::set_idle_tracking(idle_tracking_was_on_);
-  if (installed_) {
-    g_active.store(nullptr, std::memory_order_relaxed);
+  if (options_.scope == Options::Scope::kThread) {
+    if (installed_) t_active = nullptr;
+  } else {
+    ThreadPool::set_idle_tracking(idle_tracking_was_on_);
+    if (installed_) {
+      g_active.store(nullptr, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -111,7 +131,7 @@ PipelineTrace::Span PipelineTrace::span(std::string_view name) {
                                 : stack_.back().path + "/" + std::string(name);
     frame.start_ns = obs::monotonic_ns();
     id = frame.id;
-    if (sink_) {
+    if (out_sink() != nullptr) {
       line = "{\"type\": \"span_begin\", \"seq\": " +
              std::to_string(next_seq_++) + ", \"id\": " + std::to_string(id) +
              ", \"parent\": " + std::to_string(frame.parent) +
@@ -156,7 +176,7 @@ void PipelineTrace::end_span(std::uint64_t id) {
       for (const auto& [name, value] : frame.counters) {
         agg.counters[name] += value;
       }
-      if (sink_) {
+      if (out_sink() != nullptr) {
         lines.push_back(
             "{\"type\": \"span_end\", \"seq\": " + std::to_string(next_seq_++) +
             ", \"id\": " + std::to_string(frame.id) +
@@ -193,7 +213,7 @@ void PipelineTrace::record_value(std::string_view name, std::uint64_t value) {
 }
 
 void PipelineTrace::event(std::string_view name, std::string_view detail) {
-  if (!sink_) return;
+  if (out_sink() == nullptr) return;
   std::string line;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -205,7 +225,16 @@ void PipelineTrace::event(std::string_view name, std::string_view detail) {
 }
 
 void PipelineTrace::emit(const std::string& line) {
-  if (sink_) sink_->write_line(line);
+  obs::NdjsonSink* sink = out_sink();
+  if (sink == nullptr) return;
+  if (options_.tag.empty()) {
+    sink->write_line(line);
+    return;
+  }
+  // Tag injection: every line is a "{...}" object, so splice the job field
+  // in right after the opening brace.
+  sink->write_line("{\"job\": " + quoted(options_.tag) + ", " +
+                   line.substr(1));
 }
 
 std::vector<SpanMetrics> PipelineTrace::metrics() const {

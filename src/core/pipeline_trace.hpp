@@ -57,6 +57,28 @@ class PipelineTrace {
     /// lines). nullptr = no event stream; aggregation still happens.
     /// Not owned; must outlive the trace.
     std::ostream* trace_sink = nullptr;
+    /// Alternative to `trace_sink`: an externally owned NdjsonSink, so
+    /// several traces (the serving layer's per-job traces) can interleave
+    /// whole lines onto ONE stream without tearing. Takes precedence over
+    /// trace_sink. Not owned; must outlive the trace.
+    obs::NdjsonSink* shared_sink = nullptr;
+    /// When non-empty, every NDJSON line this trace emits carries a leading
+    /// "job": "<tag>" field — how confmaskd attributes interleaved span
+    /// lines to jobs on a shared stream.
+    std::string tag;
+    /// Installation scope. kProcess (the default, and the only pre-serving
+    /// behavior): the trace is what PipelineTrace::active() resolves to on
+    /// EVERY thread — right for one pipeline per process. kThread: the
+    /// trace is active only on the installing thread — right for the job
+    /// scheduler, where several pipelines run concurrently and each job
+    /// thread is the orchestration thread of its own pipeline. All span /
+    /// counter / histogram instrumentation sites run on the orchestration
+    /// thread (the file comment's lifecycle rule), so a thread-scoped trace
+    /// captures its pipeline completely and deterministically; it never
+    /// flips the process-global pool idle-tracking switch, so the "pool"
+    /// timing section reflects shared-pool totals, not per-job idle time.
+    enum class Scope { kProcess, kThread };
+    Scope scope = Scope::kProcess;
   };
 
   PipelineTrace();  // no NDJSON sink; aggregation only
@@ -66,10 +88,12 @@ class PipelineTrace {
   PipelineTrace(const PipelineTrace&) = delete;
   PipelineTrace& operator=(const PipelineTrace&) = delete;
 
-  /// The installed trace, or nullptr when tracing is disabled — one
-  /// relaxed atomic load, the whole cost of an untraced run. When traces
-  /// nest (a traced test calling a traced helper), the outermost wins and
-  /// inner ones are inert.
+  /// The installed trace, or nullptr when tracing is disabled — a
+  /// thread-local read plus one relaxed atomic load, the whole cost of an
+  /// untraced run. A thread-scoped trace installed on the calling thread
+  /// wins over the process-wide one. When same-scope traces nest (a traced
+  /// test calling a traced helper), the outermost wins and inner ones are
+  /// inert.
   [[nodiscard]] static PipelineTrace* active();
 
   /// RAII span handle. Default-constructed (or moved-from) handles are
@@ -154,6 +178,11 @@ class PipelineTrace {
   void add_to_span(std::uint64_t id, std::string_view name,
                    std::uint64_t delta);
   void emit(const std::string& line);
+
+  [[nodiscard]] obs::NdjsonSink* out_sink() const {
+    return options_.shared_sink != nullptr ? options_.shared_sink
+                                           : sink_.get();
+  }
 
   Options options_;
   std::unique_ptr<obs::NdjsonSink> sink_;

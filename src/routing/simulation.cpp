@@ -22,6 +22,9 @@ constexpr int kMaxPathDepth = 64;
 // memory through this counter.
 std::atomic<std::uint64_t> g_simulation_runs{0};
 
+// Per-thread twin of g_simulation_runs (see runs_on_this_thread()).
+thread_local std::uint64_t t_simulation_runs = 0;
+
 }  // namespace
 
 std::uint64_t Simulation::total_runs() {
@@ -30,11 +33,13 @@ std::uint64_t Simulation::total_runs() {
 void Simulation::reset_run_counter() {
   g_simulation_runs.store(0, std::memory_order_relaxed);
 }
+std::uint64_t Simulation::runs_on_this_thread() { return t_simulation_runs; }
 
 Simulation::Simulation(const ConfigSet& configs)
     : configs_(&configs),
       topology_(std::make_shared<const Topology>(Topology::build(configs))) {
   g_simulation_runs.fetch_add(1, std::memory_order_relaxed);
+  ++t_simulation_runs;
   const int hosts = topology_->host_count();
   fib_.resize(static_cast<std::size_t>(topology_->router_count()) *
               static_cast<std::size_t>(hosts));
@@ -51,6 +56,7 @@ Simulation::Simulation(const ConfigSet& configs, const Simulation& previous,
                        const SimulationDelta& delta)
     : configs_(&configs), topology_(previous.topology_) {
   g_simulation_runs.fetch_add(1, std::memory_order_relaxed);
+  ++t_simulation_runs;
   const int n = topology_->router_count();
   const int hosts = topology_->host_count();
   fib_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(hosts));

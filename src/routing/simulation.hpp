@@ -172,6 +172,14 @@ class Simulation {
   static std::uint64_t total_runs();
   static void reset_run_counter();
 
+  /// Simulations constructed BY THE CALLING THREAD since it started. The
+  /// pipeline constructs every Simulation of a run on its orchestration
+  /// thread, so per-run deltas of this counter stay correct when several
+  /// pipelines run concurrently (the job scheduler) — deltas of the global
+  /// total_runs() would blend jobs together. Monotonic per thread; never
+  /// reset.
+  static std::uint64_t runs_on_this_thread();
+
  private:
   struct LinkState {
     bool ospf = false;        ///< OSPF adjacency (both ends covered)

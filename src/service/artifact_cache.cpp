@@ -1,0 +1,171 @@
+#include "src/service/artifact_cache.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <system_error>
+#include <utility>
+
+#include "src/service/json_line.hpp"
+#include "src/util/build_info.hpp"
+#include "src/util/hash.hpp"
+
+namespace confmask {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kMetaFormat = "confmask.cache-entry/1";
+constexpr const char* kMetaFile = "meta.json";
+constexpr const char* kConfigsFile = "anonymized.cfgset";
+constexpr const char* kDiagnosticsFile = "diagnostics.json";
+constexpr const char* kMetricsFile = "metrics.json";
+
+bool write_file(const fs::path& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+std::optional<std::string> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return buffer.str();
+}
+
+}  // namespace
+
+ArtifactCache::ArtifactCache(fs::path root, std::string stamp)
+    : root_(std::move(root)),
+      stamp_(stamp.empty() ? build_stamp() : std::move(stamp)) {
+  fs::create_directories(root_ / "entries");
+  // Anything under staging/ is a write that never published (crash or
+  // cancel); it is invisible to lookups and safe to drop wholesale.
+  std::error_code ec;
+  fs::remove_all(root_ / "staging", ec);
+  fs::create_directories(root_ / "staging");
+}
+
+fs::path ArtifactCache::entry_dir(const CacheKey& key) const {
+  return root_ / "entries" / key.hex();
+}
+
+std::optional<CacheArtifacts> ArtifactCache::lookup(const CacheKey& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const fs::path dir = entry_dir(key);
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  const auto purge = [&] {
+    fs::remove_all(dir, ec);
+    ++stats_.invalidations;
+    ++stats_.misses;
+  };
+
+  const auto meta_text = read_file(dir / kMetaFile);
+  if (!meta_text) {
+    purge();
+    return std::nullopt;
+  }
+  std::string_view meta_line = *meta_text;
+  while (!meta_line.empty() &&
+         (meta_line.back() == '\n' || meta_line.back() == '\r')) {
+    meta_line.remove_suffix(1);
+  }
+  const auto meta = parse_json_line(meta_line);
+  if (!meta || get_string(*meta, "format") != std::string(kMetaFormat)) {
+    purge();
+    return std::nullopt;
+  }
+  const auto secondary_hex = get_string(*meta, "secondary");
+  const auto parsed_secondary =
+      secondary_hex ? parse_hex64(*secondary_hex) : std::nullopt;
+  if (get_string(*meta, "key") != key.hex() || !parsed_secondary ||
+      *parsed_secondary != key.secondary) {
+    purge();  // primary-hash collision or corrupted metadata
+    return std::nullopt;
+  }
+  if (get_string(*meta, "stamp") != stamp_) {
+    purge();  // produced by a different binary: stale-binary invalidation
+    return std::nullopt;
+  }
+
+  CacheArtifacts artifacts;
+  const auto configs = read_file(dir / kConfigsFile);
+  const auto diagnostics = read_file(dir / kDiagnosticsFile);
+  const auto metrics = read_file(dir / kMetricsFile);
+  if (!configs || !diagnostics || !metrics) {
+    purge();
+    return std::nullopt;
+  }
+  artifacts.anonymized_configs = std::move(*configs);
+  artifacts.diagnostics_json = std::move(*diagnostics);
+  artifacts.metrics_json = std::move(*metrics);
+  ++stats_.hits;
+  return artifacts;
+}
+
+void ArtifactCache::store(const CacheKey& key,
+                          const CacheArtifacts& artifacts) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const fs::path dir = entry_dir(key);
+  std::error_code ec;
+  if (fs::exists(dir, ec)) return;  // identical artifacts already published
+
+  const fs::path staging =
+      root_ / "staging" / (key.hex() + "." + std::to_string(staging_nonce_++));
+  fs::create_directories(staging);
+
+  const std::string meta = JsonLineWriter{}
+                               .string("format", kMetaFormat)
+                               .string("key", key.hex())
+                               .string("secondary", hex64(key.secondary))
+                               .string("stamp", stamp_)
+                               .str() +
+                           "\n";
+  const bool written =
+      write_file(staging / kMetaFile, meta) &&
+      write_file(staging / kConfigsFile, artifacts.anonymized_configs) &&
+      write_file(staging / kDiagnosticsFile, artifacts.diagnostics_json) &&
+      write_file(staging / kMetricsFile, artifacts.metrics_json);
+  if (!written) {
+    fs::remove_all(staging, ec);
+    return;  // disk trouble: publishing nothing beats publishing a fragment
+  }
+
+  fs::rename(staging, dir, ec);
+  if (ec) {
+    // Lost a race with an identical concurrent store, or the target became
+    // unusable; either way the staging copy is redundant.
+    fs::remove_all(staging, ec);
+    return;
+  }
+  ++stats_.stores;
+}
+
+CacheStats ArtifactCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ArtifactCache::entry_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::error_code ec;
+  std::size_t count = 0;
+  for (fs::directory_iterator it(root_ / "entries", ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->is_directory(ec)) ++count;
+  }
+  return count;
+}
+
+}  // namespace confmask

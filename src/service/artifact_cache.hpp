@@ -1,0 +1,90 @@
+// Content-addressed, on-disk artifact cache for anonymization jobs.
+//
+// Layout (all paths under the root passed to the constructor):
+//
+//   entries/<hex16>/meta.json          flat JSON: format, key, secondary,
+//                                      build stamp of the producing binary
+//   entries/<hex16>/anonymized.cfgset  canonical anonymized config bundle
+//   entries/<hex16>/diagnostics.json   diagnostics_to_json payload
+//   entries/<hex16>/metrics.json       confmask.metrics/1 summary (no
+//                                      timings — cached bytes must be
+//                                      deterministic)
+//   staging/<hex16>.<nonce>/           in-progress writes, never readable
+//
+// Publishing is atomic: an entry is fully written into staging/ and then
+// renamed into entries/. Readers either see a complete entry or none — a
+// crash or cancelled job can leave staging/ litter (swept on the next
+// open) but never a partial entry under entries/.
+//
+// Invalidation happens at lookup, in place:
+//  * secondary-digest mismatch  → a primary-hash collision (or corrupted
+//    metadata); the entry is purged and the lookup is a miss;
+//  * build-stamp mismatch       → the entry was produced by a different
+//    binary; purged, miss (stale-binary invalidation — see build_info.hpp
+//    for why the stamp tracks versions, not build timestamps);
+//  * unreadable/garbled files   → purged, miss.
+// Failed pipelines are never stored: a cache hit always means "verified,
+// fail-closed-approved artifacts".
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/service/cache_key.hpp"
+
+namespace confmask {
+
+/// The byte-exact artifacts of one successful anonymization job.
+struct CacheArtifacts {
+  std::string anonymized_configs;  ///< canonical_config_set_text() bundle
+  std::string diagnostics_json;    ///< diagnostics_to_json() payload
+  std::string metrics_json;        ///< PipelineTrace metrics_json(false)
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  /// Entries purged at lookup (stale stamp, digest mismatch, corruption).
+  std::uint64_t invalidations = 0;
+};
+
+/// Thread-safe (one internal mutex; filesystem work is trivial next to a
+/// pipeline run, so a single lock is the simple correct choice).
+class ArtifactCache {
+ public:
+  /// Opens (creating if needed) a cache rooted at `root`. `stamp` defaults
+  /// to this binary's build_stamp(); tests override it to exercise
+  /// stale-binary invalidation. Sweeps leftover staging litter.
+  explicit ArtifactCache(std::filesystem::path root, std::string stamp = "");
+
+  /// Returns the artifacts for `key` iff a complete, same-stamp,
+  /// secondary-verified entry exists. Purges and misses otherwise.
+  [[nodiscard]] std::optional<CacheArtifacts> lookup(const CacheKey& key);
+
+  /// Atomically publishes the entry. If an entry for `key` already exists
+  /// (a concurrent identical job won the race) the existing entry is kept —
+  /// by construction both hold byte-identical artifacts.
+  void store(const CacheKey& key, const CacheArtifacts& artifacts);
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+  [[nodiscard]] const std::string& stamp() const { return stamp_; }
+
+  /// Number of complete entries on disk (directory scan; test/stats aid).
+  [[nodiscard]] std::size_t entry_count() const;
+
+ private:
+  [[nodiscard]] std::filesystem::path entry_dir(const CacheKey& key) const;
+
+  std::filesystem::path root_;
+  std::string stamp_;
+  mutable std::mutex mutex_;
+  CacheStats stats_;
+  std::uint64_t staging_nonce_ = 0;
+};
+
+}  // namespace confmask

@@ -1,0 +1,111 @@
+#include "src/service/cache_key.hpp"
+
+#include <bit>
+
+#include "src/config/emit.hpp"
+#include "src/util/hash.hpp"
+
+namespace confmask {
+
+namespace {
+
+const char* strategy_name(EquivalenceStrategy strategy) {
+  switch (strategy) {
+    case EquivalenceStrategy::kConfMask: return "confmask";
+    case EquivalenceStrategy::kStrawman1: return "strawman1";
+    case EquivalenceStrategy::kStrawman2: return "strawman2";
+  }
+  return "unknown";
+}
+
+const char* cost_policy_name(FakeLinkCostPolicy policy) {
+  switch (policy) {
+    case FakeLinkCostPolicy::kMinCost: return "min_cost";
+    case FakeLinkCostPolicy::kDefault: return "default";
+    case FakeLinkCostPolicy::kLarge: return "large";
+  }
+  return "unknown";
+}
+
+// An alternate odd basis (FNV prime xor'd into the offset basis) for the
+// secondary digest; any fixed constant distinct from kOffsetBasis gives an
+// independent 64-bit check against accidental primary collisions.
+constexpr std::uint64_t kSecondaryBasis =
+    Fnv1a64::kOffsetBasis ^ 0xA5A5A5A5A5A5A5A5ULL;
+
+}  // namespace
+
+std::string CacheKey::hex() const { return hex64(primary); }
+
+std::string canonical_parameter_text(const ConfMaskOptions& options,
+                                     const RetryPolicy& policy,
+                                     EquivalenceStrategy strategy) {
+  // Versioned ("params/1"): any change to the encoding (field added,
+  // meaning changed) must bump the version so old cache entries can never
+  // alias new requests.
+  std::string out = "params/1\n";
+  const auto field = [&out](const char* name, const std::string& value) {
+    out += name;
+    out += '=';
+    out += value;
+    out += '\n';
+  };
+  field("strategy", strategy_name(strategy));
+  field("k_r", std::to_string(options.k_r));
+  field("k_h", std::to_string(options.k_h));
+  field("noise_p_bits",
+        hex64(std::bit_cast<std::uint64_t>(options.noise_p)));
+  field("seed", std::to_string(options.seed));
+  field("cost_policy", cost_policy_name(options.cost_policy));
+  field("max_equivalence_iterations",
+        std::to_string(options.max_equivalence_iterations));
+  field("fake_routers", std::to_string(options.fake_routers));
+  field("links_per_fake_router",
+        std::to_string(options.links_per_fake_router));
+  field("link_pool", options.link_pool ? options.link_pool->str() : "-");
+  field("host_pool", options.host_pool ? options.host_pool->str() : "-");
+  field("retry.max_reseeds", std::to_string(policy.max_reseeds));
+  field("retry.k_r_floor", std::to_string(policy.k_r_floor));
+  field("retry.k_r_step", std::to_string(policy.k_r_step));
+  field("retry.max_pool_expansions",
+        std::to_string(policy.max_pool_expansions));
+  field("retry.pool_widen_bits", std::to_string(policy.pool_widen_bits));
+  std::string ladder;
+  for (const int value : policy.equivalence_iteration_ladder) {
+    ladder += (ladder.empty() ? "" : ",") + std::to_string(value);
+  }
+  field("retry.equivalence_iteration_ladder", ladder);
+  field("retry.diff_limit", std::to_string(policy.diff_limit));
+  field("retry.max_attempts", std::to_string(policy.max_attempts));
+  return out;
+}
+
+CacheKey compute_cache_key(const std::string& canonical_text,
+                           const ConfMaskOptions& options,
+                           const RetryPolicy& policy,
+                           EquivalenceStrategy strategy) {
+  const std::string params =
+      canonical_parameter_text(options, policy, strategy);
+  CacheKey key;
+  for (const bool secondary : {false, true}) {
+    Fnv1a64 hasher(secondary ? kSecondaryBasis : Fnv1a64::kOffsetBasis);
+    hasher.update("confmask.cache-key/1\n");
+    // Length prefixes keep the (params, configs) framing unambiguous.
+    hasher.update_u64(params.size());
+    hasher.update(params);
+    hasher.update_u64(canonical_text.size());
+    hasher.update(canonical_text);
+    (secondary ? key.secondary : key.primary) = hasher.value();
+  }
+  return key;
+}
+
+CacheKey compute_cache_key(const ConfigSet& configs,
+                           const ConfMaskOptions& options,
+                           const RetryPolicy& policy,
+                           EquivalenceStrategy strategy) {
+  return compute_cache_key(canonical_config_set_text(configs), options,
+                           policy, strategy);
+}
+
+}  // namespace confmask

@@ -1,0 +1,68 @@
+// Content-addressed cache keys for anonymization jobs.
+//
+// A job is (network, pipeline parameters, retry policy, strategy). Two jobs
+// with the same key MUST produce byte-identical artifacts, so the key is a
+// digest of a CANONICAL encoding of everything the pipeline's output
+// depends on:
+//  * the network, as canonical_config_set_text() — device order normalized,
+//    so the same network submitted from differently-ordered directories
+//    keys (and executes) identically;
+//  * every ConfMaskOptions field that can change output bytes (k_r, k_h,
+//    noise_p, seed, cost policy, iteration budget, fake routers, pool
+//    overrides). `incremental_simulation` is deliberately EXCLUDED: the
+//    incremental engine is verified bit-identical to from-scratch
+//    re-simulation (test_incremental_sim + the differential harness), so
+//    keying on it would only split the cache;
+//  * the RetryPolicy, because the fallback ladder changes the effective
+//    parameters of the final attempt (a reseed or k_r relaxation is
+//    visible in the artifact bytes);
+//  * the equivalence strategy.
+//
+// The build stamp is NOT part of the key — it lives in the entry metadata
+// and is checked at lookup (ArtifactCache), so a stale-binary entry is
+// invalidated in place instead of leaking forever under a dead key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/config/model.hpp"
+#include "src/core/confmask.hpp"
+#include "src/core/pipeline_runner.hpp"
+
+namespace confmask {
+
+struct CacheKey {
+  std::uint64_t primary = 0;    ///< FNV-1a/64 of the canonical encoding
+  std::uint64_t secondary = 0;  ///< same bytes, independent basis — the
+                                ///< collision guard stored in metadata
+
+  /// 16-hex-digit primary digest: the entry's directory name.
+  [[nodiscard]] std::string hex() const;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+/// Canonical parameter encoding (deterministic, versioned). Exposed so
+/// tests can assert exactly what the key covers; doubles are encoded as
+/// their IEEE-754 bit pattern, not decimal text, so the encoding never
+/// depends on formatting.
+[[nodiscard]] std::string canonical_parameter_text(
+    const ConfMaskOptions& options, const RetryPolicy& policy,
+    EquivalenceStrategy strategy);
+
+/// The key of a job. `configs` need not be in canonical order — the
+/// encoding canonicalizes.
+[[nodiscard]] CacheKey compute_cache_key(const ConfigSet& configs,
+                                         const ConfMaskOptions& options,
+                                         const RetryPolicy& policy,
+                                         EquivalenceStrategy strategy);
+
+/// Key over a pre-rendered canonical bundle (avoids re-emitting when the
+/// caller already holds the canonical text).
+[[nodiscard]] CacheKey compute_cache_key(const std::string& canonical_text,
+                                         const ConfMaskOptions& options,
+                                         const RetryPolicy& policy,
+                                         EquivalenceStrategy strategy);
+
+}  // namespace confmask

@@ -1,0 +1,79 @@
+#include "src/service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace confmask {
+
+namespace {
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::optional<std::string> client_roundtrip(const std::string& socket_path,
+                                            const std::string& request_line,
+                                            std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "socket path too long";
+    return std::nullopt;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_error(error, "socket");
+    return std::nullopt;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    set_error(error, "connect");
+    ::close(fd);
+    return std::nullopt;
+  }
+
+  const std::string framed = request_line + "\n";
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::write(fd, framed.data() + sent, framed.size() - sent);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      set_error(error, "write");
+      ::close(fd);
+      return std::nullopt;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      set_error(error, "read");
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (n == 0) break;  // daemon closed before a full line: handled below
+    response.append(chunk, static_cast<std::size_t>(n));
+    const std::size_t newline = response.find('\n');
+    if (newline != std::string::npos) {
+      ::close(fd);
+      return response.substr(0, newline);
+    }
+  }
+  ::close(fd);
+  if (error != nullptr) *error = "connection closed before response";
+  return std::nullopt;
+}
+
+}  // namespace confmask

@@ -1,0 +1,19 @@
+// Minimal confmaskd client: one request line out, one response line back,
+// over a short-lived unix-domain socket connection. The library half of
+// the confmask-client binary; tests use it to drive a live daemon.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace confmask {
+
+/// Connects to `socket_path`, sends `request_line` (newline appended),
+/// reads one response line. nullopt on any transport failure, with a
+/// description in *error when provided. Protocol-level failures are NOT
+/// transport failures — they come back as {ok: false} response lines.
+[[nodiscard]] std::optional<std::string> client_roundtrip(
+    const std::string& socket_path, const std::string& request_line,
+    std::string* error = nullptr);
+
+}  // namespace confmask

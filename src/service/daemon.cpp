@@ -1,0 +1,145 @@
+#include "src/service/daemon.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "src/service/artifact_cache.hpp"
+#include "src/service/job_scheduler.hpp"
+#include "src/service/protocol.hpp"
+#include "src/util/observability.hpp"
+
+namespace confmask {
+
+namespace {
+
+constexpr int kPollMillis = 100;
+
+/// Writes all of `data` (+ newline) to `fd`; false on any write error.
+bool write_line(int fd, const std::string& data) {
+  std::string framed = data + "\n";
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::write(fd, framed.data() + sent, framed.size() - sent);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Daemon::Daemon(Options options) : options_(std::move(options)) {}
+
+int Daemon::run() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "confmaskd: socket path too long (max %zu): %s\n",
+                 sizeof(addr.sun_path) - 1, options_.socket_path.c_str());
+    return 1;
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("confmaskd: socket");
+    return 1;
+  }
+  ::unlink(options_.socket_path.c_str());  // stale socket from a past run
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    std::perror("confmaskd: bind");
+    ::close(listen_fd);
+    return 1;
+  }
+  if (::listen(listen_fd, 16) != 0) {
+    std::perror("confmaskd: listen");
+    ::close(listen_fd);
+    ::unlink(options_.socket_path.c_str());
+    return 1;
+  }
+
+  std::printf("confmaskd: serving on %s\n", options_.socket_path.c_str());
+  std::fflush(stdout);
+
+  ArtifactCache cache(options_.cache_dir, options_.stamp);
+  std::unique_ptr<obs::NdjsonSink> trace_sink;
+  if (options_.trace_stream != nullptr) {
+    trace_sink = std::make_unique<obs::NdjsonSink>(*options_.trace_stream);
+  }
+  JobScheduler::Options scheduler_options;
+  scheduler_options.max_concurrent_jobs = options_.max_concurrent_jobs;
+  scheduler_options.max_pending = options_.max_pending;
+  scheduler_options.trace_sink = trace_sink.get();
+  JobScheduler scheduler(&cache, scheduler_options);
+  ProtocolHandler handler(&scheduler, &cache);
+
+  ShutdownCommand shutdown;
+  while (!shutdown.requested && !stop_.load(std::memory_order_acquire)) {
+    pollfd poll_listen{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&poll_listen, 1, kPollMillis);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0 || (poll_listen.revents & POLLIN) == 0) continue;
+    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) continue;
+
+    // One connection at a time: read request lines until EOF (or a
+    // shutdown request), answering each as it completes.
+    std::string buffer;
+    bool open = true;
+    while (open && !shutdown.requested &&
+           !stop_.load(std::memory_order_acquire)) {
+      pollfd poll_conn{conn_fd, POLLIN, 0};
+      const int conn_ready = ::poll(&poll_conn, 1, kPollMillis);
+      if (conn_ready < 0 && errno != EINTR) break;
+      if (conn_ready <= 0) continue;
+      char chunk[4096];
+      const ssize_t n = ::read(conn_fd, chunk, sizeof chunk);
+      if (n == 0) break;  // client closed
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (std::size_t newline = buffer.find('\n', start);
+           newline != std::string::npos;
+           newline = buffer.find('\n', start)) {
+        const std::string line = buffer.substr(start, newline - start);
+        start = newline + 1;
+        const std::string response = handler.handle(line, &shutdown);
+        if (!write_line(conn_fd, response)) {
+          open = false;
+          break;
+        }
+        if (shutdown.requested) break;
+      }
+      buffer.erase(0, start);
+    }
+    ::close(conn_fd);
+  }
+
+  ::close(listen_fd);
+  ::unlink(options_.socket_path.c_str());
+  // Graceful, fail-closed teardown: running jobs complete (and publish
+  // whole entries or nothing); queued jobs drain or cancel per request.
+  scheduler.shutdown(shutdown.requested
+                         ? shutdown.mode
+                         : JobScheduler::ShutdownMode::kDrain);
+  return 0;
+}
+
+}  // namespace confmask

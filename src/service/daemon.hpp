@@ -1,0 +1,54 @@
+// confmaskd: the batch-anonymization daemon.
+//
+// One unix-domain stream socket; one flat-JSON request line in, one
+// response line out (protocol.hpp). Connections are handled serially —
+// protocol handling is microseconds of work; all real concurrency lives in
+// the JobScheduler behind it — so clients should use one short-lived
+// connection per command (what confmask-client does). The accept and read
+// loops poll with a short timeout against the stop flag, so request_stop()
+// and the protocol's shutdown op both take effect promptly.
+//
+// Unix-socket caveat: sun_path is ~108 bytes; keep --socket paths short
+// (e.g. under /tmp), or bind() fails with a clear error.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <filesystem>
+#include <ostream>
+#include <string>
+
+namespace confmask {
+
+class Daemon {
+ public:
+  struct Options {
+    std::string socket_path;
+    std::filesystem::path cache_dir;
+    int max_concurrent_jobs = 2;
+    std::size_t max_pending = 64;
+    /// NDJSON destination for per-job pipeline traces (nullptr = off).
+    /// Not owned; must outlive run().
+    std::ostream* trace_stream = nullptr;
+    /// Build-stamp override for the cache (tests only; empty = this
+    /// binary's build_stamp()).
+    std::string stamp;
+  };
+
+  explicit Daemon(Options options);
+
+  /// Serves until a protocol shutdown request (or request_stop()), then
+  /// shuts the scheduler down in the requested mode and removes the
+  /// socket. Returns 0 on clean shutdown, 1 when the socket could not be
+  /// set up (the error is printed to stderr).
+  int run();
+
+  /// Asks a running run() to stop (drain mode). Safe from other threads.
+  void request_stop() { stop_.store(true, std::memory_order_release); }
+
+ private:
+  Options options_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace confmask

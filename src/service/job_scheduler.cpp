@@ -1,0 +1,241 @@
+#include "src/service/job_scheduler.hpp"
+
+#include <utility>
+
+#include "src/config/emit.hpp"
+#include "src/core/errors.hpp"
+#include "src/core/pipeline_trace.hpp"
+#include "src/routing/simulation.hpp"
+
+namespace confmask {
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+JobScheduler::JobScheduler(ArtifactCache* cache, Options options)
+    : cache_(cache), options_(options) {
+  const int workers = options_.max_concurrent_jobs < 1
+                          ? 1
+                          : options_.max_concurrent_jobs;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobScheduler::~JobScheduler() { shutdown(ShutdownMode::kCancelPending); }
+
+std::optional<std::uint64_t> JobScheduler::submit(JobRequest request) {
+  // Canonicalize and key OUTSIDE the lock: emitting a large network is the
+  // expensive part of admission and must not stall status queries.
+  ConfigSet canonical = canonicalize(request.configs);
+  const std::string canonical_text = canonical_config_set_text(canonical);
+  const CacheKey key = compute_cache_key(canonical_text, request.options,
+                                         request.policy, request.strategy);
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (shut_down_ || queue_.size() >= options_.max_pending) {
+    ++stats_.rejected;
+    return std::nullopt;
+  }
+  const std::uint64_t id = next_id_++;
+  Job job;
+  job.request = std::move(request);
+  job.canonical = std::move(canonical);
+  job.key = key;
+  job.status.id = id;
+  job.status.state = JobState::kQueued;
+  job.status.cache_key = key.hex();
+  jobs_.emplace(id, std::move(job));
+  queue_.push_back(id);
+  ++stats_.submitted;
+  work_cv_.notify_one();
+  return id;
+}
+
+std::optional<JobStatus> JobScheduler::status(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second.status;
+}
+
+std::optional<JobResult> JobScheduler::result(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  const Job& job = it->second;
+  if (job.status.state == JobState::kDone) return job.result;
+  if (job.status.state == JobState::kFailed) {
+    JobResult failure;
+    failure.artifacts.diagnostics_json = job.failure_diagnostics;
+    return failure;
+  }
+  return std::nullopt;
+}
+
+bool JobScheduler::cancel(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.status.state != JobState::kQueued) {
+    return false;
+  }
+  for (auto queue_it = queue_.begin(); queue_it != queue_.end(); ++queue_it) {
+    if (*queue_it == id) {
+      queue_.erase(queue_it);
+      break;
+    }
+  }
+  it->second.status.state = JobState::kCancelled;
+  ++stats_.cancelled;
+  done_cv_.notify_all();
+  return true;
+}
+
+bool JobScheduler::terminal_locked(std::uint64_t id) const {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return true;  // treat unknown as "nothing to wait on"
+  const JobState state = it->second.status.state;
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+bool JobScheduler::wait(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (jobs_.find(id) == jobs_.end()) return false;
+  done_cv_.wait(lock, [&] { return terminal_locked(id); });
+  return true;
+}
+
+SchedulerStats JobScheduler::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SchedulerStats out = stats_;
+  out.queued = queue_.size();
+  out.cache = cache_->stats();
+  return out;
+}
+
+void JobScheduler::shutdown(ShutdownMode mode) {
+  std::vector<std::thread> workers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;  // no further admissions
+    if (mode == ShutdownMode::kCancelPending) {
+      for (const std::uint64_t id : queue_) {
+        jobs_.at(id).status.state = JobState::kCancelled;
+        ++stats_.cancelled;
+      }
+      queue_.clear();
+      stopping_ = true;
+    } else {
+      draining_ = true;
+    }
+    workers.swap(workers_);
+    work_cv_.notify_all();
+    done_cv_.notify_all();
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+void JobScheduler::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stopping_ || draining_ || !queue_.empty();
+    });
+    if (queue_.empty()) {
+      if (stopping_ || draining_) return;
+      continue;
+    }
+    const std::uint64_t id = queue_.front();
+    queue_.pop_front();
+    jobs_.at(id).status.state = JobState::kRunning;
+    ++stats_.running;
+    lock.unlock();
+    execute(id);
+    lock.lock();
+    --stats_.running;
+  }
+}
+
+void JobScheduler::execute(std::uint64_t id) {
+  // After submit, a job's request/canonical/key fields are immutable and
+  // this worker is the only writer of its result — so they are safe to
+  // read unlocked while the pipeline runs. Status transitions stay locked.
+  const Job* job = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job = &jobs_.at(id);
+  }
+
+  if (auto cached = cache_->lookup(job->key)) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Job& done = jobs_.at(id);
+    done.result.artifacts = std::move(*cached);
+    done.result.cache_hit = true;
+    done.status.state = JobState::kDone;
+    done.status.cache_hit = true;
+    ++stats_.completed;
+    done_cv_.notify_all();
+    return;
+  }
+
+  // Thread-scoped trace: this worker is the orchestration thread of its
+  // pipeline, so the trace captures exactly this job's spans even while
+  // sibling workers run their own traced pipelines.
+  PipelineTrace::Options trace_options;
+  trace_options.shared_sink = options_.trace_sink;
+  trace_options.tag = "job-" + std::to_string(id);
+  trace_options.scope = PipelineTrace::Options::Scope::kThread;
+  PipelineTrace trace(trace_options);
+
+  const std::uint64_t sims_before = Simulation::runs_on_this_thread();
+  GuardedPipelineResult run =
+      run_pipeline_guarded(job->canonical, job->request.options,
+                           job->request.policy, job->request.strategy);
+  const std::uint64_t sims_delta =
+      Simulation::runs_on_this_thread() - sims_before;
+  std::string diagnostics = diagnostics_to_json(run.diagnostics);
+
+  if (run.ok()) {
+    CacheArtifacts artifacts;
+    artifacts.anonymized_configs =
+        canonical_config_set_text(run.result->anonymized);
+    artifacts.diagnostics_json = std::move(diagnostics);
+    artifacts.metrics_json = trace.metrics_json(/*include_timings=*/false);
+    cache_->store(job->key, artifacts);
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Job& done = jobs_.at(id);
+    done.result.artifacts = std::move(artifacts);
+    done.result.cache_hit = false;
+    done.status.state = JobState::kDone;
+    ++stats_.completed;
+    stats_.simulations += sims_delta;
+    done_cv_.notify_all();
+    return;
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Job& failed = jobs_.at(id);
+  failed.failure_diagnostics = std::move(diagnostics);
+  failed.status.state = JobState::kFailed;
+  failed.status.error_stage = to_string(run.diagnostics.stage);
+  failed.status.error_category = to_string(run.diagnostics.category);
+  failed.status.error_message = run.diagnostics.message;
+  failed.status.exit_code = exit_code_for(run.diagnostics.category);
+  ++stats_.failed;
+  stats_.simulations += sims_delta;
+  done_cv_.notify_all();
+}
+
+}  // namespace confmask

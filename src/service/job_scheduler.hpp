@@ -1,0 +1,175 @@
+// Multi-job scheduler: the execution core of confmaskd.
+//
+// Jobs are admitted into a bounded queue and executed by a fixed set of
+// worker threads, each driving one guarded pipeline at a time. Workers are
+// ORCHESTRATION threads in the pipeline's sense: the heavy lifting inside
+// each pipeline still fans out over the process-wide ThreadPool::shared(),
+// which is safe for concurrent submitters (thread_pool.hpp) — so
+// max_concurrent_jobs trades per-job latency against cross-job throughput
+// without oversubscribing cores.
+//
+// Every execution starts with an ArtifactCache lookup. A hit completes the
+// job immediately with the cached bytes (no simulation runs at all); a miss
+// runs run_pipeline_guarded on the CANONICAL device ordering (device order
+// feeds pipeline tie-breaks, so cache-keyed jobs must execute on the exact
+// bytes they were keyed on) and, iff the fail-closed gate passed, publishes
+// the artifacts. Failed pipelines are never cached.
+//
+// Per-job observability: each worker installs a thread-scoped PipelineTrace
+// tagged "job-<id>" writing to the scheduler's shared NDJSON sink, so
+// concurrent jobs' span streams interleave whole-line-atomically and remain
+// attributable. The deterministic half of that trace (metrics_json without
+// timings) is the job's metrics artifact.
+//
+// Shutdown is fail-closed and graceful: running jobs always run to
+// completion (a cancelled half-published entry is exactly what the staging
+// protocol exists to prevent); queued jobs either drain (kDrain) or are
+// marked cancelled without side effects (kCancelPending).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/pipeline_runner.hpp"
+#include "src/service/artifact_cache.hpp"
+#include "src/service/cache_key.hpp"
+#include "src/util/observability.hpp"
+
+namespace confmask {
+
+/// One anonymization request. `configs` need not be canonically ordered.
+struct JobRequest {
+  ConfigSet configs;
+  ConfMaskOptions options;
+  RetryPolicy policy;
+  EquivalenceStrategy strategy = EquivalenceStrategy::kConfMask;
+};
+
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+[[nodiscard]] const char* to_string(JobState state);
+
+/// Point-in-time view of a job. Error fields are meaningful only in
+/// kFailed; `cache_hit` only in kDone.
+struct JobStatus {
+  std::uint64_t id = 0;
+  JobState state = JobState::kQueued;
+  std::string cache_key;  ///< 16-hex primary digest, known from submit
+  bool cache_hit = false;
+  std::string error_stage;     ///< to_string(PipelineStage)
+  std::string error_category;  ///< to_string(ErrorCategory)
+  std::string error_message;
+  int exit_code = 0;  ///< errors.hpp exit code taxonomy (0 until failed)
+};
+
+/// Artifacts of a finished job. For kDone all three artifact fields are
+/// populated (from cache or from a fresh run — byte-identical either way).
+/// For kFailed only `diagnostics_json` is populated: the fail-closed
+/// contract forbids shipping unverified configs, but the operator still
+/// gets the full failure story.
+struct JobResult {
+  CacheArtifacts artifacts;
+  bool cache_hit = false;
+};
+
+struct SchedulerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t rejected = 0;  ///< admission-control refusals
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  CacheStats cache;
+  /// Simulation runs performed by this scheduler's workers (cache hits
+  /// contribute zero — the acceptance signal that caching works).
+  std::uint64_t simulations = 0;
+};
+
+class JobScheduler {
+ public:
+  struct Options {
+    int max_concurrent_jobs = 2;
+    /// Admission control: submissions beyond this many queued (not yet
+    /// running) jobs are rejected, keeping the daemon's memory bounded.
+    std::size_t max_pending = 64;
+    /// Shared NDJSON sink for the per-job trace streams. nullptr = jobs
+    /// run untraced (metrics artifact still produced via a sinkless
+    /// trace). Not owned; must outlive the scheduler.
+    obs::NdjsonSink* trace_sink = nullptr;
+  };
+
+  enum class ShutdownMode {
+    kDrain,          ///< finish queued jobs, then stop
+    kCancelPending,  ///< cancel queued jobs, finish only running ones
+  };
+
+  /// `cache` is not owned and must outlive the scheduler.
+  JobScheduler(ArtifactCache* cache, Options options);
+  /// Implies shutdown(kCancelPending) if not already shut down.
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Admits a job. nullopt = rejected (queue full or shutting down); the
+  /// returned id is the handle for status/result/cancel/wait.
+  [[nodiscard]] std::optional<std::uint64_t> submit(JobRequest request);
+
+  [[nodiscard]] std::optional<JobStatus> status(std::uint64_t id) const;
+
+  /// Artifacts of a terminal job (see JobResult). nullopt while the job is
+  /// queued/running, after cancellation, or for unknown ids.
+  [[nodiscard]] std::optional<JobResult> result(std::uint64_t id) const;
+
+  /// Cancels a QUEUED job (running jobs always complete — fail-closed).
+  /// Returns whether the job transitioned to kCancelled.
+  bool cancel(std::uint64_t id);
+
+  /// Blocks until `id` reaches a terminal state; false for unknown ids.
+  bool wait(std::uint64_t id);
+
+  [[nodiscard]] SchedulerStats stats() const;
+
+  /// Idempotent; blocks until workers exit (all running jobs finished).
+  void shutdown(ShutdownMode mode);
+
+ private:
+  struct Job {
+    JobRequest request;
+    ConfigSet canonical;  ///< canonicalize(request.configs): what executes
+    CacheKey key;
+    JobStatus status;
+    JobResult result;
+    std::string failure_diagnostics;  ///< diagnostics_json of a failed run
+  };
+
+  void worker_loop();
+  void execute(std::uint64_t id);
+
+  [[nodiscard]] bool terminal_locked(std::uint64_t id) const;
+
+  ArtifactCache* cache_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< workers: queue/shutdown changes
+  std::condition_variable done_cv_;  ///< waiters: job reached terminal state
+  std::map<std::uint64_t, Job> jobs_;
+  std::deque<std::uint64_t> queue_;
+  std::uint64_t next_id_ = 1;
+  bool draining_ = false;
+  bool stopping_ = false;
+  bool shut_down_ = false;
+  SchedulerStats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace confmask

@@ -1,0 +1,76 @@
+// One-line flat JSON objects: the wire format of the confmaskd protocol
+// and the on-disk format of cache entry metadata.
+//
+// The grammar is deliberately a subset of JSON — a single object whose
+// values are strings, integers, doubles, or booleans; no nesting, no
+// arrays, no null. That subset is expressive enough for every message the
+// serving layer exchanges (bulk payloads like config bundles travel as one
+// escaped string value), and small enough that the parser can be strict:
+// anything outside the subset is a hard error, never a guess. Hand-rolled
+// like every other JSON producer in this repository (no dependencies).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace confmask {
+
+/// A parsed flat-object value.
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool };
+  Kind kind = Kind::kString;
+  std::string text;    ///< kString: unescaped contents; kNumber: raw token
+  double number = 0;   ///< kNumber
+  bool boolean = false;  ///< kBool
+
+  [[nodiscard]] std::int64_t as_int() const {
+    return static_cast<std::int64_t>(number);
+  }
+};
+
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Parses one flat JSON object. Returns nullopt on ANY deviation from the
+/// subset grammar (trailing bytes included) — protocol errors must be
+/// loud, not lenient.
+[[nodiscard]] std::optional<JsonObject> parse_json_line(
+    std::string_view line);
+
+/// Builder for one flat object with insertion-ordered keys (field order is
+/// part of the readable-protocol contract; tests diff raw lines).
+class JsonLineWriter {
+ public:
+  JsonLineWriter& string(std::string_view key, std::string_view value);
+  JsonLineWriter& number(std::string_view key, std::int64_t value);
+  JsonLineWriter& number_u64(std::string_view key, std::uint64_t value);
+  JsonLineWriter& real(std::string_view key, double value);
+  JsonLineWriter& boolean(std::string_view key, bool value);
+
+  /// The finished "{...}" object (no trailing newline).
+  [[nodiscard]] std::string str() const { return body_ + "}"; }
+
+ private:
+  void key(std::string_view name);
+  std::string body_ = "{";
+  bool first_ = true;
+};
+
+/// Convenience accessors returning nullopt on missing key or wrong kind.
+[[nodiscard]] std::optional<std::string> get_string(const JsonObject& obj,
+                                                    std::string_view key);
+[[nodiscard]] std::optional<std::int64_t> get_int(const JsonObject& obj,
+                                                  std::string_view key);
+/// Exact uint64 from the raw number token (doubles silently truncate
+/// seeds above 2^53; this never does). nullopt unless the token is a pure
+/// unsigned decimal integer in range.
+[[nodiscard]] std::optional<std::uint64_t> get_u64(const JsonObject& obj,
+                                                   std::string_view key);
+[[nodiscard]] std::optional<double> get_double(const JsonObject& obj,
+                                               std::string_view key);
+[[nodiscard]] std::optional<bool> get_bool(const JsonObject& obj,
+                                           std::string_view key);
+
+}  // namespace confmask

@@ -1,0 +1,214 @@
+#include "src/service/protocol.hpp"
+
+#include <exception>
+
+#include "src/config/parse.hpp"
+#include "src/service/json_line.hpp"
+
+namespace confmask {
+
+namespace {
+
+std::string error_response(std::string_view op, std::string_view message) {
+  return JsonLineWriter{}
+      .boolean("ok", false)
+      .string("op", op)
+      .string("error", message)
+      .str();
+}
+
+std::optional<EquivalenceStrategy> parse_strategy(const std::string& name) {
+  if (name == "confmask") return EquivalenceStrategy::kConfMask;
+  if (name == "strawman1") return EquivalenceStrategy::kStrawman1;
+  if (name == "strawman2") return EquivalenceStrategy::kStrawman2;
+  return std::nullopt;
+}
+
+std::optional<FakeLinkCostPolicy> parse_cost_policy(const std::string& name) {
+  if (name == "min_cost") return FakeLinkCostPolicy::kMinCost;
+  if (name == "default") return FakeLinkCostPolicy::kDefault;
+  if (name == "large") return FakeLinkCostPolicy::kLarge;
+  return std::nullopt;
+}
+
+/// Reads an optional int field into `out`; returns false (and fills
+/// `error`) when the field is present with the wrong kind.
+bool read_int(const JsonObject& request, std::string_view key, int& out,
+              std::string& error) {
+  if (request.find(std::string(key)) == request.end()) return true;
+  const auto value = get_int(request, key);
+  if (!value) {
+    error = std::string(key) + " must be an integer";
+    return false;
+  }
+  out = static_cast<int>(*value);
+  return true;
+}
+
+}  // namespace
+
+std::string ProtocolHandler::handle(std::string_view line,
+                                    ShutdownCommand* shutdown) {
+  const auto request = parse_json_line(line);
+  if (!request) return error_response("", "malformed request line");
+  const auto op = get_string(*request, "op");
+  if (!op) return error_response("", "missing op");
+
+  if (*op == "submit") {
+    const auto configs_text = get_string(*request, "configs");
+    if (!configs_text) return error_response(*op, "missing configs");
+    JobRequest job;
+    try {
+      job.configs = parse_config_set(*configs_text);
+    } catch (const std::exception& error) {
+      return error_response(*op, error.what());
+    }
+    std::string field_error;
+    if (!read_int(*request, "k_r", job.options.k_r, field_error) ||
+        !read_int(*request, "k_h", job.options.k_h, field_error) ||
+        !read_int(*request, "max_equivalence_iterations",
+                  job.options.max_equivalence_iterations, field_error) ||
+        !read_int(*request, "fake_routers", job.options.fake_routers,
+                  field_error) ||
+        !read_int(*request, "links_per_fake_router",
+                  job.options.links_per_fake_router, field_error)) {
+      return error_response(*op, field_error);
+    }
+    if (request->find("noise_p") != request->end()) {
+      const auto noise = get_double(*request, "noise_p");
+      if (!noise) return error_response(*op, "noise_p must be a number");
+      job.options.noise_p = *noise;
+    }
+    if (request->find("seed") != request->end()) {
+      // get_u64 reads the raw token: seeds above 2^53 survive exactly.
+      const auto seed = get_u64(*request, "seed");
+      if (!seed) {
+        return error_response(*op, "seed must be an unsigned integer");
+      }
+      job.options.seed = *seed;
+    }
+    if (request->find("incremental") != request->end()) {
+      const auto incremental = get_bool(*request, "incremental");
+      if (!incremental) {
+        return error_response(*op, "incremental must be a boolean");
+      }
+      job.options.incremental_simulation = *incremental;
+    }
+    if (const auto name = get_string(*request, "strategy")) {
+      const auto strategy = parse_strategy(*name);
+      if (!strategy) return error_response(*op, "unknown strategy");
+      job.strategy = *strategy;
+    }
+    if (const auto name = get_string(*request, "cost_policy")) {
+      const auto policy = parse_cost_policy(*name);
+      if (!policy) return error_response(*op, "unknown cost_policy");
+      job.options.cost_policy = *policy;
+    }
+    const auto id = scheduler_->submit(std::move(job));
+    if (!id) return error_response(*op, "rejected: queue full or shutting down");
+    const auto status = scheduler_->status(*id);
+    return JsonLineWriter{}
+        .boolean("ok", true)
+        .string("op", *op)
+        .number_u64("job", *id)
+        .string("cache_key", status ? status->cache_key : "")
+        .str();
+  }
+
+  if (*op == "status" || *op == "result" || *op == "cancel") {
+    const auto id = get_u64(*request, "job");
+    if (!id) return error_response(*op, "missing or invalid job id");
+
+    if (*op == "cancel") {
+      const bool cancelled = scheduler_->cancel(*id);
+      return JsonLineWriter{}
+          .boolean("ok", true)
+          .string("op", *op)
+          .number_u64("job", *id)
+          .boolean("cancelled", cancelled)
+          .str();
+    }
+
+    const auto status = scheduler_->status(*id);
+    if (!status) return error_response(*op, "unknown job");
+
+    if (*op == "status") {
+      JsonLineWriter out;
+      out.boolean("ok", true)
+          .string("op", *op)
+          .number_u64("job", *id)
+          .string("state", to_string(status->state))
+          .string("cache_key", status->cache_key)
+          .boolean("cache_hit", status->cache_hit);
+      if (status->state == JobState::kFailed) {
+        out.string("error_stage", status->error_stage)
+            .string("error_category", status->error_category)
+            .string("error_message", status->error_message)
+            .number("exit_code", status->exit_code);
+      }
+      return out.str();
+    }
+
+    const auto result = scheduler_->result(*id);
+    if (!result) return error_response(*op, "job not finished");
+    return JsonLineWriter{}
+        .boolean("ok", true)
+        .string("op", *op)
+        .number_u64("job", *id)
+        .string("state", to_string(status->state))
+        .boolean("cache_hit", result->cache_hit)
+        .string("configs", result->artifacts.anonymized_configs)
+        .string("diagnostics", result->artifacts.diagnostics_json)
+        .string("metrics", result->artifacts.metrics_json)
+        .str();
+  }
+
+  if (*op == "stats") {
+    const SchedulerStats stats = scheduler_->stats();
+    return JsonLineWriter{}
+        .boolean("ok", true)
+        .string("op", *op)
+        .number_u64("submitted", stats.submitted)
+        .number_u64("completed", stats.completed)
+        .number_u64("failed", stats.failed)
+        .number_u64("cancelled", stats.cancelled)
+        .number_u64("rejected", stats.rejected)
+        .number_u64("queued", stats.queued)
+        .number_u64("running", stats.running)
+        .number_u64("cache_hits", stats.cache.hits)
+        .number_u64("cache_misses", stats.cache.misses)
+        .number_u64("cache_stores", stats.cache.stores)
+        .number_u64("cache_invalidations", stats.cache.invalidations)
+        .number_u64("simulations", stats.simulations)
+        .string("stamp", cache_->stamp())
+        .str();
+  }
+
+  if (*op == "shutdown") {
+    JobScheduler::ShutdownMode mode = JobScheduler::ShutdownMode::kDrain;
+    if (const auto name = get_string(*request, "mode")) {
+      if (*name == "drain") {
+        mode = JobScheduler::ShutdownMode::kDrain;
+      } else if (*name == "cancel") {
+        mode = JobScheduler::ShutdownMode::kCancelPending;
+      } else {
+        return error_response(*op, "unknown shutdown mode");
+      }
+    }
+    if (shutdown != nullptr) {
+      shutdown->requested = true;
+      shutdown->mode = mode;
+    }
+    return JsonLineWriter{}
+        .boolean("ok", true)
+        .string("op", *op)
+        .string("mode", mode == JobScheduler::ShutdownMode::kDrain
+                            ? "drain"
+                            : "cancel")
+        .str();
+  }
+
+  return error_response(*op, "unknown op");
+}
+
+}  // namespace confmask

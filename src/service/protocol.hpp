@@ -1,0 +1,60 @@
+// The confmaskd request/response protocol.
+//
+// Transport-independent: one request is one flat JSON line (json_line.hpp
+// grammar), one response is one flat JSON line. The daemon frames lines
+// over a unix-domain socket; tests drive the handler directly with
+// strings. Bulk payloads (config bundles, diagnostics/metrics documents)
+// travel as single escaped string values, keeping the wire grammar flat.
+//
+// Operations (the "op" field):
+//   submit   configs (required, canonical bundle text) + optional
+//            parameters: k_r, k_h, noise_p, seed, strategy, cost_policy,
+//            max_equivalence_iterations, fake_routers,
+//            links_per_fake_router, incremental
+//            → {ok, op, job, cache_key}
+//   status   job → {ok, op, job, state, cache_key, cache_hit [, error_*]}
+//   result   job → {ok, op, job, state, cache_hit, configs, diagnostics,
+//            metrics} (terminal jobs only; failed jobs carry diagnostics
+//            but never configs — fail closed end to end)
+//   cancel   job → {ok, op, job, cancelled}
+//   stats    → scheduler + cache counters, build stamp
+//   shutdown mode: "drain" (default) | "cancel" → {ok, op, mode}; the
+//            transport stops accepting after relaying this.
+//
+// Every response leads with "ok" and echoes "op"; failures are
+// {ok: false, op, error}. Unknown ops, malformed JSON, wrong field kinds
+// and unparsable configs are all loud errors, never guesses.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/service/job_scheduler.hpp"
+
+namespace confmask {
+
+/// Set by handle() when the request was a (successfully parsed) shutdown.
+struct ShutdownCommand {
+  bool requested = false;
+  JobScheduler::ShutdownMode mode = JobScheduler::ShutdownMode::kDrain;
+};
+
+class ProtocolHandler {
+ public:
+  /// Neither pointer is owned; both must outlive the handler.
+  ProtocolHandler(JobScheduler* scheduler, ArtifactCache* cache)
+      : scheduler_(scheduler), cache_(cache) {}
+
+  /// Handles one request line; returns the response line (no trailing
+  /// newline). Never throws for protocol-level problems — they become
+  /// {ok: false} responses.
+  [[nodiscard]] std::string handle(std::string_view line,
+                                   ShutdownCommand* shutdown = nullptr);
+
+ private:
+  JobScheduler* scheduler_;
+  ArtifactCache* cache_;
+};
+
+}  // namespace confmask

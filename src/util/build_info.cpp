@@ -1,0 +1,24 @@
+#include "src/util/build_info.hpp"
+
+namespace confmask {
+
+const char* version() {
+#ifdef CONFMASK_VERSION
+  return CONFMASK_VERSION;
+#else
+  return "0.0.0-unversioned";
+#endif
+}
+
+std::string build_stamp() {
+  // __VERSION__ identifies the compiler release (e.g. "13.2.0" on GCC,
+  // "Clang 17.0.1 ..." on Clang); pipeline codegen differences track it.
+#ifdef __VERSION__
+  const char* toolchain = __VERSION__;
+#else
+  const char* toolchain = "unknown-toolchain";
+#endif
+  return std::string("confmask/") + version() + "/" + toolchain;
+}
+
+}  // namespace confmask

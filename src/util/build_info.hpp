@@ -1,0 +1,25 @@
+// Build identity: version and a build stamp.
+//
+// The stamp exists for exactly one consumer-visible purpose: artifact-cache
+// invalidation. A cache entry written by one build of the pipeline must not
+// be served by a build whose pipeline could produce different bytes, so
+// every entry records the stamp of the binary that wrote it and lookups
+// miss (and purge) on mismatch. The stamp is deliberately derived from the
+// version and toolchain — NOT from __DATE__/__TIME__ — so rebuilding the
+// same source with the same compiler keeps the cache warm, while a version
+// bump or compiler change invalidates it.
+#pragma once
+
+#include <string>
+
+namespace confmask {
+
+/// Semantic version of this source tree (CONFMASK_VERSION, set by CMake
+/// from project(VERSION); "0.0.0-unversioned" in builds that bypass it).
+[[nodiscard]] const char* version();
+
+/// Cache-invalidation stamp: "confmask/<version>/<compiler tag>". Stable
+/// across rebuilds of identical source+toolchain.
+[[nodiscard]] std::string build_stamp();
+
+}  // namespace confmask

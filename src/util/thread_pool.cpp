@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <memory>
+#include <stdexcept>
 
 #include "src/util/observability.hpp"
 
@@ -46,6 +47,11 @@ ThreadPool& ThreadPool::shared() {
 
 void ThreadPool::configure(unsigned workers) {
   const std::lock_guard<std::mutex> lock(g_shared_mutex);
+  if (g_shared_pool && g_shared_pool->in_flight() != 0) {
+    throw std::logic_error(
+        "ThreadPool::configure called with a parallel_for in flight on the "
+        "shared pool; configure is startup/test-setup only");
+  }
   g_shared_pool = std::make_unique<ThreadPool>(workers);
 }
 
@@ -143,6 +149,19 @@ ThreadPoolStats ThreadPool::stats() const {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+  // In-flight accounting covers every externally submitted batch (pooled
+  // AND serial paths): the configure() guard must fire for any concurrent
+  // use, not just ones that happened to fan out. Nested inline calls are
+  // already covered by their enclosing batch.
+  struct InFlight {
+    std::atomic<std::size_t>* count;
+    explicit InFlight(std::atomic<std::size_t>* c) : count(c) {
+      if (count) count->fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~InFlight() {
+      if (count) count->fetch_sub(1, std::memory_order_acq_rel);
+    }
+  } in_flight_guard(t_inside_pool_body ? nullptr : &in_flight_);
   batches_.fetch_add(1, std::memory_order_relaxed);
   // Serial fast path: a single-worker pool, a single-element batch, or a
   // nested call from inside a body. Identical results by construction.
@@ -152,6 +171,8 @@ void ThreadPool::parallel_for(std::size_t n,
     worker_tasks_[threads_.size()].fetch_add(n, std::memory_order_relaxed);
     return;
   }
+  // One batch owns the workers at a time; concurrent submitters queue here.
+  const std::lock_guard<std::mutex> submit_lock(submit_mutex_);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     body_ = &body;

@@ -12,6 +12,12 @@
 //    joined in creation order by the destructor.
 //  * Zero surprise under nesting: a parallel_for issued from inside a pool
 //    body runs inline on the calling worker (no deadlock, no oversubscribe).
+//  * Safe concurrent submitters: parallel_for may be called from multiple
+//    threads at once (the serving layer runs several pipelines over the one
+//    shared pool). Batches from distinct callers are serialized internally
+//    — one batch owns the workers at a time, the others wait their turn —
+//    so per-batch semantics (every index exactly once, first exception
+//    rethrown to ITS submitter) are unchanged.
 //
 // Worker-count policy: an explicit count wins; otherwise the CONFMASK_JOBS
 // environment variable; otherwise std::thread::hardware_concurrency(). The
@@ -19,6 +25,7 @@
 // is resized via `ThreadPool::configure()` (the CLI's --jobs flag).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -76,9 +83,21 @@ class ThreadPool {
   [[nodiscard]] static ThreadPool& shared();
 
   /// Replaces the shared pool with one of `workers` workers (0 = default).
-  /// Not safe to call concurrently with a parallel_for on the shared pool;
-  /// intended for startup (--jobs) and test setup.
+  /// Intended for startup (--jobs) and test setup only: replacing the pool
+  /// destroys the old one, so a parallel_for still in flight on it would
+  /// race with destruction. That misuse used to be silent; it now throws
+  /// std::logic_error when the shared pool reports in-flight work. The
+  /// guard is necessarily best-effort — a caller that fetched shared() but
+  /// has not yet entered parallel_for is invisible — so the contract stays
+  /// "startup and test setup"; the guard just makes violations loud.
   static void configure(unsigned workers);
+
+  /// parallel_for calls currently executing on this pool (external callers
+  /// only; nested inline calls don't count). Exact when no caller is
+  /// mid-submission.
+  [[nodiscard]] std::size_t in_flight() const {
+    return in_flight_.load(std::memory_order_acquire);
+  }
 
   /// Snapshot of the cumulative utilization counters. Exact once all
   /// batches have drained (parallel_for returned).
@@ -95,6 +114,11 @@ class ThreadPool {
   void drain(const std::function<void(std::size_t)>& body, std::size_t n,
              std::size_t worker);
 
+  // Serializes whole batches from distinct submitter threads: held by a
+  // submitter for its batch's full setup → drain → wait lifetime. Workers
+  // never take it, so holding it across the wait cannot deadlock.
+  std::mutex submit_mutex_;
+  std::atomic<std::size_t> in_flight_{0};
   std::mutex mutex_;
   std::condition_variable_any cv_start_;
   std::condition_variable cv_done_;

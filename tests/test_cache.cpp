@@ -1,0 +1,228 @@
+// Content-addressed artifact cache: key canonicalization and coverage,
+// store/hit byte-identity, stale-binary and collision invalidation, and
+// the atomic-publish guarantee (no partial entries, ever).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/netgen/networks.hpp"
+#include "src/service/artifact_cache.hpp"
+#include "src/service/cache_key.hpp"
+#include "src/util/hash.hpp"
+
+namespace confmask {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / ("confmask_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+CacheArtifacts sample_artifacts() {
+  CacheArtifacts artifacts;
+  artifacts.anonymized_configs = "!>> device r0\nhostname r0\n";
+  artifacts.diagnostics_json = "{\n  \"ok\": true\n}\n";
+  artifacts.metrics_json = "{\"schema\": \"confmask.metrics/1\"}\n";
+  return artifacts;
+}
+
+TEST(CacheKey, DeterministicAndSensitiveToEveryParameter) {
+  const ConfigSet network = make_figure2();
+  const ConfMaskOptions base;
+  const RetryPolicy policy;
+  const auto key = compute_cache_key(network, base, policy,
+                                     EquivalenceStrategy::kConfMask);
+  EXPECT_EQ(key, compute_cache_key(network, base, policy,
+                                   EquivalenceStrategy::kConfMask));
+  EXPECT_EQ(key.hex().size(), 16u);
+  EXPECT_EQ(key.hex(), hex64(key.primary));
+
+  // Every parameter that can change output bytes must change the key.
+  ConfMaskOptions changed = base;
+  changed.seed = base.seed + 1;
+  EXPECT_NE(key, compute_cache_key(network, changed, policy,
+                                   EquivalenceStrategy::kConfMask));
+  changed = base;
+  changed.k_r = base.k_r + 1;
+  EXPECT_NE(key, compute_cache_key(network, changed, policy,
+                                   EquivalenceStrategy::kConfMask));
+  changed = base;
+  changed.noise_p = base.noise_p + 0.05;
+  EXPECT_NE(key, compute_cache_key(network, changed, policy,
+                                   EquivalenceStrategy::kConfMask));
+  RetryPolicy relaxed = policy;
+  relaxed.max_reseeds = policy.max_reseeds + 1;
+  EXPECT_NE(key, compute_cache_key(network, base, relaxed,
+                                   EquivalenceStrategy::kConfMask));
+  EXPECT_NE(key, compute_cache_key(network, base, policy,
+                                   EquivalenceStrategy::kStrawman1));
+}
+
+TEST(CacheKey, DeviceOrderCanonicalizedAndIncrementalFlagExcluded) {
+  ConfigSet forward = make_figure2();
+  ConfigSet reversed = forward;
+  std::reverse(reversed.routers.begin(), reversed.routers.end());
+  std::reverse(reversed.hosts.begin(), reversed.hosts.end());
+  const ConfMaskOptions options;
+  const RetryPolicy policy;
+  EXPECT_EQ(compute_cache_key(forward, options, policy,
+                              EquivalenceStrategy::kConfMask),
+            compute_cache_key(reversed, options, policy,
+                              EquivalenceStrategy::kConfMask));
+
+  // incremental_simulation is verified bit-identical either way, so it
+  // must NOT split the cache.
+  ConfMaskOptions incremental_off = options;
+  incremental_off.incremental_simulation = false;
+  EXPECT_EQ(compute_cache_key(forward, options, policy,
+                              EquivalenceStrategy::kConfMask),
+            compute_cache_key(forward, incremental_off, policy,
+                              EquivalenceStrategy::kConfMask));
+}
+
+TEST(CacheKey, NetworkContentChangesKey) {
+  ConfigSet network = make_figure2();
+  const ConfMaskOptions options;
+  const RetryPolicy policy;
+  const auto key = compute_cache_key(network, options, policy,
+                                     EquivalenceStrategy::kConfMask);
+  network.routers[0].extra_lines.push_back("description changed");
+  EXPECT_NE(key, compute_cache_key(network, options, policy,
+                                   EquivalenceStrategy::kConfMask));
+}
+
+TEST(ArtifactCache, StoreThenLookupReturnsByteIdenticalArtifacts) {
+  ArtifactCache cache(fresh_dir("store_hit"), "stamp-a");
+  CacheKey key{0x1234, 0x5678};
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  const CacheArtifacts artifacts = sample_artifacts();
+  cache.store(key, artifacts);
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->anonymized_configs, artifacts.anonymized_configs);
+  EXPECT_EQ(hit->diagnostics_json, artifacts.diagnostics_json);
+  EXPECT_EQ(hit->metrics_json, artifacts.metrics_json);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+  EXPECT_EQ(stats.invalidations, 0u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+TEST(ArtifactCache, EntriesSurviveReopenWithSameStamp) {
+  const fs::path root = fresh_dir("reopen");
+  const CacheKey key{42, 43};
+  {
+    ArtifactCache cache(root, "stamp-a");
+    cache.store(key, sample_artifacts());
+  }
+  ArtifactCache cache(root, "stamp-a");
+  EXPECT_TRUE(cache.lookup(key).has_value());
+}
+
+TEST(ArtifactCache, StaleBinaryStampInvalidatesInPlace) {
+  const fs::path root = fresh_dir("stamp");
+  const CacheKey key{7, 8};
+  {
+    ArtifactCache old_binary(root, "stamp-old");
+    old_binary.store(key, sample_artifacts());
+  }
+  ArtifactCache new_binary(root, "stamp-new");
+  EXPECT_FALSE(new_binary.lookup(key).has_value());
+  EXPECT_EQ(new_binary.stats().invalidations, 1u);
+  EXPECT_EQ(new_binary.entry_count(), 0u);  // purged, not left to rot
+  // The slot is reusable by the new binary.
+  new_binary.store(key, sample_artifacts());
+  EXPECT_TRUE(new_binary.lookup(key).has_value());
+}
+
+TEST(ArtifactCache, SecondaryDigestMismatchPurges) {
+  const fs::path root = fresh_dir("collision");
+  ArtifactCache cache(root, "stamp-a");
+  const CacheKey stored{100, 200};
+  cache.store(stored, sample_artifacts());
+  // Same primary digest, different secondary: a primary-hash collision.
+  const CacheKey colliding{100, 999};
+  EXPECT_FALSE(cache.lookup(colliding).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(ArtifactCache, CorruptMetadataPurges) {
+  const fs::path root = fresh_dir("corrupt");
+  const CacheKey key{1, 2};
+  ArtifactCache cache(root, "stamp-a");
+  cache.store(key, sample_artifacts());
+  std::ofstream(root / "entries" / key.hex() / "meta.json")
+      << "not json at all\n";
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+TEST(ArtifactCache, StagingLitterIsSweptAndNeverVisible) {
+  const fs::path root = fresh_dir("staging");
+  {
+    ArtifactCache cache(root, "stamp-a");
+    // Simulate a crash mid-write: a staging dir with real content that
+    // never published.
+    fs::create_directories(root / "staging" / "deadbeef.0");
+    std::ofstream(root / "staging" / "deadbeef.0" / "meta.json") << "{}";
+  }
+  ArtifactCache reopened(root, "stamp-a");
+  EXPECT_FALSE(fs::exists(root / "staging" / "deadbeef.0"));
+  EXPECT_EQ(reopened.entry_count(), 0u);  // litter never became an entry
+}
+
+TEST(ArtifactCache, PublishedEntriesAreAlwaysComplete) {
+  const fs::path root = fresh_dir("complete");
+  ArtifactCache cache(root, "stamp-a");
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    cache.store(CacheKey{i, i + 1}, sample_artifacts());
+  }
+  // Every directory under entries/ holds all four files — the atomic
+  // rename-publish invariant.
+  for (const auto& entry : fs::directory_iterator(root / "entries")) {
+    EXPECT_TRUE(fs::exists(entry.path() / "meta.json")) << entry.path();
+    EXPECT_TRUE(fs::exists(entry.path() / "anonymized.cfgset"))
+        << entry.path();
+    EXPECT_TRUE(fs::exists(entry.path() / "diagnostics.json"))
+        << entry.path();
+    EXPECT_TRUE(fs::exists(entry.path() / "metrics.json")) << entry.path();
+  }
+  EXPECT_EQ(cache.entry_count(), 5u);
+}
+
+TEST(ArtifactCache, DuplicateStoreKeepsFirstEntry) {
+  ArtifactCache cache(fresh_dir("dup"), "stamp-a");
+  const CacheKey key{9, 10};
+  cache.store(key, sample_artifacts());
+  CacheArtifacts other = sample_artifacts();
+  other.metrics_json = "{\"different\": true}\n";
+  cache.store(key, other);  // lost race with an identical job: no-op
+  EXPECT_EQ(cache.stats().stores, 1u);
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->metrics_json, sample_artifacts().metrics_json);
+}
+
+TEST(Hash, Fnv1a64KnownVectorsAndHexRoundTrip) {
+  // FNV-1a/64 reference vectors.
+  EXPECT_EQ(fnv1a64(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171F73967E8ULL);
+  EXPECT_EQ(hex64(0), "0000000000000000");
+  EXPECT_EQ(hex64(0xDEADBEEF12345678ULL), "deadbeef12345678");
+  EXPECT_EQ(parse_hex64("deadbeef12345678"), 0xDEADBEEF12345678ULL);
+  EXPECT_FALSE(parse_hex64("xyz").has_value());
+  EXPECT_FALSE(parse_hex64("1234").has_value());  // must be 16 digits
+}
+
+}  // namespace
+}  // namespace confmask

@@ -3,8 +3,11 @@
 // verbatim (the property the §2.3 QoS case study depends on).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/config/emit.hpp"
 #include "src/config/parse.hpp"
+#include "src/core/pipeline_runner.hpp"
 #include "src/netgen/networks.hpp"
 
 namespace confmask {
@@ -109,6 +112,65 @@ TEST(RoundTrip, ParseErrorCarriesLineNumber) {
   } catch (const ConfigParseError& error) {
     EXPECT_EQ(error.line_number(), 3u);
   }
+}
+
+TEST(CanonicalBundle, EmitParseEmitIsByteStable) {
+  // The serving layer's cache keys hash this bundle; emit → parse → emit
+  // must be the identity on the bytes for every evaluation network.
+  for (const auto& network : evaluation_networks()) {
+    const std::string text = canonical_config_set_text(network.configs);
+    const ConfigSet reparsed = parse_config_set(text);
+    EXPECT_EQ(reparsed.routers.size(), network.configs.routers.size())
+        << network.id;
+    EXPECT_EQ(reparsed.hosts.size(), network.configs.hosts.size())
+        << network.id;
+    EXPECT_EQ(canonical_config_set_text(reparsed), text) << network.id;
+  }
+}
+
+TEST(CanonicalBundle, DeviceOrderDoesNotAffectCanonicalText) {
+  ConfigSet forward = make_figure2();
+  ConfigSet reversed = forward;
+  std::reverse(reversed.routers.begin(), reversed.routers.end());
+  std::reverse(reversed.hosts.begin(), reversed.hosts.end());
+  EXPECT_EQ(canonical_config_set_text(forward),
+            canonical_config_set_text(reversed));
+  // canonicalize() itself sorts by hostname.
+  const ConfigSet canonical = canonicalize(reversed);
+  for (std::size_t i = 1; i < canonical.routers.size(); ++i) {
+    EXPECT_LT(canonical.routers[i - 1].hostname,
+              canonical.routers[i].hostname);
+  }
+}
+
+TEST(CanonicalBundle, AnonymizedOutputRoundTrips) {
+  // Cached artifacts are canonical bundles of ANONYMIZED configs (fake
+  // routers, fake hosts, injected filters included); those must round-trip
+  // byte-stably too or cache replay would corrupt them.
+  ConfMaskOptions options;
+  options.k_r = 2;
+  options.k_h = 2;
+  const auto guarded = run_pipeline_guarded(make_figure2(), options);
+  ASSERT_TRUE(guarded.ok());
+  const std::string text =
+      canonical_config_set_text(guarded.result->anonymized);
+  const ConfigSet reparsed = parse_config_set(text);
+  EXPECT_EQ(canonical_config_set_text(reparsed), text);
+}
+
+TEST(CanonicalBundle, ParseRejectsMalformedBundles) {
+  EXPECT_THROW(parse_config_set("hostname r0\n"), ConfigParseError);
+  EXPECT_THROW(parse_config_set(""), ConfigParseError);
+  EXPECT_THROW(parse_config_set("!>> device \nhostname r0\n"),
+               ConfigParseError);
+  // Content before the first device marker.
+  EXPECT_THROW(
+      parse_config_set("hostname stray\n!>> device r0\nhostname r0\n"),
+      ConfigParseError);
+  // Duplicate device names.
+  const std::string dup =
+      "!>> device r0\nhostname r0\n!>> device r0\nhostname r0\n";
+  EXPECT_THROW(parse_config_set(dup), ConfigParseError);
 }
 
 TEST(RoundTrip, HostConfig) {

@@ -1,0 +1,304 @@
+// The serving layer's wire format and transport: flat JSON line
+// parser/writer round-trips (including exact uint64 seeds), the protocol
+// handler's submit/status/result/cancel/stats/shutdown surface, and a
+// live confmaskd end-to-end over a real unix-domain socket.
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "src/config/emit.hpp"
+#include "src/config/parse.hpp"
+#include "src/netgen/networks.hpp"
+#include "src/service/client.hpp"
+#include "src/service/daemon.hpp"
+#include "src/service/json_line.hpp"
+#include "src/service/protocol.hpp"
+
+namespace confmask {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(JsonLine, WriterOutputParsesBackExactly) {
+  const std::string line = JsonLineWriter{}
+                               .string("op", "submit")
+                               .number("k_r", 6)
+                               .real("noise_p", 0.1)
+                               .boolean("ok", true)
+                               .string("text", "a\"b\\c\nd\te")
+                               .str();
+  const auto parsed = parse_json_line(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(get_string(*parsed, "op"), "submit");
+  EXPECT_EQ(get_int(*parsed, "k_r"), 6);
+  EXPECT_EQ(get_double(*parsed, "noise_p"), 0.1);
+  EXPECT_EQ(get_bool(*parsed, "ok"), true);
+  EXPECT_EQ(get_string(*parsed, "text"), "a\"b\\c\nd\te");
+}
+
+TEST(JsonLine, U64SeedsSurviveAboveDoublePrecision) {
+  // 2^53 + 1 is the first integer a double cannot represent; a seed up
+  // there must still round-trip exactly through the wire format.
+  const std::uint64_t seed = (1ULL << 53) + 1;
+  const std::string line = JsonLineWriter{}.number_u64("seed", seed).str();
+  const auto parsed = parse_json_line(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(get_u64(*parsed, "seed"), seed);
+  // The double view is lossy here — that is exactly why get_u64 exists.
+  EXPECT_EQ(get_u64(*parsed, "missing"), std::nullopt);
+
+  const std::uint64_t max = 0xFFFFFFFFFFFFFFFFULL;
+  const auto parsed_max =
+      parse_json_line(JsonLineWriter{}.number_u64("seed", max).str());
+  ASSERT_TRUE(parsed_max.has_value());
+  EXPECT_EQ(get_u64(*parsed_max, "seed"), max);
+}
+
+TEST(JsonLine, StrictParserRejectsEverythingOutsideTheSubset) {
+  EXPECT_FALSE(parse_json_line("").has_value());
+  EXPECT_FALSE(parse_json_line("[1, 2]").has_value());
+  EXPECT_FALSE(parse_json_line("{\"a\": [1]}").has_value());   // array
+  EXPECT_FALSE(parse_json_line("{\"a\": {\"b\": 1}}").has_value());  // nested
+  EXPECT_FALSE(parse_json_line("{\"a\": null}").has_value());  // null
+  EXPECT_FALSE(parse_json_line("{\"a\": 1,}").has_value());    // trailing ,
+  EXPECT_FALSE(parse_json_line("{\"a\": 1} x").has_value());   // trailing
+  EXPECT_FALSE(parse_json_line("{\"a\": 1, \"a\": 2}").has_value());  // dup
+  EXPECT_FALSE(parse_json_line("{\"a\": 'x'}").has_value());
+  EXPECT_TRUE(parse_json_line("{}").has_value());
+  EXPECT_TRUE(parse_json_line("  {\"a\": -1.5e3}  ").has_value());
+}
+
+class ProtocolTest : public testing::Test {
+ protected:
+  static fs::path fresh_cache_dir() {
+    const fs::path dir =
+        fs::path(testing::TempDir()) /
+        (std::string("confmask_proto_") +
+         testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir);
+    return dir;
+  }
+
+  ProtocolTest()
+      : cache_(fresh_cache_dir()),
+        scheduler_(&cache_, {}),
+        handler_(&scheduler_, &cache_) {}
+
+  ~ProtocolTest() override {
+    scheduler_.shutdown(JobScheduler::ShutdownMode::kCancelPending);
+    fs::remove_all(cache_.root());
+  }
+
+  JsonObject handle(const std::string& line,
+                    ShutdownCommand* shutdown = nullptr) {
+    const auto parsed = parse_json_line(handler_.handle(line, shutdown));
+    EXPECT_TRUE(parsed.has_value());
+    return parsed.value_or(JsonObject{});
+  }
+
+  std::string submit_line(std::uint64_t seed) {
+    return JsonLineWriter{}
+        .string("op", "submit")
+        .string("configs", canonical_config_set_text(make_figure2()))
+        .number("k_r", 2)
+        .number("k_h", 2)
+        .number_u64("seed", seed)
+        .str();
+  }
+
+  ArtifactCache cache_;
+  JobScheduler scheduler_;
+  ProtocolHandler handler_;
+};
+
+TEST_F(ProtocolTest, SubmitStatusResultLifecycle) {
+  const JsonObject submitted = handle(submit_line(1));
+  ASSERT_EQ(get_bool(submitted, "ok"), true);
+  const auto job = get_u64(submitted, "job");
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(get_string(submitted, "cache_key")->size(), 16u);
+
+  ASSERT_TRUE(scheduler_.wait(*job));
+  const JsonObject status = handle(
+      JsonLineWriter{}.string("op", "status").number_u64("job", *job).str());
+  EXPECT_EQ(get_bool(status, "ok"), true);
+  EXPECT_EQ(get_string(status, "state"), "done");
+  EXPECT_EQ(get_bool(status, "cache_hit"), false);
+
+  const JsonObject result = handle(
+      JsonLineWriter{}.string("op", "result").number_u64("job", *job).str());
+  EXPECT_EQ(get_bool(result, "ok"), true);
+  const auto bundle = get_string(result, "configs");
+  ASSERT_TRUE(bundle.has_value());
+  // The artifact is a parseable anonymized network.
+  const ConfigSet anonymized = parse_config_set(*bundle);
+  EXPECT_GE(anonymized.routers.size(), make_figure2().routers.size());
+  EXPECT_FALSE(get_string(result, "diagnostics")->empty());
+  EXPECT_FALSE(get_string(result, "metrics")->empty());
+
+  // Resubmission: same key, served from cache.
+  const JsonObject resubmitted = handle(submit_line(1));
+  const auto second = get_u64(resubmitted, "job");
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(get_string(resubmitted, "cache_key"),
+            get_string(submitted, "cache_key"));
+  ASSERT_TRUE(scheduler_.wait(*second));
+  const JsonObject second_status = handle(JsonLineWriter{}
+                                              .string("op", "status")
+                                              .number_u64("job", *second)
+                                              .str());
+  EXPECT_EQ(get_bool(second_status, "cache_hit"), true);
+
+  const JsonObject stats =
+      handle(JsonLineWriter{}.string("op", "stats").str());
+  EXPECT_EQ(get_u64(stats, "submitted"), 2u);
+  EXPECT_EQ(get_u64(stats, "completed"), 2u);
+  EXPECT_EQ(get_u64(stats, "cache_hits"), 1u);
+  EXPECT_EQ(get_u64(stats, "cache_stores"), 1u);
+  EXPECT_EQ(get_string(stats, "stamp"), cache_.stamp());
+}
+
+TEST_F(ProtocolTest, ErrorsAreLoudAndTyped) {
+  EXPECT_EQ(get_bool(handle("not json"), "ok"), false);
+  EXPECT_EQ(get_bool(handle("{\"no_op\": 1}"), "ok"), false);
+  EXPECT_EQ(get_bool(handle("{\"op\": \"frobnicate\"}"), "ok"), false);
+  // submit without configs / with unparsable configs.
+  EXPECT_EQ(get_bool(handle("{\"op\": \"submit\"}"), "ok"), false);
+  const JsonObject bad_configs = handle(JsonLineWriter{}
+                                            .string("op", "submit")
+                                            .string("configs", "garbage")
+                                            .str());
+  EXPECT_EQ(get_bool(bad_configs, "ok"), false);
+  EXPECT_FALSE(get_string(bad_configs, "error")->empty());
+  // Wrong field kinds.
+  EXPECT_EQ(
+      get_bool(handle("{\"op\": \"status\", \"job\": \"one\"}"), "ok"),
+      false);
+  EXPECT_EQ(get_bool(handle("{\"op\": \"result\", \"job\": 999}"), "ok"),
+            false);
+  // Unknown shutdown mode does NOT set the flag.
+  ShutdownCommand shutdown;
+  EXPECT_EQ(get_bool(handle("{\"op\": \"shutdown\", \"mode\": \"halt\"}",
+                            &shutdown),
+                     "ok"),
+            false);
+  EXPECT_FALSE(shutdown.requested);
+}
+
+TEST_F(ProtocolTest, ShutdownRequestSetsCommand) {
+  ShutdownCommand shutdown;
+  const JsonObject response = handle(
+      "{\"op\": \"shutdown\", \"mode\": \"cancel\"}", &shutdown);
+  EXPECT_EQ(get_bool(response, "ok"), true);
+  EXPECT_TRUE(shutdown.requested);
+  EXPECT_EQ(shutdown.mode, JobScheduler::ShutdownMode::kCancelPending);
+}
+
+TEST(DaemonE2E, SubmitTwiceOverUnixSocketSecondIsCacheHit) {
+  // Keep the socket path short: sun_path caps out around 108 bytes.
+  const std::string socket_path =
+      "/tmp/confmaskd_test_" + std::to_string(::getpid()) + ".sock";
+  const fs::path cache_dir =
+      fs::path(testing::TempDir()) / "confmask_daemon_cache";
+  fs::remove_all(cache_dir);
+
+  Daemon::Options options;
+  options.socket_path = socket_path;
+  options.cache_dir = cache_dir;
+  options.max_concurrent_jobs = 2;
+  Daemon daemon(options);
+  std::thread server([&daemon] { EXPECT_EQ(daemon.run(), 0); });
+
+  // Wait for the daemon to come up (bind + listen happen inside run()).
+  const std::string stats_line = JsonLineWriter{}.string("op", "stats").str();
+  std::optional<std::string> up;
+  for (int i = 0; i < 250 && !up; ++i) {
+    up = client_roundtrip(socket_path, stats_line);
+    if (!up) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(up.has_value()) << "daemon never came up";
+
+  const std::string submit = JsonLineWriter{}
+                                 .string("op", "submit")
+                                 .string("configs",
+                                         canonical_config_set_text(
+                                             make_figure2()))
+                                 .number("k_r", 2)
+                                 .number("k_h", 2)
+                                 .number_u64("seed", 11)
+                                 .str();
+  std::string first_configs;
+  for (const bool expect_hit : {false, true}) {
+    const auto submitted = client_roundtrip(socket_path, submit);
+    ASSERT_TRUE(submitted.has_value());
+    const auto submit_response = parse_json_line(*submitted);
+    ASSERT_TRUE(submit_response.has_value());
+    ASSERT_EQ(get_bool(*submit_response, "ok"), true) << *submitted;
+    const auto job = get_u64(*submit_response, "job");
+    ASSERT_TRUE(job.has_value());
+
+    // Poll status until terminal.
+    const std::string status_line = JsonLineWriter{}
+                                        .string("op", "status")
+                                        .number_u64("job", *job)
+                                        .str();
+    std::optional<std::string> state;
+    for (int i = 0; i < 1500; ++i) {
+      const auto status = client_roundtrip(socket_path, status_line);
+      ASSERT_TRUE(status.has_value());
+      const auto parsed = parse_json_line(*status);
+      ASSERT_TRUE(parsed.has_value());
+      state = get_string(*parsed, "state");
+      if (state == "done" || state == "failed") {
+        EXPECT_EQ(get_bool(*parsed, "cache_hit"), expect_hit) << *status;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_EQ(state, "done");
+
+    const auto result = client_roundtrip(
+        socket_path, JsonLineWriter{}
+                         .string("op", "result")
+                         .number_u64("job", *job)
+                         .str());
+    ASSERT_TRUE(result.has_value());
+    const auto result_response = parse_json_line(*result);
+    ASSERT_TRUE(result_response.has_value());
+    const auto configs = get_string(*result_response, "configs");
+    ASSERT_TRUE(configs.has_value());
+    if (expect_hit) {
+      // The acceptance bar: cached replay is byte-identical.
+      EXPECT_EQ(*configs, first_configs);
+    } else {
+      first_configs = *configs;
+      EXPECT_FALSE(first_configs.empty());
+    }
+  }
+
+  // Stats prove the second run came from the cache.
+  const auto stats = client_roundtrip(socket_path, stats_line);
+  ASSERT_TRUE(stats.has_value());
+  const auto stats_response = parse_json_line(*stats);
+  ASSERT_TRUE(stats_response.has_value());
+  EXPECT_EQ(get_u64(*stats_response, "cache_hits"), 1u);
+  EXPECT_EQ(get_u64(*stats_response, "cache_stores"), 1u);
+  EXPECT_EQ(get_u64(*stats_response, "completed"), 2u);
+
+  // Clean shutdown over the protocol; run() returns and removes the socket.
+  const auto bye = client_roundtrip(
+      socket_path, JsonLineWriter{}.string("op", "shutdown").str());
+  ASSERT_TRUE(bye.has_value());
+  server.join();
+  EXPECT_FALSE(fs::exists(socket_path));
+  fs::remove_all(cache_dir);
+}
+
+}  // namespace
+}  // namespace confmask

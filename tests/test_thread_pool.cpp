@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "src/util/thread_pool.hpp"
@@ -135,6 +137,57 @@ TEST(ThreadPool, DefaultWorkersRespectsEnvironment) {
   } else {
     unsetenv("CONFMASK_JOBS");
   }
+}
+
+TEST(ThreadPool, ConcurrentExternalSubmittersEachCompleteTheirBatches) {
+  // The serving layer's job workers submit parallel_for batches to the
+  // SHARED pool concurrently. Batches serialize internally; every
+  // submitter must still see exactly its own results. This is the
+  // concurrent-submitter TSan workload.
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 4;
+  constexpr int kRounds = 50;
+  std::vector<std::thread> submitters;
+  std::vector<long> sums(kSubmitters, 0);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &sums, s] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::atomic<long> sum{0};
+        pool.parallel_for(64, [&](std::size_t i) {
+          sum.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+        });
+        sums[static_cast<std::size_t>(s)] += sum.load();
+      }
+    });
+  }
+  for (auto& submitter : submitters) submitter.join();
+  constexpr long kPerBatch = 63 * 64 / 2;
+  for (const long sum : sums) EXPECT_EQ(sum, kPerBatch * kRounds);
+}
+
+TEST(ThreadPool, ConfigureWhileSharedBatchInFlightThrows) {
+  ThreadPool::configure(2);
+  std::atomic<bool> release{false};
+  std::atomic<bool> entered{false};
+  std::thread submitter([&] {
+    ThreadPool::shared().parallel_for(4, [&](std::size_t) {
+      entered.store(true, std::memory_order_release);
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
+  });
+  while (!entered.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  // Replacing the pool under a live batch would strand its workers; the
+  // guard turns that silent race into a loud error.
+  EXPECT_THROW(ThreadPool::configure(4), std::logic_error);
+  release.store(true, std::memory_order_release);
+  submitter.join();
+  // Quiescent again: reconfiguration is allowed.
+  ThreadPool::configure(1);
+  EXPECT_EQ(ThreadPool::shared().workers(), 1u);
 }
 
 TEST(ThreadPool, ConfigureResizesSharedPool) {
