@@ -2,13 +2,18 @@
 //
 //   usage: confmask-client --socket PATH <command> [args]
 //     submit <config-dir> [--kr N] [--kh N] [--p FLOAT] [--seed N]
-//            [--fake-routers N]      submit every *.cfg under <config-dir>
+//            [--fake-routers N] [--deadline-ms N]
+//                                    submit every *.cfg under <config-dir>;
+//                                    load-shed rejections (retry_after_ms)
+//                                    are retried with backoff + jitter
 //     status <job>                   one status line
 //     wait <job>                     poll until the job is terminal
 //     result <job> [--out DIR]      fetch artifacts; --out writes the
 //                                    anonymized configs as *.cfg files
 //     cancel <job>
 //     stats
+//     ping                           daemon health: build stamp, uptime,
+//                                    queue depth, journal/cache vitals
 //     shutdown [drain|cancel]
 //
 // Every command prints the daemon's raw JSON response line to stdout (so
@@ -39,10 +44,10 @@ int usage() {
       stderr,
       "usage: confmask-client --socket PATH <command> [args]\n"
       "  submit <config-dir> [--kr N] [--kh N] [--p FLOAT] [--seed N] "
-      "[--fake-routers N]\n"
+      "[--fake-routers N] [--deadline-ms N]\n"
       "  status <job> | wait <job> | result <job> [--out DIR] | "
       "cancel <job>\n"
-      "  stats | shutdown [drain|cancel]\n");
+      "  stats | ping | shutdown [drain|cancel]\n");
   return 2;
 }
 
@@ -130,11 +135,30 @@ int main(int argc, char** argv) {
                            std::strtoull(argv[arg + 1], nullptr, 10));
       } else if (std::strcmp(argv[arg], "--fake-routers") == 0) {
         request.number("fake_routers", std::atoi(argv[arg + 1]));
+      } else if (std::strcmp(argv[arg], "--deadline-ms") == 0) {
+        request.number_u64("deadline_ms",
+                           std::strtoull(argv[arg + 1], nullptr, 10));
       } else {
         return usage();
       }
     }
-    return roundtrip(socket_path, request.str());
+    // Submit goes through the retrying path: a daemon at its admission
+    // limit answers with retry_after_ms, and we back off rather than fail.
+    TransportError transport;
+    const auto response =
+        client_submit_with_retry(socket_path, request.str(), {}, &transport);
+    if (!response) {
+      std::fprintf(stderr, "confmask-client: %s: %s\n",
+                   to_string(transport.failure), transport.detail.c_str());
+      return 2;
+    }
+    std::printf("%s\n", response->c_str());
+    const auto parsed = parse_json_line(*response);
+    if (!parsed) {
+      std::fprintf(stderr, "confmask-client: unparsable response\n");
+      return 2;
+    }
+    return get_bool(*parsed, "ok") == true ? 0 : 1;
   }
 
   if (command == "status" || command == "wait" || command == "cancel") {
@@ -207,6 +231,11 @@ int main(int argc, char** argv) {
   if (command == "stats") {
     return roundtrip(socket_path,
                      JsonLineWriter{}.string("op", "stats").str());
+  }
+
+  if (command == "ping") {
+    return roundtrip(socket_path,
+                     JsonLineWriter{}.string("op", "ping").str());
   }
 
   if (command == "shutdown") {

@@ -3,6 +3,7 @@
 //   usage: confmaskd --socket PATH --cache-dir DIR
 //                    [--max-concurrent-jobs N] [--max-pending N]
 //                    [--trace FILE] [--jobs N]
+//                    [--journal PATH] [--cache-budget BYTES]
 //          confmaskd --version
 //
 // Serves the confmaskd protocol (src/service/protocol.hpp) over a
@@ -15,6 +16,12 @@
 // its simulations out over the shared worker pool; --jobs sets that pool's
 // size, as in confmask_cli). --trace streams every job's pipeline spans as
 // NDJSON tagged with "job": "job-<id>".
+//
+// --journal makes acknowledged jobs durable: every accepted submission is
+// fsync'd to a write-ahead journal before the ack, and after a crash
+// (even kill -9) the daemon replays interrupted jobs on restart.
+// --cache-budget caps the artifact cache, evicting least-recently-used
+// entries (evicted results recompute on resubmission).
 //
 // Stops on a protocol shutdown request: "drain" finishes queued jobs,
 // "cancel" abandons them; running jobs always complete (fail-closed — no
@@ -34,7 +41,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: confmaskd --socket PATH --cache-dir DIR "
                "[--max-concurrent-jobs N] [--max-pending N] [--trace FILE] "
-               "[--jobs N]\n"
+               "[--jobs N] [--journal PATH] [--cache-budget BYTES]\n"
                "       confmaskd --version\n");
   return 2;
 }
@@ -73,6 +80,14 @@ int main(int argc, char** argv) {
       options.max_pending = static_cast<std::size_t>(pending);
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       trace_file = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--journal") == 0) {
+      options.journal_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--cache-budget") == 0) {
+      options.cache_max_bytes = std::strtoull(argv[i + 1], nullptr, 10);
+      if (options.cache_max_bytes == 0) {
+        std::fprintf(stderr, "--cache-budget must be > 0 bytes\n");
+        return usage();
+      }
     } else if (std::strcmp(argv[i], "--jobs") == 0) {
       const int jobs = std::atoi(argv[i + 1]);
       if (jobs < 1) {

@@ -54,6 +54,7 @@ const char* to_string(ErrorCategory category) {
     case ErrorCategory::kNonConvergent: return "NonConvergent";
     case ErrorCategory::kParseError: return "ParseError";
     case ErrorCategory::kInternal: return "Internal";
+    case ErrorCategory::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -65,6 +66,7 @@ int exit_code_for(ErrorCategory category) {
     case ErrorCategory::kNonConvergent: return 12;
     case ErrorCategory::kParseError: return 13;
     case ErrorCategory::kInternal: return 14;
+    case ErrorCategory::kDeadlineExceeded: return 15;
   }
   return 14;
 }
@@ -77,6 +79,8 @@ bool default_retryable(ErrorCategory category) {
       return true;
     case ErrorCategory::kParseError:
     case ErrorCategory::kInternal:
+    case ErrorCategory::kDeadlineExceeded:
+      // Retrying past a deadline can only blow further past it.
       return false;
   }
   return false;
@@ -116,6 +120,12 @@ PipelineError translate_exception(PipelineStage stage,
     // the ladder then relaxes k. Pin retryable=true for both kinds.
     return PipelineError(stage, category, kdeg->what(), std::move(context),
                          true);
+  }
+  if (const auto* cancelled = dynamic_cast<const OperationCancelled*>(&error)) {
+    ErrorContext context;
+    context.detail = std::string("reason=") + to_string(cancelled->reason());
+    return PipelineError(stage, ErrorCategory::kDeadlineExceeded,
+                         cancelled->what(), std::move(context));
   }
   if (const auto* parse = dynamic_cast<const ConfigParseError*>(&error)) {
     ErrorContext context;

@@ -18,6 +18,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/util/cancellation.hpp"
+
 namespace confmask {
 
 /// Which pipeline stage (paper Fig 3, plus the §9 node-addition extension)
@@ -41,12 +43,15 @@ enum class ErrorCategory {
                        ///< or escalate the budget
   kParseError,         ///< malformed input configuration — not retryable
   kInternal,           ///< invariant violation; a bug, never retryable
+  kDeadlineExceeded,   ///< the job's deadline passed or it was cancelled
+                       ///< mid-run (cancellation.hpp) — never retried,
+                       ///< never cached
 };
 
 [[nodiscard]] const char* to_string(PipelineStage stage);
 [[nodiscard]] const char* to_string(ErrorCategory category);
 
-/// Distinct CLI exit code per category (10..14; 0 = success, 1 = generic
+/// Distinct CLI exit code per category (10..15; 0 = success, 1 = generic
 /// I/O failure, 2 = usage). Stable across releases — scripts depend on it.
 [[nodiscard]] int exit_code_for(ErrorCategory category);
 
@@ -93,10 +98,14 @@ class PipelineError : public std::runtime_error {
                                                 const std::exception& error);
 
 /// Runs a stage body, translating any escaping exception as above. This is
-/// how run_pipeline attributes bare deep-layer throws to stages.
+/// how run_pipeline attributes bare deep-layer throws to stages. Every
+/// stage boundary is also a cancellation safe point: an expired deadline
+/// or a client cancel stops the pipeline here at the latest (the round
+/// loops inside the long stages poll more often).
 template <typename Fn>
 decltype(auto) run_stage(PipelineStage stage, Fn&& body) {
   try {
+    poll_cancellation();
     return body();
   } catch (const PipelineError&) {
     throw;

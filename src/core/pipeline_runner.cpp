@@ -74,7 +74,11 @@ const char* to_string(FallbackKind kind) {
 GuardedPipelineResult run_pipeline_guarded(const ConfigSet& original,
                                            const ConfMaskOptions& options,
                                            const RetryPolicy& policy,
-                                           EquivalenceStrategy strategy) {
+                                           EquivalenceStrategy strategy,
+                                           const CancelToken* cancel) {
+  // Ambient for the whole guarded run: every run_stage boundary and round
+  // loop below us polls this token without parameter plumbing.
+  CancelScope cancel_scope(cancel);
   GuardedPipelineResult out;
   ConfMaskOptions opts = options;
   auto& diag = out.diagnostics;
@@ -157,6 +161,17 @@ GuardedPipelineResult run_pipeline_guarded(const ConfigSet& original,
   };
 
   while (diag.attempts < policy.max_attempts) {
+    // A fired token between attempts (e.g. the deadline passed while the
+    // previous attempt was tearing down) must not start another run.
+    if (cancel != nullptr && cancel->fired() != CancelToken::Reason::kNone) {
+      ErrorContext context;
+      context.detail = std::string("reason=") + to_string(cancel->fired());
+      return fail_with(PipelineStage::kPreprocess,
+                       ErrorCategory::kDeadlineExceeded,
+                       "cancellation observed before attempt " +
+                           std::to_string(diag.attempts + 1),
+                       std::move(context));
+    }
     ++diag.attempts;
     if (PipelineTrace* trace = PipelineTrace::active()) {
       trace->event("attempt_begin",
@@ -184,6 +199,7 @@ GuardedPipelineResult run_pipeline_guarded(const ConfigSet& original,
           break;
         case ErrorCategory::kParseError:
         case ErrorCategory::kInternal:
+        case ErrorCategory::kDeadlineExceeded:
           break;
       }
       if (!acted) {

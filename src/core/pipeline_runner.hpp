@@ -112,10 +112,18 @@ struct GuardedPipelineResult {
 /// Runs the pipeline under the retry/fallback ladder. Never throws for
 /// pipeline-level failures (they land in diagnostics); never returns
 /// configs that were not verified functionally equivalent.
+///
+/// `cancel`, when non-null, is installed as the ambient cancellation token
+/// (CancelScope) for the duration of the call: an expired deadline or a
+/// requested cancel stops the run at the next poll point (stage boundaries
+/// plus the round loops inside the long stages) and yields a
+/// DeadlineExceeded diagnostic. Cancellation is never retried — the ladder
+/// does not run for it.
 [[nodiscard]] GuardedPipelineResult run_pipeline_guarded(
     const ConfigSet& original, const ConfMaskOptions& options,
     const RetryPolicy& policy = {},
-    EquivalenceStrategy strategy = EquivalenceStrategy::kConfMask);
+    EquivalenceStrategy strategy = EquivalenceStrategy::kConfMask,
+    const CancelToken* cancel = nullptr);
 
 /// Machine-readable rendering of the diagnostics: status, terminal error,
 /// every fallback-ladder event, the fail-closed gate's divergence triples,

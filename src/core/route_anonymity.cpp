@@ -9,6 +9,7 @@
 #include "src/core/filters.hpp"
 #include "src/core/pipeline_trace.hpp"
 #include "src/routing/simulation.hpp"
+#include "src/util/cancellation.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace confmask {
@@ -169,6 +170,9 @@ RouteAnonymityOutcome anonymize_routes(
   // are recomputed.
   constexpr int kMaxRollbackRounds = 16;
   for (int round = 0; round < kMaxRollbackRounds && !added.empty(); ++round) {
+    // Each rollback round re-simulates — poll so a deadline/cancel stops
+    // within one round instead of riding out all sixteen.
+    poll_cancellation();
     auto round_span = PipelineTrace::begin("rollback_round");
     current = incremental
                   ? std::make_unique<Simulation>(configs, *current, delta)

@@ -6,6 +6,7 @@
 #include "src/core/filters.hpp"
 #include "src/core/pipeline_trace.hpp"
 #include "src/routing/simulation.hpp"
+#include "src/util/cancellation.hpp"
 #include "src/util/fault_points.hpp"
 
 namespace confmask {
@@ -21,6 +22,10 @@ RouteEquivalenceOutcome enforce_route_equivalence(ConfigSet& configs,
   // it just added.
   std::unique_ptr<Simulation> simulation;
   for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    // Fixpoint iterations dominate the pipeline's wall clock, so each one
+    // is a cancellation safe point (deadline/cancel lands here, not only
+    // at the stage boundary).
+    poll_cancellation();
     // One child span per Algorithm 1 iteration (aggregated under
     // "route_equivalence/iteration"): FIB entries scanned, filters added,
     // and what the incremental rebuild feeding this iteration reused.

@@ -6,6 +6,7 @@
 #include <limits>
 #include <queue>
 
+#include "src/util/cancellation.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace confmask {
@@ -38,6 +39,10 @@ std::uint64_t Simulation::runs_on_this_thread() { return t_simulation_runs; }
 Simulation::Simulation(const ConfigSet& configs)
     : configs_(&configs),
       topology_(std::make_shared<const Topology>(Topology::build(configs))) {
+  // Poll on the orchestration thread before fanning out to the pool (pool
+  // workers never see the ambient token, by design — cancellation stops
+  // whole simulations, not individual destinations).
+  poll_cancellation();
   g_simulation_runs.fetch_add(1, std::memory_order_relaxed);
   ++t_simulation_runs;
   const int hosts = topology_->host_count();
@@ -55,6 +60,7 @@ Simulation::Simulation(const ConfigSet& configs)
 Simulation::Simulation(const ConfigSet& configs, const Simulation& previous,
                        const SimulationDelta& delta)
     : configs_(&configs), topology_(previous.topology_) {
+  poll_cancellation();
   g_simulation_runs.fetch_add(1, std::memory_order_relaxed);
   ++t_simulation_runs;
   const int n = topology_->router_count();

@@ -1,14 +1,15 @@
 #include "src/service/artifact_cache.hpp"
 
-#include <fstream>
-#include <sstream>
+#include <algorithm>
 #include <string_view>
 #include <system_error>
 #include <utility>
+#include <vector>
 
 #include "src/service/json_line.hpp"
 #include "src/util/build_info.hpp"
 #include "src/util/hash.hpp"
+#include "src/util/io_shim.hpp"
 
 namespace confmask {
 
@@ -22,35 +23,131 @@ constexpr const char* kConfigsFile = "anonymized.cfgset";
 constexpr const char* kDiagnosticsFile = "diagnostics.json";
 constexpr const char* kMetricsFile = "metrics.json";
 
-bool write_file(const fs::path& path, const std::string& contents) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
-  out.write(contents.data(),
-            static_cast<std::streamsize>(contents.size()));
-  out.flush();
-  return static_cast<bool>(out);
+/// The four files every complete entry holds.
+constexpr const char* kEntryFiles[] = {kMetaFile, kConfigsFile,
+                                       kDiagnosticsFile, kMetricsFile};
+
+std::uint64_t dir_bytes(const fs::path& dir) {
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const char* name : kEntryFiles) {
+    const auto size = fs::file_size(dir / name, ec);
+    if (!ec) total += size;
+  }
+  return total;
 }
 
-std::optional<std::string> read_file(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) return std::nullopt;
-  return buffer.str();
+/// Structural validity: all four files present and the metadata parses,
+/// has the right format, and names the directory it lives in. Stamp and
+/// secondary digest are NOT checked here — those are lookup-time policy
+/// (a different-stamp entry is valid on disk, just not servable by THIS
+/// binary... until lookup purges it).
+bool entry_structurally_ok(const fs::path& dir, const std::string& hex) {
+  std::error_code ec;
+  for (const char* name : kEntryFiles) {
+    if (!fs::is_regular_file(dir / name, ec)) return false;
+  }
+  const auto meta_text = io::read_file(dir / kMetaFile);
+  if (!meta_text) return false;
+  std::string_view meta_line = *meta_text;
+  while (!meta_line.empty() &&
+         (meta_line.back() == '\n' || meta_line.back() == '\r')) {
+    meta_line.remove_suffix(1);
+  }
+  const auto meta = parse_json_line(meta_line);
+  if (!meta || get_string(*meta, "format") != std::string(kMetaFormat)) {
+    return false;
+  }
+  return get_string(*meta, "key") == hex;
 }
 
 }  // namespace
 
-ArtifactCache::ArtifactCache(fs::path root, std::string stamp)
+ArtifactCache::ArtifactCache(fs::path root, std::string stamp,
+                             std::uint64_t max_bytes)
     : root_(std::move(root)),
-      stamp_(stamp.empty() ? build_stamp() : std::move(stamp)) {
+      stamp_(stamp.empty() ? build_stamp() : std::move(stamp)),
+      max_bytes_(max_bytes) {
   fs::create_directories(root_ / "entries");
   // Anything under staging/ is a write that never published (crash or
   // cancel); it is invisible to lookups and safe to drop wholesale.
   std::error_code ec;
   fs::remove_all(root_ / "staging", ec);
   fs::create_directories(root_ / "staging");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  scrub_locked();
+}
+
+void ArtifactCache::scrub_locked() {
+  // Build the index from disk, purging structurally broken entries. A
+  // broken entry under entries/ "should" be impossible (publish is
+  // staged+renamed) — but disks lie, operators copy trees around, and the
+  // whole point of the scrub is that lookups never have to trust that.
+  struct Found {
+    std::string hex;
+    std::uint64_t bytes;
+    fs::file_time_type mtime;
+  };
+  std::vector<Found> found;
+  std::error_code ec;
+  for (fs::directory_iterator it(root_ / "entries", ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_directory(ec)) continue;
+    const std::string hex = it->path().filename().string();
+    if (!entry_structurally_ok(it->path(), hex)) {
+      std::error_code purge_ec;
+      fs::remove_all(it->path(), purge_ec);
+      ++stats_.invalidations;
+      continue;
+    }
+    Found entry;
+    entry.hex = hex;
+    entry.bytes = dir_bytes(it->path());
+    entry.mtime = fs::last_write_time(it->path(), ec);
+    found.push_back(std::move(entry));
+  }
+  // Seed LRU recency from publish mtimes: oldest entries evict first
+  // until real lookups refine the order.
+  std::sort(found.begin(), found.end(),
+            [](const Found& a, const Found& b) { return a.mtime < b.mtime; });
+  for (Found& entry : found) {
+    IndexEntry indexed;
+    indexed.bytes = entry.bytes;
+    indexed.last_used = ++use_counter_;
+    total_bytes_ += entry.bytes;
+    index_.emplace(std::move(entry.hex), indexed);
+  }
+}
+
+void ArtifactCache::drop_index_locked(const std::string& hex) {
+  const auto it = index_.find(hex);
+  if (it == index_.end()) return;
+  total_bytes_ -= std::min(total_bytes_, it->second.bytes);
+  index_.erase(it);
+}
+
+void ArtifactCache::evict_over_budget_locked(const std::string& keep_hex) {
+  if (max_bytes_ == 0) return;
+  while (total_bytes_ > max_bytes_) {
+    // Linear scan for the LRU victim: the cache holds at most a few
+    // thousand entries and eviction runs once per publish — a heap would
+    // be complexity without a measurable win.
+    auto victim = index_.end();
+    for (auto it = index_.begin(); it != index_.end(); ++it) {
+      if (it->first == keep_hex) continue;
+      if (victim == index_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == index_.end()) return;  // only the protected entry left
+    std::error_code ec;
+    fs::remove_all(root_ / "entries" / victim->first, ec);
+    ++stats_.evictions;
+    stats_.evicted_bytes += victim->second.bytes;
+    total_bytes_ -= std::min(total_bytes_, victim->second.bytes);
+    index_.erase(victim);
+  }
 }
 
 fs::path ArtifactCache::entry_dir(const CacheKey& key) const {
@@ -67,11 +164,12 @@ std::optional<CacheArtifacts> ArtifactCache::lookup(const CacheKey& key) {
   }
   const auto purge = [&] {
     fs::remove_all(dir, ec);
+    drop_index_locked(key.hex());
     ++stats_.invalidations;
     ++stats_.misses;
   };
 
-  const auto meta_text = read_file(dir / kMetaFile);
+  const auto meta_text = io::read_file(dir / kMetaFile);
   if (!meta_text) {
     purge();
     return std::nullopt;
@@ -100,9 +198,9 @@ std::optional<CacheArtifacts> ArtifactCache::lookup(const CacheKey& key) {
   }
 
   CacheArtifacts artifacts;
-  const auto configs = read_file(dir / kConfigsFile);
-  const auto diagnostics = read_file(dir / kDiagnosticsFile);
-  const auto metrics = read_file(dir / kMetricsFile);
+  const auto configs = io::read_file(dir / kConfigsFile);
+  const auto diagnostics = io::read_file(dir / kDiagnosticsFile);
+  const auto metrics = io::read_file(dir / kMetricsFile);
   if (!configs || !diagnostics || !metrics) {
     purge();
     return std::nullopt;
@@ -111,19 +209,30 @@ std::optional<CacheArtifacts> ArtifactCache::lookup(const CacheKey& key) {
   artifacts.diagnostics_json = std::move(*diagnostics);
   artifacts.metrics_json = std::move(*metrics);
   ++stats_.hits;
+  if (auto it = index_.find(key.hex()); it != index_.end()) {
+    it->second.last_used = ++use_counter_;  // refresh LRU recency
+  }
   return artifacts;
 }
 
-void ArtifactCache::store(const CacheKey& key,
-                          const CacheArtifacts& artifacts) {
+StoreResult ArtifactCache::store(const CacheKey& key,
+                                 const CacheArtifacts& artifacts,
+                                 std::string* error) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const fs::path dir = entry_dir(key);
   std::error_code ec;
-  if (fs::exists(dir, ec)) return;  // identical artifacts already published
+  if (fs::exists(dir, ec)) {
+    return StoreResult::kAlreadyPresent;  // identical artifacts published
+  }
 
   const fs::path staging =
       root_ / "staging" / (key.hex() + "." + std::to_string(staging_nonce_++));
-  fs::create_directories(staging);
+  fs::create_directories(staging, ec);
+  if (ec) {
+    ++stats_.io_errors;
+    if (error != nullptr) *error = "staging mkdir: " + ec.message();
+    return StoreResult::kIoError;
+  }
 
   const std::string meta = JsonLineWriter{}
                                .string("format", kMetaFormat)
@@ -132,14 +241,24 @@ void ArtifactCache::store(const CacheKey& key,
                                .string("stamp", stamp_)
                                .str() +
                            "\n";
+  // Every file fsync'd before the rename: after a crash the published
+  // entry must hold its BYTES, not just its names.
+  std::string write_error;
   const bool written =
-      write_file(staging / kMetaFile, meta) &&
-      write_file(staging / kConfigsFile, artifacts.anonymized_configs) &&
-      write_file(staging / kDiagnosticsFile, artifacts.diagnostics_json) &&
-      write_file(staging / kMetricsFile, artifacts.metrics_json);
+      io::write_file_durable(staging / kMetaFile, meta, &write_error) &&
+      io::write_file_durable(staging / kConfigsFile,
+                             artifacts.anonymized_configs, &write_error) &&
+      io::write_file_durable(staging / kDiagnosticsFile,
+                             artifacts.diagnostics_json, &write_error) &&
+      io::write_file_durable(staging / kMetricsFile, artifacts.metrics_json,
+                             &write_error);
   if (!written) {
+    // Disk trouble: publishing nothing beats publishing a fragment. The
+    // staged litter is removed now and would be swept at next open anyway.
     fs::remove_all(staging, ec);
-    return;  // disk trouble: publishing nothing beats publishing a fragment
+    ++stats_.io_errors;
+    if (error != nullptr) *error = write_error;
+    return StoreResult::kIoError;
   }
 
   fs::rename(staging, dir, ec);
@@ -147,14 +266,40 @@ void ArtifactCache::store(const CacheKey& key,
     // Lost a race with an identical concurrent store, or the target became
     // unusable; either way the staging copy is redundant.
     fs::remove_all(staging, ec);
-    return;
+    std::error_code exists_ec;
+    if (fs::exists(dir, exists_ec)) return StoreResult::kAlreadyPresent;
+    ++stats_.io_errors;
+    if (error != nullptr) *error = "publish rename failed";
+    return StoreResult::kIoError;
+  }
+  // The rename itself is durable only once the parent directory is synced.
+  std::string dir_error;
+  if (!io::fsync_dir(root_ / "entries", &dir_error)) {
+    // The entry is complete and servable; only its crash-durability is in
+    // doubt. Report the publish as succeeded but count the I/O hiccup.
+    ++stats_.io_errors;
   }
   ++stats_.stores;
+
+  IndexEntry indexed;
+  indexed.bytes = meta.size() + artifacts.anonymized_configs.size() +
+                  artifacts.diagnostics_json.size() +
+                  artifacts.metrics_json.size();
+  indexed.last_used = ++use_counter_;
+  total_bytes_ += indexed.bytes;
+  index_[key.hex()] = indexed;
+  evict_over_budget_locked(key.hex());
+  return StoreResult::kPublished;
 }
 
 CacheStats ArtifactCache::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+std::uint64_t ArtifactCache::total_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_bytes_;
 }
 
 std::size_t ArtifactCache::entry_count() const {

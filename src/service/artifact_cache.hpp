@@ -11,10 +11,23 @@
 //                                      deterministic)
 //   staging/<hex16>.<nonce>/           in-progress writes, never readable
 //
-// Publishing is atomic: an entry is fully written into staging/ and then
-// renamed into entries/. Readers either see a complete entry or none — a
-// crash or cancelled job can leave staging/ litter (swept on the next
-// open) but never a partial entry under entries/.
+// Publishing is atomic AND durable: an entry is fully written into
+// staging/ (every file fsync'd — io_shim), renamed into entries/, and the
+// entries/ directory is fsync'd so the rename survives power loss. Readers
+// either see a complete entry or none — a crash or cancelled job can
+// leave staging/ litter (swept on the next open) but never a partial
+// entry under entries/. A store that cannot complete (ENOSPC, torn write,
+// fsync failure) reports StoreResult::kIoError so the CALLER's job fails;
+// the cache itself stays consistent and the daemon keeps serving.
+//
+// Budgeted: `max_bytes > 0` arms LRU eviction — after each publish, the
+// least-recently-USED entries (lookup hits refresh recency; opening the
+// cache seeds recency from file mtimes) are removed until the total is
+// back under budget. The entry just published is never the victim, so a
+// single oversized artifact degrades to "cache of one" instead of a
+// publish/evict livelock. Evicted entries are not errors: the next
+// identical job re-runs the pipeline and re-publishes byte-identical
+// artifacts (content addressing makes eviction invisible except in cost).
 //
 // Invalidation happens at lookup, in place:
 //  * secondary-digest mismatch  → a primary-hash collision (or corrupted
@@ -23,12 +36,15 @@
 //    binary; purged, miss (stale-binary invalidation — see build_info.hpp
 //    for why the stamp tracks versions, not build timestamps);
 //  * unreadable/garbled files   → purged, miss.
+// The same structural checks run as a scrub pass when the cache opens, so
+// entries torn by a crash are purged eagerly, not on first touch.
 // Failed pipelines are never stored: a cache hit always means "verified,
 // fail-closed-approved artifacts".
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -48,8 +64,21 @@ struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t stores = 0;
-  /// Entries purged at lookup (stale stamp, digest mismatch, corruption).
+  /// Entries purged at lookup or by the opening scrub (stale stamp,
+  /// digest mismatch, corruption).
   std::uint64_t invalidations = 0;
+  /// Entries removed by the LRU budget enforcer.
+  std::uint64_t evictions = 0;
+  std::uint64_t evicted_bytes = 0;
+  /// Publishes that failed on I/O (ENOSPC, torn write, fsync failure).
+  std::uint64_t io_errors = 0;
+};
+
+/// What happened to a store() call.
+enum class StoreResult {
+  kPublished,       ///< entry durably on disk and indexed
+  kAlreadyPresent,  ///< identical entry existed (concurrent twin job won)
+  kIoError,         ///< could not publish; cache unchanged, job must fail
 };
 
 /// Thread-safe (one internal mutex; filesystem work is trivial next to a
@@ -58,33 +87,56 @@ class ArtifactCache {
  public:
   /// Opens (creating if needed) a cache rooted at `root`. `stamp` defaults
   /// to this binary's build_stamp(); tests override it to exercise
-  /// stale-binary invalidation. Sweeps leftover staging litter.
-  explicit ArtifactCache(std::filesystem::path root, std::string stamp = "");
+  /// stale-binary invalidation. `max_bytes` arms the LRU budget (0 =
+  /// unbounded). Sweeps leftover staging litter and scrubs structurally
+  /// broken entries.
+  explicit ArtifactCache(std::filesystem::path root, std::string stamp = "",
+                         std::uint64_t max_bytes = 0);
 
   /// Returns the artifacts for `key` iff a complete, same-stamp,
-  /// secondary-verified entry exists. Purges and misses otherwise.
+  /// secondary-verified entry exists (refreshing its LRU recency). Purges
+  /// and misses otherwise.
   [[nodiscard]] std::optional<CacheArtifacts> lookup(const CacheKey& key);
 
-  /// Atomically publishes the entry. If an entry for `key` already exists
-  /// (a concurrent identical job won the race) the existing entry is kept —
-  /// by construction both hold byte-identical artifacts.
-  void store(const CacheKey& key, const CacheArtifacts& artifacts);
+  /// Durably publishes the entry (see header comment), then enforces the
+  /// byte budget. On kIoError, *error (when provided) names the failing
+  /// step.
+  StoreResult store(const CacheKey& key, const CacheArtifacts& artifacts,
+                    std::string* error = nullptr);
 
   [[nodiscard]] CacheStats stats() const;
   [[nodiscard]] const std::filesystem::path& root() const { return root_; }
   [[nodiscard]] const std::string& stamp() const { return stamp_; }
+  [[nodiscard]] std::uint64_t max_bytes() const { return max_bytes_; }
+
+  /// Total bytes of indexed entries (maintained incrementally).
+  [[nodiscard]] std::uint64_t total_bytes() const;
 
   /// Number of complete entries on disk (directory scan; test/stats aid).
   [[nodiscard]] std::size_t entry_count() const;
 
  private:
+  struct IndexEntry {
+    std::uint64_t bytes = 0;
+    std::uint64_t last_used = 0;  ///< recency sequence, larger = fresher
+  };
+
   [[nodiscard]] std::filesystem::path entry_dir(const CacheKey& key) const;
+  void scrub_locked();
+  void evict_over_budget_locked(const std::string& keep_hex);
+  void drop_index_locked(const std::string& hex);
 
   std::filesystem::path root_;
   std::string stamp_;
+  std::uint64_t max_bytes_;
   mutable std::mutex mutex_;
   CacheStats stats_;
   std::uint64_t staging_nonce_ = 0;
+  /// hex16 → size/recency of every complete entry. Authoritative for the
+  /// budget; rebuilt from disk at open.
+  std::map<std::string, IndexEntry> index_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t use_counter_ = 0;
 };
 
 }  // namespace confmask

@@ -4,62 +4,91 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "src/service/json_line.hpp"
+#include "src/util/io_shim.hpp"
 
 namespace confmask {
 
 namespace {
 
-void set_error(std::string* error, const std::string& message) {
-  if (error != nullptr) *error = message + ": " + std::strerror(errno);
+void set_error(TransportError* error, TransportFailure failure,
+               const std::string& step) {
+  if (error == nullptr) return;
+  error->failure = failure;
+  error->detail = step + ": " + std::strerror(errno);
+}
+
+/// splitmix64 finalizer: cheap, stateless, well-mixed — the same jitter
+/// for the same (seed, attempt), so tests can pin the whole schedule.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
 }
 
 }  // namespace
 
+const char* to_string(TransportFailure failure) {
+  switch (failure) {
+    case TransportFailure::kSocketPath: return "socket_path";
+    case TransportFailure::kConnect: return "connect";
+    case TransportFailure::kSend: return "send";
+    case TransportFailure::kPeerClosed: return "peer_closed";
+    case TransportFailure::kReceive: return "receive";
+  }
+  return "unknown";
+}
+
 std::optional<std::string> client_roundtrip(const std::string& socket_path,
                                             const std::string& request_line,
-                                            std::string* error) {
+                                            TransportError* error) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (socket_path.size() >= sizeof(addr.sun_path)) {
-    if (error != nullptr) *error = "socket path too long";
+    if (error != nullptr) {
+      error->failure = TransportFailure::kSocketPath;
+      error->detail = "socket path too long";
+    }
     return std::nullopt;
   }
   std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
 
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
-    set_error(error, "socket");
+    set_error(error, TransportFailure::kConnect, "socket");
     return std::nullopt;
   }
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
-    set_error(error, "connect");
+    set_error(error, TransportFailure::kConnect, "connect");
     ::close(fd);
     return std::nullopt;
   }
 
   const std::string framed = request_line + "\n";
-  std::size_t sent = 0;
-  while (sent < framed.size()) {
-    const ssize_t n = ::write(fd, framed.data() + sent, framed.size() - sent);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      set_error(error, "write");
-      ::close(fd);
-      return std::nullopt;
-    }
-    sent += static_cast<std::size_t>(n);
+  if (!io::write_all(fd, framed.data(), framed.size())) {
+    // EPIPE here usually means the daemon died under us mid-request.
+    set_error(error,
+              errno == EPIPE ? TransportFailure::kPeerClosed
+                             : TransportFailure::kSend,
+              "write");
+    ::close(fd);
+    return std::nullopt;
   }
 
   std::string response;
   char chunk[4096];
   for (;;) {
-    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    const ssize_t n = io::read_some(fd, chunk, sizeof chunk);
     if (n < 0) {
-      if (errno == EINTR) continue;
-      set_error(error, "read");
+      set_error(error, TransportFailure::kReceive, "read");
       ::close(fd);
       return std::nullopt;
     }
@@ -72,8 +101,68 @@ std::optional<std::string> client_roundtrip(const std::string& socket_path,
     }
   }
   ::close(fd);
-  if (error != nullptr) *error = "connection closed before response";
+  if (error != nullptr) {
+    // The request may or may not have been processed (a SIGKILL between
+    // journal fsync and reply loses only the ACK) — the caller decides
+    // whether to resubmit; content addressing makes that idempotent.
+    error->failure = TransportFailure::kPeerClosed;
+    error->detail = "connection closed after " +
+                    std::to_string(response.size()) +
+                    " response byte(s), before a full line";
+  }
   return std::nullopt;
+}
+
+std::optional<std::string> client_roundtrip(const std::string& socket_path,
+                                            const std::string& request_line,
+                                            std::string* error) {
+  TransportError typed;
+  auto response = client_roundtrip(socket_path, request_line, &typed);
+  if (!response && error != nullptr) {
+    *error = std::string(to_string(typed.failure)) + ": " + typed.detail;
+  }
+  return response;
+}
+
+std::uint32_t backoff_delay_ms(const RetryConfig& config, int attempt,
+                               std::uint32_t server_hint_ms) {
+  if (attempt < 1) attempt = 1;
+  // Exponential base: base * 2^(attempt-1), saturating well before the
+  // shift can overflow.
+  std::uint64_t delay = config.base_ms;
+  for (int i = 1; i < attempt && delay < config.max_delay_ms; ++i) delay *= 2;
+  // Never undercut the server's own estimate of when capacity returns.
+  delay = std::max<std::uint64_t>(delay, server_hint_ms);
+  // ±25% deterministic jitter, so a burst of identical clients fans out
+  // instead of re-colliding on every retry tick.
+  const std::uint64_t r =
+      mix(config.jitter_seed * 0x9E3779B97F4A7C15ULL + attempt);
+  const std::uint64_t spread = delay / 2;  // jitter window width (50%)
+  if (spread > 0) {
+    delay = delay - spread / 2 + (r % (spread + 1));
+  }
+  delay = std::min<std::uint64_t>(delay, config.max_delay_ms);
+  return static_cast<std::uint32_t>(delay);
+}
+
+std::optional<std::string> client_submit_with_retry(
+    const std::string& socket_path, const std::string& submit_line,
+    const RetryConfig& config, TransportError* error) {
+  std::optional<std::string> response;
+  for (int attempt = 1;; ++attempt) {
+    response = client_roundtrip(socket_path, submit_line, error);
+    if (!response) return std::nullopt;
+    // Retry ONLY on an explicit load-shed hint. Other rejections
+    // (malformed request, shutdown) would fail identically forever.
+    const auto parsed = parse_json_line(*response);
+    if (!parsed) return response;
+    const auto hint = get_u64(*parsed, "retry_after_ms");
+    if (!hint || get_bool(*parsed, "ok").value_or(true)) return response;
+    if (attempt >= config.max_attempts) return response;
+    const std::uint32_t delay = backoff_delay_ms(
+        config, attempt, static_cast<std::uint32_t>(*hint));
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
 }
 
 }  // namespace confmask

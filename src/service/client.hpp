@@ -1,19 +1,79 @@
 // Minimal confmaskd client: one request line out, one response line back,
 // over a short-lived unix-domain socket connection. The library half of
 // the confmask-client binary; tests use it to drive a live daemon.
+//
+// Robustness contract: all socket I/O goes through io_shim (EINTR retried,
+// partial reads/writes resumed), and transport failures are TYPED — a peer
+// that vanished mid-response (daemon SIGKILLed between accept and reply)
+// is distinguishable from a connect refusal, because the retry policy for
+// the two differs: a submit whose response was lost may or may not have
+// been journaled, so the client resubmits and converges via the
+// content-addressed cache.
+//
+// Load shedding: a daemon over its admission budget rejects submits with
+// `retry_after_ms`. client_submit_with_retry honors it with exponential
+// backoff + deterministic jitter, capped by RetryConfig — so a burst of
+// clients spreads itself out instead of hammering the daemon in lockstep.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
 namespace confmask {
 
+/// Where a transport attempt failed.
+enum class TransportFailure {
+  kSocketPath,  ///< path does not fit sockaddr_un
+  kConnect,     ///< socket()/connect() failed (daemon absent?)
+  kSend,        ///< write failed mid-request
+  kPeerClosed,  ///< daemon closed the connection before a full response
+  kReceive,     ///< read failed mid-response
+};
+
+[[nodiscard]] const char* to_string(TransportFailure failure);
+
+struct TransportError {
+  TransportFailure failure = TransportFailure::kConnect;
+  std::string detail;  ///< step + strerror, human-readable
+};
+
 /// Connects to `socket_path`, sends `request_line` (newline appended),
-/// reads one response line. nullopt on any transport failure, with a
-/// description in *error when provided. Protocol-level failures are NOT
+/// reads one response line. nullopt on any transport failure, with the
+/// typed cause in *error when provided. Protocol-level failures are NOT
 /// transport failures — they come back as {ok: false} response lines.
 [[nodiscard]] std::optional<std::string> client_roundtrip(
     const std::string& socket_path, const std::string& request_line,
+    TransportError* error);
+
+/// Back-compat shim: *error receives to_string(failure) + ": " + detail.
+[[nodiscard]] std::optional<std::string> client_roundtrip(
+    const std::string& socket_path, const std::string& request_line,
     std::string* error = nullptr);
+
+/// Client-side backoff policy for load-shed retries.
+struct RetryConfig {
+  int max_attempts = 5;           ///< total submit attempts
+  std::uint32_t base_ms = 100;    ///< first retry delay before jitter
+  std::uint32_t max_delay_ms = 5'000;
+  std::uint64_t jitter_seed = 1;  ///< deterministic jitter (testable)
+};
+
+/// The delay before retry attempt `attempt` (1-based): exponential in the
+/// attempt number, never below the server's `retry_after_ms` hint, with
+/// deterministic ±25% jitter, capped at max_delay_ms. Pure function —
+/// exposed so tests can pin the schedule without sleeping.
+[[nodiscard]] std::uint32_t backoff_delay_ms(const RetryConfig& config,
+                                             int attempt,
+                                             std::uint32_t server_hint_ms);
+
+/// Submits with retry: sends `submit_line`, and while the daemon answers
+/// with a retry_after_ms rejection, sleeps the backoff schedule and tries
+/// again (up to config.max_attempts). Returns the final response line —
+/// which may still be a rejection if the budget ran out — or nullopt on a
+/// transport failure (filled into *error).
+[[nodiscard]] std::optional<std::string> client_submit_with_retry(
+    const std::string& socket_path, const std::string& submit_line,
+    const RetryConfig& config = {}, TransportError* error = nullptr);
 
 }  // namespace confmask

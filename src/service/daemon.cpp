@@ -1,5 +1,6 @@
 #include "src/service/daemon.hpp"
 
+#include <csignal>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -8,12 +9,15 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <memory>
 #include <utility>
 
 #include "src/service/artifact_cache.hpp"
+#include "src/service/job_journal.hpp"
 #include "src/service/job_scheduler.hpp"
 #include "src/service/protocol.hpp"
+#include "src/util/io_shim.hpp"
 #include "src/util/observability.hpp"
 
 namespace confmask {
@@ -22,20 +26,12 @@ namespace {
 
 constexpr int kPollMillis = 100;
 
-/// Writes all of `data` (+ newline) to `fd`; false on any write error.
+/// Writes all of `data` (+ newline) to `fd` via the hardened shim (EINTR
+/// retried, partial writes resumed); false on any hard error — typically
+/// the peer disconnecting mid-response.
 bool write_line(int fd, const std::string& data) {
-  std::string framed = data + "\n";
-  std::size_t sent = 0;
-  while (sent < framed.size()) {
-    const ssize_t n =
-        ::write(fd, framed.data() + sent, framed.size() - sent);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
+  const std::string framed = data + "\n";
+  return io::write_all(fd, framed.data(), framed.size());
 }
 
 }  // namespace
@@ -43,6 +39,11 @@ bool write_line(int fd, const std::string& data) {
 Daemon::Daemon(Options options) : options_(std::move(options)) {}
 
 int Daemon::run() {
+  // A client that disconnects between our read and our write would
+  // otherwise SIGPIPE-kill the whole daemon; with SIGPIPE ignored, the
+  // write fails with EPIPE and only that connection is dropped.
+  ::signal(SIGPIPE, SIG_IGN);
+
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
@@ -75,7 +76,30 @@ int Daemon::run() {
   std::printf("confmaskd: serving on %s\n", options_.socket_path.c_str());
   std::fflush(stdout);
 
-  ArtifactCache cache(options_.cache_dir, options_.stamp);
+  ArtifactCache cache(options_.cache_dir, options_.stamp,
+                      options_.cache_max_bytes);
+  std::unique_ptr<JobJournal> journal;
+  if (!options_.journal_path.empty()) {
+    try {
+      journal = std::make_unique<JobJournal>(options_.journal_path);
+    } catch (const std::exception& error) {
+      // An unusable journal means the durability contract CANNOT be kept;
+      // refusing to start beats silently accepting un-journaled jobs.
+      std::fprintf(stderr, "confmaskd: %s\n", error.what());
+      ::close(listen_fd);
+      ::unlink(options_.socket_path.c_str());
+      return 1;
+    }
+    const JournalRecovery& recovery = journal->recovery();
+    if (!recovery.pending.empty() || recovery.truncated_bytes > 0) {
+      std::printf(
+          "confmaskd: journal recovery: %zu job(s) re-enqueued, %zu "
+          "tombstone(s), %llu torn byte(s) truncated\n",
+          recovery.pending.size(), recovery.terminal.size(),
+          static_cast<unsigned long long>(recovery.truncated_bytes));
+      std::fflush(stdout);
+    }
+  }
   std::unique_ptr<obs::NdjsonSink> trace_sink;
   if (options_.trace_stream != nullptr) {
     trace_sink = std::make_unique<obs::NdjsonSink>(*options_.trace_stream);
@@ -84,8 +108,9 @@ int Daemon::run() {
   scheduler_options.max_concurrent_jobs = options_.max_concurrent_jobs;
   scheduler_options.max_pending = options_.max_pending;
   scheduler_options.trace_sink = trace_sink.get();
+  scheduler_options.journal = journal.get();
   JobScheduler scheduler(&cache, scheduler_options);
-  ProtocolHandler handler(&scheduler, &cache);
+  ProtocolHandler handler(&scheduler, &cache, journal.get());
 
   ShutdownCommand shutdown;
   while (!shutdown.requested && !stop_.load(std::memory_order_acquire)) {

@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
 #include <ostream>
 #include <string>
@@ -33,6 +34,12 @@ class Daemon {
     /// Build-stamp override for the cache (tests only; empty = this
     /// binary's build_stamp()).
     std::string stamp;
+    /// Write-ahead job journal (job_journal.hpp). Empty = no durability:
+    /// acknowledged jobs die with the process. When set, submissions are
+    /// fsync'd before the ack and replayed after a crash.
+    std::filesystem::path journal_path;
+    /// Artifact-cache byte budget (LRU eviction). 0 = unbounded.
+    std::uint64_t cache_max_bytes = 0;
   };
 
   explicit Daemon(Options options);

@@ -1,11 +1,15 @@
 #include "src/service/job_scheduler.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/config/emit.hpp"
 #include "src/core/errors.hpp"
 #include "src/core/pipeline_trace.hpp"
 #include "src/routing/simulation.hpp"
+#include "src/service/job_journal.hpp"
+#include "src/service/json_line.hpp"
+#include "src/util/hash.hpp"
 
 namespace confmask {
 
@@ -22,6 +26,9 @@ const char* to_string(JobState state) {
 
 JobScheduler::JobScheduler(ArtifactCache* cache, Options options)
     : cache_(cache), options_(options) {
+  // Recovery runs BEFORE the workers exist: the queue and job table are
+  // rebuilt single-threaded, then workers start on a consistent state.
+  if (options_.journal != nullptr) restore_from_journal();
   const int workers = options_.max_concurrent_jobs < 1
                           ? 1
                           : options_.max_concurrent_jobs;
@@ -33,7 +40,52 @@ JobScheduler::JobScheduler(ArtifactCache* cache, Options options)
 
 JobScheduler::~JobScheduler() { shutdown(ShutdownMode::kCancelPending); }
 
-std::optional<std::uint64_t> JobScheduler::submit(JobRequest request) {
+void JobScheduler::restore_from_journal() {
+  const JournalRecovery& recovery = options_.journal->recovery();
+  for (const JournalTombstone& tomb : recovery.terminal) {
+    Job job;
+    job.status = tomb.status;
+    job.restored = true;
+    job.key.primary = parse_hex64(tomb.status.cache_key).value_or(0);
+    job.key.secondary = tomb.secondary;
+    job.result.cache_hit = tomb.status.cache_hit;
+    if (tomb.status.state == JobState::kFailed) {
+      // The full diagnostics died with the previous process (they are
+      // cached only for successes); reconstruct the taxonomy summary so
+      // `result` still answers for the restored id.
+      job.failure_diagnostics =
+          JsonLineWriter{}
+              .boolean("ok", false)
+              .string("stage", tomb.status.error_stage)
+              .string("category", tomb.status.error_category)
+              .string("message", tomb.status.error_message)
+              .number("exit_code", tomb.status.exit_code)
+              .boolean("restored", true)
+              .str() +
+          "\n";
+    }
+    jobs_.emplace(tomb.status.id, std::move(job));
+    ++stats_.recovered;
+  }
+  for (const RecoveredJob& recovered : recovery.pending) {
+    Job job;
+    job.request = recovered.request;
+    job.canonical = canonicalize(recovered.request.configs);
+    job.key = recovered.key;
+    job.status.id = recovered.id;
+    job.status.state = JobState::kQueued;
+    job.status.cache_key = recovered.key.hex();
+    job.token = std::make_shared<CancelToken>();
+    job.token->set_deadline_after(recovered.request.deadline_ms);
+    jobs_.emplace(recovered.id, std::move(job));
+    queue_.push_back(recovered.id);
+    ++stats_.recovered;
+    ++stats_.submitted;
+  }
+  next_id_ = std::max(next_id_, recovery.next_id);
+}
+
+SubmitOutcome JobScheduler::submit_ex(JobRequest request) {
   // Canonicalize and key OUTSIDE the lock: emitting a large network is the
   // expensive part of admission and must not stall status queries.
   ConfigSet canonical = canonicalize(request.configs);
@@ -41,24 +93,84 @@ std::optional<std::uint64_t> JobScheduler::submit(JobRequest request) {
   const CacheKey key = compute_cache_key(canonical_text, request.options,
                                          request.policy, request.strategy);
 
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (shut_down_ || queue_.size() >= options_.max_pending) {
-    ++stats_.rejected;
-    return std::nullopt;
+  SubmitOutcome out;
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (shut_down_) {
+      ++stats_.rejected;
+      out.error = "shutting down";
+      return out;
+    }
+    if (queue_.size() >= options_.max_pending) {
+      ++stats_.rejected;
+      out.error = "queue full";
+      // Load shedding, not a hard error: the hint scales with how far
+      // behind the daemon is (queue depth per worker), so a retrying
+      // client naturally paces itself to the daemon's throughput.
+      const std::uint64_t per_worker =
+          queue_.size() /
+          static_cast<std::size_t>(std::max(1, options_.max_concurrent_jobs));
+      out.retry_after_ms = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          options_.retry_after_base_ms * (per_worker + 1), 10'000));
+      return out;
+    }
+    id = next_id_++;
   }
-  const std::uint64_t id = next_id_++;
-  Job job;
-  job.request = std::move(request);
-  job.canonical = std::move(canonical);
-  job.key = key;
-  job.status.id = id;
-  job.status.state = JobState::kQueued;
-  job.status.cache_key = key.hex();
-  jobs_.emplace(id, std::move(job));
-  queue_.push_back(id);
-  ++stats_.submitted;
-  work_cv_.notify_one();
-  return id;
+
+  // The write-ahead step: the record must be ON DISK before the ack. An
+  // unjournalable job is rejected — acknowledging it would promise a
+  // durability we cannot deliver.
+  if (options_.journal != nullptr) {
+    std::string journal_error;
+    if (!options_.journal->append_submit(id, request, key, &journal_error)) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.rejected;
+      out.error = "journal append failed: " + journal_error;
+      return out;
+    }
+  }
+
+  auto token = std::make_shared<CancelToken>();
+  token->set_deadline_after(request.deadline_ms);
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (shut_down_) {
+      // Shutdown won the race while we were journaling. The journal holds
+      // a submit with no terminal record; without this tombstone a restart
+      // would resurrect a job whose submitter was told "no".
+      ++stats_.rejected;
+      out.error = "shutting down";
+    } else {
+      Job job;
+      job.request = std::move(request);
+      job.canonical = std::move(canonical);
+      job.key = key;
+      job.status.id = id;
+      job.status.state = JobState::kQueued;
+      job.status.cache_key = key.hex();
+      job.token = std::move(token);
+      jobs_.emplace(id, std::move(job));
+      queue_.push_back(id);
+      ++stats_.submitted;
+      work_cv_.notify_one();
+      out.id = id;
+    }
+  }
+  if (!out.accepted() && options_.journal != nullptr) {
+    JobStatus tombstone;
+    tombstone.id = id;
+    tombstone.state = JobState::kCancelled;
+    tombstone.cache_key = key.hex();
+    tombstone.error_message = "rejected at admission: shutting down";
+    journal_state(tombstone, key.secondary);
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> JobScheduler::submit(JobRequest request) {
+  return submit_ex(std::move(request)).id;
 }
 
 std::optional<JobStatus> JobScheduler::status(std::uint64_t id) const {
@@ -69,11 +181,25 @@ std::optional<JobStatus> JobScheduler::status(std::uint64_t id) const {
 }
 
 std::optional<JobResult> JobScheduler::result(std::uint64_t id) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return std::nullopt;
   const Job& job = it->second;
-  if (job.status.state == JobState::kDone) return job.result;
+  if (job.status.state == JobState::kDone) {
+    if (!job.restored) return job.result;
+    // Restored completion: the artifacts live in the cache, not in memory.
+    // Eviction may have taken them — then the honest answer is "gone",
+    // and a resubmit converges to the same bytes by content addressing.
+    const CacheKey key = job.key;
+    const bool hit = job.result.cache_hit;
+    lock.unlock();
+    auto cached = cache_->lookup(key);
+    if (!cached) return std::nullopt;
+    JobResult restored;
+    restored.artifacts = std::move(*cached);
+    restored.cache_hit = hit;
+    return restored;
+  }
   if (job.status.state == JobState::kFailed) {
     JobResult failure;
     failure.artifacts.diagnostics_json = job.failure_diagnostics;
@@ -83,20 +209,35 @@ std::optional<JobResult> JobScheduler::result(std::uint64_t id) const {
 }
 
 bool JobScheduler::cancel(std::uint64_t id) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = jobs_.find(id);
-  if (it == jobs_.end() || it->second.status.state != JobState::kQueued) {
-    return false;
-  }
-  for (auto queue_it = queue_.begin(); queue_it != queue_.end(); ++queue_it) {
-    if (*queue_it == id) {
-      queue_.erase(queue_it);
-      break;
+  JobStatus snapshot;
+  std::uint64_t secondary = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    Job& job = it->second;
+    if (job.status.state == JobState::kRunning) {
+      // Cooperative: the pipeline observes the token at its next poll
+      // point and lands in kCancelled via the DeadlineExceeded taxonomy.
+      if (job.token) job.token->request_cancel();
+      return true;
     }
+    if (job.status.state != JobState::kQueued) return false;
+    for (auto queue_it = queue_.begin(); queue_it != queue_.end();
+         ++queue_it) {
+      if (*queue_it == id) {
+        queue_.erase(queue_it);
+        break;
+      }
+    }
+    job.status.state = JobState::kCancelled;
+    job.status.error_message = "cancelled while queued";
+    ++stats_.cancelled;
+    done_cv_.notify_all();
+    snapshot = job.status;
+    secondary = job.key.secondary;
   }
-  it->second.status.state = JobState::kCancelled;
-  ++stats_.cancelled;
-  done_cv_.notify_all();
+  journal_state(snapshot, secondary);
   return true;
 }
 
@@ -125,14 +266,18 @@ SchedulerStats JobScheduler::stats() const {
 
 void JobScheduler::shutdown(ShutdownMode mode) {
   std::vector<std::thread> workers;
+  std::vector<std::pair<JobStatus, std::uint64_t>> cancelled;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (shut_down_) return;
     shut_down_ = true;  // no further admissions
     if (mode == ShutdownMode::kCancelPending) {
       for (const std::uint64_t id : queue_) {
-        jobs_.at(id).status.state = JobState::kCancelled;
+        Job& job = jobs_.at(id);
+        job.status.state = JobState::kCancelled;
+        job.status.error_message = "cancelled at shutdown";
         ++stats_.cancelled;
+        cancelled.emplace_back(job.status, job.key.secondary);
       }
       queue_.clear();
       stopping_ = true;
@@ -143,7 +288,16 @@ void JobScheduler::shutdown(ShutdownMode mode) {
     work_cv_.notify_all();
     done_cv_.notify_all();
   }
+  for (const auto& [status, secondary] : cancelled) {
+    journal_state(status, secondary);
+  }
   for (std::thread& worker : workers) worker.join();
+}
+
+void JobScheduler::journal_state(const JobStatus& status,
+                                 std::uint64_t secondary) {
+  if (options_.journal == nullptr) return;
+  (void)options_.journal->append_state(status, secondary, nullptr);
 }
 
 void JobScheduler::worker_loop() {
@@ -168,24 +322,75 @@ void JobScheduler::worker_loop() {
 }
 
 void JobScheduler::execute(std::uint64_t id) {
-  // After submit, a job's request/canonical/key fields are immutable and
-  // this worker is the only writer of its result — so they are safe to
+  // After submit, a job's request/canonical/key/token fields are immutable
+  // and this worker is the only writer of its result — so they are safe to
   // read unlocked while the pipeline runs. Status transitions stay locked.
   const Job* job = nullptr;
+  JobStatus running_snapshot;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     job = &jobs_.at(id);
+    running_snapshot = job->status;
+  }
+  journal_state(running_snapshot, job->key.secondary);
+  const CancelToken* token = job->token.get();
+
+  // An expired-in-queue deadline (or a pre-dequeue cancel) terminates the
+  // job before ANY work — including the cache probe: the deadline contract
+  // is "DeadlineExceeded, deterministically", not "maybe a lucky hit".
+  const CancelToken::Reason early =
+      token != nullptr ? token->fired() : CancelToken::Reason::kNone;
+  if (early != CancelToken::Reason::kNone) {
+    PipelineDiagnostics diag;
+    diag.ok = false;
+    diag.stage = PipelineStage::kPreprocess;
+    diag.category = ErrorCategory::kDeadlineExceeded;
+    diag.message = early == CancelToken::Reason::kDeadline
+                       ? "deadline expired before the job started"
+                       : "cancelled before the job started";
+    diag.context.detail = std::string("reason=") + to_string(early);
+    JobStatus snapshot;
+    std::uint64_t secondary = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      Job& dead = jobs_.at(id);
+      dead.failure_diagnostics = diagnostics_to_json(diag);
+      dead.status.error_stage = to_string(diag.stage);
+      dead.status.error_category = to_string(diag.category);
+      dead.status.error_message = diag.message;
+      dead.status.exit_code = exit_code_for(diag.category);
+      if (early == CancelToken::Reason::kCancelled) {
+        dead.status.state = JobState::kCancelled;
+        ++stats_.cancelled;
+      } else {
+        dead.status.state = JobState::kFailed;
+        ++stats_.failed;
+        ++stats_.deadline_exceeded;
+      }
+      done_cv_.notify_all();
+      snapshot = dead.status;
+      secondary = dead.key.secondary;
+    }
+    journal_state(snapshot, secondary);
+    return;
   }
 
   if (auto cached = cache_->lookup(job->key)) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    Job& done = jobs_.at(id);
-    done.result.artifacts = std::move(*cached);
-    done.result.cache_hit = true;
-    done.status.state = JobState::kDone;
-    done.status.cache_hit = true;
-    ++stats_.completed;
-    done_cv_.notify_all();
+    JobStatus snapshot;
+    std::uint64_t secondary = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      Job& done = jobs_.at(id);
+      done.result.artifacts = std::move(*cached);
+      done.result.cache_hit = true;
+      done.status.state = JobState::kDone;
+      done.status.cache_hit = true;
+      ++stats_.completed;
+      done_cv_.notify_all();
+      snapshot = done.status;
+      secondary = done.key.secondary;
+    }
+    journal_state(snapshot, secondary);
     return;
   }
 
@@ -201,7 +406,7 @@ void JobScheduler::execute(std::uint64_t id) {
   const std::uint64_t sims_before = Simulation::runs_on_this_thread();
   GuardedPipelineResult run =
       run_pipeline_guarded(job->canonical, job->request.options,
-                           job->request.policy, job->request.strategy);
+                           job->request.policy, job->request.strategy, token);
   const std::uint64_t sims_delta =
       Simulation::runs_on_this_thread() - sims_before;
   std::string diagnostics = diagnostics_to_json(run.diagnostics);
@@ -212,30 +417,86 @@ void JobScheduler::execute(std::uint64_t id) {
         canonical_config_set_text(run.result->anonymized);
     artifacts.diagnostics_json = std::move(diagnostics);
     artifacts.metrics_json = trace.metrics_json(/*include_timings=*/false);
-    cache_->store(job->key, artifacts);
+    std::string store_error;
+    const StoreResult stored =
+        cache_->store(job->key, artifacts, &store_error);
 
-    const std::lock_guard<std::mutex> lock(mutex_);
-    Job& done = jobs_.at(id);
-    done.result.artifacts = std::move(artifacts);
-    done.result.cache_hit = false;
-    done.status.state = JobState::kDone;
-    ++stats_.completed;
-    stats_.simulations += sims_delta;
-    done_cv_.notify_all();
+    JobStatus snapshot;
+    std::uint64_t secondary = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      Job& done = jobs_.at(id);
+      if (stored == StoreResult::kIoError) {
+        // The pipeline succeeded but the artifacts could not be durably
+        // published (ENOSPC, torn write, fsync failure). The JOB fails —
+        // returning unpublishable results would desynchronize the cache
+        // from the acks — but the daemon itself keeps serving.
+        done.failure_diagnostics =
+            JsonLineWriter{}
+                .boolean("ok", false)
+                .string("stage", "Verification")
+                .string("category", "ResourceExhausted")
+                .string("message",
+                        "artifact publish failed: " + store_error)
+                .number("exit_code", 11)
+                .str() +
+            "\n";
+        done.status.state = JobState::kFailed;
+        done.status.error_stage = to_string(PipelineStage::kVerification);
+        done.status.error_category =
+            to_string(ErrorCategory::kResourceExhausted);
+        done.status.error_message = "artifact publish failed: " + store_error;
+        done.status.exit_code =
+            exit_code_for(ErrorCategory::kResourceExhausted);
+        ++stats_.failed;
+      } else {
+        done.result.artifacts = std::move(artifacts);
+        done.result.cache_hit = false;
+        done.status.state = JobState::kDone;
+        ++stats_.completed;
+      }
+      stats_.simulations += sims_delta;
+      done_cv_.notify_all();
+      snapshot = done.status;
+      secondary = done.key.secondary;
+    }
+    journal_state(snapshot, secondary);
     return;
   }
 
-  const std::lock_guard<std::mutex> lock(mutex_);
-  Job& failed = jobs_.at(id);
-  failed.failure_diagnostics = std::move(diagnostics);
-  failed.status.state = JobState::kFailed;
-  failed.status.error_stage = to_string(run.diagnostics.stage);
-  failed.status.error_category = to_string(run.diagnostics.category);
-  failed.status.error_message = run.diagnostics.message;
-  failed.status.exit_code = exit_code_for(run.diagnostics.category);
-  ++stats_.failed;
-  stats_.simulations += sims_delta;
-  done_cv_.notify_all();
+  // A DeadlineExceeded diagnostic means OUR token fired; the token's
+  // reason distinguishes an operator cancel (kCancelled, by request) from
+  // a deadline expiry (kFailed — the job ran out of time on its own).
+  const bool was_cancel =
+      run.diagnostics.category == ErrorCategory::kDeadlineExceeded &&
+      token != nullptr && token->fired() == CancelToken::Reason::kCancelled;
+
+  JobStatus snapshot;
+  std::uint64_t secondary = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Job& failed = jobs_.at(id);
+    failed.failure_diagnostics = std::move(diagnostics);
+    failed.status.error_stage = to_string(run.diagnostics.stage);
+    failed.status.error_category = to_string(run.diagnostics.category);
+    failed.status.error_message = run.diagnostics.message;
+    failed.status.exit_code = exit_code_for(run.diagnostics.category);
+    if (was_cancel) {
+      failed.status.state = JobState::kCancelled;
+      ++stats_.cancelled;
+    } else {
+      failed.status.state = JobState::kFailed;
+      ++stats_.failed;
+      if (run.diagnostics.category == ErrorCategory::kDeadlineExceeded) {
+        ++stats_.deadline_exceeded;
+      }
+    }
+    stats_.simulations += sims_delta;
+    done_cv_.notify_all();
+    snapshot = failed.status;
+    secondary = failed.key.secondary;
+  }
+  journal_state(snapshot, secondary);
 }
 
 }  // namespace confmask

@@ -15,6 +15,22 @@
 // bytes they were keyed on) and, iff the fail-closed gate passed, publishes
 // the artifacts. Failed pipelines are never cached.
 //
+// Durability (job_journal.hpp): when a journal is attached, every accepted
+// submission is fsync'd to it BEFORE the submit is acknowledged — an ack
+// means the job survives kill -9. On construction the scheduler replays
+// the journal's recovery: interrupted jobs re-enter the queue under their
+// original ids, completed ones are restored as terminal tombstones.
+//
+// Deadlines and cancellation: each job owns a CancelToken; `deadline_ms`
+// arms it at admission, cancel() of a running job fires it explicitly. The
+// pipeline polls the token at phase boundaries, so an expired/cancelled
+// job stops within one phase, lands in the DeadlineExceeded taxonomy, and
+// is never cached.
+//
+// Admission control degrades gracefully: a full queue yields a rejection
+// carrying `retry_after_ms`, a server-computed backoff hint that scales
+// with queue depth (client.hpp honors it with jittered retry).
+//
 // Per-job observability: each worker installs a thread-scoped PipelineTrace
 // tagged "job-<id>" writing to the scheduler's shared NDJSON sink, so
 // concurrent jobs' span streams interleave whole-line-atomically and remain
@@ -31,6 +47,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -40,9 +57,12 @@
 #include "src/core/pipeline_runner.hpp"
 #include "src/service/artifact_cache.hpp"
 #include "src/service/cache_key.hpp"
+#include "src/util/cancellation.hpp"
 #include "src/util/observability.hpp"
 
 namespace confmask {
+
+class JobJournal;
 
 /// One anonymization request. `configs` need not be canonically ordered.
 struct JobRequest {
@@ -50,6 +70,10 @@ struct JobRequest {
   ConfMaskOptions options;
   RetryPolicy policy;
   EquivalenceStrategy strategy = EquivalenceStrategy::kConfMask;
+  /// End-to-end deadline in milliseconds, measured from admission (queue
+  /// wait counts). 0 = none. After a crash recovery the budget restarts —
+  /// wall-clock deadlines cannot survive a reboot meaningfully.
+  std::uint64_t deadline_ms = 0;
 };
 
 enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
@@ -57,7 +81,7 @@ enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
 [[nodiscard]] const char* to_string(JobState state);
 
 /// Point-in-time view of a job. Error fields are meaningful only in
-/// kFailed; `cache_hit` only in kDone.
+/// kFailed/kCancelled; `cache_hit` only in kDone.
 struct JobStatus {
   std::uint64_t id = 0;
   JobState state = JobState::kQueued;
@@ -79,12 +103,28 @@ struct JobResult {
   bool cache_hit = false;
 };
 
+/// Outcome of an admission attempt. Exactly one of `id` / `error` is
+/// meaningful; `retry_after_ms > 0` marks the rejection as TRANSIENT (load
+/// shedding — retry after the hint), 0 as permanent for this request.
+struct SubmitOutcome {
+  std::optional<std::uint64_t> id;
+  std::uint32_t retry_after_ms = 0;
+  std::string error;
+
+  [[nodiscard]] bool accepted() const { return id.has_value(); }
+};
+
 struct SchedulerStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t rejected = 0;  ///< admission-control refusals
+  /// Jobs that hit their deadline (already expired at dequeue or expired
+  /// mid-run). A subset of `failed`.
+  std::uint64_t deadline_exceeded = 0;
+  /// Jobs re-enqueued or restored as terminal from the journal at startup.
+  std::uint64_t recovered = 0;
   std::size_t queued = 0;
   std::size_t running = 0;
   CacheStats cache;
@@ -104,6 +144,15 @@ class JobScheduler {
     /// run untraced (metrics artifact still produced via a sinkless
     /// trace). Not owned; must outlive the scheduler.
     obs::NdjsonSink* trace_sink = nullptr;
+    /// Write-ahead journal. nullptr = no durability (tests, ephemeral
+    /// runs). Not owned; must outlive the scheduler. Its recovery() is
+    /// consumed by the constructor: pending jobs re-enter the queue,
+    /// terminal ones become queryable tombstones.
+    JobJournal* journal = nullptr;
+    /// Base of the load-shedding retry hint: the hint grows linearly with
+    /// queue depth per worker, so clients back off harder the further
+    /// behind the daemon is.
+    std::uint32_t retry_after_base_ms = 100;
   };
 
   enum class ShutdownMode {
@@ -119,18 +168,27 @@ class JobScheduler {
   JobScheduler(const JobScheduler&) = delete;
   JobScheduler& operator=(const JobScheduler&) = delete;
 
-  /// Admits a job. nullopt = rejected (queue full or shutting down); the
-  /// returned id is the handle for status/result/cancel/wait.
+  /// Admits a job: canonicalize, key, journal (fsync'd — the WAL step),
+  /// enqueue. See SubmitOutcome for the rejection contract.
+  [[nodiscard]] SubmitOutcome submit_ex(JobRequest request);
+
+  /// Legacy admission: nullopt = rejected, whatever the reason.
   [[nodiscard]] std::optional<std::uint64_t> submit(JobRequest request);
 
   [[nodiscard]] std::optional<JobStatus> status(std::uint64_t id) const;
 
   /// Artifacts of a terminal job (see JobResult). nullopt while the job is
-  /// queued/running, after cancellation, or for unknown ids.
+  /// queued/running, after cancellation, or for unknown ids. For a kDone
+  /// job restored from the journal the artifacts are re-read from the
+  /// cache; if they were evicted meanwhile this returns nullopt and the
+  /// client resubmits (convergent by content addressing).
   [[nodiscard]] std::optional<JobResult> result(std::uint64_t id) const;
 
-  /// Cancels a QUEUED job (running jobs always complete — fail-closed).
-  /// Returns whether the job transitioned to kCancelled.
+  /// Cancels a job. Queued: removed immediately (kCancelled, no side
+  /// effects). Running: fires the job's CancelToken — the pipeline stops
+  /// cooperatively at its next poll point and the job lands in kCancelled
+  /// with DeadlineExceeded taxonomy. Returns false for unknown/terminal
+  /// jobs.
   bool cancel(std::uint64_t id);
 
   /// Blocks until `id` reaches a terminal state; false for unknown ids.
@@ -149,12 +207,24 @@ class JobScheduler {
     JobStatus status;
     JobResult result;
     std::string failure_diagnostics;  ///< diagnostics_json of a failed run
+    /// Fired by deadline expiry or cancel(); polled by the pipeline.
+    /// shared_ptr: cancel() may race the job's own teardown.
+    std::shared_ptr<CancelToken> token;
+    /// Restored from a journal tombstone: request/canonical are empty and
+    /// result artifacts live (only) in the cache.
+    bool restored = false;
   };
 
   void worker_loop();
   void execute(std::uint64_t id);
+  /// Appends a state record for `status` when a journal is attached.
+  /// Called OUTSIDE mutex_ — the fsync must not stall status queries. A
+  /// failed append is counted by the journal and otherwise ignored: replay
+  /// simply re-runs the job and converges through the cache.
+  void journal_state(const JobStatus& status, std::uint64_t secondary);
 
   [[nodiscard]] bool terminal_locked(std::uint64_t id) const;
+  void restore_from_journal();
 
   ArtifactCache* cache_;
   Options options_;

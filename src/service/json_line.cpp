@@ -42,18 +42,25 @@ class Cursor {
   std::size_t pos_ = 0;
 };
 
-bool parse_string(Cursor& c, std::string& out) {
-  if (!c.accept('"')) return false;
+/// On failure, `error` (when non-null) receives the specific deviation.
+bool parse_string(Cursor& c, std::string& out, std::string* error) {
+  const auto fail = [&](const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  if (!c.accept('"')) return fail("expected string");
   out.clear();
   while (!c.done()) {
     const char ch = c.take();
     if (ch == '"') return true;
-    if (static_cast<unsigned char>(ch) < 0x20) return false;  // raw control
+    if (static_cast<unsigned char>(ch) < 0x20) {
+      return fail("raw control byte in string");
+    }
     if (ch != '\\') {
       out += ch;
       continue;
     }
-    if (c.done()) return false;
+    if (c.done()) return fail("unterminated string");
     const char esc = c.take();
     switch (esc) {
       case '"': out += '"'; break;
@@ -67,7 +74,7 @@ bool parse_string(Cursor& c, std::string& out) {
       case 'u': {
         unsigned value = 0;
         for (int i = 0; i < 4; ++i) {
-          if (c.done()) return false;
+          if (c.done()) return fail("truncated \\u escape");
           const char h = c.take();
           value <<= 4;
           if (h >= '0' && h <= '9') {
@@ -77,19 +84,19 @@ bool parse_string(Cursor& c, std::string& out) {
           } else if (h >= 'A' && h <= 'F') {
             value |= static_cast<unsigned>(h - 'A' + 10);
           } else {
-            return false;
+            return fail("invalid \\u escape");
           }
         }
         // The producers in this repository only emit \u00XX for control
         // bytes; reject anything needing surrogate handling.
-        if (value > 0x7F) return false;
+        if (value > 0x7F) return fail("\\u escape above 0x7F");
         out += static_cast<char>(value);
         break;
       }
-      default: return false;
+      default: return fail("invalid escape sequence");
     }
   }
-  return false;  // unterminated
+  return fail("unterminated string");
 }
 
 bool parse_number(Cursor& c, double& out, std::string& raw) {
@@ -132,27 +139,41 @@ bool parse_number(Cursor& c, double& out, std::string& raw) {
 }  // namespace
 
 std::optional<JsonObject> parse_json_line(std::string_view line) {
+  return parse_json_line(line, nullptr);
+}
+
+std::optional<JsonObject> parse_json_line(std::string_view line,
+                                          std::string* error) {
+  const auto fail = [&](std::string what) -> std::optional<JsonObject> {
+    if (error != nullptr) *error = std::move(what);
+    return std::nullopt;
+  };
   Cursor c(line);
   c.skip_ws();
-  if (!c.accept('{')) return std::nullopt;
+  if (!c.accept('{')) return fail("expected '{'");
   JsonObject out;
   c.skip_ws();
   if (c.accept('}')) {
     c.skip_ws();
-    return c.done() ? std::optional<JsonObject>(std::move(out))
-                    : std::nullopt;
+    if (!c.done()) return fail("trailing bytes after object");
+    return out;
   }
+  std::string detail;
   for (;;) {
     c.skip_ws();
     std::string key;
-    if (!parse_string(c, key)) return std::nullopt;
+    if (!parse_string(c, key, &detail)) {
+      return fail("bad object key: " + detail);
+    }
     c.skip_ws();
-    if (!c.accept(':')) return std::nullopt;
+    if (!c.accept(':')) return fail("expected ':' after key \"" + key + "\"");
     c.skip_ws();
     JsonValue value;
     if (!c.done() && c.peek() == '"') {
       value.kind = JsonValue::Kind::kString;
-      if (!parse_string(c, value.text)) return std::nullopt;
+      if (!parse_string(c, value.text, &detail)) {
+        return fail("bad value for key \"" + key + "\": " + detail);
+      }
     } else if (c.accept_word("true")) {
       value.kind = JsonValue::Kind::kBool;
       value.boolean = true;
@@ -161,17 +182,22 @@ std::optional<JsonObject> parse_json_line(std::string_view line) {
       value.boolean = false;
     } else {
       value.kind = JsonValue::Kind::kNumber;
-      if (!parse_number(c, value.number, value.text)) return std::nullopt;
+      if (!parse_number(c, value.number, value.text)) {
+        return fail("bad value for key \"" + key +
+                    "\" (expected string, number, or boolean)");
+      }
     }
-    if (out.count(key) != 0) return std::nullopt;  // duplicate key
+    // Duplicate keys are a classic smuggling vector (two parsers, two
+    // winners) — rejected by NAME so the sender can see which one.
+    if (out.count(key) != 0) return fail("duplicate key \"" + key + "\"");
     out.emplace(std::move(key), std::move(value));
     c.skip_ws();
     if (c.accept(',')) continue;
     if (c.accept('}')) break;
-    return std::nullopt;
+    return fail("expected ',' or '}' in object");
   }
   c.skip_ws();
-  if (!c.done()) return std::nullopt;  // trailing bytes
+  if (!c.done()) return fail("trailing bytes after object");
   return out;
 }
 

@@ -39,6 +39,13 @@ using JsonObject = std::map<std::string, JsonValue>;
 [[nodiscard]] std::optional<JsonObject> parse_json_line(
     std::string_view line);
 
+/// Same grammar, but on failure *error says WHAT deviated — `duplicate
+/// key "seed"`, `trailing bytes after object`, `unterminated string` —
+/// instead of a generic "malformed". The wire protocol uses this overload
+/// so a client typo'ing a request gets a diagnosis, not a shrug.
+[[nodiscard]] std::optional<JsonObject> parse_json_line(std::string_view line,
+                                                        std::string* error);
+
 /// Builder for one flat object with insertion-ordered keys (field order is
 /// part of the readable-protocol contract; tests diff raw lines).
 class JsonLineWriter {

@@ -3,7 +3,9 @@
 #include <exception>
 
 #include "src/config/parse.hpp"
+#include "src/service/job_journal.hpp"
 #include "src/service/json_line.hpp"
+#include "src/util/build_info.hpp"
 
 namespace confmask {
 
@@ -49,8 +51,11 @@ bool read_int(const JsonObject& request, std::string_view key, int& out,
 
 std::string ProtocolHandler::handle(std::string_view line,
                                     ShutdownCommand* shutdown) {
-  const auto request = parse_json_line(line);
-  if (!request) return error_response("", "malformed request line");
+  std::string parse_error;
+  const auto request = parse_json_line(line, &parse_error);
+  if (!request) {
+    return error_response("", "malformed request line: " + parse_error);
+  }
   const auto op = get_string(*request, "op");
   if (!op) return error_response("", "missing op");
 
@@ -104,13 +109,31 @@ std::string ProtocolHandler::handle(std::string_view line,
       if (!policy) return error_response(*op, "unknown cost_policy");
       job.options.cost_policy = *policy;
     }
-    const auto id = scheduler_->submit(std::move(job));
-    if (!id) return error_response(*op, "rejected: queue full or shutting down");
-    const auto status = scheduler_->status(*id);
+    if (request->find("deadline_ms") != request->end()) {
+      const auto deadline = get_u64(*request, "deadline_ms");
+      if (!deadline) {
+        return error_response(*op, "deadline_ms must be an unsigned integer");
+      }
+      job.deadline_ms = *deadline;
+    }
+    const SubmitOutcome outcome = scheduler_->submit_ex(std::move(job));
+    if (!outcome.accepted()) {
+      JsonLineWriter out;
+      out.boolean("ok", false)
+          .string("op", *op)
+          .string("error", "rejected: " + outcome.error);
+      if (outcome.retry_after_ms > 0) {
+        // Load shedding: the rejection is transient and carries the
+        // server's backoff hint (client.hpp retries on exactly this).
+        out.number_u64("retry_after_ms", outcome.retry_after_ms);
+      }
+      return out.str();
+    }
+    const auto status = scheduler_->status(*outcome.id);
     return JsonLineWriter{}
         .boolean("ok", true)
         .string("op", *op)
-        .number_u64("job", *id)
+        .number_u64("job", *outcome.id)
         .string("cache_key", status ? status->cache_key : "")
         .str();
   }
@@ -173,15 +196,54 @@ std::string ProtocolHandler::handle(std::string_view line,
         .number_u64("failed", stats.failed)
         .number_u64("cancelled", stats.cancelled)
         .number_u64("rejected", stats.rejected)
+        .number_u64("deadline_exceeded", stats.deadline_exceeded)
+        .number_u64("recovered", stats.recovered)
         .number_u64("queued", stats.queued)
         .number_u64("running", stats.running)
         .number_u64("cache_hits", stats.cache.hits)
         .number_u64("cache_misses", stats.cache.misses)
         .number_u64("cache_stores", stats.cache.stores)
         .number_u64("cache_invalidations", stats.cache.invalidations)
+        .number_u64("cache_evictions", stats.cache.evictions)
+        .number_u64("cache_io_errors", stats.cache.io_errors)
         .number_u64("simulations", stats.simulations)
         .string("stamp", cache_->stamp())
         .str();
+  }
+
+  if (*op == "ping") {
+    // The health-probe answer: build identity, uptime, load, and the
+    // durability layer's vitals — everything an operator needs to decide
+    // "is this daemon the one I deployed, and is it keeping up".
+    const SchedulerStats stats = scheduler_->stats();
+    const auto uptime = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - started_);
+    JsonLineWriter out;
+    out.boolean("ok", true)
+        .string("op", *op)
+        .string("version", version())
+        .string("stamp", cache_->stamp())
+        .number_u64("uptime_ms", static_cast<std::uint64_t>(uptime.count()))
+        .number_u64("queued", stats.queued)
+        .number_u64("running", stats.running)
+        .number_u64("submitted", stats.submitted)
+        .number_u64("completed", stats.completed)
+        .number_u64("failed", stats.failed)
+        .number_u64("cache_entries",
+                    static_cast<std::uint64_t>(cache_->entry_count()))
+        .number_u64("cache_bytes", cache_->total_bytes())
+        .number_u64("cache_budget_bytes", cache_->max_bytes())
+        .number_u64("cache_evictions", stats.cache.evictions)
+        .boolean("journal", journal_ != nullptr);
+    if (journal_ != nullptr) {
+      const JournalStats jstats = journal_->stats();
+      out.number_u64("journal_appends", jstats.appends)
+          .number_u64("journal_append_failures", jstats.append_failures)
+          .number_u64("journal_recovered_pending", jstats.recovered_pending)
+          .number_u64("journal_tombstones", jstats.tombstones)
+          .number_u64("journal_truncated_bytes", jstats.truncated_bytes);
+    }
+    return out.str();
   }
 
   if (*op == "shutdown") {

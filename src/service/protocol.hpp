@@ -10,22 +10,32 @@
 //   submit   configs (required, canonical bundle text) + optional
 //            parameters: k_r, k_h, noise_p, seed, strategy, cost_policy,
 //            max_equivalence_iterations, fake_routers,
-//            links_per_fake_router, incremental
-//            → {ok, op, job, cache_key}
+//            links_per_fake_router, incremental, deadline_ms
+//            → {ok, op, job, cache_key}. A load-shed rejection is
+//            {ok: false, op, error, retry_after_ms} — the hint is the
+//            server-computed backoff the client should honor.
 //   status   job → {ok, op, job, state, cache_key, cache_hit [, error_*]}
 //   result   job → {ok, op, job, state, cache_hit, configs, diagnostics,
 //            metrics} (terminal jobs only; failed jobs carry diagnostics
 //            but never configs — fail closed end to end)
-//   cancel   job → {ok, op, job, cancelled}
+//   cancel   job → {ok, op, job, cancelled}; queued jobs cancel
+//            immediately, running jobs cancel cooperatively at the
+//            pipeline's next poll point
 //   stats    → scheduler + cache counters, build stamp
+//   ping     → {ok, op, stamp, version, uptime_ms, queued, running,
+//            cache_entries, cache_bytes, ...} — liveness + one-line
+//            operational summary, cheap enough for a health probe loop
 //   shutdown mode: "drain" (default) | "cancel" → {ok, op, mode}; the
 //            transport stops accepting after relaying this.
 //
 // Every response leads with "ok" and echoes "op"; failures are
 // {ok: false, op, error}. Unknown ops, malformed JSON, wrong field kinds
-// and unparsable configs are all loud errors, never guesses.
+// and unparsable configs are all loud errors, never guesses — and the
+// parse errors name the deviation ("duplicate key \"seed\"", "trailing
+// bytes after object") rather than a generic "malformed".
 #pragma once
 
+#include <chrono>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -33,6 +43,8 @@
 #include "src/service/job_scheduler.hpp"
 
 namespace confmask {
+
+class JobJournal;
 
 /// Set by handle() when the request was a (successfully parsed) shutdown.
 struct ShutdownCommand {
@@ -42,9 +54,15 @@ struct ShutdownCommand {
 
 class ProtocolHandler {
  public:
-  /// Neither pointer is owned; both must outlive the handler.
-  ProtocolHandler(JobScheduler* scheduler, ArtifactCache* cache)
-      : scheduler_(scheduler), cache_(cache) {}
+  /// No pointer is owned; scheduler and cache must outlive the handler.
+  /// `journal` may be null (no durability configured) — ping then reports
+  /// journal: false.
+  ProtocolHandler(JobScheduler* scheduler, ArtifactCache* cache,
+                  const JobJournal* journal = nullptr)
+      : scheduler_(scheduler),
+        cache_(cache),
+        journal_(journal),
+        started_(std::chrono::steady_clock::now()) {}
 
   /// Handles one request line; returns the response line (no trailing
   /// newline). Never throws for protocol-level problems — they become
@@ -55,6 +73,8 @@ class ProtocolHandler {
  private:
   JobScheduler* scheduler_;
   ArtifactCache* cache_;
+  const JobJournal* journal_;
+  std::chrono::steady_clock::time_point started_;
 };
 
 }  // namespace confmask

@@ -1,0 +1,51 @@
+#include "src/util/cancellation.hpp"
+
+namespace confmask {
+
+namespace {
+
+thread_local const CancelToken* t_current_token = nullptr;
+
+std::string cancelled_message(CancelToken::Reason reason) {
+  switch (reason) {
+    case CancelToken::Reason::kDeadline:
+      return "job deadline exceeded";
+    case CancelToken::Reason::kCancelled:
+      return "job cancelled by request";
+    case CancelToken::Reason::kNone:
+      break;
+  }
+  return "operation cancelled";
+}
+
+}  // namespace
+
+const char* to_string(CancelToken::Reason reason) {
+  switch (reason) {
+    case CancelToken::Reason::kNone: return "none";
+    case CancelToken::Reason::kCancelled: return "cancelled";
+    case CancelToken::Reason::kDeadline: return "deadline";
+  }
+  return "unknown";
+}
+
+OperationCancelled::OperationCancelled(CancelToken::Reason reason)
+    : std::runtime_error(cancelled_message(reason)), reason_(reason) {}
+
+CancelScope::CancelScope(const CancelToken* token) noexcept
+    : previous_(t_current_token) {
+  t_current_token = token;
+}
+
+CancelScope::~CancelScope() { t_current_token = previous_; }
+
+const CancelToken* CancelScope::current() noexcept { return t_current_token; }
+
+void poll_cancellation() {
+  const CancelToken* token = t_current_token;
+  if (token == nullptr) return;
+  const CancelToken::Reason reason = token->fired();
+  if (reason != CancelToken::Reason::kNone) throw OperationCancelled(reason);
+}
+
+}  // namespace confmask

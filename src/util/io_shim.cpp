@@ -1,0 +1,159 @@
+#include "src/util/io_shim.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/util/fault_points.hpp"
+
+namespace confmask::io {
+
+namespace {
+
+void fill_error(std::string* error, const char* step) {
+  if (error != nullptr) {
+    *error = std::string(step) + ": " + std::strerror(errno);
+  }
+}
+
+/// Close preserving the errno of the failure being reported.
+void close_keep_errno(int fd) {
+  const int saved = errno;
+  ::close(fd);
+  errno = saved;
+}
+
+}  // namespace
+
+bool write_all(int fd, const void* data, std::size_t size) {
+  const char* bytes = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  // Torn-write fault: deliver half the payload, then hard-fail. Armed as
+  // ONE fault that spans two writes, so a single arm(kFaultShortWrite, 1)
+  // produces exactly one torn write.
+  bool torn = faults::fire(kFaultShortWrite);
+  while (sent < size) {
+    ssize_t n;
+    if (faults::fire(kFaultEintr)) {
+      errno = EINTR;
+      n = -1;
+    } else if (faults::fire(kFaultEnospc)) {
+      errno = ENOSPC;
+      n = -1;
+    } else if (torn) {
+      const std::size_t half = (size - sent) / 2;
+      if (half == 0) {
+        errno = ENOSPC;
+        n = -1;
+      } else {
+        n = ::write(fd, bytes + sent, half);
+        if (n >= 0) {
+          sent += static_cast<std::size_t>(n);
+          errno = ENOSPC;
+          n = -1;
+        }
+      }
+      torn = false;  // the follow-up failure below, not another tear
+    } else {
+      n = ::write(fd, bytes + sent, size - sent);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) {
+      // write() returning 0 for a nonzero count is a pathological device;
+      // treat as no-space rather than spinning.
+      errno = ENOSPC;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+ssize_t read_some(int fd, void* buf, std::size_t size) {
+  for (;;) {
+    if (faults::fire(kFaultEintr)) {
+      errno = EINTR;
+      continue;  // a real caller would loop; the shim proves it by looping
+    }
+    const std::size_t want =
+        faults::fire(kFaultShortRead) && size > 1 ? 1 : size;
+    const ssize_t n = ::read(fd, buf, want);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+bool fsync_fd(int fd) {
+  if (faults::fire(kFaultFsyncFail)) {
+    errno = EIO;
+    return false;
+  }
+  while (::fsync(fd) != 0) {
+    if (errno != EINTR) return false;
+  }
+  return true;
+}
+
+bool write_file_durable(const std::filesystem::path& path,
+                        std::string_view contents, std::string* error) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    fill_error(error, "open");
+    return false;
+  }
+  if (!write_all(fd, contents.data(), contents.size())) {
+    fill_error(error, "write");
+    close_keep_errno(fd);
+    return false;
+  }
+  if (!fsync_fd(fd)) {
+    fill_error(error, "fsync");
+    close_keep_errno(fd);
+    return false;
+  }
+  if (::close(fd) != 0) {
+    fill_error(error, "close");
+    return false;
+  }
+  return true;
+}
+
+bool fsync_dir(const std::filesystem::path& dir, std::string* error) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    fill_error(error, "open dir");
+    return false;
+  }
+  if (!fsync_fd(fd)) {
+    fill_error(error, "fsync dir");
+    close_keep_errno(fd);
+    return false;
+  }
+  ::close(fd);
+  return true;
+}
+
+std::optional<std::string> read_file(const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return std::nullopt;
+  std::string out;
+  char chunk[1 << 16];
+  for (;;) {
+    const ssize_t n = read_some(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      close_keep_errno(fd);
+      return std::nullopt;
+    }
+    if (n == 0) break;
+    out.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace confmask::io

@@ -1,0 +1,77 @@
+// Fault-injectable POSIX I/O: the single path through which the serving
+// layer touches file descriptors.
+//
+// Durability claims ("the journal survives kill -9", "no partial cache
+// entry is ever published") are only as good as the I/O code's handling of
+// the ugly cases — EINTR, partial writes, ENOSPC mid-write, fsync failure,
+// a peer closing a socket mid-line. Those cases are nearly impossible to
+// produce on demand with real disks and sockets, so every wrapper here
+// consults the fault-point registry (fault_points.hpp) FIRST and can be
+// armed to simulate exactly one of them:
+//
+//   confmask.io.eintr        next syscall returns EINTR once (proves the
+//                            retry loops actually loop)
+//   confmask.io.short_write  next write accepts only half the bytes, then
+//                            the following write fails ENOSPC — a torn
+//                            write: some bytes landed, the rest never will
+//   confmask.io.enospc       next write fails ENOSPC before any byte lands
+//   confmask.io.short_read   next read returns only 1 byte (exercises
+//                            re-assembly loops)
+//   confmask.io.fsync_fail   next fsync fails EIO
+//
+// The wrappers themselves implement the correct behavior — loop on EINTR,
+// resume partial writes, report errno faithfully — so production code that
+// routes through them is hardened and testable at once. When fault
+// injection is compiled out (CONFMASK_FAULT_INJECTION=OFF), fire() is a
+// constexpr false and the checks vanish.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace confmask::io {
+
+// Fault point names (see table above).
+inline constexpr std::string_view kFaultEintr = "confmask.io.eintr";
+inline constexpr std::string_view kFaultShortWrite = "confmask.io.short_write";
+inline constexpr std::string_view kFaultEnospc = "confmask.io.enospc";
+inline constexpr std::string_view kFaultShortRead = "confmask.io.short_read";
+inline constexpr std::string_view kFaultFsyncFail = "confmask.io.fsync_fail";
+
+/// write(2) until all `size` bytes of `data` landed, retrying EINTR and
+/// resuming partial writes. False on any hard error (errno preserved) —
+/// note some PREFIX of the bytes may already be on disk (a torn write);
+/// callers relying on all-or-nothing must stage + rename, not trust this.
+[[nodiscard]] bool write_all(int fd, const void* data, std::size_t size);
+
+/// read(2) retrying EINTR. Returns the syscall result otherwise: 0 = EOF,
+/// -1 = hard error (errno preserved), else bytes read (may be short —
+/// callers loop).
+[[nodiscard]] ssize_t read_some(int fd, void* buf, std::size_t size);
+
+/// fsync(2) retrying EINTR; false on hard failure (errno preserved).
+[[nodiscard]] bool fsync_fd(int fd);
+
+/// Writes `contents` to `path` (create/truncate) and fsyncs the file
+/// before closing — the bytes are durable, not just buffered, when this
+/// returns true. On failure fills *error (when provided) with the failing
+/// step and strerror(errno); the file may be left partially written.
+[[nodiscard]] bool write_file_durable(const std::filesystem::path& path,
+                                      std::string_view contents,
+                                      std::string* error = nullptr);
+
+/// fsyncs a DIRECTORY, making previously-renamed/created entries in it
+/// durable (rename(2) is only crash-safe once the parent dir is synced).
+[[nodiscard]] bool fsync_dir(const std::filesystem::path& dir,
+                             std::string* error = nullptr);
+
+/// Whole-file read via the shim (nullopt on open/read failure).
+[[nodiscard]] std::optional<std::string> read_file(
+    const std::filesystem::path& path);
+
+}  // namespace confmask::io

@@ -13,6 +13,11 @@
 #include "src/service/cache_key.hpp"
 #include "src/util/hash.hpp"
 
+#if defined(CONFMASK_FAULT_INJECTION)
+#include "fault_injection.hpp"
+#include "src/util/io_shim.hpp"
+#endif
+
 namespace confmask {
 namespace {
 
@@ -211,6 +216,112 @@ TEST(ArtifactCache, DuplicateStoreKeepsFirstEntry) {
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->metrics_json, sample_artifacts().metrics_json);
 }
+
+TEST(ArtifactCache, LruEvictionKeepsBytesUnderBudget) {
+  // Measure one entry's on-disk footprint, then budget for two and a half.
+  std::uint64_t entry_bytes = 0;
+  {
+    ArtifactCache probe(fresh_dir("lru_probe"), "stamp-a");
+    probe.store(CacheKey{1, 1}, sample_artifacts());
+    entry_bytes = probe.total_bytes();
+  }
+  ASSERT_GT(entry_bytes, 0u);
+
+  ArtifactCache cache(fresh_dir("lru"), "stamp-a",
+                      entry_bytes * 2 + entry_bytes / 2);
+  cache.store(CacheKey{1, 1}, sample_artifacts());
+  cache.store(CacheKey{2, 2}, sample_artifacts());
+  // Touch entry 1: entry 2 becomes the least recently used.
+  ASSERT_TRUE(cache.lookup(CacheKey{1, 1}).has_value());
+  cache.store(CacheKey{3, 3}, sample_artifacts());
+
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_GT(cache.stats().evicted_bytes, 0u);
+  EXPECT_LE(cache.total_bytes(), cache.max_bytes());
+  EXPECT_EQ(cache.entry_count(), 2u);
+  EXPECT_FALSE(cache.lookup(CacheKey{2, 2}).has_value());  // the LRU victim
+  EXPECT_TRUE(cache.lookup(CacheKey{1, 1}).has_value());
+  EXPECT_TRUE(cache.lookup(CacheKey{3, 3}).has_value());
+
+  // Eviction is invisible except in cost: the evicted key re-publishes
+  // cleanly when its job is recomputed.
+  EXPECT_EQ(cache.store(CacheKey{2, 2}, sample_artifacts()),
+            StoreResult::kPublished);
+  EXPECT_TRUE(cache.lookup(CacheKey{2, 2}).has_value());
+  EXPECT_LE(cache.total_bytes(), cache.max_bytes());
+}
+
+TEST(ArtifactCache, BudgetSmallerThanOneEntryDegradesToCacheOfOne) {
+  // The just-published entry is never its own eviction victim, so an
+  // absurdly small budget degrades to "cache of one" instead of livelock.
+  ArtifactCache cache(fresh_dir("tiny_budget"), "stamp-a", 1);
+  EXPECT_EQ(cache.store(CacheKey{1, 1}, sample_artifacts()),
+            StoreResult::kPublished);
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.store(CacheKey{2, 2}, sample_artifacts()),
+            StoreResult::kPublished);
+  EXPECT_EQ(cache.entry_count(), 1u);  // first entry evicted, second kept
+  EXPECT_FALSE(cache.lookup(CacheKey{1, 1}).has_value());
+  EXPECT_TRUE(cache.lookup(CacheKey{2, 2}).has_value());
+}
+
+TEST(ArtifactCache, ScrubAtOpenPurgesStructurallyBrokenEntries) {
+  const fs::path root = fresh_dir("scrub");
+  const CacheKey broken{1, 2};
+  const CacheKey intact{3, 4};
+  {
+    ArtifactCache cache(root, "stamp-a");
+    cache.store(broken, sample_artifacts());
+    cache.store(intact, sample_artifacts());
+  }
+  // Bit rot / operator mishap: one artifact file vanishes from a
+  // published entry. The open-time integrity scrub must purge the whole
+  // entry rather than let a lookup half-succeed later.
+  fs::remove(root / "entries" / broken.hex() / "metrics.json");
+  ArtifactCache reopened(root, "stamp-a");
+  EXPECT_EQ(reopened.stats().invalidations, 1u);
+  EXPECT_EQ(reopened.entry_count(), 1u);
+  EXPECT_FALSE(reopened.lookup(broken).has_value());
+  EXPECT_TRUE(reopened.lookup(intact).has_value());
+}
+
+#if defined(CONFMASK_FAULT_INJECTION)
+
+TEST(ArtifactCache, InjectedDiskFaultsFailTheStoreNotTheCache) {
+  ArtifactCache cache(fresh_dir("store_faults"), "stamp-a");
+  const CacheKey key{50, 51};
+  std::string error;
+  {
+    const ScopedFault fault(io::kFaultEnospc, 1);
+    EXPECT_EQ(cache.store(key, sample_artifacts(), &error),
+              StoreResult::kIoError);
+  }
+  EXPECT_FALSE(error.empty());
+  {
+    // A torn write: some bytes land, the rest hit ENOSPC.
+    const ScopedFault fault(io::kFaultShortWrite, 1);
+    EXPECT_EQ(cache.store(key, sample_artifacts(), &error),
+              StoreResult::kIoError);
+  }
+  {
+    const ScopedFault fault(io::kFaultFsyncFail, 1);
+    EXPECT_EQ(cache.store(key, sample_artifacts(), &error),
+              StoreResult::kIoError);
+  }
+  EXPECT_EQ(cache.stats().io_errors, 3u);
+  // No fragment was ever published — not even a directory.
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+
+  // Once the disk recovers, the same key publishes cleanly — the failure
+  // poisoned the one store, not the cache.
+  EXPECT_EQ(cache.store(key, sample_artifacts(), &error),
+            StoreResult::kPublished)
+      << error;
+  EXPECT_TRUE(cache.lookup(key).has_value());
+}
+
+#endif  // CONFMASK_FAULT_INJECTION
 
 TEST(Hash, Fnv1a64KnownVectorsAndHexRoundTrip) {
   // FNV-1a/64 reference vectors.

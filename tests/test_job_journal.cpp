@@ -1,0 +1,281 @@
+// Write-ahead job journal: record round-trips survive reopen, torn tails
+// are truncated (WAL discipline: nothing after the first bad record is
+// trusted), replay is idempotent, terminal jobs compact to capped
+// tombstones, and injected I/O faults fail the append loudly instead of
+// acknowledging an un-journaled job.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/netgen/networks.hpp"
+#include "src/service/cache_key.hpp"
+#include "src/service/job_journal.hpp"
+#include "src/util/hash.hpp"
+
+#if defined(CONFMASK_FAULT_INJECTION)
+#include "fault_injection.hpp"
+#include "src/util/io_shim.hpp"
+#endif
+
+namespace confmask {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_journal(const std::string& name) {
+  const fs::path path =
+      fs::path(testing::TempDir()) / ("confmask_journal_" + name) / "jobs.wal";
+  fs::remove_all(path.parent_path());
+  return path;
+}
+
+JobRequest sample_request(std::uint64_t seed) {
+  JobRequest request;
+  request.configs = make_figure2();
+  request.options.k_r = 2;
+  request.options.k_h = 2;
+  request.options.seed = seed;
+  request.options.noise_p = 0.125;
+  request.deadline_ms = 30'000;
+  request.policy.equivalence_iteration_ladder = {32, 64};
+  return request;
+}
+
+CacheKey key_of(const JobRequest& request) {
+  return compute_cache_key(request.configs, request.options, request.policy,
+                           request.strategy);
+}
+
+JobStatus done_status(std::uint64_t id, const CacheKey& key) {
+  JobStatus status;
+  status.id = id;
+  status.state = JobState::kDone;
+  status.cache_key = key.hex();
+  return status;
+}
+
+TEST(JobJournal, EncodedRecordsCarryValidCrcAndDetectCorruption) {
+  const JobRequest request = sample_request(7);
+  const CacheKey key = key_of(request);
+  const std::string submit = JobJournal::encode_submit(3, request, key);
+  EXPECT_TRUE(JobJournal::crc_ok(submit));
+  const std::string state = JobJournal::encode_state(done_status(3, key),
+                                                     key.secondary);
+  EXPECT_TRUE(JobJournal::crc_ok(state));
+
+  // Any flipped byte — in the payload or in the CRC itself — is caught.
+  for (const std::size_t victim :
+       {std::size_t{10}, submit.size() / 2, submit.size() - 3}) {
+    std::string corrupt = submit;
+    corrupt[victim] = corrupt[victim] == 'x' ? 'y' : 'x';
+    EXPECT_FALSE(JobJournal::crc_ok(corrupt)) << "byte " << victim;
+  }
+  // A truncated record (the classic torn write) never passes.
+  EXPECT_FALSE(JobJournal::crc_ok(submit.substr(0, submit.size() - 1)));
+  EXPECT_FALSE(JobJournal::crc_ok(""));
+}
+
+TEST(JobJournal, AcknowledgedSubmitSurvivesReopenWithFullRequest) {
+  const fs::path path = fresh_journal("roundtrip");
+  const JobRequest request = sample_request(42);
+  const CacheKey key = key_of(request);
+  {
+    JobJournal journal(path);
+    EXPECT_TRUE(journal.recovery().pending.empty());
+    ASSERT_TRUE(journal.append_submit(9, request, key));
+  }
+  JobJournal reopened(path);
+  const JournalRecovery& recovery = reopened.recovery();
+  ASSERT_EQ(recovery.pending.size(), 1u);
+  EXPECT_TRUE(recovery.terminal.empty());
+  EXPECT_EQ(recovery.truncated_bytes, 0u);
+  EXPECT_EQ(recovery.next_id, 10u);
+
+  // The decoded request re-keys to the recorded key — the property that
+  // guarantees the replayed job is byte-for-byte the acknowledged one.
+  const RecoveredJob& job = recovery.pending.front();
+  EXPECT_EQ(job.id, 9u);
+  EXPECT_EQ(job.key, key);
+  EXPECT_EQ(job.request.options.seed, 42u);
+  EXPECT_EQ(job.request.options.noise_p, 0.125);
+  EXPECT_EQ(job.request.deadline_ms, 30'000u);
+  EXPECT_EQ(job.request.policy.equivalence_iteration_ladder,
+            (std::vector<int>{32, 64}));
+}
+
+TEST(JobJournal, TerminalJobsCompactToTombstones) {
+  const fs::path path = fresh_journal("tombstone");
+  const JobRequest request = sample_request(1);
+  const CacheKey key = key_of(request);
+  {
+    JobJournal journal(path);
+    ASSERT_TRUE(journal.append_submit(1, request, key));
+    ASSERT_TRUE(journal.append_state(done_status(1, key), key.secondary));
+  }
+  JobJournal reopened(path);
+  EXPECT_TRUE(reopened.recovery().pending.empty());
+  ASSERT_EQ(reopened.recovery().terminal.size(), 1u);
+  const JournalTombstone& tomb = reopened.recovery().terminal.front();
+  EXPECT_EQ(tomb.status.id, 1u);
+  EXPECT_EQ(tomb.status.state, JobState::kDone);
+  EXPECT_EQ(tomb.status.cache_key, key.hex());
+  EXPECT_EQ(tomb.secondary, key.secondary);
+}
+
+TEST(JobJournal, TornTailIsTruncatedAndEarlierRecordsSurvive) {
+  const fs::path path = fresh_journal("torn");
+  const JobRequest request = sample_request(5);
+  const CacheKey key = key_of(request);
+  {
+    JobJournal journal(path);
+    ASSERT_TRUE(journal.append_submit(1, request, key));
+  }
+  // Simulate the crash: a record half-written when power died (no newline,
+  // CRC never completed).
+  const std::string torn =
+      JobJournal::encode_submit(2, request, key).substr(0, 40);
+  {
+    std::ofstream out(path, std::ios::app);
+    out << torn;
+  }
+  JobJournal reopened(path);
+  EXPECT_EQ(reopened.recovery().truncated_bytes, torn.size());
+  ASSERT_EQ(reopened.recovery().pending.size(), 1u);
+  EXPECT_EQ(reopened.recovery().pending.front().id, 1u);
+}
+
+TEST(JobJournal, NothingAfterACorruptRecordIsTrusted) {
+  const fs::path path = fresh_journal("poison");
+  const JobRequest request = sample_request(5);
+  const CacheKey key = key_of(request);
+  {
+    JobJournal journal(path);
+    ASSERT_TRUE(journal.append_submit(1, request, key));
+  }
+  // A corrupt COMPLETE line followed by a valid one: WAL discipline says
+  // the valid-looking survivor may itself be a torn-write artifact, so
+  // recovery must stop at the first bad record, not skip over it.
+  std::string corrupt = JobJournal::encode_submit(2, request, key);
+  corrupt[corrupt.size() / 2] ^= 1;
+  const std::string valid = JobJournal::encode_submit(3, request, key);
+  {
+    std::ofstream out(path, std::ios::app);
+    out << corrupt << "\n" << valid << "\n";
+  }
+  JobJournal reopened(path);
+  ASSERT_EQ(reopened.recovery().pending.size(), 1u);
+  EXPECT_EQ(reopened.recovery().pending.front().id, 1u);
+  EXPECT_EQ(reopened.recovery().truncated_bytes,
+            corrupt.size() + valid.size() + 2);
+}
+
+TEST(JobJournal, ReplayIsIdempotentAcrossRepeatedReopens) {
+  const fs::path path = fresh_journal("idempotent");
+  const JobRequest request = sample_request(13);
+  const CacheKey key = key_of(request);
+  {
+    JobJournal journal(path);
+    ASSERT_TRUE(journal.append_submit(1, request, key));
+    ASSERT_TRUE(journal.append_submit(2, sample_request(14),
+                                      key_of(sample_request(14))));
+    ASSERT_TRUE(journal.append_state(done_status(1, key), key.secondary));
+  }
+  // Reopen twice: compaction must converge — the second recovery sees the
+  // same world the first one did, byte-for-byte on disk too.
+  std::string first_bytes;
+  {
+    JobJournal first(path);
+    ASSERT_EQ(first.recovery().pending.size(), 1u);
+    ASSERT_EQ(first.recovery().terminal.size(), 1u);
+    std::ifstream in(path);
+    first_bytes.assign(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+  JobJournal second(path);
+  EXPECT_EQ(second.recovery().pending.size(), 1u);
+  EXPECT_EQ(second.recovery().pending.front().id, 2u);
+  EXPECT_EQ(second.recovery().terminal.size(), 1u);
+  EXPECT_EQ(second.recovery().truncated_bytes, 0u);
+  std::ifstream in(path);
+  const std::string second_bytes{std::istreambuf_iterator<char>(in),
+                                 std::istreambuf_iterator<char>()};
+  EXPECT_EQ(first_bytes, second_bytes);
+}
+
+TEST(JobJournal, TombstoneCapAgesOutTheOldestIds) {
+  const fs::path path = fresh_journal("cap");
+  const JobRequest request = sample_request(1);
+  const CacheKey key = key_of(request);
+  {
+    JobJournal journal(path);
+    for (std::uint64_t id = 1; id <= 5; ++id) {
+      ASSERT_TRUE(journal.append_submit(id, request, key));
+      ASSERT_TRUE(journal.append_state(done_status(id, key), key.secondary));
+    }
+  }
+  JobJournal reopened(path, /*max_tombstones=*/2);
+  ASSERT_EQ(reopened.recovery().terminal.size(), 2u);
+  EXPECT_EQ(reopened.recovery().terminal[0].status.id, 4u);
+  EXPECT_EQ(reopened.recovery().terminal[1].status.id, 5u);
+  // Aged-out ids no longer answer — but fresh ids keep counting upward, so
+  // no id is ever reused for a different job.
+  EXPECT_EQ(reopened.recovery().next_id, 6u);
+}
+
+#if defined(CONFMASK_FAULT_INJECTION)
+
+TEST(JobJournal, InjectedWriteFailureFailsTheAppendLoudly) {
+  const fs::path path = fresh_journal("enospc");
+  JobJournal journal(path);  // construct BEFORE arming: recovery also writes
+  const JobRequest request = sample_request(3);
+  const CacheKey key = key_of(request);
+  std::string error;
+  {
+    const ScopedFault fault(io::kFaultEnospc, 1);
+    EXPECT_FALSE(journal.append_submit(1, request, key, &error));
+  }
+  EXPECT_NE(error.find("journal write"), std::string::npos) << error;
+  {
+    const ScopedFault fault(io::kFaultFsyncFail, 1);
+    EXPECT_FALSE(journal.append_submit(1, request, key, &error));
+  }
+  EXPECT_NE(error.find("journal fsync"), std::string::npos) << error;
+  EXPECT_EQ(journal.stats().append_failures, 2u);
+
+  // The journal is not poisoned: once the fault clears, appends land. The
+  // ENOSPC attempt left no bytes; the fsync-failed attempt DID leave a
+  // complete record, and replaying it is the harmless at-least-once side
+  // of the WAL contract (the client was told "rejected", and a surplus
+  // replay converges through the content-addressed cache).
+  ASSERT_TRUE(journal.append_submit(2, request, key, &error)) << error;
+  JobJournal reopened(path);
+  ASSERT_EQ(reopened.recovery().pending.size(), 2u);
+  EXPECT_EQ(reopened.recovery().pending.front().id, 1u);
+  EXPECT_EQ(reopened.recovery().pending.back().id, 2u);
+}
+
+TEST(JobJournal, TornWriteMidAppendIsInvisibleAfterRecovery) {
+  const fs::path path = fresh_journal("torn_fault");
+  JobJournal journal(path);
+  const JobRequest request = sample_request(3);
+  const CacheKey key = key_of(request);
+  ASSERT_TRUE(journal.append_submit(1, request, key));
+  {
+    // Half the record lands, the rest never will — exactly what a crash
+    // mid-write leaves behind.
+    const ScopedFault fault(io::kFaultShortWrite, 1);
+    std::string error;
+    EXPECT_FALSE(journal.append_submit(2, request, key, &error));
+  }
+  JobJournal reopened(path);
+  EXPECT_GT(reopened.recovery().truncated_bytes, 0u);
+  ASSERT_EQ(reopened.recovery().pending.size(), 1u);
+  EXPECT_EQ(reopened.recovery().pending.front().id, 1u);
+}
+
+#endif  // CONFMASK_FAULT_INJECTION
+
+}  // namespace
+}  // namespace confmask

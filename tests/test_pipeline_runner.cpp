@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
+#include "src/config/emit.hpp"
 #include "src/config/parse.hpp"
 #include "src/core/confmask.hpp"
 #include "src/core/errors.hpp"
@@ -235,6 +239,58 @@ TEST(DataPlaneDiff, HostsCollectsEndpoints) {
   plane.flows[{"h1", "h2"}] = {{"h1", "r1", "h2"}};
   plane.flows[{"h2", "h3"}] = {{"h2", "r1", "h3"}};
   EXPECT_EQ(plane.hosts(), (std::set<std::string>{"h1", "h2", "h3"}));
+}
+
+TEST(PipelineRunner, PreFiredCancelTokenFailsClosedAsDeadlineExceeded) {
+  // A deadline that expired before the run began: the runner must refuse
+  // to start the attempt, land in the DeadlineExceeded taxonomy, and ship
+  // no configs — within one poll point, no pipeline work performed.
+  CancelToken token;
+  token.set_deadline_after(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_EQ(token.fired(), CancelToken::Reason::kDeadline);
+  const auto guarded = run_pipeline_guarded(make_figure2(), figure2_options(),
+                                            {}, EquivalenceStrategy::kConfMask,
+                                            &token);
+  EXPECT_FALSE(guarded.ok());
+  EXPECT_FALSE(guarded.result.has_value());  // fail closed: no configs
+  EXPECT_EQ(guarded.diagnostics.category, ErrorCategory::kDeadlineExceeded);
+  EXPECT_EQ(exit_code_for(guarded.diagnostics.category), 15);
+  EXPECT_NE(guarded.diagnostics.context.detail.find("deadline"),
+            std::string::npos)
+      << guarded.diagnostics.context.detail;
+}
+
+TEST(PipelineRunner, ExplicitCancellationIsDistinguishableFromDeadline) {
+  CancelToken token;
+  token.request_cancel();
+  const auto guarded = run_pipeline_guarded(make_figure2(), figure2_options(),
+                                            {}, EquivalenceStrategy::kConfMask,
+                                            &token);
+  EXPECT_FALSE(guarded.ok());
+  EXPECT_EQ(guarded.diagnostics.category, ErrorCategory::kDeadlineExceeded);
+  // The reason travels in the error context so the scheduler can tell a
+  // user cancel (kCancelled) from a blown deadline (kFailed).
+  EXPECT_NE(guarded.diagnostics.context.detail.find("cancelled"),
+            std::string::npos)
+      << guarded.diagnostics.context.detail;
+}
+
+TEST(PipelineRunner, UnfiredTokenDoesNotPerturbACleanRun) {
+  CancelToken token;
+  token.set_deadline_after(60'000);
+  const auto guarded = run_pipeline_guarded(make_figure2(), figure2_options(),
+                                            {}, EquivalenceStrategy::kConfMask,
+                                            &token);
+  ASSERT_TRUE(guarded.ok());
+  EXPECT_TRUE(guarded.result->functionally_equivalent);
+  // Byte-identical to an uncancelled run: the token is observed, never
+  // woven into the output.
+  const auto baseline =
+      run_pipeline_guarded(make_figure2(), figure2_options());
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(canonical_config_set_text(guarded.result->anonymized),
+            canonical_config_set_text(baseline.result->anonymized));
 }
 
 }  // namespace

@@ -6,12 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/netgen/networks.hpp"
+#include "src/service/job_journal.hpp"
 #include "src/service/job_scheduler.hpp"
 
 namespace confmask {
@@ -276,6 +279,204 @@ TEST(JobScheduler, CancelDequeuesAQueuedJob) {
   }
   EXPECT_FALSE(scheduler.cancel(*first));  // terminal jobs can't cancel
   EXPECT_FALSE(scheduler.cancel(9999));    // unknown id
+}
+
+TEST(JobScheduler, ExpiredDeadlineIsDeadlineExceededAndNeverCached) {
+  ArtifactCache cache(fresh_dir("sched_deadline_queued"));
+  JobScheduler::Options options;
+  options.max_concurrent_jobs = 1;
+  JobScheduler scheduler(&cache, options);
+  // Occupy the single worker, then submit a job whose 1ms budget is
+  // certain to expire while it waits in the queue: the deterministic
+  // "already expired at dequeue" path.
+  const auto busy = scheduler.submit(figure2_request(1));
+  ASSERT_TRUE(busy.has_value());
+  JobRequest doomed = figure2_request(2);
+  doomed.deadline_ms = 1;
+  const SubmitOutcome outcome = scheduler.submit_ex(std::move(doomed));
+  ASSERT_TRUE(outcome.accepted());
+  ASSERT_TRUE(scheduler.wait(*outcome.id));
+  const auto status = scheduler.status(*outcome.id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::kFailed);
+  EXPECT_EQ(status->error_category, "DeadlineExceeded");
+  EXPECT_EQ(status->exit_code, 15);
+  EXPECT_EQ(scheduler.stats().deadline_exceeded, 1u);
+  // Never cached — and failure diagnostics tell the whole story.
+  const auto result = scheduler.result(*outcome.id);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->artifacts.anonymized_configs.empty());
+  EXPECT_NE(result->artifacts.diagnostics_json.find("\"ok\": false"),
+            std::string::npos);
+  ASSERT_TRUE(scheduler.wait(*busy));
+  EXPECT_EQ(cache.entry_count(), 1u);  // only the healthy job published
+
+  // The daemon keeps serving: the next submission completes normally.
+  const auto after = scheduler.submit(figure2_request(3));
+  ASSERT_TRUE(after.has_value());
+  ASSERT_TRUE(scheduler.wait(*after));
+  EXPECT_EQ(scheduler.status(*after)->state, JobState::kDone);
+}
+
+TEST(JobScheduler, MidRunDeadlineExpiryStopsAtAPhaseBoundary) {
+  ArtifactCache cache(fresh_dir("sched_deadline_midrun"));
+  JobScheduler scheduler(&cache, {});
+  // The worker is idle, so the job STARTS within its budget — but a
+  // carrier-scale pipeline takes orders of magnitude longer than 2ms, so
+  // expiry lands mid-run and the cooperative poll points must stop it at the
+  // next phase boundary (a Figure 2 job would finish before the budget ran
+  // out, turning this into a no-op test).
+  JobRequest doomed;
+  doomed.configs = make_uscarrier();
+  doomed.options.k_r = 2;
+  doomed.options.k_h = 2;
+  doomed.options.seed = 4;
+  doomed.deadline_ms = 2;
+  const SubmitOutcome outcome = scheduler.submit_ex(std::move(doomed));
+  ASSERT_TRUE(outcome.accepted());
+  ASSERT_TRUE(scheduler.wait(*outcome.id));
+  const auto status = scheduler.status(*outcome.id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::kFailed);
+  EXPECT_EQ(status->error_category, "DeadlineExceeded");
+  EXPECT_EQ(status->exit_code, 15);
+  EXPECT_EQ(cache.entry_count(), 0u);  // expired work is never published
+  EXPECT_EQ(scheduler.stats().deadline_exceeded, 1u);
+}
+
+TEST(JobScheduler, CancelOfARunningJobStopsCooperatively) {
+  ArtifactCache cache(fresh_dir("sched_cancel_running"));
+  JobScheduler scheduler(&cache, {});
+  const auto id = scheduler.submit(figure2_request(5));
+  ASSERT_TRUE(id.has_value());
+  // Wait until the job is actually RUNNING, then fire its token.
+  for (int i = 0; i < 2000; ++i) {
+    const auto status = scheduler.status(*id);
+    ASSERT_TRUE(status.has_value());
+    if (status->state != JobState::kQueued) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const bool accepted = scheduler.cancel(*id);
+  ASSERT_TRUE(scheduler.wait(*id));
+  const auto status = scheduler.status(*id);
+  ASSERT_TRUE(status.has_value());
+  if (accepted && status->state == JobState::kCancelled) {
+    // The common path: the poll points observed the token mid-pipeline.
+    EXPECT_EQ(status->error_category, "DeadlineExceeded");
+    EXPECT_EQ(scheduler.stats().cancelled, 1u);
+    EXPECT_EQ(cache.entry_count(), 0u);
+  } else {
+    // The benign race: the pipeline finished before (or exactly as) the
+    // token fired. Completion must then be fully intact.
+    EXPECT_EQ(status->state, JobState::kDone);
+    EXPECT_EQ(cache.entry_count(), 1u);
+  }
+}
+
+TEST(JobScheduler, QueueFullRejectionCarriesRetryAfterHint) {
+  ArtifactCache cache(fresh_dir("sched_retry_after"));
+  JobScheduler::Options options;
+  options.max_pending = 0;  // every submission exceeds the pending budget
+  options.retry_after_base_ms = 250;
+  JobScheduler scheduler(&cache, options);
+  const SubmitOutcome outcome = scheduler.submit_ex(figure2_request(1));
+  EXPECT_FALSE(outcome.accepted());
+  EXPECT_EQ(outcome.error, "queue full");
+  // The hint is transient load-shedding advice: present, positive, and at
+  // least the configured base.
+  EXPECT_GE(outcome.retry_after_ms, 250u);
+  EXPECT_LE(outcome.retry_after_ms, 10'000u);
+  EXPECT_EQ(scheduler.stats().rejected, 1u);
+}
+
+TEST(JobScheduler, JournalRecoveryReEnqueuesAcknowledgedJobs) {
+  const fs::path journal_path =
+      fresh_dir("sched_recover_journal") / "jobs.wal";
+  const fs::path cache_dir = fresh_dir("sched_recover_cache");
+
+  // "Crash" before the worker ever ran: journal an acknowledged submit by
+  // hand, exactly as a daemon SIGKILLed right after the ack would leave it.
+  JobRequest request = figure2_request(21);
+  {
+    JobJournal journal(journal_path);
+    const CacheKey key =
+        compute_cache_key(request.configs, request.options, request.policy,
+                          request.strategy);
+    ASSERT_TRUE(journal.append_submit(1, request, key));
+  }
+
+  // Restart: the scheduler must re-enqueue and complete the job under its
+  // original id, converging to the same content-addressed artifact.
+  JobJournal journal(journal_path);
+  ASSERT_EQ(journal.recovery().pending.size(), 1u);
+  ArtifactCache cache(cache_dir);
+  JobScheduler::Options options;
+  options.journal = &journal;
+  JobScheduler scheduler(&cache, options);
+  EXPECT_EQ(scheduler.stats().recovered, 1u);
+  ASSERT_TRUE(scheduler.wait(1));
+  const auto status = scheduler.status(1);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::kDone);
+  const auto replayed = scheduler.result(1);
+  ASSERT_TRUE(replayed.has_value());
+
+  // A client resubmitting the same request (it never saw the result) gets
+  // a cache hit with byte-identical artifacts — the convergence half of
+  // the durability story.
+  const SubmitOutcome resubmit = scheduler.submit_ex(std::move(request));
+  ASSERT_TRUE(resubmit.accepted());
+  ASSERT_TRUE(scheduler.wait(*resubmit.id));
+  const auto second = scheduler.status(*resubmit.id);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->state, JobState::kDone);
+  EXPECT_TRUE(second->cache_hit);
+  const auto again = scheduler.result(*resubmit.id);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->artifacts.anonymized_configs,
+            replayed->artifacts.anonymized_configs);
+  EXPECT_EQ(again->artifacts.metrics_json, replayed->artifacts.metrics_json);
+}
+
+TEST(JobScheduler, JournalTombstonesKeepAnsweringAfterRestart) {
+  const fs::path journal_path =
+      fresh_dir("sched_tombstone_journal") / "jobs.wal";
+  const fs::path cache_dir = fresh_dir("sched_tombstone_cache");
+  std::string first_configs;
+  std::uint64_t id = 0;
+  {
+    JobJournal journal(journal_path);
+    ArtifactCache cache(cache_dir);
+    JobScheduler::Options options;
+    options.journal = &journal;
+    JobScheduler scheduler(&cache, options);
+    const SubmitOutcome outcome = scheduler.submit_ex(figure2_request(31));
+    ASSERT_TRUE(outcome.accepted());
+    id = *outcome.id;
+    ASSERT_TRUE(scheduler.wait(id));
+    const auto result = scheduler.result(id);
+    ASSERT_TRUE(result.has_value());
+    first_configs = result->artifacts.anonymized_configs;
+    scheduler.shutdown(JobScheduler::ShutdownMode::kDrain);
+  }
+
+  // Restart: the completed job's id still answers (tombstone), and its
+  // artifacts re-read from the cache byte-identically.
+  JobJournal journal(journal_path);
+  ArtifactCache cache(cache_dir);
+  JobScheduler::Options options;
+  options.journal = &journal;
+  JobScheduler scheduler(&cache, options);
+  const auto status = scheduler.status(id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::kDone);
+  const auto result = scheduler.result(id);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->artifacts.anonymized_configs, first_configs);
+  // New ids never collide with journaled history.
+  const SubmitOutcome fresh = scheduler.submit_ex(figure2_request(32));
+  ASSERT_TRUE(fresh.accepted());
+  EXPECT_GT(*fresh.id, id);
 }
 
 }  // namespace

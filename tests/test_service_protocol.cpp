@@ -7,7 +7,9 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -17,6 +19,7 @@
 #include "src/netgen/networks.hpp"
 #include "src/service/client.hpp"
 #include "src/service/daemon.hpp"
+#include "src/service/job_journal.hpp"
 #include "src/service/json_line.hpp"
 #include "src/service/protocol.hpp"
 
@@ -58,6 +61,58 @@ TEST(JsonLine, U64SeedsSurviveAboveDoublePrecision) {
       parse_json_line(JsonLineWriter{}.number_u64("seed", max).str());
   ASSERT_TRUE(parsed_max.has_value());
   EXPECT_EQ(get_u64(*parsed_max, "seed"), max);
+}
+
+TEST(JsonLine, ErrorReportingOverloadNamesTheDeviation) {
+  std::string error;
+  // Duplicate keys are the classic smuggling vector (two parsers, two
+  // winners): the rejection must name the offending key out loud.
+  EXPECT_FALSE(
+      parse_json_line("{\"seed\": 1, \"seed\": 2}", &error).has_value());
+  EXPECT_NE(error.find("duplicate key \"seed\""), std::string::npos) << error;
+  EXPECT_FALSE(parse_json_line("{\"a\": 1} trailing", &error).has_value());
+  EXPECT_NE(error.find("trailing bytes"), std::string::npos) << error;
+  EXPECT_FALSE(parse_json_line("{\"a\": \"unterminated", &error).has_value());
+  EXPECT_NE(error.find("unterminated string"), std::string::npos) << error;
+  EXPECT_FALSE(parse_json_line("[1]", &error).has_value());
+  EXPECT_NE(error.find("expected '{'"), std::string::npos) << error;
+  // A clean parse leaves the error untouched.
+  error.clear();
+  EXPECT_TRUE(parse_json_line("{\"a\": 1}", &error).has_value());
+  EXPECT_TRUE(error.empty());
+}
+
+TEST(ClientBackoff, ScheduleGrowsHonorsHintAndStaysDeterministic) {
+  RetryConfig config;
+  config.base_ms = 100;
+  config.max_delay_ms = 5'000;
+  // Jitter is bounded: every delay within ±25% of the nominal exponential
+  // value, and the cap is never exceeded.
+  std::uint32_t previous_nominal = 0;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const std::uint32_t delay = backoff_delay_ms(config, attempt, 0);
+    const std::uint64_t nominal =
+        std::min<std::uint64_t>(100ULL << (attempt - 1), 5'000);
+    EXPECT_GE(delay, nominal - nominal / 4) << "attempt " << attempt;
+    EXPECT_LE(delay, config.max_delay_ms) << "attempt " << attempt;
+    EXPECT_GE(nominal, previous_nominal);
+    previous_nominal = static_cast<std::uint32_t>(nominal);
+  }
+  // The server's own hint is a floor (before the cap): clients never
+  // retry earlier than the daemon said capacity returns.
+  EXPECT_GE(backoff_delay_ms(config, 1, 2'000), 2'000u - 2'000u / 4);
+  EXPECT_LE(backoff_delay_ms(config, 1, 60'000), config.max_delay_ms);
+  // Same config + attempt → same delay: the schedule is pinnable in tests
+  // and differs across seeds so client bursts fan out.
+  EXPECT_EQ(backoff_delay_ms(config, 3, 0), backoff_delay_ms(config, 3, 0));
+  RetryConfig other = config;
+  other.jitter_seed = 2;
+  bool diverged = false;
+  for (int attempt = 1; attempt <= 8 && !diverged; ++attempt) {
+    diverged = backoff_delay_ms(config, attempt, 0) !=
+               backoff_delay_ms(other, attempt, 0);
+  }
+  EXPECT_TRUE(diverged);
 }
 
 TEST(JsonLine, StrictParserRejectsEverythingOutsideTheSubset) {
@@ -189,6 +244,111 @@ TEST_F(ProtocolTest, ErrorsAreLoudAndTyped) {
                      "ok"),
             false);
   EXPECT_FALSE(shutdown.requested);
+}
+
+TEST_F(ProtocolTest, MalformedLinesGetNamedParseErrors) {
+  const JsonObject duplicate =
+      handle("{\"op\": \"submit\", \"seed\": 1, \"seed\": 2}");
+  EXPECT_EQ(get_bool(duplicate, "ok"), false);
+  EXPECT_NE(get_string(duplicate, "error")->find("duplicate key \"seed\""),
+            std::string::npos)
+      << *get_string(duplicate, "error");
+
+  const JsonObject deadline = handle(JsonLineWriter{}
+                                         .string("op", "submit")
+                                         .string("configs", "x")
+                                         .string("deadline_ms", "soon")
+                                         .str());
+  EXPECT_EQ(get_bool(deadline, "ok"), false);
+}
+
+TEST_F(ProtocolTest, DeadlineMsMustBeAnUnsignedInteger) {
+  const JsonObject response =
+      handle(JsonLineWriter{}
+                 .string("op", "submit")
+                 .string("configs", canonical_config_set_text(make_figure2()))
+                 .string("deadline_ms", "soon")
+                 .str());
+  EXPECT_EQ(get_bool(response, "ok"), false);
+  EXPECT_NE(get_string(response, "error")->find("deadline_ms"),
+            std::string::npos);
+}
+
+TEST_F(ProtocolTest, PingReportsHealthAndVitals) {
+  const JsonObject pong = handle("{\"op\": \"ping\"}");
+  EXPECT_EQ(get_bool(pong, "ok"), true);
+  EXPECT_FALSE(get_string(pong, "version")->empty());
+  EXPECT_EQ(get_string(pong, "stamp"), cache_.stamp());
+  EXPECT_TRUE(get_u64(pong, "uptime_ms").has_value());
+  EXPECT_EQ(get_u64(pong, "queued"), 0u);
+  EXPECT_EQ(get_u64(pong, "running"), 0u);
+  EXPECT_EQ(get_u64(pong, "cache_entries"), 0u);
+  EXPECT_EQ(get_u64(pong, "cache_budget_bytes"), 0u);  // unbounded here
+  // No journal attached to this handler: the probe says so.
+  EXPECT_EQ(get_bool(pong, "journal"), false);
+  EXPECT_EQ(pong.count("journal_appends"), 0u);
+}
+
+TEST(Protocol, QueueFullSubmitRejectionCarriesRetryAfterMs) {
+  const fs::path dir =
+      fs::path(testing::TempDir()) / "confmask_proto_retry_after";
+  fs::remove_all(dir);
+  ArtifactCache cache(dir);
+  JobScheduler::Options options;
+  options.max_pending = 0;
+  JobScheduler scheduler(&cache, options);
+  ProtocolHandler handler(&scheduler, &cache);
+  const auto response = parse_json_line(handler.handle(
+      JsonLineWriter{}
+          .string("op", "submit")
+          .string("configs", canonical_config_set_text(make_figure2()))
+          .str(),
+      nullptr));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(get_bool(*response, "ok"), false);
+  EXPECT_NE(get_string(*response, "error")->find("queue full"),
+            std::string::npos);
+  const auto hint = get_u64(*response, "retry_after_ms");
+  ASSERT_TRUE(hint.has_value());  // transient: the client should retry
+  EXPECT_GT(*hint, 0u);
+  scheduler.shutdown(JobScheduler::ShutdownMode::kCancelPending);
+  fs::remove_all(dir);
+}
+
+TEST(Protocol, PingWithJournalAttachedReportsJournalVitals) {
+  const fs::path dir = fs::path(testing::TempDir()) / "confmask_proto_jping";
+  fs::remove_all(dir);
+  JobJournal journal(dir / "jobs.wal");
+  ArtifactCache cache(dir / "cache");
+  JobScheduler::Options options;
+  options.journal = &journal;
+  JobScheduler scheduler(&cache, options);
+  ProtocolHandler handler(&scheduler, &cache, &journal);
+
+  const auto submitted = parse_json_line(handler.handle(
+      JsonLineWriter{}
+          .string("op", "submit")
+          .string("configs", canonical_config_set_text(make_figure2()))
+          .number("k_r", 2)
+          .number("k_h", 2)
+          .number_u64("deadline_ms", 60'000)
+          .str(),
+      nullptr));
+  ASSERT_TRUE(submitted.has_value());
+  ASSERT_EQ(get_bool(*submitted, "ok"), true)
+      << get_string(*submitted, "error").value_or("");
+  ASSERT_TRUE(scheduler.wait(*get_u64(*submitted, "job")));
+
+  const auto pong =
+      parse_json_line(handler.handle("{\"op\": \"ping\"}", nullptr));
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(get_bool(*pong, "journal"), true);
+  // The accepted submit and its state transitions were all journaled.
+  ASSERT_TRUE(get_u64(*pong, "journal_appends").has_value());
+  EXPECT_GE(*get_u64(*pong, "journal_appends"), 2u);
+  EXPECT_EQ(get_u64(*pong, "journal_append_failures"), 0u);
+  scheduler.shutdown(JobScheduler::ShutdownMode::kDrain);
+  fs::remove_all(dir);
 }
 
 TEST_F(ProtocolTest, ShutdownRequestSetsCommand) {
