@@ -7,6 +7,7 @@
 #include "src/core/original_index.hpp"
 #include "src/graph/k_degree_anonymize.hpp"
 #include "src/netgen/networks.hpp"
+#include "src/netgen/scale_families.hpp"
 #include "src/routing/simulation.hpp"
 
 namespace confmask {
@@ -44,6 +45,38 @@ void BM_OriginalIndexSnapshot(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OriginalIndexSnapshot)->DenseRange(0, 7)->Unit(benchmark::kMillisecond);
+
+// Graph::has_edge via the sorted adjacency mirror (O(log d) binary search
+// instead of an O(d) scan) — the inner call of clustering coefficients and
+// the anonymizer's candidate-edge scans. Range = router count of a Waxman
+// scale network.
+void BM_GraphHasEdge(benchmark::State& state) {
+  const int routers = static_cast<int>(state.range(0));
+  const auto configs =
+      make_scale_network(ScaleFamily::kWaxman, routers, 0xED6E);
+  const auto graph = Topology::build(configs).router_graph();
+  int u = 0;
+  int v = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.has_edge(u, v));
+    u = (u + 1) % routers;
+    v = (v + 7) % routers;
+  }
+}
+BENCHMARK(BM_GraphHasEdge)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ClusteringCoefficient(benchmark::State& state) {
+  const auto configs = make_scale_network(
+      ScaleFamily::kWaxman, static_cast<int>(state.range(0)), 0xC1C0);
+  const auto graph = Topology::build(configs).router_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clustering_coefficient(graph));
+  }
+}
+BENCHMARK(BM_ClusteringCoefficient)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_KDegreeAnonymize(benchmark::State& state) {
   const auto& configs = network_by_index(static_cast<int>(state.range(0)));

@@ -1,0 +1,304 @@
+// Scale sweep of the simulation core on the netgen scale families
+// (10²–10⁴ routers): topology build, flat fresh simulation, frozen
+// pre-refactor baseline simulation (the ISSUE-7 ≥2× gate), incremental vs
+// full re-simulation after a filter edit, and the full ConfMask pipeline
+// with per-phase span metrics (DESIGN.md §9) on the sizes it can afford.
+//
+//   bench_scale [--max-routers N] [--baseline-max N] [--pipeline-max N]
+//               [--jobs N] [--families LIST] [--out FILE]
+//
+// Writes BENCH_scale.json (schema confmask.bench-scale/1). Sizes above the
+// caps are skipped and logged, never silently dropped: --baseline-max
+// (default 3162) bounds the old engine, whose eager R×R IGP matrix costs
+// O(R²) memory (~800 MB at 10⁴); --pipeline-max (default 316) bounds the
+// full anonymization pipeline. Wherever the baseline does run, every FIB
+// column must be bit-identical between the engines — any mismatch makes
+// the exit status nonzero, so the sweep doubles as a correctness gate.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/core/filters.hpp"
+#include "src/core/pipeline_trace.hpp"
+#include "src/netgen/scale_families.hpp"
+#include "src/routing/baseline_sim.hpp"
+#include "src/routing/simulation.hpp"
+#include "src/routing/topology.hpp"
+#include "src/testing/differential.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace {
+
+using namespace confmask;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--max-routers N] [--baseline-max N]"
+               " [--pipeline-max N] [--jobs N] [--families LIST]"
+               " [--out FILE]\n",
+               argv0);
+  std::exit(2);
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Minimum wall time of `repetitions` runs of `body`.
+template <typename Body>
+double min_time(int repetitions, Body&& body) {
+  double best = 1e30;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    best = std::min(best, seconds_since(start));
+  }
+  return best;
+}
+
+bool fibs_identical(const Simulation& fast, const BaselineSimulation& base) {
+  const Topology& topo = fast.topology();
+  for (int router = 0; router < topo.router_count(); ++router) {
+    for (const int host : topo.host_ids()) {
+      const auto lhs = fast.fib(router, host);
+      const auto& rhs = base.fib(router, host);
+      if (lhs.size() != rhs.size()) return false;
+      for (std::size_t i = 0; i < lhs.size(); ++i) {
+        if (!(lhs[i] == rhs[i])) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string json_number(double value) { return std::to_string(value); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int max_routers = 10000;
+  int baseline_max = 3162;
+  int pipeline_max = 316;
+  unsigned jobs = 0;
+  std::string out_path = "BENCH_scale.json";
+  std::string families_arg = "waxman-ospf,waxman-rip,multi-as";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--max-routers") {
+      max_routers = std::atoi(value());
+    } else if (arg == "--baseline-max") {
+      baseline_max = std::atoi(value());
+    } else if (arg == "--pipeline-max") {
+      pipeline_max = std::atoi(value());
+    } else if (arg == "--jobs") {
+      jobs = static_cast<unsigned>(std::atoi(value()));
+    } else if (arg == "--families") {
+      families_arg = value();
+    } else if (arg == "--out") {
+      out_path = value();
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (max_routers < 2) usage(argv[0]);
+  if (jobs > 0) ThreadPool::configure(jobs);
+
+  struct FamilySpec {
+    ScaleFamily family;
+    const char* name;
+  };
+  const FamilySpec all_families[] = {
+      {ScaleFamily::kWaxman, "waxman-ospf"},
+      {ScaleFamily::kWaxmanRip, "waxman-rip"},
+      {ScaleFamily::kMultiAs, "multi-as"},
+  };
+  std::vector<FamilySpec> families;
+  for (const auto& spec : all_families) {
+    if (families_arg.find(spec.name) != std::string::npos) {
+      families.push_back(spec);
+    }
+  }
+  if (families.empty()) usage(argv[0]);
+
+  const int sizes[] = {100, 316, 1000, 3162, 10000};
+
+  bench::header("Simulation core scale sweep (flat CSR/SoA vs pre-refactor)",
+                "fresh simulation >=2x over the old engine at 10^3 routers, "
+                "bit-identical FIBs");
+  std::printf("jobs=%u hardware_concurrency=%u max_routers=%d "
+              "baseline_max=%d pipeline_max=%d\n\n",
+              ThreadPool::shared().workers(),
+              std::thread::hardware_concurrency(), max_routers, baseline_max,
+              pipeline_max);
+  std::printf("%-12s %6s %6s %6s | %8s %8s %8s | %7s %5s | %8s %8s %7s\n",
+              "family", "R", "hosts", "links", "topo (s)", "flat (s)",
+              "base (s)", "speedup", "fib=", "inc (s)", "full (s)",
+              "inc/fl");
+
+  bool all_fibs_identical = true;
+  std::string json =
+      std::string("{\n  \"schema\": \"confmask.bench-scale/1\",\n") +
+      "  \"jobs\": " + std::to_string(ThreadPool::shared().workers()) +
+      ",\n  \"hardware_concurrency\": " +
+      std::to_string(std::thread::hardware_concurrency()) +
+      ",\n  \"max_routers\": " + std::to_string(max_routers) +
+      ",\n  \"baseline_max_routers\": " + std::to_string(baseline_max) +
+      ",\n  \"pipeline_max_routers\": " + std::to_string(pipeline_max) +
+      ",\n  \"sweep\": [";
+  bool first = true;
+
+  for (const auto& spec : families) {
+    for (const int routers : sizes) {
+      if (routers > max_routers) {
+        std::printf("%-12s %6d  -- skipped (--max-routers %d)\n", spec.name,
+                    routers, max_routers);
+        continue;
+      }
+      const std::uint64_t seed = 0x5CA1Eull + static_cast<std::uint64_t>(
+                                                  routers);
+      ConfigSet configs = make_scale_network(spec.family, routers, seed);
+      decorate_scale_network(configs, seed);
+      const int repetitions = routers <= 1000 ? 3 : 1;
+
+      const double topo_s =
+          min_time(repetitions, [&] { Topology::build(configs); });
+      const Topology topo = Topology::build(configs);
+      const auto links = topo.links().size();
+      const int hosts = topo.host_count();
+
+      const double flat_s =
+          min_time(repetitions, [&] { Simulation sim(configs); });
+      const Simulation sim(configs);
+
+      // The frozen pre-refactor engine — the ≥2× acceptance gate. Skipped
+      // above --baseline-max (eager R×R matrix, O(R²) memory).
+      double base_s = -1.0;
+      bool fib_ok = true;
+      bool baseline_ran = false;
+      if (routers <= baseline_max) {
+        base_s = min_time(repetitions,
+                          [&] { BaselineSimulation baseline(configs); });
+        const BaselineSimulation baseline(configs);
+        fib_ok = fibs_identical(sim, baseline);
+        all_fibs_identical = all_fibs_identical && fib_ok;
+        baseline_ran = true;
+      }
+
+      // Incremental vs full re-simulation after one route-filter edit.
+      ConfigSet edited = configs;
+      SimulationDelta delta;
+      for (int r = 0; r < topo.router_count() && delta.empty(); ++r) {
+        const auto& incident = topo.links_of(r);
+        if (incident.empty()) continue;
+        const Ipv4Prefix target =
+            edited.hosts.front().prefix();
+        if (add_route_filter(edited, topo, r, topo.link(incident.front()),
+                             target)) {
+          delta.record(r, target);
+        }
+      }
+      double incremental_s = -1.0;
+      double full_s = -1.0;
+      if (!delta.empty()) {
+        incremental_s = min_time(
+            repetitions, [&] { Simulation inc(edited, sim, delta); });
+        full_s = min_time(repetitions, [&] { Simulation fresh(edited); });
+      }
+
+      // Full pipeline with per-phase span metrics, on affordable sizes.
+      double pipeline_s = -1.0;
+      std::string phases = "null";
+      if (routers <= pipeline_max) {
+        PipelineTrace trace;
+        const auto start = std::chrono::steady_clock::now();
+        const auto outcome = run_confmask(configs, bench::default_options());
+        pipeline_s = seconds_since(start);
+        (void)outcome;
+        phases = "{";
+        bool first_phase = true;
+        for (const auto& span : trace.metrics()) {
+          if (span.path.find('/') != std::string::npos) continue;
+          phases += std::string(first_phase ? "" : ", ") + "\"" + span.path +
+                    "\": " +
+                    json_number(static_cast<double>(span.total_ns) * 1e-9);
+          first_phase = false;
+        }
+        phases += "}";
+      } else {
+        std::printf("%-12s %6d  -- pipeline skipped (--pipeline-max %d)\n",
+                    spec.name, routers, pipeline_max);
+      }
+
+      const double speedup = baseline_ran ? base_s / flat_s : -1.0;
+      std::printf(
+          "%-12s %6d %6d %6zu | %8.4f %8.4f %8s | %7s %5s | %8s %8s %7s\n",
+          spec.name, routers, hosts, links, topo_s, flat_s,
+          baseline_ran ? json_number(base_s).substr(0, 8).c_str() : "--",
+          baseline_ran ? (json_number(speedup).substr(0, 6) + "x").c_str()
+                       : "--",
+          baseline_ran ? (fib_ok ? "ok" : "FAIL") : "--",
+          incremental_s >= 0 ? json_number(incremental_s).substr(0, 8).c_str()
+                             : "--",
+          full_s >= 0 ? json_number(full_s).substr(0, 8).c_str() : "--",
+          (incremental_s > 0 && full_s > 0)
+              ? (json_number(full_s / incremental_s).substr(0, 5) + "x")
+                    .c_str()
+              : "--");
+      bench::csv("scale," + std::string(spec.name) + "," +
+                 std::to_string(routers) + "," + json_number(flat_s) + "," +
+                 (baseline_ran ? json_number(base_s) : "") + "," +
+                 (baseline_ran ? json_number(speedup) : ""));
+
+      json += std::string(first ? "" : ",") + "\n    {\"family\": \"" +
+              spec.name + "\", \"routers\": " + std::to_string(routers) +
+              ", \"hosts\": " + std::to_string(hosts) +
+              ", \"links\": " + std::to_string(links) +
+              ", \"repetitions\": " + std::to_string(repetitions) +
+              ", \"topology_build_s\": " + json_number(topo_s) +
+              ", \"fresh_sim_s\": " + json_number(flat_s) +
+              ", \"baseline_sim_s\": " +
+              (baseline_ran ? json_number(base_s) : "null") +
+              ", \"speedup_vs_baseline\": " +
+              (baseline_ran ? json_number(speedup) : "null") +
+              ", \"fib_identical\": " +
+              (baseline_ran ? (fib_ok ? "true" : "false") : "null") +
+              ", \"incremental_sim_s\": " +
+              (incremental_s >= 0 ? json_number(incremental_s) : "null") +
+              ", \"full_resim_s\": " +
+              (full_s >= 0 ? json_number(full_s) : "null") +
+              ", \"pipeline_s\": " +
+              (pipeline_s >= 0 ? json_number(pipeline_s) : "null") +
+              ", \"pipeline_phases_s\": " + phases + "}";
+      first = false;
+    }
+  }
+  json += "\n  ]\n}\n";
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "failed to open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  if (!all_fibs_identical) {
+    std::fprintf(stderr,
+                 "FIB MISMATCH: flat engine diverged from the pre-refactor "
+                 "baseline\n");
+    return 1;
+  }
+  return 0;
+}

@@ -36,6 +36,8 @@ OriginalIndex::OriginalIndex(const Simulation& sim) {
   const int n = topo.router_count();
   igp_dist_.assign(static_cast<std::size_t>(n),
                    std::vector<long>(static_cast<std::size_t>(n), -1));
+  sim.igp_matrix();  // bulk-fills all rows in parallel; igp_distance() below
+                     // then reads memoized rows lock-free
   for (int a = 0; a < n; ++a) {
     for (int b = 0; b < n; ++b) {
       igp_dist_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =

@@ -101,6 +101,7 @@ TopologyAnonymizationOutcome anonymize_topology(ConfigSet& configs, int k_r,
     const int rc = topo.router_count();
     igp.assign(static_cast<std::size_t>(rc),
                std::vector<long>(static_cast<std::size_t>(rc), -1));
+    sim.igp_matrix();  // one parallel fill instead of rc² lazy-row checks
     for (int a = 0; a < rc; ++a) {
       for (int b = 0; b < rc; ++b) {
         igp[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =

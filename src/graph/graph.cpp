@@ -7,10 +7,12 @@
 namespace confmask {
 
 Graph::Graph(int node_count)
-    : adjacency_(static_cast<std::size_t>(node_count)) {}
+    : adjacency_(static_cast<std::size_t>(node_count)),
+      sorted_adjacency_(static_cast<std::size_t>(node_count)) {}
 
 int Graph::add_node() {
   adjacency_.emplace_back();
+  sorted_adjacency_.emplace_back();
   return node_count() - 1;
 }
 
@@ -18,13 +20,17 @@ bool Graph::add_edge(int u, int v) {
   if (u == v || has_edge(u, v)) return false;
   adjacency_[static_cast<std::size_t>(u)].push_back(v);
   adjacency_[static_cast<std::size_t>(v)].push_back(u);
+  auto& su = sorted_adjacency_[static_cast<std::size_t>(u)];
+  su.insert(std::lower_bound(su.begin(), su.end(), v), v);
+  auto& sv = sorted_adjacency_[static_cast<std::size_t>(v)];
+  sv.insert(std::lower_bound(sv.begin(), sv.end(), u), u);
   ++edge_count_;
   return true;
 }
 
 bool Graph::has_edge(int u, int v) const {
-  const auto& adj = adjacency_[static_cast<std::size_t>(u)];
-  return std::find(adj.begin(), adj.end(), v) != adj.end();
+  const auto& adj = sorted_adjacency_[static_cast<std::size_t>(u)];
+  return std::binary_search(adj.begin(), adj.end(), v);
 }
 
 std::vector<int> Graph::degrees() const {

@@ -25,6 +25,9 @@ class Graph {
   /// duplicates, keeping the graph simple.
   bool add_edge(int u, int v);
 
+  /// O(log degree(u)) via a sorted adjacency mirror. Hot for clustering
+  /// coefficients and the anonymizer's candidate-edge scans on dense
+  /// neighborhoods.
   [[nodiscard]] bool has_edge(int u, int v) const;
   [[nodiscard]] int node_count() const {
     return static_cast<int>(adjacency_.size());
@@ -47,7 +50,10 @@ class Graph {
   [[nodiscard]] std::vector<int> bfs_distances(int source) const;
 
  private:
+  /// Insertion-order neighbor lists (public iteration order) plus a sorted
+  /// mirror so membership tests don't scan the whole list.
   std::vector<std::vector<int>> adjacency_;
+  std::vector<std::vector<int>> sorted_adjacency_;
   std::size_t edge_count_ = 0;
 };
 

@@ -27,7 +27,9 @@ void rip_cover(RipConfig& rip, Ipv4Address addr) {
 NetworkBuilder::NetworkBuilder() = default;
 
 RouterConfig& NetworkBuilder::router(const std::string& name) {
-  if (auto* existing = configs_.find_router(name)) return *existing;
+  const auto [it, inserted] =
+      router_index_.try_emplace(name, configs_.routers.size());
+  if (!inserted) return configs_.routers[it->second];
   RouterConfig config;
   config.hostname = name;
   configs_.routers.push_back(std::move(config));
@@ -35,11 +37,11 @@ RouterConfig& NetworkBuilder::router(const std::string& name) {
 }
 
 RouterConfig& NetworkBuilder::require_router(const std::string& name) {
-  auto* existing = configs_.find_router(name);
-  if (existing == nullptr) {
+  const auto it = router_index_.find(name);
+  if (it == router_index_.end()) {
     throw std::invalid_argument("unknown router: " + name);
   }
-  return *existing;
+  return configs_.routers[it->second];
 }
 
 std::string NetworkBuilder::next_interface(RouterConfig& router) {

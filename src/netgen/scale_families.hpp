@@ -1,0 +1,81 @@
+// Scale-family network generators for 10²–10⁴-router benchmarks.
+//
+// The curated Table-2 networks top out at ~150 routers and the fuzz
+// generator (random_network) deliberately stays tiny; neither answers how
+// the simulation core behaves at three to four orders of magnitude. These
+// families grow structured networks whose shape parameters stay constant
+// as the router count sweeps 10²–10⁴, so BENCH_scale.json curves measure
+// the engine, not drifting topology character:
+//
+//  * Waxman — the classic random geometric graph (routers placed in the
+//    unit square, links preferring short distances), the standard synthetic
+//    stand-in for intra-domain router topologies. OSPF or RIP flavored.
+//  * Multi-AS — a hierarchy of Waxman-shaped OSPF domains chained by eBGP
+//    sessions, exercising the BGP path-vector and border-distance machinery
+//    at scale.
+//
+// Everything is seed-deterministic (same options + seed → identical
+// ConfigSet) and built through NetworkBuilder, so every generated network
+// is a well-formed ConfigSet for the parser, both engines, and the full
+// anonymization pipeline. Semantic decoration (route filters, ACLs,
+// statics) lives in src/testing/differential — it needs the built topology
+// and the core filter editors, which netgen must not depend on.
+#pragma once
+
+#include <cstdint>
+
+#include "src/config/model.hpp"
+
+namespace confmask {
+
+/// Hosts attached to a scale network of `routers` routers:
+/// clamp(routers / 25, 8, 400). Grows with the network (so data-plane work
+/// scales) but caps the H² flow blowup at the 10⁴ end.
+[[nodiscard]] int default_scale_hosts(int routers);
+
+struct WaxmanOptions {
+  int routers = 100;
+  /// Waxman link probability p(u,v) = alpha * exp(-d(u,v) / (beta * L)).
+  double alpha = 0.3;
+  double beta = 0.25;
+  /// Extra (non-spanning-tree) links per router; mean degree ≈ 2(1+factor).
+  double extra_link_factor = 1.0;
+  /// Probability a link carries explicit random per-side OSPF costs (1..20).
+  double random_cost_probability = 0.3;
+  bool rip = false;  ///< RIP-flavored instead of OSPF
+  int hosts = -1;    ///< -1 = default_scale_hosts(routers)
+};
+
+struct MultiAsOptions {
+  int routers = 100;
+  /// Number of OSPF domains; -1 = clamp(routers / 250, 2, 16). Kept small
+  /// deliberately: every border router costs one R-length distance row.
+  int as_count = -1;
+  double extra_link_factor = 1.0;
+  double random_cost_probability = 0.3;
+  /// Extra eBGP sessions beyond the AS-connecting chain.
+  int extra_sessions = -1;  ///< -1 = as_count / 2
+  int hosts = -1;           ///< -1 = default_scale_hosts(routers)
+};
+
+/// Builds a connected Waxman network. Router hostnames are "r0".."rN",
+/// hosts "h0".."hM".
+[[nodiscard]] ConfigSet make_waxman_network(const WaxmanOptions& options,
+                                            std::uint64_t seed);
+
+/// Builds a connected multi-AS hierarchy (OSPF inside every AS, eBGP
+/// between ASes, host LANs advertised into BGP at their gateway).
+[[nodiscard]] ConfigSet make_multi_as_network(const MultiAsOptions& options,
+                                              std::uint64_t seed);
+
+/// The named sweep families of BENCH_scale.json.
+enum class ScaleFamily { kWaxman, kWaxmanRip, kMultiAs };
+
+[[nodiscard]] const char* scale_family_name(ScaleFamily family);
+
+/// Family dispatch with default shape parameters — the one generator the
+/// benchmarks, tests and fuzz harness share.
+[[nodiscard]] ConfigSet make_scale_network(ScaleFamily family, int routers,
+                                           std::uint64_t seed);
+
+}  // namespace confmask

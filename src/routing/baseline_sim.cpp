@@ -1,0 +1,435 @@
+// Frozen pre-refactor engine — see baseline_sim.hpp. The bodies below are
+// the old simulation.cpp's fresh-build path, verbatim apart from the
+// class name and the removal of incremental/walk machinery.
+#include "src/routing/baseline_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "src/util/thread_pool.hpp"
+
+namespace confmask {
+
+namespace {
+
+constexpr long kInf = std::numeric_limits<long>::max() / 4;
+constexpr int kDefaultOspfCost = 10;
+
+}  // namespace
+
+BaselineSimulation::BaselineSimulation(const ConfigSet& configs)
+    : configs_(&configs),
+      topology_(std::make_shared<const Topology>(Topology::build(configs))) {
+  const int hosts = topology_->host_count();
+  fib_.resize(static_cast<std::size_t>(topology_->router_count()) *
+              static_cast<std::size_t>(hosts));
+  index_protocols();
+  compute_igp_distances();
+  const auto& host_ids = topology_->host_ids();
+  ThreadPool::shared().parallel_for(host_ids.size(), [&](std::size_t i) {
+    compute_destination(host_ids[i]);
+  });
+}
+
+int BaselineSimulation::as_of(int router) const {
+  return router_as_[static_cast<std::size_t>(router)];
+}
+
+std::vector<NextHop>& BaselineSimulation::fib_slot(int router, int host) {
+  const std::size_t index =
+      static_cast<std::size_t>(router) *
+          static_cast<std::size_t>(topology_->host_count()) +
+      static_cast<std::size_t>(host - topology_->router_count());
+  return fib_[index];
+}
+
+const std::vector<NextHop>& BaselineSimulation::fib(int router,
+                                                    int host) const {
+  if (!topology_->is_router(router) || topology_->is_router(host)) {
+    return empty_fib_;
+  }
+  return const_cast<BaselineSimulation*>(this)->fib_slot(router, host);
+}
+
+void BaselineSimulation::index_protocols() {
+  const auto& routers = configs_->routers;
+  router_as_.assign(routers.size(), -1);
+  igp_filters_.assign(routers.size(), {});
+  bgp_filters_.assign(routers.size(), {});
+
+  for (std::size_t i = 0; i < routers.size(); ++i) {
+    const auto& router = routers[i];
+    if (router.bgp) router_as_[i] = router.bgp->local_as;
+
+    const auto bind_igp = [&](const std::vector<DistributeList>& lists) {
+      for (const auto& dl : lists) {
+        for (const auto& pl : router.prefix_lists) {
+          if (pl.name == dl.prefix_list) {
+            igp_filters_[i][dl.interface].push_back(&pl);
+          }
+        }
+      }
+    };
+    if (router.ospf) bind_igp(router.ospf->distribute_lists);
+    if (router.rip) bind_igp(router.rip->distribute_lists);
+    if (router.bgp) {
+      for (const auto& neighbor : router.bgp->neighbors) {
+        for (const auto& name : neighbor.prefix_lists_in) {
+          for (const auto& pl : router.prefix_lists) {
+            if (pl.name == name) {
+              bgp_filters_[i][neighbor.address.bits()].push_back(&pl);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  link_state_.assign(topology_->links().size(), LinkState{});
+  for (std::size_t l = 0; l < topology_->links().size(); ++l) {
+    const Link& link = topology_->link(static_cast<int>(l));
+    if (!topology_->is_router(link.a.node) ||
+        !topology_->is_router(link.b.node)) {
+      continue;
+    }
+    const auto& ra = routers[static_cast<std::size_t>(
+        topology_->node(link.a.node).config_index)];
+    const auto& rb = routers[static_cast<std::size_t>(
+        topology_->node(link.b.node).config_index)];
+    const auto* ia = ra.find_interface(link.a.interface);
+    const auto* ib = rb.find_interface(link.b.interface);
+    LinkState& state = link_state_[l];
+    state.intra_as =
+        router_as_[static_cast<std::size_t>(link.a.node)] ==
+        router_as_[static_cast<std::size_t>(link.b.node)];
+    if (ia != nullptr && ib != nullptr) {
+      state.cost_a_to_b = ia->ospf_cost.value_or(kDefaultOspfCost);
+      state.cost_b_to_a = ib->ospf_cost.value_or(kDefaultOspfCost);
+      if (state.intra_as && ra.ospf && rb.ospf &&
+          ra.ospf->covers(*ia->address) && rb.ospf->covers(*ib->address)) {
+        state.ospf = true;
+      }
+      if (state.intra_as && ra.rip && rb.rip && ra.rip->covers(*ia->address) &&
+          rb.rip->covers(*ib->address)) {
+        state.rip = true;
+      }
+    }
+    if (!state.intra_as && ra.bgp && rb.bgp && ia != nullptr &&
+        ib != nullptr) {
+      const auto* nb_at_a = ra.bgp->find_neighbor(*ib->address);
+      const auto* nb_at_b = rb.bgp->find_neighbor(*ia->address);
+      if (nb_at_a != nullptr && nb_at_b != nullptr &&
+          nb_at_a->remote_as == rb.bgp->local_as &&
+          nb_at_b->remote_as == ra.bgp->local_as) {
+        sessions_.push_back(
+            Session{link.a.node, link.b.node, static_cast<int>(l)});
+      }
+    }
+  }
+}
+
+bool BaselineSimulation::denied_igp(int router, const std::string& interface,
+                                    const Ipv4Prefix& dest) const {
+  const auto& per_iface = igp_filters_[static_cast<std::size_t>(router)];
+  const auto it = per_iface.find(interface);
+  if (it == per_iface.end()) return false;
+  for (const PrefixList* list : it->second) {
+    if (!list->permits(dest)) return true;
+  }
+  return false;
+}
+
+bool BaselineSimulation::denied_bgp(int router, Ipv4Address peer,
+                                    const Ipv4Prefix& dest) const {
+  const auto& per_peer = bgp_filters_[static_cast<std::size_t>(router)];
+  const auto it = per_peer.find(peer.bits());
+  if (it == per_peer.end()) return false;
+  for (const PrefixList* list : it->second) {
+    if (!list->permits(dest)) return true;
+  }
+  return false;
+}
+
+void BaselineSimulation::compute_igp_distances() {
+  const int n = topology_->router_count();
+  igp_dist_.assign(static_cast<std::size_t>(n), {});
+  ThreadPool::shared().parallel_for(
+      static_cast<std::size_t>(n), [&](std::size_t src_index) {
+        const int src = static_cast<int>(src_index);
+        auto& dist = igp_dist_[src_index];
+        dist.assign(static_cast<std::size_t>(n), kInf);
+        dist[src_index] = 0;
+        using Item = std::pair<long, int>;
+        std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+        queue.emplace(0, src);
+        while (!queue.empty()) {
+          const auto [d, u] = queue.top();
+          queue.pop();
+          if (d != dist[static_cast<std::size_t>(u)]) continue;
+          for (int link_id : topology_->links_of(u)) {
+            const LinkState& state =
+                link_state_[static_cast<std::size_t>(link_id)];
+            if (!state.ospf && !state.rip) continue;
+            const Link& link = topology_->link(link_id);
+            const int w = link.other_end(u).node;
+            const long out_cost =
+                state.ospf
+                    ? (link.a.node == u ? state.cost_a_to_b : state.cost_b_to_a)
+                    : 1;
+            if (d + out_cost < dist[static_cast<std::size_t>(w)]) {
+              dist[static_cast<std::size_t>(w)] = d + out_cost;
+              queue.emplace(d + out_cost, w);
+            }
+          }
+        }
+      });
+}
+
+void BaselineSimulation::compute_bgp_destination(
+    int host, int gateway, const Ipv4Prefix& dest_prefix) {
+  const int origin_as = as_of(gateway);
+  const auto& gw_config = configs_->routers[static_cast<std::size_t>(
+      topology_->node(gateway).config_index)];
+  const auto& host_config = configs_->hosts[static_cast<std::size_t>(
+      topology_->node(host).config_index)];
+  const bool bgp_advertised = [&] {
+    if (!gw_config.bgp) return false;
+    return std::any_of(gw_config.bgp->networks.begin(),
+                       gw_config.bgp->networks.end(),
+                       [&](const Ipv4Prefix& network) {
+                         return network.contains(host_config.address);
+                       });
+  }();
+  if (origin_as < 0 || !bgp_advertised || sessions_.empty()) return;
+  const int n = topology_->router_count();
+
+  std::map<int, long> as_dist;
+  as_dist[origin_as] = 0;
+  const auto dist_of = [&](int as) {
+    const auto it = as_dist.find(as);
+    return it == as_dist.end() ? kInf : it->second;
+  };
+  for (;;) {
+    bool changed = false;
+    for (const Session& session : sessions_) {
+      const Link& link = topology_->link(session.link);
+      const auto import = [&](int importer, int exporter,
+                              Ipv4Address peer_addr) {
+        const int imp_as = as_of(importer);
+        const int exp_as = as_of(exporter);
+        if (dist_of(exp_as) >= kInf) return;
+        if (denied_bgp(importer, peer_addr, dest_prefix)) return;
+        const long cand = dist_of(exp_as) + 1;
+        if (cand < dist_of(imp_as)) {
+          as_dist[imp_as] = cand;
+          changed = true;
+        }
+      };
+      import(session.router_a, session.router_b,
+             link.end_of(session.router_b).address);
+      import(session.router_b, session.router_a,
+             link.end_of(session.router_a).address);
+    }
+    if (!changed) break;
+  }
+
+  for (int r = 0; r < n; ++r) {
+    const int my_as = as_of(r);
+    if (my_as < 0 || my_as == origin_as) continue;
+    if (dist_of(my_as) >= kInf) continue;
+
+    int best_border = -1;
+    int best_session_link = -1;
+    long best_igp = kInf;
+    for (const Session& session : sessions_) {
+      const Link& link = topology_->link(session.link);
+      const auto consider = [&](int border, int peer) {
+        if (as_of(border) != my_as) return;
+        if (dist_of(as_of(peer)) + 1 != dist_of(my_as)) return;
+        if (denied_bgp(border, link.end_of(peer).address, dest_prefix)) {
+          return;
+        }
+        const long igp =
+            igp_dist_[static_cast<std::size_t>(r)][static_cast<std::size_t>(
+                border)];
+        if (igp >= kInf) return;
+        if (igp < best_igp ||
+            (igp == best_igp &&
+             (border < best_border ||
+              (border == best_border && session.link < best_session_link)))) {
+          best_igp = igp;
+          best_border = border;
+          best_session_link = session.link;
+        }
+      };
+      consider(session.router_a, session.router_b);
+      consider(session.router_b, session.router_a);
+    }
+    if (best_border < 0) continue;
+
+    auto& slot = fib_slot(r, host);
+    if (r == best_border) {
+      const Link& link = topology_->link(best_session_link);
+      slot.push_back(NextHop{best_session_link, link.other_end(r).node});
+      continue;
+    }
+    for (int link_id : topology_->links_of(r)) {
+      const LinkState& state = link_state_[static_cast<std::size_t>(link_id)];
+      if (!state.ospf && !state.rip) continue;
+      const Link& link = topology_->link(link_id);
+      const int w = link.other_end(r).node;
+      const long out_cost =
+          state.ospf
+              ? (link.a.node == r ? state.cost_a_to_b : state.cost_b_to_a)
+              : 1;
+      if (igp_dist_[static_cast<std::size_t>(w)]
+                   [static_cast<std::size_t>(best_border)] +
+              out_cost !=
+          igp_dist_[static_cast<std::size_t>(r)]
+                   [static_cast<std::size_t>(best_border)]) {
+        continue;
+      }
+      if (denied_igp(r, link.end_of(r).interface, dest_prefix)) continue;
+      slot.push_back(NextHop{link_id, w});
+    }
+    std::sort(slot.begin(), slot.end());
+  }
+}
+
+void BaselineSimulation::compute_destination(int host) {
+  const int gateway = topology_->gateway_of(host);
+  if (gateway < 0) return;
+  const auto& host_config = configs_->hosts[static_cast<std::size_t>(
+      topology_->node(host).config_index)];
+  const Ipv4Prefix dest_prefix = host_config.prefix();
+  const int n = topology_->router_count();
+
+  for (int link_id : topology_->links_of(host)) {
+    const Link& link = topology_->link(link_id);
+    if (link.other_end(host).node == gateway) {
+      fib_slot(gateway, host).push_back(NextHop{link_id, host});
+      break;
+    }
+  }
+
+  const auto& gw_config = configs_->routers[static_cast<std::size_t>(
+      topology_->node(gateway).config_index)];
+  const bool in_ospf = gw_config.ospf && gw_config.ospf->covers(
+                                             host_config.address);
+  const bool in_rip =
+      !in_ospf && gw_config.rip && gw_config.rip->covers(host_config.address);
+
+  std::vector<long> dist(static_cast<std::size_t>(n), kInf);
+  if (in_ospf) {
+    dist[static_cast<std::size_t>(gateway)] = 0;
+    using Item = std::pair<long, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+    queue.emplace(0, gateway);
+    while (!queue.empty()) {
+      const auto [d, u] = queue.top();
+      queue.pop();
+      if (d != dist[static_cast<std::size_t>(u)]) continue;
+      for (int link_id : topology_->links_of(u)) {
+        const LinkState& state =
+            link_state_[static_cast<std::size_t>(link_id)];
+        if (!state.ospf) continue;
+        const Link& link = topology_->link(link_id);
+        const int w = link.other_end(u).node;
+        const long cost =
+            link.a.node == w ? state.cost_a_to_b : state.cost_b_to_a;
+        if (dist[static_cast<std::size_t>(u)] + cost <
+            dist[static_cast<std::size_t>(w)]) {
+          dist[static_cast<std::size_t>(w)] =
+              dist[static_cast<std::size_t>(u)] + cost;
+          queue.emplace(dist[static_cast<std::size_t>(w)], w);
+        }
+      }
+    }
+  } else if (in_rip) {
+    dist[static_cast<std::size_t>(gateway)] = 0;
+    for (int round = 0; round < n + 1; ++round) {
+      bool changed = false;
+      for (std::size_t l = 0; l < topology_->links().size(); ++l) {
+        const LinkState& state = link_state_[l];
+        if (!state.rip) continue;
+        const Link& link = topology_->link(static_cast<int>(l));
+        const auto relax = [&](int from, int to,
+                               const std::string& to_iface) {
+          if (dist[static_cast<std::size_t>(from)] >= kInf) return;
+          if (denied_igp(to, to_iface, dest_prefix)) return;
+          const long cand = dist[static_cast<std::size_t>(from)] + 1;
+          if (cand < dist[static_cast<std::size_t>(to)]) {
+            dist[static_cast<std::size_t>(to)] = cand;
+            changed = true;
+          }
+        };
+        relax(link.a.node, link.b.node, link.b.interface);
+        relax(link.b.node, link.a.node, link.a.interface);
+      }
+      if (!changed) break;
+    }
+  }
+
+  if (in_ospf || in_rip) {
+    for (int r = 0; r < n; ++r) {
+      if (r == gateway || dist[static_cast<std::size_t>(r)] >= kInf) continue;
+      auto& slot = fib_slot(r, host);
+      for (int link_id : topology_->links_of(r)) {
+        const LinkState& state =
+            link_state_[static_cast<std::size_t>(link_id)];
+        if (in_ospf ? !state.ospf : !state.rip) continue;
+        const Link& link = topology_->link(link_id);
+        const int w = link.other_end(r).node;
+        const long out_cost =
+            in_ospf
+                ? (link.a.node == r ? state.cost_a_to_b : state.cost_b_to_a)
+                : 1;
+        if (dist[static_cast<std::size_t>(w)] + out_cost !=
+            dist[static_cast<std::size_t>(r)]) {
+          continue;
+        }
+        if (denied_igp(r, link.end_of(r).interface, dest_prefix)) continue;
+        slot.push_back(NextHop{link_id, w});
+      }
+      std::sort(slot.begin(), slot.end());
+    }
+  }
+
+  compute_bgp_destination(host, gateway, dest_prefix);
+
+  for (int r = 0; r < n; ++r) {
+    if (r == gateway) continue;
+    const auto& router =
+        configs_->routers[static_cast<std::size_t>(
+            topology_->node(r).config_index)];
+    const StaticRoute* best = nullptr;
+    for (const auto& route : router.static_routes) {
+      if (!route.prefix.contains(host_config.address)) continue;
+      if (best == nullptr || route.prefix.length() > best->prefix.length()) {
+        best = &route;
+      }
+    }
+    if (best == nullptr) continue;
+    auto& slot = fib_slot(r, host);
+    const bool overrides =
+        slot.empty() || best->prefix.length() >= dest_prefix.length();
+    if (!overrides) continue;
+    int resolved_link = -1;
+    int resolved_neighbor = -1;
+    for (int link_id : topology_->links_of(r)) {
+      const Link& link = topology_->link(link_id);
+      const LinkEnd& far = link.other_end(r);
+      if (far.address == best->next_hop) {
+        resolved_link = link_id;
+        resolved_neighbor = far.node;
+        break;
+      }
+    }
+    if (resolved_link < 0) continue;
+    slot.clear();
+    slot.push_back(NextHop{resolved_link, resolved_neighbor});
+  }
+}
+
+}  // namespace confmask

@@ -1,0 +1,85 @@
+// The PRE-REFACTOR simulation engine, frozen verbatim.
+//
+// When the hot path moved onto the FlatTopology CSR/SoA core (DESIGN.md
+// §13), the old pointer-heavy engine — per-node incident vectors,
+// std::map<std::string, ...> interface/filter lookups inside the FIB fill,
+// vector<vector<NextHop>> FIB storage, and an eagerly materialized R×R IGP
+// distance matrix — was kept here, trimmed to fresh builds and FIB access,
+// for two jobs:
+//
+//  * bench_scale measures "fresh simulation, flat vs pre-refactor" on the
+//    same network (the ISSUE-7 ≥2× acceptance gate), and
+//  * tests assert the flat engine's FIBs are BIT-IDENTICAL to this
+//    engine's on every network family — the golden reference alongside
+//    the independently written ReferenceSimulation oracle.
+//
+// Do not "improve" this code: its value is that it computes FIBs the way
+// the engine did before the flat refactor. It shares only the public
+// model/topology types with the live engine.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/config/model.hpp"
+#include "src/routing/simulation.hpp"  // NextHop
+#include "src/routing/topology.hpp"
+
+namespace confmask {
+
+class BaselineSimulation {
+ public:
+  /// Builds the topology and converges all routing protocols, exactly as
+  /// the pre-refactor Simulation fresh constructor did (including the
+  /// eager R×R IGP matrix — beware the O(R²) memory at large R).
+  explicit BaselineSimulation(const ConfigSet& configs);
+
+  [[nodiscard]] const Topology& topology() const { return *topology_; }
+
+  /// FIB entries of `router` for destination host `host` (both node ids).
+  [[nodiscard]] const std::vector<NextHop>& fib(int router, int host) const;
+
+ private:
+  struct LinkState {
+    bool ospf = false;
+    bool rip = false;
+    int cost_a_to_b = 0;
+    int cost_b_to_a = 0;
+    bool intra_as = false;
+  };
+
+  struct Session {
+    int router_a = -1;
+    int router_b = -1;
+    int link = -1;
+  };
+
+  void index_protocols();
+  void compute_destination(int host);
+  void compute_bgp_destination(int host, int gateway,
+                               const Ipv4Prefix& dest_prefix);
+  [[nodiscard]] bool denied_igp(int router, const std::string& interface,
+                                const Ipv4Prefix& dest) const;
+  [[nodiscard]] bool denied_bgp(int router, Ipv4Address peer,
+                                const Ipv4Prefix& dest) const;
+  [[nodiscard]] int as_of(int router) const;
+  void compute_igp_distances();
+  [[nodiscard]] std::vector<NextHop>& fib_slot(int router, int host);
+
+  const ConfigSet* configs_;
+  std::shared_ptr<const Topology> topology_;
+  std::vector<std::map<std::string, std::vector<const PrefixList*>>>
+      igp_filters_;
+  std::vector<std::map<std::uint32_t, std::vector<const PrefixList*>>>
+      bgp_filters_;
+  std::vector<LinkState> link_state_;
+  std::vector<Session> sessions_;
+  std::vector<int> router_as_;
+  std::vector<std::vector<long>> igp_dist_;
+  std::vector<std::vector<NextHop>> fib_;
+  std::vector<NextHop> empty_fib_;
+};
+
+}  // namespace confmask

@@ -437,7 +437,7 @@ void ReferenceSimulation::walk(int router, int dst_host,
 DataPlane ReferenceSimulation::extract_data_plane() const {
   DataPlane dp;
   last_extraction_truncated_ = false;
-  const auto hosts = topology_.host_ids();
+  const auto& hosts = topology_.host_ids();
   for (const int src : hosts) {
     const int gateway = topology_.gateway_of(src);
     if (gateway < 0) continue;

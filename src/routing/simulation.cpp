@@ -4,7 +4,8 @@
 #include <atomic>
 #include <cstdio>
 #include <limits>
-#include <queue>
+#include <map>
+#include <utility>
 
 #include "src/util/cancellation.hpp"
 #include "src/util/thread_pool.hpp"
@@ -14,7 +15,6 @@ namespace confmask {
 namespace {
 
 constexpr long kInf = std::numeric_limits<long>::max() / 4;
-constexpr int kDefaultOspfCost = 10;
 constexpr std::size_t kMaxPathsPerFlow = 256;
 constexpr int kMaxPathDepth = 64;
 
@@ -25,6 +25,63 @@ std::atomic<std::uint64_t> g_simulation_runs{0};
 
 // Per-thread twin of g_simulation_runs (see runs_on_this_thread()).
 thread_local std::uint64_t t_simulation_runs = 0;
+
+using HeapItem = std::pair<long, std::int32_t>;
+
+// Reusable per-thread scratch for per-destination convergence: the
+// distance array, the Dijkstra heap, and the per-router FIB slot builders
+// (entries accumulate across the gateway/IGP/BGP/static passes in pushed
+// order, then get packed into the destination's immutable column arena).
+// Pool workers process destinations with disjoint writes, so the scratch
+// is thread-local and never shared; `touched` lists the routers whose
+// slot needs clearing, so reset cost tracks actual FIB size, not R.
+// Slots are cleaned at ENTRY of the next use (not at exit), which keeps
+// the invariant even if an exception unwinds mid-destination.
+struct DestScratch {
+  std::vector<long> dist;
+  std::vector<HeapItem> heap;
+  std::vector<std::vector<NextHop>> slots;
+  std::vector<std::int32_t> touched;  // may contain duplicates
+};
+
+DestScratch& dest_scratch(int routers) {
+  thread_local DestScratch scratch;
+  if (scratch.slots.size() < static_cast<std::size_t>(routers)) {
+    scratch.slots.resize(static_cast<std::size_t>(routers));
+  }
+  for (const std::int32_t r : scratch.touched) {
+    scratch.slots[static_cast<std::size_t>(r)].clear();
+  }
+  scratch.touched.clear();
+  return scratch;
+}
+
+// Reusable per-thread buffers for walks and reverse-FIB sweeps.
+struct WalkScratch {
+  std::vector<char> visited;
+  std::vector<int> current;
+  std::vector<std::int32_t> rev_offset;
+  std::vector<std::int32_t> rev_cursor;
+  std::vector<std::int32_t> rev_edges;
+  std::vector<std::int32_t> queue;
+};
+
+WalkScratch& walk_scratch() {
+  thread_local WalkScratch scratch;
+  return scratch;
+}
+
+void heap_push(std::vector<HeapItem>& heap, long dist, std::int32_t node) {
+  heap.emplace_back(dist, node);
+  std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+}
+
+HeapItem heap_pop(std::vector<HeapItem>& heap) {
+  std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+  const HeapItem top = heap.back();
+  heap.pop_back();
+  return top;
+}
 
 }  // namespace
 
@@ -45,13 +102,22 @@ Simulation::Simulation(const ConfigSet& configs)
   poll_cancellation();
   g_simulation_runs.fetch_add(1, std::memory_order_relaxed);
   ++t_simulation_runs;
+  flat_ = std::make_shared<const FlatTopology>(
+      FlatTopology::build(*topology_, configs));
+  const int n = topology_->router_count();
   const int hosts = topology_->host_count();
-  fib_.resize(static_cast<std::size_t>(topology_->router_count()) *
-              static_cast<std::size_t>(hosts));
+  fib_columns_.resize(static_cast<std::size_t>(hosts));
   dest_dist_.resize(static_cast<std::size_t>(hosts));
-  index_protocols();
-  compute_igp_distances();
-  const auto host_ids = topology_->host_ids();
+  igp_cache_ = std::make_shared<IgpCache>();
+  igp_cache_->rows.resize(static_cast<std::size_t>(n));
+  igp_cache_->ready.assign(static_cast<std::size_t>(n), 0);
+  index_filters();
+  // Hot-potato selection only ever consults distances TOWARDS border
+  // routers, so those are the only rows computed eagerly (the old code
+  // materialized the full R×R matrix here — an O(R²) memory cliff at
+  // 10⁴ routers). igp_distance()/igp_matrix() fill other rows lazily.
+  if (!flat_->sessions().empty()) compute_border_distances();
+  const auto& host_ids = topology_->host_ids();
   ThreadPool::shared().parallel_for(host_ids.size(), [&](std::size_t i) {
     compute_destination(host_ids[i], nullptr);
   });
@@ -59,24 +125,28 @@ Simulation::Simulation(const ConfigSet& configs)
 
 Simulation::Simulation(const ConfigSet& configs, const Simulation& previous,
                        const SimulationDelta& delta)
-    : configs_(&configs), topology_(previous.topology_) {
+    : configs_(&configs),
+      topology_(previous.topology_),
+      flat_(previous.flat_),
+      // The hot-potato border rows and the memoized IGP rows never see
+      // filters (computed over the full adjacency, OSPF costs / RIP hop
+      // metric only) and the topology is frozen, so both caches carry
+      // over by aliasing — no copies.
+      to_border_(previous.to_border_),
+      igp_cache_(previous.igp_cache_) {
   poll_cancellation();
   g_simulation_runs.fetch_add(1, std::memory_order_relaxed);
   ++t_simulation_runs;
   const int n = topology_->router_count();
   const int hosts = topology_->host_count();
-  fib_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(hosts));
+  fib_columns_.resize(static_cast<std::size_t>(hosts));
   dest_dist_.resize(static_cast<std::size_t>(hosts));
-  // Filters changed, so the filter/ACL/session index must be rebuilt over
-  // the CURRENT configs (the previous simulation's PrefixList pointers may
+  // Filters changed, so the filter/ACL index must be rebuilt over the
+  // CURRENT configs (the previous simulation's PrefixList pointers may
   // dangle after prefix-list edits). Cheap: one pass over the configs.
-  index_protocols();
-  // The hot-potato IGP matrix never sees filters (it is computed over the
-  // full adjacency, OSPF costs / RIP hop metric only) and the topology is
-  // frozen, so it carries over verbatim.
-  igp_dist_ = previous.igp_dist_;
+  index_filters();
 
-  const auto host_ids = topology_->host_ids();
+  const auto& host_ids = topology_->host_ids();
   // -1 = column inherited; otherwise the DestAction taken. Written by
   // disjoint indices in the parallel loop, tallied serially below.
   std::vector<signed char> actions(host_ids.size(), -1);
@@ -84,9 +154,7 @@ Simulation::Simulation(const ConfigSet& configs, const Simulation& previous,
     const int host = host_ids[i];
     const std::size_t idx = static_cast<std::size_t>(host - n);
     const Ipv4Prefix host_prefix =
-        configs_->hosts[static_cast<std::size_t>(
-                            topology_->node(host).config_index)]
-            .prefix();
+        flat_->host_prefix(static_cast<int>(idx));
     bool dirty = false;
     for (const auto& change : delta.changes) {
       if (change.prefix.overlaps(host_prefix)) {
@@ -95,17 +163,14 @@ Simulation::Simulation(const ConfigSet& configs, const Simulation& previous,
       }
     }
     if (!dirty) {
-      for (int r = 0; r < n; ++r) {
-        const std::size_t slot = static_cast<std::size_t>(r) *
-                                     static_cast<std::size_t>(hosts) +
-                                 idx;
-        fib_[slot] = previous.fib_[slot];
-      }
+      // Clean destination: alias the previous generation's immutable
+      // column arena and distance vector (two pointer copies).
+      fib_columns_[idx] = previous.fib_columns_[idx];
       dest_dist_[idx] = previous.dest_dist_[idx];
       return;
     }
     actions[i] = static_cast<signed char>(
-        compute_destination(host, &previous.dest_dist_[idx]));
+        compute_destination(host, previous.dest_dist_[idx]));
   });
   for (const signed char action : actions) {
     if (action < 0) {
@@ -126,253 +191,348 @@ Simulation::Simulation(const ConfigSet& configs, const Simulation& previous,
   }
 }
 
-int Simulation::as_of(int router) const {
-  return router_as_[static_cast<std::size_t>(router)];
-}
-
-std::vector<NextHop>& Simulation::fib_slot(int router, int host) {
-  const std::size_t index =
-      static_cast<std::size_t>(router) *
-          static_cast<std::size_t>(topology_->host_count()) +
-      static_cast<std::size_t>(host - topology_->router_count());
-  return fib_[index];
-}
-
-const std::vector<NextHop>& Simulation::fib(int router, int host) const {
-  if (!topology_->is_router(router) || topology_->is_router(host)) {
-    return empty_fib_;
+FibView Simulation::fib(int router, int host) const {
+  const int n = topology_->router_count();
+  if (router < 0 || router >= n || host < n ||
+      host >= topology_->node_count()) {
+    return {};
   }
-  return const_cast<Simulation*>(this)->fib_slot(router, host);
+  const auto& column = fib_columns_[static_cast<std::size_t>(host - n)];
+  if (column == nullptr) return {};
+  const std::uint32_t first =
+      column->offset[static_cast<std::size_t>(router)];
+  const std::uint32_t last =
+      column->offset[static_cast<std::size_t>(router) + 1];
+  return FibView{column->pool.data() + first, last - first};
 }
 
-void Simulation::index_protocols() {
+void Simulation::index_filters() {
   const auto& routers = configs_->routers;
-  router_as_.assign(routers.size(), -1);
-  igp_filters_.assign(routers.size(), {});
+  const FlatTopology& flat = *flat_;
+  const int n = topology_->router_count();
+  const std::size_t slot_count =
+      static_cast<std::size_t>(flat.iface_slot_count());
+
+  // Interned slot of a router's named interface (see FlatTopology);
+  // unknown names (dangling distribute-list bindings) resolve to -1 and
+  // are dropped — they could never match a link-end lookup anyway.
+  const auto slot_of = [&](int r, const RouterConfig& config,
+                           const std::string& name) -> std::int32_t {
+    const InterfaceConfig* iface = config.find_interface(name);
+    if (iface == nullptr) return -1;
+    return flat.iface_base(r) +
+           static_cast<std::int32_t>(iface - config.interfaces.data());
+  };
+
+  // IGP route filters: collect (slot, list) pairs in the legacy binding
+  // order (OSPF distribute-lists then RIP ones, prefix lists in config
+  // order), then STABLE-sort by slot — per-slot list order is preserved
+  // exactly, so filter evaluation order (and thus every FIB byte) is
+  // unchanged.
+  std::vector<std::pair<std::int32_t, const PrefixList*>> igp_pairs;
+  acl_slot_.assign(slot_count, nullptr);
+  acl_free_ = true;
   bgp_filters_.assign(routers.size(), {});
-  acl_in_.assign(routers.size(), {});
-
-  for (std::size_t i = 0; i < routers.size(); ++i) {
-    const auto& router = routers[i];
-    if (router.bgp) router_as_[i] = router.bgp->local_as;
-
+  bgp_filter_pool_.clear();
+  std::vector<std::pair<std::uint32_t, const PrefixList*>> bgp_pairs;
+  for (int r = 0; r < n; ++r) {
+    const auto& router = routers[static_cast<std::size_t>(
+        topology_->node(r).config_index)];
     const auto bind_igp = [&](const std::vector<DistributeList>& lists) {
       for (const auto& dl : lists) {
+        const std::int32_t slot = slot_of(r, router, dl.interface);
+        if (slot < 0) continue;
         for (const auto& pl : router.prefix_lists) {
-          if (pl.name == dl.prefix_list) {
-            igp_filters_[i][dl.interface].push_back(&pl);
-          }
+          if (pl.name == dl.prefix_list) igp_pairs.emplace_back(slot, &pl);
         }
       }
     };
     if (router.ospf) bind_igp(router.ospf->distribute_lists);
     if (router.rip) bind_igp(router.rip->distribute_lists);
-    for (const auto& iface : router.interfaces) {
+
+    for (std::size_t j = 0; j < router.interfaces.size(); ++j) {
+      const auto& iface = router.interfaces[j];
       if (!iface.access_group_in) continue;
       if (const auto* acl = router.find_access_list(*iface.access_group_in)) {
-        acl_in_[i][iface.name] = acl;
+        acl_slot_[static_cast<std::size_t>(flat.iface_base(r)) + j] = acl;
+        acl_free_ = false;
       }
     }
+
     if (router.bgp) {
+      bgp_pairs.clear();
       for (const auto& neighbor : router.bgp->neighbors) {
         for (const auto& name : neighbor.prefix_lists_in) {
           for (const auto& pl : router.prefix_lists) {
             if (pl.name == name) {
-              bgp_filters_[i][neighbor.address.bits()].push_back(&pl);
+              bgp_pairs.emplace_back(neighbor.address.bits(), &pl);
             }
           }
         }
       }
-    }
-  }
-
-  // Classify links and discover eBGP sessions.
-  link_state_.assign(topology_->links().size(), LinkState{});
-  for (std::size_t l = 0; l < topology_->links().size(); ++l) {
-    const Link& link = topology_->link(static_cast<int>(l));
-    if (!topology_->is_router(link.a.node) ||
-        !topology_->is_router(link.b.node)) {
-      continue;  // host attachment, not a routing adjacency
-    }
-    const auto& ra = routers[static_cast<std::size_t>(
-        topology_->node(link.a.node).config_index)];
-    const auto& rb = routers[static_cast<std::size_t>(
-        topology_->node(link.b.node).config_index)];
-    const auto* ia = ra.find_interface(link.a.interface);
-    const auto* ib = rb.find_interface(link.b.interface);
-    LinkState& state = link_state_[l];
-    state.intra_as =
-        router_as_[static_cast<std::size_t>(link.a.node)] ==
-        router_as_[static_cast<std::size_t>(link.b.node)];
-    if (ia != nullptr && ib != nullptr) {
-      state.cost_a_to_b = ia->ospf_cost.value_or(kDefaultOspfCost);
-      state.cost_b_to_a = ib->ospf_cost.value_or(kDefaultOspfCost);
-      if (state.intra_as && ra.ospf && rb.ospf &&
-          ra.ospf->covers(*ia->address) && rb.ospf->covers(*ib->address)) {
-        state.ospf = true;
-      }
-      if (state.intra_as && ra.rip && rb.rip && ra.rip->covers(*ia->address) &&
-          rb.rip->covers(*ib->address)) {
-        state.rip = true;
-      }
-    }
-    // eBGP session discovery: reciprocal neighbor statements across an
-    // inter-AS link.
-    if (!state.intra_as && ra.bgp && rb.bgp && ia != nullptr &&
-        ib != nullptr) {
-      const auto* nb_at_a = ra.bgp->find_neighbor(*ib->address);
-      const auto* nb_at_b = rb.bgp->find_neighbor(*ia->address);
-      if (nb_at_a != nullptr && nb_at_b != nullptr &&
-          nb_at_a->remote_as == rb.bgp->local_as &&
-          nb_at_b->remote_as == ra.bgp->local_as) {
-        sessions_.push_back(
-            Session{link.a.node, link.b.node, static_cast<int>(l)});
-      }
-    }
-  }
-}
-
-bool Simulation::denied_igp(int router, const std::string& interface,
-                            const Ipv4Prefix& dest) const {
-  const auto& per_iface = igp_filters_[static_cast<std::size_t>(router)];
-  const auto it = per_iface.find(interface);
-  if (it == per_iface.end()) return false;
-  for (const PrefixList* list : it->second) {
-    if (!list->permits(dest)) return true;
-  }
-  return false;
-}
-
-bool Simulation::denied_bgp(int router, Ipv4Address peer,
-                            const Ipv4Prefix& dest) const {
-  const auto& per_peer = bgp_filters_[static_cast<std::size_t>(router)];
-  const auto it = per_peer.find(peer.bits());
-  if (it == per_peer.end()) return false;
-  for (const PrefixList* list : it->second) {
-    if (!list->permits(dest)) return true;
-  }
-  return false;
-}
-
-bool Simulation::acl_blocks(int router, const std::string& interface,
-                            const Ipv4Prefix* src,
-                            const Ipv4Prefix& dst) const {
-  if (src == nullptr) return false;
-  const auto& per_iface = acl_in_[static_cast<std::size_t>(router)];
-  const auto it = per_iface.find(interface);
-  if (it == per_iface.end()) return false;
-  return !it->second->permits(*src, dst);
-}
-
-void Simulation::compute_igp_distances() {
-  const int n = topology_->router_count();
-  igp_dist_.assign(static_cast<std::size_t>(n), {});
-  // Per-source Dijkstra; each source owns its own distance row, so the
-  // sources fan out over the pool with no shared writes.
-  ThreadPool::shared().parallel_for(
-      static_cast<std::size_t>(n), [&](std::size_t src_index) {
-        const int src = static_cast<int>(src_index);
-        auto& dist = igp_dist_[src_index];
-        dist.assign(static_cast<std::size_t>(n), kInf);
-        dist[src_index] = 0;
-        using Item = std::pair<long, int>;
-        std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
-        queue.emplace(0, src);
-        while (!queue.empty()) {
-          const auto [d, u] = queue.top();
-          queue.pop();
-          if (d != dist[static_cast<std::size_t>(u)]) continue;
-          for (int link_id : topology_->links_of(u)) {
-            const LinkState& state =
-                link_state_[static_cast<std::size_t>(link_id)];
-            if (!state.ospf && !state.rip) continue;
-            const Link& link = topology_->link(link_id);
-            const int w = link.other_end(u).node;
-            const long out_cost =
-                state.ospf
-                    ? (link.a.node == u ? state.cost_a_to_b : state.cost_b_to_a)
-                    : 1;  // RIP hop metric
-            if (d + out_cost < dist[static_cast<std::size_t>(w)]) {
-              dist[static_cast<std::size_t>(w)] = d + out_cost;
-              queue.emplace(d + out_cost, w);
-            }
-          }
-        }
-      });
-}
-
-void Simulation::compute_bgp_destination(int host, int gateway,
-                                         const Ipv4Prefix& dest_prefix) {
-  // Fill FIBs of routers in autonomous systems OTHER than the origin AS.
-  const int origin_as = as_of(gateway);
-  const auto& gw_config = configs_->routers[static_cast<std::size_t>(
-      topology_->node(gateway).config_index)];
-  const auto& host_config = configs_->hosts[static_cast<std::size_t>(
-      topology_->node(host).config_index)];
-  const bool bgp_advertised = [&] {
-    if (!gw_config.bgp) return false;
-    return std::any_of(gw_config.bgp->networks.begin(),
-                       gw_config.bgp->networks.end(),
-                       [&](const Ipv4Prefix& network) {
-                         return network.contains(host_config.address);
+      if (bgp_pairs.empty()) continue;
+      std::stable_sort(bgp_pairs.begin(), bgp_pairs.end(),
+                       [](const auto& lhs, const auto& rhs) {
+                         return lhs.first < rhs.first;
                        });
-  }();
-  if (origin_as < 0 || !bgp_advertised || sessions_.empty()) return;
-  const int n = topology_->router_count();
+      auto& entries = bgp_filters_[static_cast<std::size_t>(
+          topology_->node(r).config_index)];
+      for (const auto& [peer_bits, list] : bgp_pairs) {
+        if (entries.empty() || entries.back().peer_bits != peer_bits) {
+          entries.push_back(BgpFilterEntry{
+              peer_bits,
+              static_cast<std::uint32_t>(bgp_filter_pool_.size()), 0});
+        }
+        bgp_filter_pool_.push_back(list);
+        ++entries.back().count;
+      }
+    }
+  }
+  std::stable_sort(igp_pairs.begin(), igp_pairs.end(),
+                   [](const auto& lhs, const auto& rhs) {
+                     return lhs.first < rhs.first;
+                   });
+  igp_filter_pool_.resize(igp_pairs.size());
+  igp_filter_offset_.assign(slot_count + 1, 0);
+  for (const auto& [slot, list] : igp_pairs) {
+    ++igp_filter_offset_[static_cast<std::size_t>(slot) + 1];
+  }
+  for (std::size_t s = 1; s <= slot_count; ++s) {
+    igp_filter_offset_[s] += igp_filter_offset_[s - 1];
+  }
+  // igp_pairs is sorted by slot, so a single forward fill lands each
+  // list in its slot's range in preserved order.
+  for (std::size_t i = 0; i < igp_pairs.size(); ++i) {
+    igp_filter_pool_[i] = igp_pairs[i].second;
+  }
+}
 
-  // AS-level path-vector (shortest AS path), honoring per-session inbound
-  // filters. `as_dist[X]` = AS hops from X to the origin AS.
-  std::map<int, long> as_dist;
-  as_dist[origin_as] = 0;
-  const auto dist_of = [&](int as) {
-    const auto it = as_dist.find(as);
-    return it == as_dist.end() ? kInf : it->second;
+bool Simulation::denied_igp(std::int32_t iface_slot,
+                            const Ipv4Prefix& dest) const {
+  if (iface_slot < 0) return false;
+  const std::int32_t first =
+      igp_filter_offset_[static_cast<std::size_t>(iface_slot)];
+  const std::int32_t last =
+      igp_filter_offset_[static_cast<std::size_t>(iface_slot) + 1];
+  for (std::int32_t i = first; i < last; ++i) {
+    if (!igp_filter_pool_[static_cast<std::size_t>(i)]->permits(dest)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Simulation::denied_bgp(int router, std::uint32_t peer_bits,
+                            const Ipv4Prefix& dest) const {
+  const auto& entries = bgp_filters_[static_cast<std::size_t>(
+      topology_->node(router).config_index)];
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), peer_bits,
+      [](const BgpFilterEntry& entry, std::uint32_t bits) {
+        return entry.peer_bits < bits;
+      });
+  if (it == entries.end() || it->peer_bits != peer_bits) return false;
+  for (std::uint32_t i = 0; i < it->count; ++i) {
+    if (!bgp_filter_pool_[it->first + i]->permits(dest)) return true;
+  }
+  return false;
+}
+
+bool Simulation::acl_blocks(std::int32_t iface_slot, const Ipv4Prefix* src,
+                            const Ipv4Prefix& dst) const {
+  if (src == nullptr || iface_slot < 0) return false;
+  const AccessList* acl = acl_slot_[static_cast<std::size_t>(iface_slot)];
+  if (acl == nullptr) return false;
+  return !acl->permits(*src, dst);
+}
+
+void Simulation::compute_border_distances() {
+  const FlatTopology& flat = *flat_;
+  const auto& borders = flat.border_routers();
+  const int n = topology_->router_count();
+  auto rows = std::make_shared<std::vector<std::vector<long>>>(
+      borders.size());
+  // Distances FROM every router TO one border = reverse Dijkstra from the
+  // border relaxing with the neighbor's forwarding cost (edge_cost_in).
+  // One row per border fans out over the pool with disjoint writes.
+  ThreadPool::shared().parallel_for(borders.size(), [&](std::size_t bi) {
+    auto& dist = (*rows)[bi];
+    dist.assign(static_cast<std::size_t>(n), kInf);
+    const std::int32_t border = borders[bi];
+    dist[static_cast<std::size_t>(border)] = 0;
+    std::vector<HeapItem> heap;
+    heap_push(heap, 0, border);
+    while (!heap.empty()) {
+      const auto [d, u] = heap_pop(heap);
+      if (d != dist[static_cast<std::size_t>(u)]) continue;
+      const std::int32_t last = flat.last_out(u);
+      for (std::int32_t e = flat.first_out(u); e < last; ++e) {
+        const std::uint8_t flags = flat.edge_flags(e);
+        if ((flags & FlatTopology::kIgp) == 0) continue;
+        const std::int32_t w = flat.edge_target(e);
+        // Cost of w forwarding TOWARDS u.
+        const long cost =
+            (flags & FlatTopology::kOspf) != 0 ? flat.edge_cost_in(e) : 1;
+        if (d + cost < dist[static_cast<std::size_t>(w)]) {
+          dist[static_cast<std::size_t>(w)] = d + cost;
+          heap_push(heap, d + cost, w);
+        }
+      }
+    }
+  });
+  to_border_ = std::move(rows);
+}
+
+const std::vector<long>& Simulation::igp_row(int from) const {
+  IgpCache& cache = *igp_cache_;
+  if (cache.all_ready.load(std::memory_order_acquire)) {
+    return cache.rows[static_cast<std::size_t>(from)];
+  }
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  auto& row = cache.rows[static_cast<std::size_t>(from)];
+  if (cache.ready[static_cast<std::size_t>(from)] != 0) return row;
+  const FlatTopology& flat = *flat_;
+  const int n = topology_->router_count();
+  row.assign(static_cast<std::size_t>(n), kInf);
+  row[static_cast<std::size_t>(from)] = 0;
+  std::vector<HeapItem> heap;
+  heap_push(heap, 0, from);
+  while (!heap.empty()) {
+    const auto [d, u] = heap_pop(heap);
+    if (d != row[static_cast<std::size_t>(u)]) continue;
+    const std::int32_t last = flat.last_out(u);
+    for (std::int32_t e = flat.first_out(u); e < last; ++e) {
+      const std::uint8_t flags = flat.edge_flags(e);
+      if ((flags & FlatTopology::kIgp) == 0) continue;
+      const std::int32_t w = flat.edge_target(e);
+      const long cost =
+          (flags & FlatTopology::kOspf) != 0 ? flat.edge_cost_out(e) : 1;
+      if (d + cost < row[static_cast<std::size_t>(w)]) {
+        row[static_cast<std::size_t>(w)] = d + cost;
+        heap_push(heap, d + cost, w);
+      }
+    }
+  }
+  cache.ready[static_cast<std::size_t>(from)] = 1;
+  return row;
+}
+
+long Simulation::igp_distance(int from, int to) const {
+  const long d = igp_row(from)[static_cast<std::size_t>(to)];
+  return d >= kInf ? -1 : d;
+}
+
+const std::vector<std::vector<long>>& Simulation::igp_matrix() const {
+  IgpCache& cache = *igp_cache_;
+  if (cache.all_ready.load(std::memory_order_acquire)) return cache.rows;
+  // igp_row computes one row under the cache mutex; filling the rest here
+  // via igp_row would serialize R Dijkstras AND take the lock R times, so
+  // bulk consumers get one parallel fill instead. Workers write disjoint
+  // rows/ready flags while this thread holds the lock.
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  if (!cache.all_ready.load(std::memory_order_relaxed)) {
+    const FlatTopology& flat = *flat_;
+    const int n = topology_->router_count();
+    ThreadPool::shared().parallel_for(
+        static_cast<std::size_t>(n), [&](std::size_t src) {
+          if (cache.ready[src] != 0) return;
+          auto& row = cache.rows[src];
+          row.assign(static_cast<std::size_t>(n), kInf);
+          row[src] = 0;
+          std::vector<HeapItem> heap;
+          heap_push(heap, 0, static_cast<std::int32_t>(src));
+          while (!heap.empty()) {
+            const auto [d, u] = heap_pop(heap);
+            if (d != row[static_cast<std::size_t>(u)]) continue;
+            const std::int32_t last = flat.last_out(u);
+            for (std::int32_t e = flat.first_out(u); e < last; ++e) {
+              const std::uint8_t flags = flat.edge_flags(e);
+              if ((flags & FlatTopology::kIgp) == 0) continue;
+              const std::int32_t w = flat.edge_target(e);
+              const long cost = (flags & FlatTopology::kOspf) != 0
+                                    ? flat.edge_cost_out(e)
+                                    : 1;
+              if (d + cost < row[static_cast<std::size_t>(w)]) {
+                row[static_cast<std::size_t>(w)] = d + cost;
+                heap_push(heap, d + cost, w);
+              }
+            }
+          }
+          cache.ready[src] = 1;
+        });
+    cache.all_ready.store(true, std::memory_order_release);
+  }
+  return cache.rows;
+}
+
+void Simulation::compute_bgp_destination(
+    int host, int gateway, const Ipv4Prefix& dest_prefix,
+    std::vector<std::vector<NextHop>>& slots,
+    std::vector<std::int32_t>& touched) const {
+  const FlatTopology& flat = *flat_;
+  const int n = topology_->router_count();
+  const int hidx = host - n;
+  // Fill FIBs of routers in autonomous systems OTHER than the origin AS.
+  const int origin_as = flat.router_as(gateway);
+  if (origin_as < 0 || !flat.host_bgp_advertised(hidx) ||
+      flat.sessions().empty()) {
+    return;
+  }
+  const auto push_hop = [&](int r, NextHop hop) {
+    auto& slot = slots[static_cast<std::size_t>(r)];
+    if (slot.empty()) touched.push_back(r);
+    slot.push_back(hop);
   };
+
+  // AS-level path-vector (shortest AS path) over dense AS indices,
+  // honoring per-session inbound filters.
+  thread_local std::vector<long> as_dist;
+  as_dist.assign(static_cast<std::size_t>(flat.as_count()), kInf);
+  as_dist[static_cast<std::size_t>(flat.as_index(gateway))] = 0;
   for (;;) {
     bool changed = false;
-    for (const Session& session : sessions_) {
-      const Link& link = topology_->link(session.link);
+    for (const auto& session : flat.sessions()) {
       const auto import = [&](int importer, int exporter,
-                              Ipv4Address peer_addr) {
-        const int imp_as = as_of(importer);
-        const int exp_as = as_of(exporter);
-        if (dist_of(exp_as) >= kInf) return;
-        if (denied_bgp(importer, peer_addr, dest_prefix)) return;
-        const long cand = dist_of(exp_as) + 1;
-        if (cand < dist_of(imp_as)) {
+                              std::uint32_t peer_bits) {
+        const auto imp_as = static_cast<std::size_t>(flat.as_index(importer));
+        const auto exp_as = static_cast<std::size_t>(flat.as_index(exporter));
+        if (as_dist[exp_as] >= kInf) return;
+        if (denied_bgp(importer, peer_bits, dest_prefix)) return;
+        const long cand = as_dist[exp_as] + 1;
+        if (cand < as_dist[imp_as]) {
           as_dist[imp_as] = cand;
           changed = true;
         }
       };
-      import(session.router_a, session.router_b,
-             link.end_of(session.router_b).address);
-      import(session.router_b, session.router_a,
-             link.end_of(session.router_a).address);
+      import(session.router_a, session.router_b, session.peer_bits_at_a);
+      import(session.router_b, session.router_a, session.peer_bits_at_b);
     }
     if (!changed) break;
   }
 
+  const auto& to_border = *to_border_;
   for (int r = 0; r < n; ++r) {
-    const int my_as = as_of(r);
+    const int my_as = flat.router_as(r);
     if (my_as < 0 || my_as == origin_as) continue;
-    if (dist_of(my_as) >= kInf) continue;
+    const long my_dist = as_dist[static_cast<std::size_t>(flat.as_index(r))];
+    if (my_dist >= kInf) continue;
 
     // Candidate egress sessions: those on a shortest AS path, permitted.
     // Hot-potato: the router picks the border router closest by IGP.
     int best_border = -1;
     int best_session_link = -1;
     long best_igp = kInf;
-    for (const Session& session : sessions_) {
-      const Link& link = topology_->link(session.link);
-      const auto consider = [&](int border, int peer) {
-        if (as_of(border) != my_as) return;
-        if (dist_of(as_of(peer)) + 1 != dist_of(my_as)) return;
-        if (denied_bgp(border, link.end_of(peer).address, dest_prefix)) {
+    for (const auto& session : flat.sessions()) {
+      const auto consider = [&](int border, int peer,
+                                std::uint32_t peer_bits) {
+        if (flat.router_as(border) != my_as) return;
+        if (as_dist[static_cast<std::size_t>(flat.as_index(peer))] + 1 !=
+            my_dist) {
           return;
         }
-        const long igp =
-            igp_dist_[static_cast<std::size_t>(r)][static_cast<std::size_t>(
-                border)];
+        if (denied_bgp(border, peer_bits, dest_prefix)) return;
+        const long igp = to_border[static_cast<std::size_t>(
+            flat.border_index(border))][static_cast<std::size_t>(r)];
         if (igp >= kInf) return;
         if (igp < best_igp ||
             (igp == best_igp &&
@@ -383,190 +543,194 @@ void Simulation::compute_bgp_destination(int host, int gateway,
           best_session_link = session.link;
         }
       };
-      consider(session.router_a, session.router_b);
-      consider(session.router_b, session.router_a);
+      consider(session.router_a, session.router_b, session.peer_bits_at_a);
+      consider(session.router_b, session.router_a, session.peer_bits_at_b);
     }
     if (best_border < 0) continue;
 
-    auto& slot = fib_slot(r, host);
     if (r == best_border) {
-      const Link& link = topology_->link(best_session_link);
-      slot.push_back(
-          NextHop{best_session_link, link.other_end(r).node});
+      const int other = flat.link_node_a(best_session_link) == r
+                            ? flat.link_node_b(best_session_link)
+                            : flat.link_node_a(best_session_link);
+      push_hop(r, NextHop{best_session_link, other});
       continue;
     }
     // Internal transit towards the chosen border router along IGP
     // shortest paths (each hop re-evaluates, so only the immediate next
     // hops are installed here).
-    for (int link_id : topology_->links_of(r)) {
-      const LinkState& state = link_state_[static_cast<std::size_t>(link_id)];
-      if (!state.ospf && !state.rip) continue;
-      const Link& link = topology_->link(link_id);
-      const int w = link.other_end(r).node;
+    const auto& border_row =
+        to_border[static_cast<std::size_t>(flat.border_index(best_border))];
+    const std::int32_t last = flat.last_out(r);
+    for (std::int32_t e = flat.first_out(r); e < last; ++e) {
+      const std::uint8_t flags = flat.edge_flags(e);
+      if ((flags & FlatTopology::kIgp) == 0) continue;
+      const std::int32_t w = flat.edge_target(e);
       const long out_cost =
-          state.ospf
-              ? (link.a.node == r ? state.cost_a_to_b : state.cost_b_to_a)
-              : 1;
-      if (igp_dist_[static_cast<std::size_t>(w)]
-                   [static_cast<std::size_t>(best_border)] +
-              out_cost !=
-          igp_dist_[static_cast<std::size_t>(r)]
-                   [static_cast<std::size_t>(best_border)]) {
+          (flags & FlatTopology::kOspf) != 0 ? flat.edge_cost_out(e) : 1;
+      if (border_row[static_cast<std::size_t>(w)] + out_cost !=
+          border_row[static_cast<std::size_t>(r)]) {
         continue;
       }
-      if (denied_igp(r, link.end_of(r).interface, dest_prefix)) continue;
-      slot.push_back(NextHop{link_id, w});
+      if (denied_igp(flat.edge_iface(e), dest_prefix)) continue;
+      push_hop(r, NextHop{flat.edge_link(e), w});
     }
+    auto& slot = slots[static_cast<std::size_t>(r)];
     std::sort(slot.begin(), slot.end());
   }
 }
 
 Simulation::DestAction Simulation::compute_destination(
-    int host, const std::vector<long>* reuse_dist) {
-  const int gateway = topology_->gateway_of(host);
-  if (gateway < 0) return DestAction::kFresh;
-  const auto& host_config = configs_->hosts[static_cast<std::size_t>(
-      topology_->node(host).config_index)];
-  const Ipv4Prefix dest_prefix = host_config.prefix();
+    int host, const std::shared_ptr<const std::vector<long>>& reuse_dist) {
+  const FlatTopology& flat = *flat_;
   const int n = topology_->router_count();
-  const std::size_t dest_index =
-      static_cast<std::size_t>(host - topology_->router_count());
+  const int hidx = host - n;
+  const int gateway = flat.host_gateway(hidx);
+  if (gateway < 0) return DestAction::kFresh;
+  const Ipv4Prefix dest_prefix = flat.host_prefix(hidx);
+
+  DestScratch& scratch = dest_scratch(n);
+  auto& slots = scratch.slots;
+  auto& touched = scratch.touched;
+  const auto push_hop = [&](int r, NextHop hop) {
+    auto& slot = slots[static_cast<std::size_t>(r)];
+    if (slot.empty()) touched.push_back(r);
+    slot.push_back(hop);
+  };
 
   // Delivery at the gateway: the connected host link (never filtered —
   // connected routes are not subject to distribute-lists).
-  for (int link_id : topology_->links_of(host)) {
-    const Link& link = topology_->link(link_id);
-    if (link.other_end(host).node == gateway) {
-      fib_slot(gateway, host).push_back(NextHop{link_id, host});
-      break;
-    }
-  }
+  const int gw_link = flat.host_gateway_link(hidx);
+  if (gw_link >= 0) push_hop(gateway, NextHop{gw_link, host});
 
-  const auto& gw_config = configs_->routers[static_cast<std::size_t>(
-      topology_->node(gateway).config_index)];
-  const bool in_ospf = gw_config.ospf && gw_config.ospf->covers(
-                                             host_config.address);
-  const bool in_rip =
-      !in_ospf && gw_config.rip && gw_config.rip->covers(host_config.address);
+  const auto route = flat.host_route(hidx);
+  const bool in_ospf = route == FlatTopology::HostRoute::kOspf;
+  const bool in_rip = route == FlatTopology::HostRoute::kRip;
 
   DestAction action = DestAction::kFresh;
-  std::vector<long> dist(static_cast<std::size_t>(n), kInf);
+  const long* dist = nullptr;
   if (in_ospf && reuse_dist != nullptr && !reuse_dist->empty()) {
     // Link-state distances are computed over the full LSDB — filters only
     // gate next-hop installation — so a previous simulation's converged
     // vector for this destination is still exact after filter edits.
-    dist = *reuse_dist;
+    dist = reuse_dist->data();
     action = DestAction::kDistReused;
   } else if (in_ospf) {
     // Link-state: reverse Dijkstra from the gateway; filters do NOT affect
     // distances, only next-hop installation below.
     action = DestAction::kDistComputed;
-    dist[static_cast<std::size_t>(gateway)] = 0;
-    using Item = std::pair<long, int>;
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
-    queue.emplace(0, gateway);
-    while (!queue.empty()) {
-      const auto [d, u] = queue.top();
-      queue.pop();
-      if (d != dist[static_cast<std::size_t>(u)]) continue;
-      for (int link_id : topology_->links_of(u)) {
-        const LinkState& state =
-            link_state_[static_cast<std::size_t>(link_id)];
-        if (!state.ospf) continue;
-        const Link& link = topology_->link(link_id);
-        const int w = link.other_end(u).node;
+    scratch.dist.assign(static_cast<std::size_t>(n), kInf);
+    scratch.dist[static_cast<std::size_t>(gateway)] = 0;
+    auto& heap = scratch.heap;
+    heap.clear();
+    heap_push(heap, 0, gateway);
+    while (!heap.empty()) {
+      const auto [d, u] = heap_pop(heap);
+      if (d != scratch.dist[static_cast<std::size_t>(u)]) continue;
+      const std::int32_t last = flat.last_out(u);
+      for (std::int32_t e = flat.first_out(u); e < last; ++e) {
+        if ((flat.edge_flags(e) & FlatTopology::kOspf) == 0) continue;
+        const std::int32_t w = flat.edge_target(e);
         // Cost of w forwarding TOWARDS u.
-        const long cost =
-            link.a.node == w ? state.cost_a_to_b : state.cost_b_to_a;
-        if (dist[static_cast<std::size_t>(u)] + cost <
-            dist[static_cast<std::size_t>(w)]) {
-          dist[static_cast<std::size_t>(w)] =
-              dist[static_cast<std::size_t>(u)] + cost;
-          queue.emplace(dist[static_cast<std::size_t>(w)], w);
+        const long cost = flat.edge_cost_in(e);
+        if (d + cost < scratch.dist[static_cast<std::size_t>(w)]) {
+          scratch.dist[static_cast<std::size_t>(w)] = d + cost;
+          heap_push(heap, d + cost, w);
         }
       }
     }
+    dist = scratch.dist.data();
   } else if (in_rip) {
     // Distance-vector: filters affect propagation, so they participate in
     // the Bellman-Ford relaxation itself — a cached vector from before a
     // filter edit would be stale, hence always recomputed.
     action = DestAction::kDistComputed;
-    dist[static_cast<std::size_t>(gateway)] = 0;
+    scratch.dist.assign(static_cast<std::size_t>(n), kInf);
+    scratch.dist[static_cast<std::size_t>(gateway)] = 0;
+    auto& rip_dist = scratch.dist;
+    const int link_count = static_cast<int>(topology_->links().size());
     for (int round = 0; round < n + 1; ++round) {
       bool changed = false;
-      for (std::size_t l = 0; l < topology_->links().size(); ++l) {
-        const LinkState& state = link_state_[l];
-        if (!state.rip) continue;
-        const Link& link = topology_->link(static_cast<int>(l));
-        const auto relax = [&](int from, int to,
-                               const std::string& to_iface) {
-          if (dist[static_cast<std::size_t>(from)] >= kInf) return;
-          if (denied_igp(to, to_iface, dest_prefix)) return;
-          const long cand = dist[static_cast<std::size_t>(from)] + 1;
-          if (cand < dist[static_cast<std::size_t>(to)]) {
-            dist[static_cast<std::size_t>(to)] = cand;
+      for (int l = 0; l < link_count; ++l) {
+        if ((flat.link_flags(l) & FlatTopology::kRip) == 0) continue;
+        const auto relax = [&](int from, int to, std::int32_t to_iface) {
+          if (rip_dist[static_cast<std::size_t>(from)] >= kInf) return;
+          if (denied_igp(to_iface, dest_prefix)) return;
+          const long cand = rip_dist[static_cast<std::size_t>(from)] + 1;
+          if (cand < rip_dist[static_cast<std::size_t>(to)]) {
+            rip_dist[static_cast<std::size_t>(to)] = cand;
             changed = true;
           }
         };
-        relax(link.a.node, link.b.node, link.b.interface);
-        relax(link.b.node, link.a.node, link.a.interface);
+        const int a = flat.link_node_a(l);
+        const int b = flat.link_node_b(l);
+        relax(a, b, flat.link_iface_at(l, b));
+        relax(b, a, flat.link_iface_at(l, a));
       }
       if (!changed) break;
     }
+    dist = scratch.dist.data();
   }
 
   // IGP next hops: every equal-cost candidate not denied by a filter on
   // the incoming interface.
   if (in_ospf || in_rip) {
     for (int r = 0; r < n; ++r) {
-      if (r == gateway || dist[static_cast<std::size_t>(r)] >= kInf) continue;
-      auto& slot = fib_slot(r, host);
-      for (int link_id : topology_->links_of(r)) {
-        const LinkState& state =
-            link_state_[static_cast<std::size_t>(link_id)];
-        if (in_ospf ? !state.ospf : !state.rip) continue;
-        const Link& link = topology_->link(link_id);
-        const int w = link.other_end(r).node;
-        const long out_cost =
-            in_ospf
-                ? (link.a.node == r ? state.cost_a_to_b : state.cost_b_to_a)
-                : 1;
+      if (r == gateway || dist[static_cast<std::size_t>(r)] >= kInf) {
+        continue;
+      }
+      const std::int32_t last = flat.last_out(r);
+      bool pushed = false;
+      for (std::int32_t e = flat.first_out(r); e < last; ++e) {
+        const std::uint8_t flags = flat.edge_flags(e);
+        if ((flags & (in_ospf ? FlatTopology::kOspf : FlatTopology::kRip)) ==
+            0) {
+          continue;
+        }
+        const std::int32_t w = flat.edge_target(e);
+        const long out_cost = in_ospf ? flat.edge_cost_out(e) : 1;
         if (dist[static_cast<std::size_t>(w)] + out_cost !=
             dist[static_cast<std::size_t>(r)]) {
           continue;
         }
-        if (denied_igp(r, link.end_of(r).interface, dest_prefix)) continue;
-        slot.push_back(NextHop{link_id, w});
+        if (denied_igp(flat.edge_iface(e), dest_prefix)) continue;
+        push_hop(r, NextHop{flat.edge_link(e), w});
+        pushed = true;
       }
-      std::sort(slot.begin(), slot.end());
+      if (pushed) {
+        auto& slot = slots[static_cast<std::size_t>(r)];
+        std::sort(slot.begin(), slot.end());
+      }
     }
   }
 
-  compute_bgp_destination(host, gateway, dest_prefix);
+  compute_bgp_destination(host, gateway, dest_prefix, slots, touched);
 
   // Static routes: longest-prefix match against the protocol route for
   // the host LAN; administrative distance 1 beats IGP/BGP at equal
   // length. Connected delivery at the gateway always wins.
-  for (int r = 0; r < n; ++r) {
+  const Ipv4Address host_address = flat.host_address(hidx);
+  for (const int r : flat.routers_with_statics()) {
     if (r == gateway) continue;
-    const auto& router =
-        configs_->routers[static_cast<std::size_t>(topology_->node(r).config_index)];
+    const auto& router = configs_->routers[static_cast<std::size_t>(
+        topology_->node(r).config_index)];
     const StaticRoute* best = nullptr;
-    for (const auto& route : router.static_routes) {
-      if (!route.prefix.contains(host_config.address)) continue;
-      if (best == nullptr || route.prefix.length() > best->prefix.length()) {
-        best = &route;
+    for (const auto& route_entry : router.static_routes) {
+      if (!route_entry.prefix.contains(host_address)) continue;
+      if (best == nullptr ||
+          route_entry.prefix.length() > best->prefix.length()) {
+        best = &route_entry;
       }
     }
     if (best == nullptr) continue;
-    auto& slot = fib_slot(r, host);
+    auto& slot = slots[static_cast<std::size_t>(r)];
     const bool overrides =
         slot.empty() || best->prefix.length() >= dest_prefix.length();
     if (!overrides) continue;
-    // Resolve the next hop to a directly connected neighbor.
+    // Resolve the next hop to a directly connected neighbor (cold path:
+    // endpoint addresses live only in the Topology's link ends).
     int resolved_link = -1;
     int resolved_neighbor = -1;
-    for (int link_id : topology_->links_of(r)) {
+    for (const int link_id : topology_->links_of(r)) {
       const Link& link = topology_->link(link_id);
       const LinkEnd& far = link.other_end(r);
       if (far.address == best->next_hop) {
@@ -577,10 +741,35 @@ Simulation::DestAction Simulation::compute_destination(
     }
     if (resolved_link < 0) continue;  // unresolvable next hop: keep RIB
     slot.clear();
-    slot.push_back(NextHop{resolved_link, resolved_neighbor});
+    push_hop(r, NextHop{resolved_link, resolved_neighbor});
   }
 
-  if (in_ospf || in_rip) dest_dist_[dest_index] = std::move(dist);
+  // Pack the per-router slots into this destination's immutable column
+  // arena: entries of router r at pool[offset[r] .. offset[r+1]).
+  auto column = std::make_shared<FibColumn>();
+  column->offset.resize(static_cast<std::size_t>(n) + 1);
+  std::uint32_t total = 0;
+  for (int r = 0; r < n; ++r) {
+    column->offset[static_cast<std::size_t>(r)] = total;
+    total += static_cast<std::uint32_t>(
+        slots[static_cast<std::size_t>(r)].size());
+  }
+  column->offset[static_cast<std::size_t>(n)] = total;
+  column->pool.reserve(total);
+  for (int r = 0; r < n; ++r) {
+    const auto& slot = slots[static_cast<std::size_t>(r)];
+    column->pool.insert(column->pool.end(), slot.begin(), slot.end());
+  }
+  fib_columns_[static_cast<std::size_t>(hidx)] = std::move(column);
+
+  if (in_ospf || in_rip) {
+    if (action == DestAction::kDistReused) {
+      dest_dist_[static_cast<std::size_t>(hidx)] = reuse_dist;
+    } else {
+      dest_dist_[static_cast<std::size_t>(hidx)] =
+          std::make_shared<const std::vector<long>>(scratch.dist);
+    }
+  }
   return action;
 }
 
@@ -593,6 +782,7 @@ bool Simulation::walk(int router, int dst_host, const Ipv4Prefix* src_prefix,
     truncated = true;
     return false;
   }
+  const int n = topology_->router_count();
   bool delivered = false;
   for (const NextHop& hop : fib(router, dst_host)) {
     if (hop.neighbor == dst_host) {
@@ -602,15 +792,15 @@ bool Simulation::walk(int router, int dst_host, const Ipv4Prefix* src_prefix,
       delivered = true;
       continue;
     }
-    if (!topology_->is_router(hop.neighbor)) continue;
+    if (hop.neighbor >= n) continue;  // some other host: not forwardable
     if (visited[static_cast<std::size_t>(hop.neighbor)] != 0) {
       continue;  // forwarding loop — branch is not a complete path
     }
     // Inbound packet filter at the next hop: the branch is dropped, not
     // rerouted (a data-plane black hole).
-    const Link& link = topology_->link(hop.link);
-    if (acl_blocks(hop.neighbor, link.end_of(hop.neighbor).interface,
-                   src_prefix, dst_prefix)) {
+    if (src_prefix != nullptr &&
+        acl_blocks(flat_->link_iface_at(hop.link, hop.neighbor), src_prefix,
+                   dst_prefix)) {
       continue;
     }
     visited[static_cast<std::size_t>(hop.neighbor)] = 1;
@@ -629,32 +819,30 @@ std::vector<std::vector<int>> Simulation::node_paths(int src_host,
   std::vector<std::vector<int>> out;
   if (truncated != nullptr) *truncated = false;
   if (src_host == dst_host) return out;
-  const int gateway = topology_->gateway_of(src_host);
+  const FlatTopology& flat = *flat_;
+  const int n = topology_->router_count();
+  const int gateway = flat.host_gateway(src_host - n);
   if (gateway < 0) return out;
-  const Ipv4Prefix src_prefix =
-      configs_->hosts[static_cast<std::size_t>(
-                          topology_->node(src_host).config_index)]
-          .prefix();
-  const Ipv4Prefix dst_prefix =
-      configs_->hosts[static_cast<std::size_t>(
-                          topology_->node(dst_host).config_index)]
-          .prefix();
+  const Ipv4Prefix src_prefix = flat.host_prefix(src_host - n);
+  const Ipv4Prefix dst_prefix = flat.host_prefix(dst_host - n);
   // The gateway's host-facing interface may itself filter inbound.
-  for (int link_id : topology_->links_of(src_host)) {
-    const Link& link = topology_->link(link_id);
-    if (link.other_end(src_host).node != gateway) continue;
-    if (acl_blocks(gateway, link.end_of(gateway).interface, &src_prefix,
-                   dst_prefix)) {
+  const std::int32_t last = flat.last_out(src_host);
+  for (std::int32_t e = flat.first_out(src_host); e < last; ++e) {
+    if (flat.edge_target(e) != gateway) continue;
+    if (acl_blocks(flat.edge_peer_iface(e), &src_prefix, dst_prefix)) {
       return out;
     }
   }
-  std::vector<char> visited(static_cast<std::size_t>(topology_->node_count()),
-                            0);
-  visited[static_cast<std::size_t>(gateway)] = 1;
-  std::vector<int> current{src_host, gateway};
+  WalkScratch& scratch = walk_scratch();
+  scratch.visited.assign(static_cast<std::size_t>(topology_->node_count()),
+                         0);
+  scratch.visited[static_cast<std::size_t>(gateway)] = 1;
+  scratch.current.clear();
+  scratch.current.push_back(src_host);
+  scratch.current.push_back(gateway);
   bool hit_caps = false;
-  walk(gateway, dst_host, &src_prefix, dst_prefix, visited, current, out, 0,
-       hit_caps);
+  walk(gateway, dst_host, &src_prefix, dst_prefix, scratch.visited,
+       scratch.current, out, 0, hit_caps);
   if (truncated != nullptr) *truncated = hit_caps;
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
@@ -676,18 +864,12 @@ std::vector<Path> Simulation::paths(int src_host, int dst_host,
 
 DataPlane Simulation::extract_data_plane() const {
   DataPlane dp;
-  const auto hosts = topology_->host_ids();
+  const auto& hosts = topology_->host_ids();
   // When no inbound packet ACL exists anywhere, the walk from a gateway to
   // a destination does not depend on the source host, so all sources
   // behind one gateway share a single enumeration (and the per-source ACL
   // checks in node_paths are no-ops by construction).
-  bool acl_free = true;
-  for (const auto& per_iface : acl_in_) {
-    if (!per_iface.empty()) {
-      acl_free = false;
-      break;
-    }
-  }
+  const bool acl_free = acl_free_;
 
   // One slot per destination: the destinations fan out over the pool and
   // each writes only its own slot; the merge below is serial and ordered.
@@ -708,28 +890,28 @@ DataPlane Simulation::extract_data_plane() const {
       }
       return;
     }
-    const Ipv4Prefix dst_prefix =
-        configs_->hosts[static_cast<std::size_t>(
-                            topology_->node(dst).config_index)]
-            .prefix();
+    const int n = topology_->router_count();
+    const Ipv4Prefix dst_prefix = flat_->host_prefix(dst - n);
     // gateway -> (named gateway→dst path suffixes, sorted and deduped;
     // enumeration hit the caps). Prepending the (per-source) host name
     // later keeps the sort order: all entries share that first element.
     std::map<int, std::pair<std::vector<Path>, bool>> by_gateway;
     for (const int src : hosts) {
       if (src == dst) continue;
-      const int gateway = topology_->gateway_of(src);
+      const int gateway = flat_->host_gateway(src - n);
       if (gateway < 0) continue;
       auto it = by_gateway.find(gateway);
       if (it == by_gateway.end()) {
-        std::vector<char> visited(
+        WalkScratch& scratch = walk_scratch();
+        scratch.visited.assign(
             static_cast<std::size_t>(topology_->node_count()), 0);
-        visited[static_cast<std::size_t>(gateway)] = 1;
-        std::vector<int> current{gateway};
+        scratch.visited[static_cast<std::size_t>(gateway)] = 1;
+        scratch.current.clear();
+        scratch.current.push_back(gateway);
         std::vector<std::vector<int>> from_gateway;
         bool hit_caps = false;
-        walk(gateway, dst, nullptr, dst_prefix, visited, current,
-             from_gateway, 0, hit_caps);
+        walk(gateway, dst, nullptr, dst_prefix, scratch.visited,
+             scratch.current, from_gateway, 0, hit_caps);
         std::vector<Path> suffixes;
         suffixes.reserve(from_gateway.size());
         for (const auto& node_path : from_gateway) {
@@ -788,44 +970,74 @@ DataPlane Simulation::extract_data_plane() const {
 
 bool Simulation::reaches(int router, int host) const {
   std::vector<std::vector<int>> out;
-  std::vector<char> visited(static_cast<std::size_t>(topology_->node_count()),
-                            0);
-  visited[static_cast<std::size_t>(router)] = 1;
-  std::vector<int> current{router};
+  WalkScratch& scratch = walk_scratch();
+  scratch.visited.assign(static_cast<std::size_t>(topology_->node_count()),
+                         0);
+  scratch.visited[static_cast<std::size_t>(router)] = 1;
+  scratch.current.clear();
+  scratch.current.push_back(router);
   const Ipv4Prefix dst_prefix =
-      configs_->hosts[static_cast<std::size_t>(
-                          topology_->node(host).config_index)]
-          .prefix();
+      flat_->host_prefix(host - topology_->router_count());
   // Control-plane reachability: packet-filter ACLs are not evaluated
   // (src == nullptr) because there is no source host.
   bool hit_caps = false;
-  return walk(router, host, nullptr, dst_prefix, visited, current, out, 0,
-              hit_caps);
+  return walk(router, host, nullptr, dst_prefix, scratch.visited,
+              scratch.current, out, 0, hit_caps);
 }
 
 std::vector<char> Simulation::routers_reaching(int host) const {
   const int n = topology_->router_count();
   std::vector<char> reach(static_cast<std::size_t>(n), 0);
-  // Reverse FIB edges for this destination: rev[v] = routers whose FIB
-  // forwards towards v. Routers delivering directly seed the sweep.
-  std::vector<std::vector<int>> rev(static_cast<std::size_t>(n));
-  std::vector<int> queue;
+  if (host < n || host >= topology_->node_count()) return reach;
+  const auto& column = fib_columns_[static_cast<std::size_t>(host - n)];
+  if (column == nullptr) return reach;
+  // Reverse FIB edges for this destination, built as CSR over the packed
+  // column (one counting pass, one fill pass — no per-router vectors).
+  // Routers delivering directly seed the sweep; the closure is
+  // order-independent.
+  WalkScratch& scratch = walk_scratch();
+  auto& rev_offset = scratch.rev_offset;
+  auto& rev_cursor = scratch.rev_cursor;
+  auto& rev_edges = scratch.rev_edges;
+  auto& queue = scratch.queue;
+  rev_offset.assign(static_cast<std::size_t>(n) + 1, 0);
+  queue.clear();
+  for (const NextHop& hop : column->pool) {
+    if (hop.neighbor != host && hop.neighbor < n) {
+      ++rev_offset[static_cast<std::size_t>(hop.neighbor) + 1];
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    rev_offset[static_cast<std::size_t>(v) + 1] +=
+        rev_offset[static_cast<std::size_t>(v)];
+  }
+  rev_edges.resize(static_cast<std::size_t>(
+      rev_offset[static_cast<std::size_t>(n)]));
+  rev_cursor.assign(rev_offset.begin(), rev_offset.end() - 1);
   for (int r = 0; r < n; ++r) {
-    for (const NextHop& hop : fib(r, host)) {
+    const std::uint32_t first = column->offset[static_cast<std::size_t>(r)];
+    const std::uint32_t last =
+        column->offset[static_cast<std::size_t>(r) + 1];
+    for (std::uint32_t i = first; i < last; ++i) {
+      const NextHop& hop = column->pool[i];
       if (hop.neighbor == host) {
         if (reach[static_cast<std::size_t>(r)] == 0) {
           reach[static_cast<std::size_t>(r)] = 1;
           queue.push_back(r);
         }
-      } else if (topology_->is_router(hop.neighbor)) {
-        rev[static_cast<std::size_t>(hop.neighbor)].push_back(r);
+      } else if (hop.neighbor < n) {
+        rev_edges[static_cast<std::size_t>(
+            rev_cursor[static_cast<std::size_t>(hop.neighbor)]++)] = r;
       }
     }
   }
   while (!queue.empty()) {
-    const int v = queue.back();
+    const std::int32_t v = queue.back();
     queue.pop_back();
-    for (const int r : rev[static_cast<std::size_t>(v)]) {
+    const std::int32_t first = rev_offset[static_cast<std::size_t>(v)];
+    const std::int32_t last = rev_offset[static_cast<std::size_t>(v) + 1];
+    for (std::int32_t i = first; i < last; ++i) {
+      const std::int32_t r = rev_edges[static_cast<std::size_t>(i)];
       if (reach[static_cast<std::size_t>(r)] == 0) {
         reach[static_cast<std::size_t>(r)] = 1;
         queue.push_back(r);
@@ -833,12 +1045,6 @@ std::vector<char> Simulation::routers_reaching(int host) const {
     }
   }
   return reach;
-}
-
-long Simulation::igp_distance(int from, int to) const {
-  const long d =
-      igp_dist_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
-  return d >= kInf ? -1 : d;
 }
 
 std::vector<int> Simulation::reachable_hosts_from(int router) const {

@@ -28,22 +28,37 @@
 // Fig 16 runtime benchmark can also report "number of simulation jobs", the
 // dominant cost the paper discusses in §5.4.
 //
-// Performance (DESIGN.md §8): the embarrassingly parallel loops — per-source
-// Dijkstra, per-destination FIB fill, per-destination data-plane walks — fan
-// out over ThreadPool::shared() with disjoint writes (bit-identical results
-// for any worker count), and the incremental constructor re-simulates only
-// the destinations a SimulationDelta's filter edits can affect, reusing the
-// frozen topology, the IGP distance matrix, and clean FIB columns.
+// Performance (DESIGN.md §8, §13): the hot path runs entirely over the
+// FlatTopology CSR/SoA view — dense integer ids, interned interface slots,
+// per-destination FIB columns packed into one contiguous arena each, and
+// thread-local scratch (distance arrays, heap, per-router slot builders)
+// reused across destinations. The embarrassingly parallel loops — per-
+// destination FIB fill, per-destination data-plane walks — fan out over
+// ThreadPool::shared() with disjoint writes (bit-identical results for any
+// worker count), and the incremental constructor re-simulates only the
+// destinations a SimulationDelta's filter edits can affect, aliasing the
+// frozen topology, the IGP distance caches, and clean FIB columns from the
+// previous simulation instead of copying them.
+//
+// IGP distances are no longer materialized as an eager R×R matrix (an
+// O(R²) memory cliff at 10⁴ routers): hot-potato selection precomputes one
+// distance row per BORDER router only, `igp_distance()` memoizes per-source
+// rows on demand, and bulk consumers (OriginalIndex, topology
+// anonymization) call `igp_matrix()` which fills the whole cache once, in
+// parallel. The cache is shared across incremental generations — link-state
+// distances never see route filters.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/config/model.hpp"
 #include "src/routing/dataplane.hpp"
+#include "src/routing/flat_topology.hpp"
 #include "src/routing/topology.hpp"
 
 namespace confmask {
@@ -54,6 +69,38 @@ struct NextHop {
   int neighbor = -1;  ///< node on the other side (router, or the host itself)
 
   friend auto operator<=>(const NextHop&, const NextHop&) = default;
+};
+
+/// A borrowed, contiguous view of one router's FIB entries for one
+/// destination — what `Simulation::fib` returns now that FIB columns live
+/// in per-destination arenas instead of one vector<vector> per (r, h)
+/// slot. Valid as long as the owning Simulation (or a descendant that
+/// aliases its columns) is alive.
+class FibView {
+ public:
+  FibView() = default;
+  FibView(const NextHop* data, std::size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] const NextHop* begin() const { return data_; }
+  [[nodiscard]] const NextHop* end() const { return data_ + size_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] const NextHop& operator[](std::size_t i) const {
+    return data_[i];
+  }
+  [[nodiscard]] const NextHop& front() const { return data_[0]; }
+
+  friend bool operator==(const FibView& lhs, const FibView& rhs) {
+    if (lhs.size_ != rhs.size_) return false;
+    for (std::size_t i = 0; i < lhs.size_; ++i) {
+      if (!(lhs.data_[i] == rhs.data_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  const NextHop* data_ = nullptr;
+  std::size_t size_ = 0;
 };
 
 /// The route-filter edits applied to a ConfigSet since a previous
@@ -98,7 +145,7 @@ class Simulation {
   /// links — only route filters may differ between the two config states)
   /// and `delta` must record every filter added or removed since
   /// `previous` was built. Destinations whose prefix overlaps no delta
-  /// entry inherit their FIB column and per-destination distances from
+  /// entry alias their FIB column and per-destination distances from
   /// `previous`; dirty OSPF destinations reuse distances (filters only
   /// gate next-hop installation) and dirty RIP destinations recompute
   /// them (filters shape distance-vector propagation). The result is
@@ -114,6 +161,9 @@ class Simulation {
   [[nodiscard]] std::shared_ptr<const Topology> topology_ptr() const {
     return topology_;
   }
+  /// The flat CSR/SoA view the hot path runs on (frozen with the
+  /// topology, shared across incremental generations).
+  [[nodiscard]] const FlatTopology& flat() const { return *flat_; }
 
   /// What the incremental constructor reused vs recomputed (all zero for
   /// a fresh build).
@@ -122,8 +172,10 @@ class Simulation {
   }
 
   /// FIB entries of `router` for destination host `host` (both node ids).
-  /// Empty means no route (black hole at that router).
-  [[nodiscard]] const std::vector<NextHop>& fib(int router, int host) const;
+  /// Empty means no route (black hole at that router). The view borrows
+  /// from this simulation's column arenas — it stays valid while this
+  /// Simulation (or an incremental descendant aliasing the column) lives.
+  [[nodiscard]] FibView fib(int router, int host) const;
 
   /// All complete forwarding paths from `src_host` to `dst_host` as node-id
   /// sequences, lexicographically sorted. ECMP branches are enumerated.
@@ -156,8 +208,16 @@ class Simulation {
 
   /// Converged IGP distance between two routers of the same AS (router
   /// node ids), or a negative value when unreachable. This is the paper's
-  /// min_cost(r, r') used to price fake OSPF links.
+  /// min_cost(r, r') used to price fake OSPF links. Per-source rows are
+  /// computed on first use and memoized (thread-safe); callers that need
+  /// all pairs should use igp_matrix() instead.
   [[nodiscard]] long igp_distance(int from, int to) const;
+
+  /// The full R×R IGP distance matrix, indexed [from][to]; unreachable /
+  /// cross-AS pairs hold a value >= kInf (igp_distance maps those to -1).
+  /// Rows are filled in parallel on first call and memoized; the cache is
+  /// shared across incremental generations of the same topology.
+  [[nodiscard]] const std::vector<std::vector<long>>& igp_matrix() const;
 
   /// Number of Simulation instances constructed since process start; the
   /// paper's §5.4 complexity discussion counts exactly these jobs.
@@ -181,21 +241,35 @@ class Simulation {
   static std::uint64_t runs_on_this_thread();
 
  private:
-  struct LinkState {
-    bool ospf = false;        ///< OSPF adjacency (both ends covered)
-    bool rip = false;         ///< RIP adjacency
-    int cost_a_to_b = 0;      ///< OSPF cost leaving end a
-    int cost_b_to_a = 0;      ///< OSPF cost leaving end b
-    bool intra_as = false;    ///< both routers in the same AS (or no BGP)
+  /// One destination's FIB entries for ALL routers, packed into a single
+  /// arena: entries of router r live at pool[offset[r] .. offset[r+1]).
+  /// Immutable once built; incremental descendants alias clean columns.
+  struct FibColumn {
+    std::vector<std::uint32_t> offset;  // router_count + 1
+    std::vector<NextHop> pool;
   };
 
-  struct Session {
-    int router_a = -1;  ///< node id
-    int router_b = -1;
-    int link = -1;
+  /// Per-source IGP distance rows, memoized lazily and shared (by
+  /// shared_ptr) across incremental generations — link-state distances
+  /// are filter-free, so the cache never invalidates while the topology
+  /// is frozen.
+  struct IgpCache {
+    std::mutex mutex;
+    std::vector<std::vector<long>> rows;  // [from] -> distances, lazily set
+    std::vector<char> ready;
+    std::atomic<bool> all_ready{false};
   };
 
-  void index_protocols();
+  /// One `neighbor <peer> prefix-list ... in` binding: `count` lists
+  /// starting at bgp_filter_pool_[first]. Sorted by peer_bits per router.
+  struct BgpFilterEntry {
+    std::uint32_t peer_bits = 0;
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+  };
+
+  void index_filters();
+  void compute_border_distances();
   /// Converges one destination host's FIB column. `reuse_dist` (from a
   /// previous simulation over the same topology) is adopted verbatim for
   /// OSPF-routed destinations — link-state distances are filter-free —
@@ -206,26 +280,32 @@ class Simulation {
     kDistReused,    ///< OSPF: distances adopted from `reuse_dist`
     kDistComputed,  ///< distances computed from scratch
   };
-  DestAction compute_destination(int host,
-                                 const std::vector<long>* reuse_dist);
+  /// `reuse_dist` may be null; when adopted, the column's distance vector
+  /// ALIASES it (no copy) — the shared_ptr keeps it alive across
+  /// generations.
+  DestAction compute_destination(
+      int host, const std::shared_ptr<const std::vector<long>>& reuse_dist);
   /// BGP part of compute_destination: FIBs of routers outside the origin
-  /// AS (AS-level path-vector + hot-potato egress selection).
+  /// AS (AS-level path-vector + hot-potato egress selection). Appends into
+  /// the caller's per-router slot builders.
   void compute_bgp_destination(int host, int gateway,
-                               const Ipv4Prefix& dest_prefix);
-  [[nodiscard]] bool denied_igp(int router, const std::string& interface,
+                               const Ipv4Prefix& dest_prefix,
+                               std::vector<std::vector<NextHop>>& slots,
+                               std::vector<std::int32_t>& touched) const;
+  /// Route-filter check on an interned interface slot (-1 = no interface,
+  /// never filtered).
+  [[nodiscard]] bool denied_igp(std::int32_t iface_slot,
                                 const Ipv4Prefix& dest) const;
-  /// Packet-filter check: true if an inbound ACL on `interface` of
-  /// `router` drops (src, dst) traffic. `src == nullptr` (control-plane
-  /// reachability checks) skips ACL evaluation.
-  [[nodiscard]] bool acl_blocks(int router, const std::string& interface,
+  /// Packet-filter check: true if the inbound ACL on interface slot
+  /// `iface_slot` drops (src, dst) traffic. `src == nullptr` (control-
+  /// plane reachability checks) skips ACL evaluation.
+  [[nodiscard]] bool acl_blocks(std::int32_t iface_slot,
                                 const Ipv4Prefix* src,
                                 const Ipv4Prefix& dst) const;
-  [[nodiscard]] bool denied_bgp(int router, Ipv4Address peer,
+  [[nodiscard]] bool denied_bgp(int router, std::uint32_t peer_bits,
                                 const Ipv4Prefix& dest) const;
-  [[nodiscard]] int as_of(int router) const;
-  /// Intra-AS IGP distances from every router (for hot-potato selection).
-  void compute_igp_distances();
-  [[nodiscard]] std::vector<NextHop>& fib_slot(int router, int host);
+  /// Ensures the memoized IGP row for `from` exists and returns it.
+  [[nodiscard]] const std::vector<long>& igp_row(int from) const;
   /// DFS path enumeration over the FIB. `visited` is an O(1)-membership
   /// bitmap indexed by node id (sized node_count). `truncated` latches
   /// true when the path-count or depth cap cut enumeration short.
@@ -238,29 +318,34 @@ class Simulation {
   // Shared with incremental descendants: between filter-only config edits
   // the topology is frozen, so re-simulations alias one immutable build.
   std::shared_ptr<const Topology> topology_;
-  // Per router: interface name -> prefix lists bound via IGP
-  // distribute-lists, and peer address -> prefix lists bound via BGP
-  // `neighbor ... prefix-list in`.
-  std::vector<std::map<std::string, std::vector<const PrefixList*>>>
-      igp_filters_;
-  // Per router: interface name -> inbound packet-filter ACL.
-  std::vector<std::map<std::string, const AccessList*>> acl_in_;
-  std::vector<std::map<std::uint32_t, std::vector<const PrefixList*>>>
-      bgp_filters_;
-  std::vector<LinkState> link_state_;      // parallel to topology links
-  std::vector<Session> sessions_;          // eBGP sessions
-  std::vector<int> router_as_;             // AS per router (-1 = none)
-  // igp_dist_[r] = vector over routers of IGP distance from r (same AS
-  // only; -1 otherwise / unreachable).
-  std::vector<std::vector<long>> igp_dist_;
+  std::shared_ptr<const FlatTopology> flat_;
+
+  // Flat filter tables over interned interface slots, rebuilt per
+  // constructor over the CURRENT configs (PrefixList/AccessList pointers
+  // may dangle across config generations; slots never do).
+  std::vector<std::int32_t> igp_filter_offset_;  // iface_slot_count + 1
+  std::vector<const PrefixList*> igp_filter_pool_;
+  std::vector<const AccessList*> acl_slot_;      // per slot, nullable
+  bool acl_free_ = true;
+  std::vector<std::vector<BgpFilterEntry>> bgp_filters_;  // per router
+  std::vector<const PrefixList*> bgp_filter_pool_;
+
+  // IGP distances TO each border router (to_border_[border_index][r]),
+  // the only rows hot-potato selection needs. Computed eagerly iff eBGP
+  // sessions exist; shared across incremental generations.
+  std::shared_ptr<const std::vector<std::vector<long>>> to_border_;
+  // Lazily memoized per-source rows for igp_distance()/igp_matrix().
+  std::shared_ptr<IgpCache> igp_cache_;
+
   // Per destination host (index host - router_count): the converged IGP
   // distance vector towards that host, kept so incremental rebuilds can
-  // adopt it for dirty OSPF destinations. Empty when the destination is
-  // not IGP-routed.
-  std::vector<std::vector<long>> dest_dist_;
-  // fib_[router * host_count + host_index]
-  std::vector<std::vector<NextHop>> fib_;
-  std::vector<NextHop> empty_fib_;
+  // adopt it for dirty OSPF destinations. Null when the destination is
+  // not IGP-routed; aliased (not copied) by clean inheritance.
+  std::vector<std::shared_ptr<const std::vector<long>>> dest_dist_;
+  // Per destination host: the packed FIB column (null = no routes
+  // anywhere, e.g. gateway-less hosts). Clean columns alias the previous
+  // generation's arenas.
+  std::vector<std::shared_ptr<const FibColumn>> fib_columns_;
   IncrementalStats incremental_stats_;
 };
 

@@ -62,6 +62,15 @@ Topology Topology::build(const ConfigSet& configs) {
     }
   }
 
+  topo.router_ids_.resize(static_cast<std::size_t>(topo.router_count_));
+  for (int i = 0; i < topo.router_count_; ++i) {
+    topo.router_ids_[static_cast<std::size_t>(i)] = i;
+  }
+  topo.host_ids_.reserve(configs.hosts.size());
+  for (int i = topo.router_count_; i < topo.node_count(); ++i) {
+    topo.host_ids_.push_back(i);
+  }
+
   topo.incident_.resize(topo.nodes_.size());
   for (std::size_t l = 0; l < topo.links_.size(); ++l) {
     topo.incident_[static_cast<std::size_t>(topo.links_[l].a.node)].push_back(
@@ -77,18 +86,6 @@ int Topology::find_node(std::string_view name) const {
     if (nodes_[static_cast<std::size_t>(id)].name == name) return id;
   }
   return -1;
-}
-
-std::vector<int> Topology::router_ids() const {
-  std::vector<int> ids(static_cast<std::size_t>(router_count_));
-  for (int i = 0; i < router_count_; ++i) ids[static_cast<std::size_t>(i)] = i;
-  return ids;
-}
-
-std::vector<int> Topology::host_ids() const {
-  std::vector<int> ids;
-  for (int i = router_count_; i < node_count(); ++i) ids.push_back(i);
-  return ids;
 }
 
 std::size_t Topology::router_link_count() const {

@@ -78,8 +78,12 @@ class Topology {
     return incident_[static_cast<std::size_t>(node)];
   }
 
-  [[nodiscard]] std::vector<int> router_ids() const;
-  [[nodiscard]] std::vector<int> host_ids() const;
+  /// Router / host node id lists, computed once at build() time (they
+  /// appear in hot loops; callers should bind them by const reference).
+  [[nodiscard]] const std::vector<int>& router_ids() const {
+    return router_ids_;
+  }
+  [[nodiscard]] const std::vector<int>& host_ids() const { return host_ids_; }
   [[nodiscard]] int router_count() const { return router_count_; }
   [[nodiscard]] int host_count() const {
     return node_count() - router_count_;
@@ -99,6 +103,8 @@ class Topology {
   std::vector<TopologyNode> nodes_;
   std::vector<Link> links_;
   std::vector<std::vector<int>> incident_;
+  std::vector<int> router_ids_;
+  std::vector<int> host_ids_;
   int router_count_ = 0;
 };
 

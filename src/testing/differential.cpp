@@ -1,5 +1,6 @@
 #include "src/testing/differential.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -332,13 +333,27 @@ void decorate_random_network(ConfigSet& configs, std::uint64_t seed,
   add_random_filters(configs, topo, rng, options.max_route_filters);
 }
 
+void decorate_scale_network(ConfigSet& configs, std::uint64_t seed) {
+  const auto routers = static_cast<int>(configs.routers.size());
+  DifferentialOptions options;
+  options.max_route_filters = std::max(4, routers / 20);
+  options.max_static_routes = std::max(2, routers / 50);
+  options.max_acl_bindings = std::max(2, routers / 50);
+  decorate_random_network(configs, seed, options);
+}
+
 DifferentialResult run_differential_case(std::uint64_t seed,
                                          const DifferentialOptions& options) {
-  DifferentialResult result;
-  result.seed = seed;
-
   ConfigSet configs = make_random_network(options.network, seed);
   decorate_random_network(configs, seed, options);
+  return run_differential_checks(configs, seed, options);
+}
+
+DifferentialResult run_differential_checks(const ConfigSet& configs,
+                                           std::uint64_t seed,
+                                           const DifferentialOptions& options) {
+  DifferentialResult result;
+  result.seed = seed;
 
   const auto fail = [&](const std::string& check, std::string detail,
                         std::vector<DataPlaneDiffEntry> diff,

@@ -65,6 +65,21 @@ struct DifferentialResult {
 [[nodiscard]] DifferentialResult run_differential_case(
     std::uint64_t seed, const DifferentialOptions& options = {});
 
+/// Runs the check ladder over an EXISTING configuration set — the seed only
+/// labels findings and drives the incremental-edit stream. This is what
+/// run_differential_case calls after generating its random network; the
+/// scale corpora (netgen/scale_families) feed their networks through the
+/// same ladder here. `options.network` is ignored.
+[[nodiscard]] DifferentialResult run_differential_checks(
+    const ConfigSet& configs, std::uint64_t seed,
+    const DifferentialOptions& options = {});
+
+/// Semantic decoration scaled to network size (route filters ≈ R/20,
+/// statics and ACL bindings ≈ R/50) for scale-family networks, reusing the
+/// same decoration machinery as the random fuzz corpus. Deterministic in
+/// (configs, seed).
+void decorate_scale_network(ConfigSet& configs, std::uint64_t seed);
+
 struct DifferentialCorpusStats {
   int cases = 0;
   int failures = 0;

@@ -11,6 +11,7 @@
 #include "src/config/emit.hpp"
 #include "src/netgen/networks.hpp"
 #include "src/netgen/random_network.hpp"
+#include "src/netgen/scale_families.hpp"
 #include "src/routing/dataplane.hpp"
 #include "src/routing/reference_sim.hpp"
 #include "src/routing/simulation.hpp"
@@ -72,6 +73,29 @@ TEST(DifferentialOracle, RandomCorpusAgrees) {
     const DifferentialResult result = run_differential_case(seed, options);
     EXPECT_TRUE(result.ok)
         << "seed " << seed << ": "
+        << (result.finding
+                ? result.finding->check + " — " + result.finding->detail
+                : std::string{});
+  }
+}
+
+// The scale families at 500 routers, decorated, through the same ladder:
+// flat ≡ oracle on the FIBs and data plane, incremental ≡ full after
+// random filter edits, jobs-1 ≡ jobs-N. This is where the CSR/SoA core's
+// layout tricks (interned filter slots, column arenas, lazy IGP rows)
+// face networks three times deeper than the curated set.
+TEST(DifferentialOracle, ScaleFamilyCorpusAgrees) {
+  constexpr ScaleFamily kFamilies[] = {
+      ScaleFamily::kWaxman, ScaleFamily::kWaxmanRip, ScaleFamily::kMultiAs};
+  DifferentialOptions options;  // empty repro_dir: tests write no artifacts
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    ConfigSet configs = make_scale_network(kFamilies[seed % 3], 500, seed);
+    decorate_scale_network(configs, seed);
+    const DifferentialResult result =
+        run_differential_checks(configs, seed, options);
+    EXPECT_TRUE(result.ok)
+        << "seed " << seed << " (" << scale_family_name(kFamilies[seed % 3])
+        << "): "
         << (result.finding
                 ? result.finding->check + " — " + result.finding->detail
                 : std::string{});
