@@ -323,6 +323,9 @@ int main(int argc, char** argv) {
   if (cache != nullptr) {
     CacheArtifacts artifacts;
     artifacts.anonymized_configs = canonical_config_set_text(result.anonymized);
+    // `original` was canonicalized above when the cache was armed, so this
+    // is the exact diff base a daemon resubmit would patch against.
+    artifacts.original_configs = canonical_config_set_text(original);
     artifacts.diagnostics_json = diagnostics_to_json(diag);
     artifacts.metrics_json = trace->metrics_json(/*include_timings=*/false);
     cache->store(cache_key, artifacts);

@@ -6,6 +6,13 @@
 //                                    submit every *.cfg under <config-dir>;
 //                                    load-shed rejections (retry_after_ms)
 //                                    are retried with backoff + jitter
+//     diff <base-dir> <edited-dir>   print a confmask-diff/1 document to
+//                                    stdout (local; no daemon needed)
+//     resubmit <base-key> <diff-file> [same flags as submit]
+//                                    watch mode: re-anonymize the base
+//                                    cache entry with an edit applied;
+//                                    <diff-file> is a confmask-diff/1
+//                                    document ("-" reads stdin)
 //     status <job>                   one status line
 //     wait <job>                     poll until the job is terminal
 //     result <job> [--out DIR]      fetch artifacts; --out writes the
@@ -25,10 +32,12 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <iterator>
 #include <string>
 #include <thread>
 
+#include "src/config/diff.hpp"
 #include "src/config/emit.hpp"
 #include "src/config/parse.hpp"
 #include "src/service/client.hpp"
@@ -45,10 +54,91 @@ int usage() {
       "usage: confmask-client --socket PATH <command> [args]\n"
       "  submit <config-dir> [--kr N] [--kh N] [--p FLOAT] [--seed N] "
       "[--fake-routers N] [--deadline-ms N]\n"
+      "  diff <base-dir> <edited-dir>          (local, no --socket needed)\n"
+      "  resubmit <base-key> <diff-file>       [same flags as submit]\n"
       "  status <job> | wait <job> | result <job> [--out DIR] | "
       "cancel <job>\n"
       "  stats | ping | shutdown [drain|cancel]\n");
   return 2;
+}
+
+/// Parses every *.cfg under `dir` into `out`. Returns 0, or 2 after
+/// printing the error.
+int read_config_dir(const std::string& dir, ConfigSet& out) {
+  std::error_code io_error;
+  fs::directory_iterator it(dir, io_error);
+  if (io_error) {
+    std::fprintf(stderr, "cannot read %s: %s\n", dir.c_str(),
+                 io_error.message().c_str());
+    return 2;
+  }
+  try {
+    for (const auto& entry : it) {
+      if (entry.path().extension() != ".cfg") continue;
+      std::ifstream in(entry.path());
+      const std::string text((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+      if (looks_like_host(text)) {
+        out.hosts.push_back(
+            parse_host(text, entry.path().filename().string()));
+      } else {
+        out.routers.push_back(
+            parse_router(text, entry.path().filename().string()));
+      }
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "parse error: %s\n", error.what());
+    return 2;
+  }
+  return 0;
+}
+
+/// Appends the submit/resubmit tuning flags to `request`. Both ops accept
+/// the identical parameter surface — a resubmit IS a submit whose bundle
+/// arrives as base + diff. Returns false on an unknown flag.
+bool append_job_flags(int argc, char** argv, int arg,
+                      JsonLineWriter& request) {
+  for (; arg + 1 < argc; arg += 2) {
+    if (std::strcmp(argv[arg], "--kr") == 0) {
+      request.number("k_r", std::atoi(argv[arg + 1]));
+    } else if (std::strcmp(argv[arg], "--kh") == 0) {
+      request.number("k_h", std::atoi(argv[arg + 1]));
+    } else if (std::strcmp(argv[arg], "--p") == 0) {
+      request.real("noise_p", std::atof(argv[arg + 1]));
+    } else if (std::strcmp(argv[arg], "--seed") == 0) {
+      request.number_u64("seed", std::strtoull(argv[arg + 1], nullptr, 10));
+    } else if (std::strcmp(argv[arg], "--fake-routers") == 0) {
+      request.number("fake_routers", std::atoi(argv[arg + 1]));
+    } else if (std::strcmp(argv[arg], "--deadline-ms") == 0) {
+      request.number_u64("deadline_ms",
+                         std::strtoull(argv[arg + 1], nullptr, 10));
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Sends an admission request through the retrying path — a daemon at its
+/// limit answers with retry_after_ms and we back off rather than fail —
+/// then prints the response and returns the exit code.
+int send_with_retry(const std::string& socket_path,
+                    const std::string& request) {
+  TransportError transport;
+  const auto response =
+      client_submit_with_retry(socket_path, request, {}, &transport);
+  if (!response) {
+    std::fprintf(stderr, "confmask-client: %s: %s\n",
+                 to_string(transport.failure), transport.detail.c_str());
+    return 2;
+  }
+  std::printf("%s\n", response->c_str());
+  const auto parsed = parse_json_line(*response);
+  if (!parsed) {
+    std::fprintf(stderr, "confmask-client: unparsable response\n");
+    return 2;
+  }
+  return get_bool(*parsed, "ok") == true ? 0 : 1;
 }
 
 /// Sends one request; prints the response; returns the exit code. Fills
@@ -80,8 +170,24 @@ int main(int argc, char** argv) {
     socket_path = argv[arg + 1];
     arg += 2;
   }
-  if (socket_path.empty() || arg >= argc) return usage();
+  if (arg >= argc) return usage();
   const std::string command = argv[arg++];
+  // `diff` is purely local; every other command talks to the daemon.
+  if (socket_path.empty() && command != "diff") return usage();
+
+  if (command == "diff") {
+    if (arg + 1 >= argc) return usage();
+    ConfigSet base;
+    ConfigSet edited;
+    if (const int code = read_config_dir(argv[arg], base); code != 0) {
+      return code;
+    }
+    if (const int code = read_config_dir(argv[arg + 1], edited); code != 0) {
+      return code;
+    }
+    std::fputs(render_bundle_diff(base, edited).c_str(), stdout);
+    return 0;
+  }
 
   if (command == "submit") {
     if (arg >= argc) return usage();
@@ -90,30 +196,8 @@ int main(int argc, char** argv) {
     request.string("op", "submit");
 
     ConfigSet configs;
-    std::error_code io_error;
-    fs::directory_iterator it(dir, io_error);
-    if (io_error) {
-      std::fprintf(stderr, "cannot read %s: %s\n", dir.c_str(),
-                   io_error.message().c_str());
-      return 2;
-    }
-    try {
-      for (const auto& entry : it) {
-        if (entry.path().extension() != ".cfg") continue;
-        std::ifstream in(entry.path());
-        const std::string text((std::istreambuf_iterator<char>(in)),
-                               std::istreambuf_iterator<char>());
-        if (looks_like_host(text)) {
-          configs.hosts.push_back(
-              parse_host(text, entry.path().filename().string()));
-        } else {
-          configs.routers.push_back(
-              parse_router(text, entry.path().filename().string()));
-        }
-      }
-    } catch (const std::exception& error) {
-      std::fprintf(stderr, "parse error: %s\n", error.what());
-      return 2;
+    if (const int code = read_config_dir(dir, configs); code != 0) {
+      return code;
     }
     if (configs.routers.empty()) {
       std::fprintf(stderr, "no router configurations found in %s\n",
@@ -122,43 +206,33 @@ int main(int argc, char** argv) {
     }
     request.string("configs",
                    canonical_config_set_text(canonicalize(configs)));
+    if (!append_job_flags(argc, argv, arg, request)) return usage();
+    return send_with_retry(socket_path, request.str());
+  }
 
-    for (; arg + 1 < argc; arg += 2) {
-      if (std::strcmp(argv[arg], "--kr") == 0) {
-        request.number("k_r", std::atoi(argv[arg + 1]));
-      } else if (std::strcmp(argv[arg], "--kh") == 0) {
-        request.number("k_h", std::atoi(argv[arg + 1]));
-      } else if (std::strcmp(argv[arg], "--p") == 0) {
-        request.real("noise_p", std::atof(argv[arg + 1]));
-      } else if (std::strcmp(argv[arg], "--seed") == 0) {
-        request.number_u64("seed",
-                           std::strtoull(argv[arg + 1], nullptr, 10));
-      } else if (std::strcmp(argv[arg], "--fake-routers") == 0) {
-        request.number("fake_routers", std::atoi(argv[arg + 1]));
-      } else if (std::strcmp(argv[arg], "--deadline-ms") == 0) {
-        request.number_u64("deadline_ms",
-                           std::strtoull(argv[arg + 1], nullptr, 10));
-      } else {
-        return usage();
+  if (command == "resubmit") {
+    if (arg + 1 >= argc) return usage();
+    const std::string base_key = argv[arg++];
+    const std::string diff_path = argv[arg++];
+    std::string diff_text;
+    if (diff_path == "-") {
+      diff_text.assign(std::istreambuf_iterator<char>(std::cin),
+                       std::istreambuf_iterator<char>());
+    } else {
+      std::ifstream in(diff_path);
+      if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", diff_path.c_str());
+        return 2;
       }
+      diff_text.assign(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
     }
-    // Submit goes through the retrying path: a daemon at its admission
-    // limit answers with retry_after_ms, and we back off rather than fail.
-    TransportError transport;
-    const auto response =
-        client_submit_with_retry(socket_path, request.str(), {}, &transport);
-    if (!response) {
-      std::fprintf(stderr, "confmask-client: %s: %s\n",
-                   to_string(transport.failure), transport.detail.c_str());
-      return 2;
-    }
-    std::printf("%s\n", response->c_str());
-    const auto parsed = parse_json_line(*response);
-    if (!parsed) {
-      std::fprintf(stderr, "confmask-client: unparsable response\n");
-      return 2;
-    }
-    return get_bool(*parsed, "ok") == true ? 0 : 1;
+    JsonLineWriter request;
+    request.string("op", "resubmit");
+    request.string("base", base_key);
+    request.string("diff", diff_text);
+    if (!append_job_flags(argc, argv, arg, request)) return usage();
+    return send_with_retry(socket_path, request.str());
   }
 
   if (command == "status" || command == "wait" || command == "cancel") {

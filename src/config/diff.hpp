@@ -1,0 +1,128 @@
+// Configuration-bundle diffing for watch mode (incremental
+// re-anonymization, DESIGN.md §14).
+//
+// Two canonical bundles are compared device by device. The result answers
+// two questions the patch pipeline needs:
+//
+//   1. Is the edit FILTER-ONLY — confined to constructs that only the
+//      per-destination forwarding decision reads (prefix lists, their
+//      OSPF/RIP/BGP bindings, packet ACLs and passthrough extra lines) while
+//      the topology, addressing and protocol adjacencies are untouched?
+//      Only then may a prior Simulation be reused via the incremental
+//      constructor; anything else (interfaces, networks, neighbors, statics,
+//      hosts, device add/remove/rename/reorder) is STRUCTURAL and the caller
+//      must fall back to a full rebuild (fail closed).
+//
+//   2. Which destination prefixes may the edit have redirected? Per changed
+//      device the diff emits a conservative dirty-prefix set suitable for
+//      SimulationDelta: every destination whose forwarding decision at that
+//      device could differ between the two bundles is covered by some
+//      emitted prefix (over-approximation is fine — a dirty destination is
+//      recomputed, never guessed).
+//
+// The dirty-set rules, with W(e) the widened match region of a prefix-list
+// entry e (W = prefix widened to min(length, ge) so it covers every
+// candidate the entry can match):
+//   - a list changed in place: strip the longest common entry head and tail;
+//     the union of W over the middle entries of BOTH versions bounds every
+//     candidate whose first matching entry can differ (first-match-wins);
+//   - a binding added or removed (or a bound list defined/undefined): the
+//     whole list comes into or out of force — union of W over its DENY
+//     entries if the list ends in a terminal permit-all, else 0.0.0.0/0;
+//     a bound but undefined list filters nothing, so its scope is empty;
+//   - ACL / access-group / extra-line edits contribute nothing: they are
+//     re-read from the current configs on every rebuild and do not feed the
+//     per-destination FIB columns.
+//
+// The module also defines the `confmask-diff/1` wire format used by the
+// daemon's `resubmit` verb: a header line, `!<< delete <name>` directives,
+// and full `!>> device <name>` sections for added or modified devices.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/config/model.hpp"
+#include "src/util/ipv4.hpp"
+
+namespace confmask {
+
+enum class DeviceChangeKind {
+  kAdded,
+  kRemoved,
+  kModified,
+};
+
+/// Overall classification of a bundle diff.
+enum class DiffClass {
+  kIdentical,   ///< canonical texts are byte-equal
+  kFilterOnly,  ///< all changes reuse-safe; per-device dirty sets are valid
+  kStructural,  ///< at least one change requires a full rebuild
+};
+
+struct DeviceChange {
+  std::string name;
+  DeviceChangeKind kind = DeviceChangeKind::kModified;
+  /// True when this device's edit is confined to the filter-only surface.
+  bool filter_only = false;
+  /// True when the edit touches the packet-ACL surface (access lists or
+  /// interface access-group bindings). ACLs never move a FIB decision —
+  /// they stay inside the filter-only class with an empty dirty set — but
+  /// they DO reshape the data plane for arbitrary flows, so any consumer
+  /// reusing a prior run's data-plane snapshot must rebuild when this is
+  /// set (the FIB columns themselves remain reusable).
+  bool acls_changed = false;
+  /// Conservative dirty destination prefixes (meaningful only when the
+  /// whole diff is filter-only). Empty for e.g. extra-line-only edits.
+  std::vector<Ipv4Prefix> dirty;
+};
+
+struct ConfigSetDiff {
+  DiffClass klass = DiffClass::kIdentical;
+  std::vector<DeviceChange> devices;
+
+  [[nodiscard]] bool identical() const {
+    return klass == DiffClass::kIdentical;
+  }
+  [[nodiscard]] bool filter_only() const {
+    return klass != DiffClass::kStructural;
+  }
+  /// True when any device's packet-ACL surface changed (see
+  /// DeviceChange::acls_changed).
+  [[nodiscard]] bool acls_changed() const {
+    for (const DeviceChange& device : devices) {
+      if (device.acls_changed) return true;
+    }
+    return false;
+  }
+};
+
+/// Diffs two configuration sets. Both are compared in their canonical form
+/// (devices sorted by hostname); callers holding already-canonical sets pay
+/// no extra sort. Device ORDER differences after canonicalization (i.e. a
+/// different device-name sequence) are structural: simulation node ids are
+/// assigned by config order, so reuse across a reordering would alias the
+/// wrong columns.
+[[nodiscard]] ConfigSetDiff diff_config_sets(const ConfigSet& base,
+                                             const ConfigSet& next);
+
+/// Header line of the bundle-diff wire format.
+inline constexpr std::string_view kBundleDiffHeader = "!<< confmask-diff/1";
+
+/// Renders `next` as a diff against `base`: header, `!<< delete <name>` for
+/// devices present only in `base`, then full device sections (canonical
+/// emission) for every added or modified device, in canonical order.
+/// apply_bundle_diff(base, render_bundle_diff(base, next)) reproduces the
+/// canonical form of `next` byte-for-byte.
+[[nodiscard]] std::string render_bundle_diff(const ConfigSet& base,
+                                             const ConfigSet& next);
+
+/// Applies a `confmask-diff/1` diff to `base` and returns the canonicalized
+/// result. Throws ConfigParseError on a malformed diff: missing/unknown
+/// header, content before the first device section that is not a delete
+/// directive, a delete naming a device absent from `base`, or a device both
+/// deleted and re-defined in the same diff.
+[[nodiscard]] ConfigSet apply_bundle_diff(const ConfigSet& base,
+                                          const std::string& diff_text);
+
+}  // namespace confmask

@@ -35,6 +35,9 @@ struct PrefixListEntry {
 
   /// First-match semantics for a single entry.
   [[nodiscard]] bool matches(const Ipv4Prefix& candidate) const;
+
+  friend bool operator==(const PrefixListEntry&,
+                         const PrefixListEntry&) = default;
 };
 
 /// A named prefix list; matching follows Cisco first-match-wins with an
@@ -52,6 +55,8 @@ struct PrefixList {
   void add_permit_all();
 
   [[nodiscard]] int next_seq() const;
+
+  friend bool operator==(const PrefixList&, const PrefixList&) = default;
 };
 
 /// One `access-list N {permit|deny} ip SRC WILD DST WILD` entry.
@@ -62,6 +67,8 @@ struct AclEntry {
 
   [[nodiscard]] bool matches(const Ipv4Prefix& src,
                              const Ipv4Prefix& dst) const;
+
+  friend bool operator==(const AclEntry&, const AclEntry&) = default;
 };
 
 /// A numbered packet-filter ACL: first match wins, implicit deny-all.
@@ -71,6 +78,8 @@ struct AccessList {
 
   [[nodiscard]] bool permits(const Ipv4Prefix& src,
                              const Ipv4Prefix& dst) const;
+
+  friend bool operator==(const AccessList&, const AccessList&) = default;
 };
 
 /// A single L3 interface.
@@ -88,6 +97,12 @@ struct InterfaceConfig {
 
   /// The connected prefix of this interface; requires `address`.
   [[nodiscard]] Ipv4Prefix prefix() const;
+
+  /// Field-wise equality. Equal structs emit identical configuration text
+  /// (the emitter is a pure function of these fields), which is what lets
+  /// the diff front end compare models instead of emissions.
+  friend bool operator==(const InterfaceConfig&,
+                         const InterfaceConfig&) = default;
 };
 
 /// `distribute-list prefix NAME in IFACE` under an IGP process: routes to
@@ -96,11 +111,16 @@ struct InterfaceConfig {
 struct DistributeList {
   std::string prefix_list;
   std::string interface;
+
+  friend bool operator==(const DistributeList&,
+                         const DistributeList&) = default;
 };
 
 struct OspfNetwork {
   Ipv4Prefix prefix;
   int area = 0;
+
+  friend bool operator==(const OspfNetwork&, const OspfNetwork&) = default;
 };
 
 struct OspfConfig {
@@ -111,6 +131,8 @@ struct OspfConfig {
 
   /// True if an interface address is covered by some `network` statement.
   [[nodiscard]] bool covers(Ipv4Address addr) const;
+
+  friend bool operator==(const OspfConfig&, const OspfConfig&) = default;
 };
 
 struct RipConfig {
@@ -120,6 +142,8 @@ struct RipConfig {
   std::vector<std::string> extra_lines;
 
   [[nodiscard]] bool covers(Ipv4Address addr) const;
+
+  friend bool operator==(const RipConfig&, const RipConfig&) = default;
 };
 
 /// One `neighbor A.B.C.D ...` peer. `prefix_lists_in` are inbound
@@ -129,6 +153,8 @@ struct BgpNeighbor {
   Ipv4Address address;
   int remote_as = 0;
   std::vector<std::string> prefix_lists_in;
+
+  friend bool operator==(const BgpNeighbor&, const BgpNeighbor&) = default;
 };
 
 struct BgpConfig {
@@ -139,6 +165,8 @@ struct BgpConfig {
 
   [[nodiscard]] BgpNeighbor* find_neighbor(Ipv4Address addr);
   [[nodiscard]] const BgpNeighbor* find_neighbor(Ipv4Address addr) const;
+
+  friend bool operator==(const BgpConfig&, const BgpConfig&) = default;
 };
 
 /// `ip route PREFIX MASK NEXT-HOP`: a static route. Statics beat IGP
@@ -147,6 +175,8 @@ struct BgpConfig {
 struct StaticRoute {
   Ipv4Prefix prefix;
   Ipv4Address next_hop;
+
+  friend bool operator==(const StaticRoute&, const StaticRoute&) = default;
 };
 
 /// A router's full configuration.
@@ -176,6 +206,12 @@ struct RouterConfig {
   /// Fresh prefix-list name with the given stem.
   [[nodiscard]] std::string fresh_prefix_list_name(
       std::string_view stem) const;
+
+  /// Field-wise equality; implies byte-identical emission. The converse
+  /// does not hold in general, so consumers using this to SKIP work treat
+  /// inequality as "maybe changed" (conservative), never as proof of a
+  /// textual difference.
+  friend bool operator==(const RouterConfig&, const RouterConfig&) = default;
 };
 
 /// A host (end device) configuration: one interface plus default gateway.
@@ -190,6 +226,8 @@ struct HostConfig {
   [[nodiscard]] Ipv4Prefix prefix() const {
     return Ipv4Prefix{address, prefix_length};
   }
+
+  friend bool operator==(const HostConfig&, const HostConfig&) = default;
 };
 
 /// A complete network: the set of all device configurations. This is the

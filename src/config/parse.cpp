@@ -1,6 +1,7 @@
 #include "src/config/parse.hpp"
 
 #include <charconv>
+#include <map>
 #include <utility>
 
 #include "src/config/emit.hpp"
@@ -413,6 +414,7 @@ bool looks_like_host(std::string_view text) {
 ConfigSet parse_config_set(std::string_view text) {
   ConfigSet out;
   std::vector<std::pair<std::string, std::string>> chunks;  // name, text
+  std::map<std::string, std::size_t> marker_lines;  // name -> first marker line
   std::string current_name;
   std::string current_text;
   std::size_t line_number = 0;
@@ -428,6 +430,17 @@ ConfigSet parse_config_set(std::string_view text) {
       current_name = std::string(trim(raw.substr(kDeviceMarker.size())));
       if (current_name.empty()) {
         throw ConfigParseError(line_number, "device marker without a name");
+      }
+      // Duplicates must be a hard error: last-wins merging would silently
+      // corrupt the per-device cache digests (cache_key.hpp), which assume
+      // one section per device name.
+      const auto [first, inserted] =
+          marker_lines.emplace(current_name, line_number);
+      if (!inserted) {
+        throw ConfigParseError(
+            line_number, "duplicate device marker '" + current_name +
+                             "' (first defined at line " +
+                             std::to_string(first->second) + ")");
       }
       in_device = true;
       continue;
@@ -452,11 +465,6 @@ ConfigSet parse_config_set(std::string_view text) {
     throw ConfigParseError(1, "no device markers in configuration bundle");
   }
   for (const auto& [name, body] : chunks) {
-    for (const auto& [other_name, other_body] : chunks) {
-      if (&body != &other_body && name == other_name) {
-        throw ConfigParseError(1, "duplicate device marker '" + name + "'");
-      }
-    }
     if (looks_like_host(body)) {
       out.hosts.push_back(parse_host(body, name));
     } else {

@@ -6,6 +6,7 @@
 #include "src/core/errors.hpp"
 #include "src/core/node_addition.hpp"
 #include "src/core/original_index.hpp"
+#include "src/core/patch_mode.hpp"
 #include "src/core/pipeline_trace.hpp"
 #include "src/core/route_anonymity.hpp"
 #include "src/core/route_equivalence.hpp"
@@ -19,7 +20,26 @@ namespace confmask {
 PipelineResult run_pipeline(const ConfigSet& original,
                             const ConfMaskOptions& options,
                             EquivalenceStrategy strategy) {
+  return run_pipeline(original, options, strategy, nullptr, nullptr);
+}
+
+PipelineResult run_pipeline(const ConfigSet& original,
+                            const ConfMaskOptions& options,
+                            EquivalenceStrategy strategy,
+                            const PatchContext* patch_base,
+                            PatchCapture* patch_capture) {
   const auto start = std::chrono::steady_clock::now();
+  // Watch mode rides on the incremental engine; the serial baseline must
+  // keep the seed's exact from-scratch build sequence, so both directions
+  // of patch state are disabled with it.
+  if (!options.incremental_simulation) {
+    patch_base = nullptr;
+    patch_capture = nullptr;
+  }
+  if (patch_capture != nullptr) {
+    patch_capture->reset();
+    patch_capture->options = options;
+  }
   // Per-THREAD counter, not the process-global one: every Simulation of
   // this run is constructed on this (orchestration) thread, and the job
   // scheduler runs several pipelines concurrently — global-counter deltas
@@ -39,14 +59,56 @@ PipelineResult run_pipeline(const ConfigSet& original,
   result.anonymized = original;
   result.stats.original_lines = config_set_line_stats(original);
 
+  // Seeds a stage's first simulation from the prior run's snapshot when
+  // the stage-entry diff allows it (patch_mode.hpp); tallies the reuse
+  // outcome either way.
+  const auto stage_seed_from = [&](const PatchSnapshot& snapshot,
+                                   const ConfigSet& configs)
+      -> std::shared_ptr<Simulation> {
+    auto seeded = seed_simulation(configs, snapshot);
+    if (seeded != nullptr) {
+      ++result.stats.patched_stages;
+    } else {
+      ++result.stats.patch_fallbacks;
+    }
+    return seeded;
+  };
+
   // Preprocessing: simulate the original network once and snapshot the
-  // baseline (topology, FIBs, data plane, IGP distances).
+  // baseline (topology, FIBs, data plane, IGP distances). With a patch
+  // base whose diff is filter-only, the simulation is seeded and — absent
+  // packet-ACL changes — the index is spliced from the prior snapshot with
+  // only the dirty destinations re-derived (original_index.hpp).
+  OriginalReusePlan reuse_plan;
   auto preprocess_span = PipelineTrace::begin("preprocess");
   const OriginalIndex index =
-      run_stage(PipelineStage::kPreprocess, [&] {
-        const Simulation sim(original);
-        return OriginalIndex(sim);
+      run_stage(PipelineStage::kPreprocess, [&]() -> OriginalIndex {
+        std::shared_ptr<const Simulation> sim;
+        if (patch_base != nullptr) {
+          reuse_plan = plan_original_reuse(original, *patch_base);
+          sim = reuse_plan.sim;
+          if (sim != nullptr) {
+            ++result.stats.patched_stages;
+          } else {
+            ++result.stats.patch_fallbacks;
+          }
+        }
+        const bool seeded = sim != nullptr;
+        if (!seeded) sim = std::make_shared<const Simulation>(original);
+        if (patch_capture != nullptr) {
+          patch_capture->original.configs =
+              std::make_shared<const ConfigSet>(original);
+          patch_capture->original.live = sim;
+        }
+        if (seeded && reuse_plan.index_reusable &&
+            patch_base->index != nullptr) {
+          return OriginalIndex(*sim, *patch_base->index, reuse_plan.dirty);
+        }
+        return OriginalIndex(*sim);
       });
+  if (patch_capture != nullptr) {
+    patch_capture->index = std::make_shared<const OriginalIndex>(index);
+  }
   result.original_dp = index.data_plane();
   if (preprocess_span) {
     preprocess_span.add("routers", original.routers.size());
@@ -82,12 +144,35 @@ PipelineResult run_pipeline(const ConfigSet& original,
     }
   }
 
-  // Step 1: topology anonymization (k-degree).
+  // Step 1: topology anonymization (k-degree). Replayable from the patch
+  // base iff every stage input is proven unchanged: the originals diff
+  // filter-only (graph, AS grouping and IGP costs untouched), the options
+  // are identical (RNG stream, pricing policy, pools), no fake routers ran
+  // before it (their placement reads the shifted index), and
+  // graft_topology's own roster/interface checks pass.
   auto topo_span = PipelineTrace::begin("topology_anon");
   const auto topo_outcome = run_stage(PipelineStage::kTopologyAnon, [&] {
+    if (patch_base != nullptr && reuse_plan.sim != nullptr &&
+        options.fake_routers == 0 && patch_base->options == options) {
+      TopologyAnonymizationOutcome grafted;
+      if (graft_topology(result.anonymized, *patch_base, rng, allocator,
+                         grafted)) {
+        ++result.stats.patched_stages;
+        return grafted;
+      }
+    }
+    if (patch_base != nullptr) ++result.stats.patch_fallbacks;
     return anonymize_topology(result.anonymized, options.k_r,
                               options.cost_policy, rng, allocator);
   });
+  if (patch_capture != nullptr && options.fake_routers == 0) {
+    patch_capture->topology.result =
+        std::make_shared<const ConfigSet>(result.anonymized);
+    patch_capture->topology.rng = rng;
+    patch_capture->topology.allocator = allocator;
+    patch_capture->topology.outcome = topo_outcome;
+    patch_capture->topology.valid = true;
+  }
   result.stats.fake_intra_links = topo_outcome.intra_as_links.size();
   result.stats.fake_inter_links = topo_outcome.inter_as_links.size();
   if (topo_span) {
@@ -97,7 +182,13 @@ PipelineResult run_pipeline(const ConfigSet& original,
   }
   topo_span.end();
 
-  // Step 2.1: route equivalence.
+  // Step 2.1: route equivalence. The strawman strategies build their own
+  // simulations internally and take no seed — with them the equivalence
+  // snapshot simply stays uncaptured/unused.
+  StageSeed equivalence_seed;
+  const bool patch_equivalence =
+      strategy == EquivalenceStrategy::kConfMask &&
+      (patch_base != nullptr || patch_capture != nullptr);
   auto equivalence_span = PipelineTrace::begin("route_equivalence");
   const RouteEquivalenceOutcome equivalence =
       run_stage(PipelineStage::kRouteEquivalence, [&] {
@@ -109,10 +200,25 @@ PipelineResult run_pipeline(const ConfigSet& original,
           case EquivalenceStrategy::kConfMask:
             break;
         }
+        if (patch_capture != nullptr) {
+          // Clone BEFORE Algorithm 1 mutates: the snapshot must be the
+          // stage-entry state its first simulation was built over.
+          patch_capture->equivalence.configs =
+              std::make_shared<const ConfigSet>(result.anonymized);
+        }
+        if (patch_base != nullptr) {
+          equivalence_seed.initial =
+              stage_seed_from(patch_base->equivalence, result.anonymized);
+        }
         return enforce_route_equivalence(result.anonymized, index,
                                          options.max_equivalence_iterations,
-                                         options.incremental_simulation);
+                                         options.incremental_simulation,
+                                         patch_equivalence ? &equivalence_seed
+                                                           : nullptr);
       });
+  if (patch_capture != nullptr) {
+    patch_capture->equivalence.live = equivalence_seed.entry_sim;
+  }
   result.stats.equivalence_iterations = equivalence.iterations;
   result.stats.equivalence_filters = equivalence.filters_added;
   result.equivalence_converged = equivalence.converged;
@@ -127,18 +233,34 @@ PipelineResult run_pipeline(const ConfigSet& original,
   // Step 2.2: route anonymity. In incremental mode Algorithm 2 hands back
   // the simulation matching its final config state, sparing verification a
   // from-scratch rebuild.
-  std::unique_ptr<Simulation> final_simulation;
+  std::shared_ptr<Simulation> final_simulation;
+  StageSeed anonymity_seed;
+  const bool patch_anonymity =
+      patch_base != nullptr || patch_capture != nullptr;
   auto anonymity_span = PipelineTrace::begin("route_anonymity");
   run_stage(PipelineStage::kRouteAnonymity, [&] {
     result.fake_hosts =
         add_fake_hosts(result.anonymized, index, options.k_h, allocator);
     result.stats.fake_hosts = result.fake_hosts.size();
+    if (patch_capture != nullptr) {
+      patch_capture->anonymity.configs =
+          std::make_shared<const ConfigSet>(result.anonymized);
+    }
+    if (patch_base != nullptr && !result.fake_hosts.empty() &&
+        options.noise_p > 0.0) {
+      anonymity_seed.initial =
+          stage_seed_from(patch_base->anonymity, result.anonymized);
+    }
     const auto anonymity = anonymize_routes(
         result.anonymized, result.fake_hosts, options.noise_p, rng,
-        options.incremental_simulation, &final_simulation);
+        options.incremental_simulation, &final_simulation,
+        patch_anonymity ? &anonymity_seed : nullptr);
     result.stats.anonymity_filters = anonymity.filters_added;
     result.stats.anonymity_rollbacks = anonymity.filters_rolled_back;
   });
+  if (patch_capture != nullptr) {
+    patch_capture->anonymity.live = anonymity_seed.entry_sim;
+  }
   if (anonymity_span) {
     anonymity_span.add("fake_hosts", result.stats.fake_hosts);
     anonymity_span.add("filters_kept", result.stats.anonymity_filters);

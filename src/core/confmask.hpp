@@ -49,6 +49,11 @@ struct ConfMaskOptions {
   /// Worker-thread count is process-global, not per-run: see
   /// ThreadPool::configure / the CONFMASK_JOBS environment variable.
   bool incremental_simulation = true;
+
+  /// Watch mode replays a prior run's topology-stage output only when every
+  /// decision input is provably identical, which includes every knob above.
+  friend bool operator==(const ConfMaskOptions&,
+                         const ConfMaskOptions&) = default;
 };
 
 /// Which Step-2.1 implementation the pipeline uses.
@@ -62,6 +67,11 @@ struct PipelineStats {
   int equivalence_filters = 0;
   int anonymity_filters = 0;
   int anonymity_rollbacks = 0;
+  /// Watch mode (patch_mode.hpp): stages whose first simulation was seeded
+  /// from a prior run's PatchContext, and stages where a context was
+  /// offered but the stage-entry diff was structural (full rebuild).
+  int patched_stages = 0;
+  int patch_fallbacks = 0;
   std::uint64_t simulations = 0;  ///< simulation jobs (paper §5.4 cost unit)
   double seconds = 0.0;           ///< end-to-end wall-clock
   LineStats original_lines;
@@ -91,6 +101,26 @@ struct PipelineResult {
 PipelineResult run_pipeline(const ConfigSet& original,
                             const ConfMaskOptions& options,
                             EquivalenceStrategy strategy);
+
+struct PatchContext;
+struct PatchCapture;
+
+/// Watch-mode variant (patch_mode.hpp, DESIGN.md §14). `patch_base`, when
+/// non-null, offers a prior run's stage snapshots: each of the three
+/// full-simulation points (preprocess, Algorithm 1 entry, Algorithm 2
+/// entry) independently reuses the snapshot iff its current entry configs
+/// differ only by filters, and falls back to a from-scratch build
+/// otherwise — output bytes are identical either way, only
+/// stats.patched_stages / patch_fallbacks and the per-stage reuse counters
+/// move. `patch_capture`, when non-null, collects this run's stage-entry
+/// state; pass it to finish_capture AFTER this returns to obtain the
+/// context for the next cycle. Both are ignored (and the capture reset)
+/// unless options.incremental_simulation is set.
+PipelineResult run_pipeline(const ConfigSet& original,
+                            const ConfMaskOptions& options,
+                            EquivalenceStrategy strategy,
+                            const PatchContext* patch_base,
+                            PatchCapture* patch_capture);
 
 inline PipelineResult run_confmask(const ConfigSet& original,
                                    const ConfMaskOptions& options = {}) {

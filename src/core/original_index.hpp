@@ -23,6 +23,23 @@ class OriginalIndex {
   /// Snapshots `sim`, which must be a simulation of the ORIGINAL configs.
   explicit OriginalIndex(const Simulation& sim);
 
+  /// Incremental re-snapshot for watch mode (DESIGN.md §14). `previous`
+  /// must index the PRE-edit originals and `sim` the post-edit ones, where
+  /// the edit is FILTER-ONLY (same devices, same topology, same link
+  /// costs) with no packet-ACL change, and `dirty` is the diff's
+  /// conservative dirty-prefix set. Everything destination-independent
+  /// (edges, rosters, IGP distances) is copied from `previous`; FIB rows
+  /// and data-plane flows are re-derived from `sim` only for destination
+  /// hosts whose prefix overlaps `dirty` — the exact invalidation rule the
+  /// incremental Simulation constructor applies to its FIB columns, so the
+  /// result is bit-identical to OriginalIndex(sim). The ACL exclusion is
+  /// load-bearing: an ACL edit reshapes data-plane flows for destinations
+  /// that contribute NO dirty prefix (it can even resurrect flows absent
+  /// before), so callers must fall back to a full snapshot when one is
+  /// present (ConfigSetDiff::acls_changed).
+  OriginalIndex(const Simulation& sim, const OriginalIndex& previous,
+                const std::vector<Ipv4Prefix>& dirty);
+
   /// True if the (router, router) adjacency existed in the original
   /// network. Order-insensitive.
   [[nodiscard]] bool is_original_edge(const std::string& a,

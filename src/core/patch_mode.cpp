@@ -1,0 +1,215 @@
+#include "src/core/patch_mode.hpp"
+
+#include <utility>
+
+#include "src/routing/simulation.hpp"
+
+namespace confmask {
+
+namespace {
+
+PatchSnapshot rebase_stage(const PatchCapture::Stage& stage) {
+  PatchSnapshot snapshot;
+  if (stage.configs == nullptr || stage.live == nullptr) return snapshot;
+  snapshot.configs = stage.configs;
+  // Empty delta: every FIB column and the topology arenas are aliased from
+  // the live simulation; only the filter index is re-derived, from the
+  // clone this time, making the snapshot independent of the pipeline's
+  // (since-mutated, possibly destroyed) working configs.
+  snapshot.sim = std::make_shared<const Simulation>(
+      *snapshot.configs, *stage.live, SimulationDelta{});
+  return snapshot;
+}
+
+/// Maps a filter-only diff onto the snapshot's node ids. Returns the
+/// seeded simulation, or null when the diff is structural or names a
+/// device the snapshot's topology does not know.
+std::shared_ptr<Simulation> seed_from_diff(const ConfigSet& configs,
+                                           const PatchSnapshot& snapshot,
+                                           const ConfigSetDiff& diff) {
+  if (!diff.filter_only()) return nullptr;
+  if (diff.identical()) {
+    // Still rebuild through the (cheap, fully aliasing) incremental path:
+    // the returned simulation must reference `configs`, not the snapshot's
+    // own clone, because the caller's stage may keep mutating `configs`
+    // and re-simulating against it.
+    return std::make_shared<Simulation>(configs, *snapshot.sim,
+                                        SimulationDelta{});
+  }
+  SimulationDelta delta;
+  const Topology& topo = snapshot.sim->topology();
+  for (const DeviceChange& change : diff.devices) {
+    if (change.dirty.empty()) continue;
+    const int node = topo.find_node(change.name);
+    if (node < 0 || !topo.is_router(node)) {
+      // A filter-only diff names only devices present on both sides, so
+      // this is unreachable in practice — fail closed rather than trust it.
+      return nullptr;
+    }
+    for (const Ipv4Prefix& prefix : change.dirty) {
+      delta.record(node, prefix);
+    }
+  }
+  return std::make_shared<Simulation>(configs, *snapshot.sim, delta);
+}
+
+}  // namespace
+
+std::shared_ptr<const PatchContext> finish_capture(
+    const PatchCapture& capture) {
+  auto context = std::make_shared<PatchContext>();
+  context->original = rebase_stage(capture.original);
+  context->equivalence = rebase_stage(capture.equivalence);
+  context->anonymity = rebase_stage(capture.anonymity);
+  if (!context->original.valid() && !context->equivalence.valid() &&
+      !context->anonymity.valid()) {
+    return nullptr;
+  }
+  // The index and topology snapshots answer diffs against the original
+  // snapshot's configs; without those they are unusable.
+  if (context->original.valid()) {
+    context->index = capture.index;
+    if (capture.topology.valid && capture.topology.result != nullptr) {
+      context->topology = capture.topology;
+    }
+  }
+  context->options = capture.options;
+  return context;
+}
+
+std::shared_ptr<Simulation> seed_simulation(const ConfigSet& configs,
+                                            const PatchSnapshot& snapshot) {
+  if (!snapshot.valid()) return nullptr;
+  return seed_from_diff(configs, snapshot,
+                        diff_config_sets(*snapshot.configs, configs));
+}
+
+OriginalReusePlan plan_original_reuse(const ConfigSet& configs,
+                                      const PatchContext& context) {
+  OriginalReusePlan plan;
+  if (!context.original.valid()) return plan;
+  const ConfigSetDiff diff =
+      diff_config_sets(*context.original.configs, configs);
+  plan.sim = seed_from_diff(configs, context.original, diff);
+  if (plan.sim == nullptr) return plan;
+  plan.index_reusable = !diff.acls_changed();
+  for (const DeviceChange& change : diff.devices) {
+    plan.dirty.insert(plan.dirty.end(), change.dirty.begin(),
+                      change.dirty.end());
+  }
+  return plan;
+}
+
+bool graft_topology(ConfigSet& configs, const PatchContext& context,
+                    Rng& rng, PrefixAllocator& allocator,
+                    TopologyAnonymizationOutcome& outcome) {
+  const TopologyPatch& topo = context.topology;
+  if (!topo.valid || topo.result == nullptr || !context.original.valid()) {
+    return false;
+  }
+  const ConfigSet& pre = *context.original.configs;
+  const ConfigSet& post = *topo.result;
+  // The stage only ever APPENDS to existing routers; a changed roster
+  // means some other stage (node addition) ran — not replayable here.
+  if (pre.routers.size() != post.routers.size() ||
+      configs.routers.size() != pre.routers.size() ||
+      configs.hosts.size() != pre.hosts.size() ||
+      post.hosts.size() != pre.hosts.size()) {
+    return false;
+  }
+
+  // Verify-then-apply in two passes so a failed check leaves `configs`
+  // untouched for the from-scratch fallback.
+  for (std::size_t i = 0; i < pre.routers.size(); ++i) {
+    const RouterConfig& before = pre.routers[i];
+    const RouterConfig& after = post.routers[i];
+    const RouterConfig& current = configs.routers[i];
+    if (before.hostname != after.hostname ||
+        before.hostname != current.hostname) {
+      return false;
+    }
+    // Containers the stage appends to: current must still start where the
+    // captured run started.
+    if (current.interfaces.size() != before.interfaces.size() ||
+        after.interfaces.size() < before.interfaces.size()) {
+      return false;
+    }
+    // Containers the stage never touches: any drift means the snapshot is
+    // not from the assumed stage shape.
+    if (after.prefix_lists.size() != before.prefix_lists.size() ||
+        after.access_lists.size() != before.access_lists.size() ||
+        after.static_routes.size() != before.static_routes.size() ||
+        after.extra_lines.size() != before.extra_lines.size()) {
+      return false;
+    }
+    if (before.ospf.has_value() != after.ospf.has_value() ||
+        before.rip.has_value() != after.rip.has_value() ||
+        before.bgp.has_value() != after.bgp.has_value() ||
+        before.ospf.has_value() != current.ospf.has_value() ||
+        before.rip.has_value() != current.rip.has_value() ||
+        before.bgp.has_value() != current.bgp.has_value()) {
+      return false;
+    }
+    if (before.ospf &&
+        after.ospf->networks.size() < before.ospf->networks.size()) {
+      return false;
+    }
+    if (before.rip &&
+        after.rip->networks.size() < before.rip->networks.size()) {
+      return false;
+    }
+    if (before.bgp &&
+        after.bgp->neighbors.size() < before.bgp->neighbors.size()) {
+      return false;
+    }
+    if (after.interfaces.size() > before.interfaces.size()) {
+      // Fake interfaces clone the first real interface's passthrough lines
+      // (materialize_fake_link); those lines are on the filter-only edit
+      // surface, so an edit there makes the captured clone stale.
+      if (before.interfaces.empty() ||
+          before.interfaces.front().extra_lines !=
+              current.interfaces.front().extra_lines) {
+        return false;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < pre.routers.size(); ++i) {
+    const RouterConfig& before = pre.routers[i];
+    const RouterConfig& after = post.routers[i];
+    RouterConfig& current = configs.routers[i];
+    current.interfaces.insert(
+        current.interfaces.end(),
+        after.interfaces.begin() +
+            static_cast<std::ptrdiff_t>(before.interfaces.size()),
+        after.interfaces.end());
+    if (before.ospf) {
+      current.ospf->networks.insert(
+          current.ospf->networks.end(),
+          after.ospf->networks.begin() +
+              static_cast<std::ptrdiff_t>(before.ospf->networks.size()),
+          after.ospf->networks.end());
+    }
+    if (before.rip) {
+      current.rip->networks.insert(
+          current.rip->networks.end(),
+          after.rip->networks.begin() +
+              static_cast<std::ptrdiff_t>(before.rip->networks.size()),
+          after.rip->networks.end());
+    }
+    if (before.bgp) {
+      current.bgp->neighbors.insert(
+          current.bgp->neighbors.end(),
+          after.bgp->neighbors.begin() +
+              static_cast<std::ptrdiff_t>(before.bgp->neighbors.size()),
+          after.bgp->neighbors.end());
+    }
+  }
+
+  rng = topo.rng;
+  allocator = topo.allocator;
+  outcome = topo.outcome;
+  return true;
+}
+
+}  // namespace confmask

@@ -1,0 +1,175 @@
+// Watch mode: incremental re-anonymization on config diffs (DESIGN.md §14).
+//
+// A watch cycle anonymizes a bundle that differs from a previously
+// anonymized one by a small edit. A PatchContext captured from the prior
+// run snapshots every point where the pipeline pays a from-scratch cost:
+//
+//  * the three full-Simulation builds — preprocess (the original network),
+//    Algorithm 1 entry (post-Step-1 configs) and Algorithm 2 entry
+//    (post-fake-hosts configs) — each as a stable copy of the stage-entry
+//    configs plus the simulation over them;
+//  * the preprocessing OriginalIndex (FIB rows, data plane, IGP matrix);
+//  * the topology-anonymization stage output: the post-Step-1 configs
+//    together with the RNG and prefix-allocator state the stage left
+//    behind.
+//
+// On the next run, reuse is decided per snapshot, each time by PROVING the
+// snapshot's inputs unchanged — never by assuming it:
+//
+//  * a stage simulation is seeded through the incremental constructor iff
+//    the stage-entry diff (diff_config_sets) is filter-only, with the
+//    diff's conservative dirty set;
+//  * the OriginalIndex is spliced (dirty destinations re-derived, the rest
+//    copied) iff the diff is additionally free of packet-ACL changes —
+//    ACLs reshape data-plane flows without contributing dirty prefixes;
+//  * the topology stage is replayed from the snapshot (graft_topology:
+//    append the same fake interfaces / networks / neighbors, restore the
+//    RNG and allocator) iff the diff is filter-only, the effective options
+//    are IDENTICAL (the RNG stream and fake-link pricing depend on every
+//    knob) and no input the stage reads — device roster, interface
+//    surface, first-interface passthrough lines — moved.
+//
+// Any condition that fails falls back to the from-scratch path for that
+// snapshot (fail closed — reuse is an optimization, never a semantic
+// input). All pipeline DECISIONS (filter placement, RNG stream, retry
+// ladder) are either replayed on the current configs or replayed from a
+// state proven equal, so patched output is byte-identical to a cold run by
+// construction; only the per-stage span counters (simulations,
+// destinations_reused etc.) may differ, mirroring the existing
+// `incremental_simulation` precedent (cache_key.hpp keys neither).
+//
+// Patch mode is active only when options.incremental_simulation is set:
+// the serial baseline keeps the seed's exact build sequence.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/config/diff.hpp"
+#include "src/config/model.hpp"
+#include "src/core/confmask.hpp"
+#include "src/core/original_index.hpp"
+#include "src/core/stage_seed.hpp"
+#include "src/util/prefix_allocator.hpp"
+#include "src/util/rng.hpp"
+
+namespace confmask {
+
+class Simulation;
+
+/// One reuse point: the stage-entry configs (owned, address-stable) and
+/// the simulation built over them. `configs` is declared before `sim` so
+/// the simulation's internal config pointer never outlives its target.
+struct PatchSnapshot {
+  std::shared_ptr<const ConfigSet> configs;
+  std::shared_ptr<const Simulation> sim;
+
+  [[nodiscard]] bool valid() const {
+    return configs != nullptr && sim != nullptr;
+  }
+};
+
+/// The topology-anonymization stage output of one run: the configs as the
+/// stage left them plus the RNG / allocator state it consumed up to. Valid
+/// only when the run added no fake routers (node addition reads the
+/// preprocessing index, whose content shifts under edits) — with it, the
+/// pre-stage configs are exactly PatchContext::original.configs.
+struct TopologyPatch {
+  std::shared_ptr<const ConfigSet> result;  ///< configs after Step 1
+  Rng rng{0};                               ///< RNG state after Step 1
+  PrefixAllocator allocator;                ///< allocator state after Step 1
+  TopologyAnonymizationOutcome outcome;
+  bool valid = false;
+};
+
+/// Everything a later run can reuse from one pipeline execution.
+struct PatchContext {
+  PatchSnapshot original;     ///< preprocess: the submitted bundle
+  PatchSnapshot equivalence;  ///< Algorithm 1 entry (post Step 1)
+  PatchSnapshot anonymity;    ///< Algorithm 2 entry (post fake hosts)
+  /// Preprocessing snapshot of the run (self-contained: names and bytes
+  /// only, no simulation references).
+  std::shared_ptr<const OriginalIndex> index;
+  /// Step-1 stage output, replayable via graft_topology.
+  TopologyPatch topology;
+  /// The options the run executed with. Topology replay requires equality:
+  /// every knob feeds the stage's RNG stream, pricing or pool choice.
+  ConfMaskOptions options;
+};
+
+/// Raw material collected DURING a pipeline run: stage-entry config clones
+/// plus live handles to the simulations the stages actually used. The live
+/// simulations reference configs owned by the (mutating) pipeline, so they
+/// must be re-based before they can outlive the run — see finish_capture.
+struct PatchCapture {
+  struct Stage {
+    std::shared_ptr<const ConfigSet> configs;  ///< clone taken at stage entry
+    std::shared_ptr<const Simulation> live;    ///< stage's entry simulation
+  };
+  Stage original;
+  Stage equivalence;
+  Stage anonymity;
+  std::shared_ptr<const OriginalIndex> index;
+  TopologyPatch topology;
+  ConfMaskOptions options;
+
+  void reset() {
+    original = {};
+    equivalence = {};
+    anonymity = {};
+    index = nullptr;
+    topology = {};
+    options = {};
+  }
+};
+
+/// Re-bases each captured stage onto its cloned configs (an empty-delta
+/// incremental rebuild: every column aliased, no recomputation) and drops
+/// the live handles, yielding a self-contained context safe to hold across
+/// jobs. Call AFTER the pipeline returns, outside its trace spans, so the
+/// cold run's artifacts are byte-identical whether or not it was captured.
+/// Returns null when nothing usable was captured.
+[[nodiscard]] std::shared_ptr<const PatchContext> finish_capture(
+    const PatchCapture& capture);
+
+/// The reuse decision for one stage: diffs `configs` (the stage's current
+/// entry state) against the snapshot and, when the diff is filter-only,
+/// returns a simulation seeded from the snapshot through the incremental
+/// constructor with the mapped dirty set. Returns null — caller builds
+/// from scratch — on any structural difference, an unknown device, or an
+/// invalid snapshot.
+[[nodiscard]] std::shared_ptr<Simulation> seed_simulation(
+    const ConfigSet& configs, const PatchSnapshot& snapshot);
+
+/// The preprocess-stage reuse decision against the context's `original`
+/// snapshot, carrying everything that stage can exploit beyond the seeded
+/// simulation.
+struct OriginalReusePlan {
+  /// Seeded simulation over the current originals, or null (structural
+  /// diff / invalid snapshot — nothing below is meaningful then).
+  std::shared_ptr<Simulation> sim;
+  /// True when the diff had no packet-ACL change, i.e. the context's
+  /// OriginalIndex may be spliced with `dirty` instead of rebuilt.
+  bool index_reusable = false;
+  /// Union of the diff's per-device dirty prefixes.
+  std::vector<Ipv4Prefix> dirty;
+};
+
+[[nodiscard]] OriginalReusePlan plan_original_reuse(
+    const ConfigSet& configs, const PatchContext& context);
+
+/// Replays the context's topology-anonymization output onto `configs`
+/// (the CURRENT pipeline's pre-Step-1 state): appends exactly the fake
+/// interfaces, protocol coverage and eBGP neighbors the captured stage
+/// appended, and hands back the RNG / allocator state to resume from.
+/// The caller must already have proven the diff vs the context's originals
+/// filter-only and the effective options identical; this function verifies
+/// the remaining stage inputs (device roster alignment, interface counts,
+/// first-interface passthrough lines — fake interfaces clone those) and
+/// returns false without touching anything when any check fails.
+[[nodiscard]] bool graft_topology(ConfigSet& configs,
+                                  const PatchContext& context, Rng& rng,
+                                  PrefixAllocator& allocator,
+                                  TopologyAnonymizationOutcome& outcome);
+
+}  // namespace confmask

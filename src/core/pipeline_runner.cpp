@@ -76,6 +76,17 @@ GuardedPipelineResult run_pipeline_guarded(const ConfigSet& original,
                                            const RetryPolicy& policy,
                                            EquivalenceStrategy strategy,
                                            const CancelToken* cancel) {
+  return run_pipeline_guarded(original, options, policy, strategy, cancel,
+                              nullptr, nullptr);
+}
+
+GuardedPipelineResult run_pipeline_guarded(const ConfigSet& original,
+                                           const ConfMaskOptions& options,
+                                           const RetryPolicy& policy,
+                                           EquivalenceStrategy strategy,
+                                           const CancelToken* cancel,
+                                           const PatchContext* patch_base,
+                                           PatchCapture* patch_capture) {
   // Ambient for the whole guarded run: every run_stage boundary and round
   // loop below us polls this token without parameter plumbing.
   CancelScope cancel_scope(cancel);
@@ -180,7 +191,8 @@ GuardedPipelineResult run_pipeline_guarded(const ConfigSet& original,
     }
     PipelineResult result;
     try {
-      result = run_pipeline(original, opts, strategy);
+      result = run_pipeline(original, opts, strategy, patch_base,
+                            patch_capture);
     } catch (const PipelineError& error) {
       if (!error.retryable()) {
         return fail_with(error.stage(), error.category(), error.message(),

@@ -125,6 +125,20 @@ struct GuardedPipelineResult {
     EquivalenceStrategy strategy = EquivalenceStrategy::kConfMask,
     const CancelToken* cancel = nullptr);
 
+struct PatchContext;
+struct PatchCapture;
+
+/// Watch-mode variant: threads `patch_base` / `patch_capture` through to
+/// run_pipeline (see confmask.hpp). Every ladder attempt is offered the
+/// same base — attempts whose ladder rung changed the stage-entry state
+/// simply fall back stage by stage — and the capture always reflects the
+/// FINAL attempt (run_pipeline resets it on entry).
+[[nodiscard]] GuardedPipelineResult run_pipeline_guarded(
+    const ConfigSet& original, const ConfMaskOptions& options,
+    const RetryPolicy& policy, EquivalenceStrategy strategy,
+    const CancelToken* cancel, const PatchContext* patch_base,
+    PatchCapture* patch_capture);
+
 /// Machine-readable rendering of the diagnostics: status, terminal error,
 /// every fallback-ladder event, the fail-closed gate's divergence triples,
 /// and per-phase span aggregates. One implementation shared by the CLI's

@@ -92,7 +92,7 @@ std::vector<std::string> add_fake_hosts(ConfigSet& configs,
 RouteAnonymityOutcome anonymize_routes(
     ConfigSet& configs, const std::vector<std::string>& fake_hosts,
     double noise_p, Rng& rng, bool incremental,
-    std::unique_ptr<Simulation>* final_simulation) {
+    std::shared_ptr<Simulation>* final_simulation, StageSeed* seed) {
   RouteAnonymityOutcome outcome;
   if (final_simulation != nullptr) final_simulation->reset();
   if (fake_hosts.empty() || noise_p <= 0.0) return outcome;
@@ -106,7 +106,13 @@ RouteAnonymityOutcome anonymize_routes(
   // cases where effects propagate), we batch all routers into one noise
   // pass followed by rollback rounds — same filters kept, a fraction of
   // the simulation jobs (§5.4's dominant cost).
-  auto current = std::make_unique<Simulation>(configs);
+  std::shared_ptr<Simulation> current;
+  if (seed != nullptr && seed->initial != nullptr) {
+    current = std::move(seed->initial);
+  } else {
+    current = std::make_shared<Simulation>(configs);
+  }
+  if (seed != nullptr) seed->entry_sim = current;
   // Shared ownership: the rollback rounds replace `current`, and a fresh
   // (non-incremental) rebuild constructs its own Topology — node ids are
   // identical since the node set is frozen, but the original object would
@@ -175,8 +181,8 @@ RouteAnonymityOutcome anonymize_routes(
     poll_cancellation();
     auto round_span = PipelineTrace::begin("rollback_round");
     current = incremental
-                  ? std::make_unique<Simulation>(configs, *current, delta)
-                  : std::make_unique<Simulation>(configs);
+                  ? std::make_shared<Simulation>(configs, *current, delta)
+                  : std::make_shared<Simulation>(configs);
     if (round_span) {
       const IncrementalStats& inc = current->incremental_stats();
       round_span.add("destinations_reused",
@@ -245,7 +251,7 @@ RouteAnonymityOutcome anonymize_routes(
   if (final_simulation != nullptr && incremental) {
     if (!delta.empty()) {
       // The last round rolled filters back after `current` was built.
-      current = std::make_unique<Simulation>(configs, *current, delta);
+      current = std::make_shared<Simulation>(configs, *current, delta);
     }
     *final_simulation = std::move(current);
   }

@@ -20,6 +20,7 @@
 
 #include "src/config/model.hpp"
 #include "src/core/original_index.hpp"
+#include "src/core/stage_seed.hpp"
 #include "src/util/prefix_allocator.hpp"
 #include "src/util/rng.hpp"
 
@@ -48,9 +49,14 @@ struct RouteAnonymityOutcome {
 /// the caller (pipeline verification) need not rebuild it; in
 /// non-incremental mode it is left null, preserving the serial baseline's
 /// exact behavior.
+///
+/// `seed` (watch mode) optionally supplies the stage's first simulation
+/// and/or receives a handle to it — see stage_seed.hpp. The RNG draw
+/// sequence of the noise pass is identical either way.
 RouteAnonymityOutcome anonymize_routes(
     ConfigSet& configs, const std::vector<std::string>& fake_hosts,
     double noise_p, Rng& rng, bool incremental = true,
-    std::unique_ptr<Simulation>* final_simulation = nullptr);
+    std::shared_ptr<Simulation>* final_simulation = nullptr,
+    StageSeed* seed = nullptr);
 
 }  // namespace confmask

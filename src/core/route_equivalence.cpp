@@ -14,13 +14,14 @@ namespace confmask {
 RouteEquivalenceOutcome enforce_route_equivalence(ConfigSet& configs,
                                                   const OriginalIndex& index,
                                                   int max_iterations,
-                                                  bool incremental) {
+                                                  bool incremental,
+                                                  StageSeed* seed) {
   RouteEquivalenceOutcome outcome;
   // Step 1 froze the topology (all fake edges exist already); Algorithm 1
   // only edits route filters. So after the first full build, each
   // iteration re-simulates incrementally through the dirty set of filters
   // it just added.
-  std::unique_ptr<Simulation> simulation;
+  std::shared_ptr<Simulation> simulation;
   for (int iteration = 0; iteration < max_iterations; ++iteration) {
     // Fixpoint iterations dominate the pipeline's wall clock, so each one
     // is a cancellation safe point (deadline/cancel lands here, not only
@@ -30,7 +31,14 @@ RouteEquivalenceOutcome enforce_route_equivalence(ConfigSet& configs,
     // "route_equivalence/iteration"): FIB entries scanned, filters added,
     // and what the incremental rebuild feeding this iteration reused.
     auto iteration_span = PipelineTrace::begin("iteration");
-    if (simulation == nullptr) simulation = std::make_unique<Simulation>(configs);
+    if (simulation == nullptr) {
+      if (seed != nullptr && seed->initial != nullptr) {
+        simulation = std::move(seed->initial);
+      } else {
+        simulation = std::make_shared<Simulation>(configs);
+      }
+      if (seed != nullptr) seed->entry_sim = simulation;
+    }
     const Simulation& sim = *simulation;
     const Topology& topo = sim.topology();
     ++outcome.iterations;
@@ -103,7 +111,7 @@ RouteEquivalenceOutcome enforce_route_equivalence(ConfigSet& configs,
     }
     if (iteration + 1 >= max_iterations) break;
     if (incremental) {
-      simulation = std::make_unique<Simulation>(configs, sim, delta);
+      simulation = std::make_shared<Simulation>(configs, sim, delta);
     } else {
       simulation.reset();
     }

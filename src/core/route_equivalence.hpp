@@ -15,6 +15,7 @@
 
 #include "src/config/model.hpp"
 #include "src/core/original_index.hpp"
+#include "src/core/stage_seed.hpp"
 
 namespace confmask {
 
@@ -28,9 +29,14 @@ struct RouteEquivalenceOutcome {
 /// through the SimulationDelta dirty-set path — the topology is frozen
 /// after Step 1, so only destinations whose prefix a new filter matches are
 /// recomputed. Results are bit-identical to `incremental = false`.
+///
+/// `seed` (watch mode) optionally supplies the stage's first simulation
+/// and/or receives a handle to it — see stage_seed.hpp. Filter decisions
+/// are unaffected: the stage scans the same FIBs either way.
 RouteEquivalenceOutcome enforce_route_equivalence(ConfigSet& configs,
                                                   const OriginalIndex& index,
                                                   int max_iterations = 64,
-                                                  bool incremental = true);
+                                                  bool incremental = true,
+                                                  StageSeed* seed = nullptr);
 
 }  // namespace confmask

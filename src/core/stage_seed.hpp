@@ -1,0 +1,36 @@
+// Seed/capture channel for a pipeline stage's FIRST full simulation.
+//
+// Watch mode (patch_mode.hpp, DESIGN.md §14) reuses prior work at exactly
+// one kind of point: wherever a stage would build a fresh Simulation from
+// scratch, it may instead be handed one seeded through the incremental
+// constructor from a previous run's stage-entry state. The incremental
+// engine is verified bit-identical to a from-scratch build, and every
+// DECISION the stage makes (filter placement, RNG draws, iteration order)
+// still replays on the current configs — so a seeded stage produces
+// byte-identical output, just without re-deriving clean FIB columns.
+//
+// The same channel also works the other way: the stage publishes a shared
+// handle to the simulation it actually used at stage entry, which the next
+// watch cycle captures as its reuse base.
+#pragma once
+
+#include <memory>
+
+namespace confmask {
+
+class Simulation;
+
+struct StageSeed {
+  /// In: when non-null, the stage adopts this as its first simulation
+  /// instead of constructing `Simulation(configs)`. Must be built over the
+  /// exact configs the stage sees at entry. Consumed (moved from).
+  std::shared_ptr<Simulation> initial;
+
+  /// Out: the stage's entry simulation (seeded or freshly built), kept
+  /// alive by this handle even after the stage's own iteration loop has
+  /// replaced it. Null when the stage never built one (e.g. Algorithm 2
+  /// with no fake hosts).
+  std::shared_ptr<const Simulation> entry_sim;
+};
+
+}  // namespace confmask

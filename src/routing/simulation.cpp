@@ -863,6 +863,11 @@ std::vector<Path> Simulation::paths(int src_host, int dst_host,
 }
 
 DataPlane Simulation::extract_data_plane() const {
+  return extract_data_plane(topology_->host_ids());
+}
+
+DataPlane Simulation::extract_data_plane(
+    const std::vector<int>& dst_hosts) const {
   DataPlane dp;
   const auto& hosts = topology_->host_ids();
   // When no inbound packet ACL exists anywhere, the walk from a gateway to
@@ -874,10 +879,10 @@ DataPlane Simulation::extract_data_plane() const {
   // One slot per destination: the destinations fan out over the pool and
   // each writes only its own slot; the merge below is serial and ordered.
   std::vector<std::vector<std::pair<int, std::vector<Path>>>> per_dst(
-      hosts.size());
-  std::vector<unsigned> truncated_flows(hosts.size(), 0);
-  ThreadPool::shared().parallel_for(hosts.size(), [&](std::size_t di) {
-    const int dst = hosts[di];
+      dst_hosts.size());
+  std::vector<unsigned> truncated_flows(dst_hosts.size(), 0);
+  ThreadPool::shared().parallel_for(dst_hosts.size(), [&](std::size_t di) {
+    const int dst = dst_hosts[di];
     auto& flows_out = per_dst[di];
     if (!acl_free) {
       for (const int src : hosts) {
@@ -948,9 +953,9 @@ DataPlane Simulation::extract_data_plane() const {
   });
 
   std::size_t total_truncated = 0;
-  for (std::size_t di = 0; di < hosts.size(); ++di) {
+  for (std::size_t di = 0; di < dst_hosts.size(); ++di) {
     total_truncated += truncated_flows[di];
-    const std::string& dst_name = topology_->node(hosts[di]).name;
+    const std::string& dst_name = topology_->node(dst_hosts[di]).name;
     for (auto& [src, flow_paths] : per_dst[di]) {
       dp.flows.emplace(FlowKey{topology_->node(src).name, dst_name},
                        std::move(flow_paths));
@@ -966,6 +971,10 @@ DataPlane Simulation::extract_data_plane() const {
                  total_truncated, kMaxPathsPerFlow, kMaxPathDepth);
   }
   return dp;
+}
+
+const Ipv4Prefix& Simulation::host_prefix(int host) const {
+  return flat_->host_prefix(host - topology_->router_count());
 }
 
 bool Simulation::reaches(int router, int host) const {

@@ -193,6 +193,18 @@ class Simulation {
   /// coverage must never be mistaken for complete coverage).
   [[nodiscard]] DataPlane extract_data_plane() const;
 
+  /// Data plane restricted to flows TOWARD the given destination host node
+  /// ids (all sources). Watch mode re-extracts only the destinations a
+  /// config diff may have redirected and splices them into a prior
+  /// snapshot; per-destination results are identical to the full
+  /// extraction's.
+  [[nodiscard]] DataPlane extract_data_plane(
+      const std::vector<int>& dst_hosts) const;
+
+  /// The /N LAN prefix of a host node id (destination prefix of every flow
+  /// toward it).
+  [[nodiscard]] const Ipv4Prefix& host_prefix(int host) const;
+
   /// Hosts to which forwarding starting AT `router` completes.
   [[nodiscard]] std::vector<int> reachable_hosts_from(int router) const;
 

@@ -17,15 +17,66 @@ namespace fs = std::filesystem;
 
 namespace {
 
-constexpr const char* kMetaFormat = "confmask.cache-entry/1";
+constexpr const char* kMetaFormat = "confmask.cache-entry/2";
 constexpr const char* kMetaFile = "meta.json";
 constexpr const char* kConfigsFile = "anonymized.cfgset";
+constexpr const char* kOriginalFile = "original.cfgset";
+constexpr const char* kDevicesFile = "devices.tsv";
 constexpr const char* kDiagnosticsFile = "diagnostics.json";
 constexpr const char* kMetricsFile = "metrics.json";
 
-/// The four files every complete entry holds.
-constexpr const char* kEntryFiles[] = {kMetaFile, kConfigsFile,
+/// The six files every complete entry holds. v1 entries lack the last two
+/// and carry the old format string, so they fail the structural check and
+/// are purged by the opening scrub — invalidated by design.
+constexpr const char* kEntryFiles[] = {kMetaFile,        kConfigsFile,
+                                       kOriginalFile,    kDevicesFile,
                                        kDiagnosticsFile, kMetricsFile};
+
+constexpr const char* kDevicesHeader = "confmask.devices/1";
+
+std::string render_device_table(const std::vector<DeviceDigest>& devices) {
+  std::string out = kDevicesHeader;
+  out += '\n';
+  for (const DeviceDigest& device : devices) {
+    out += device.name;
+    out += '\t';
+    out += hex64(device.primary);
+    out += '\t';
+    out += hex64(device.secondary);
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<std::vector<DeviceDigest>> parse_device_table(
+    const std::string& text) {
+  std::vector<DeviceDigest> devices;
+  std::size_t pos = 0;
+  bool saw_header = false;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string_view line(text.data() + pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != kDevicesHeader) return std::nullopt;
+      saw_header = true;
+      continue;
+    }
+    const std::size_t tab1 = line.find('\t');
+    const std::size_t tab2 =
+        tab1 == std::string_view::npos ? tab1 : line.find('\t', tab1 + 1);
+    if (tab2 == std::string_view::npos) return std::nullopt;
+    const auto primary = parse_hex64(line.substr(tab1 + 1, tab2 - tab1 - 1));
+    const auto secondary = parse_hex64(line.substr(tab2 + 1));
+    if (!primary || !secondary) return std::nullopt;
+    devices.push_back(DeviceDigest{std::string(line.substr(0, tab1)),
+                                   *primary, *secondary});
+  }
+  if (!saw_header) return std::nullopt;
+  return devices;
+}
 
 std::uint64_t dir_bytes(const fs::path& dir) {
   std::uint64_t total = 0;
@@ -37,7 +88,7 @@ std::uint64_t dir_bytes(const fs::path& dir) {
   return total;
 }
 
-/// Structural validity: all four files present and the metadata parses,
+/// Structural validity: all entry files present and the metadata parses,
 /// has the right format, and names the directory it lives in. Stamp and
 /// secondary digest are NOT checked here — those are lookup-time policy
 /// (a different-stamp entry is valid on disk, just not servable by THIS
@@ -107,9 +158,14 @@ void ArtifactCache::scrub_locked() {
     found.push_back(std::move(entry));
   }
   // Seed LRU recency from publish mtimes: oldest entries evict first
-  // until real lookups refine the order.
-  std::sort(found.begin(), found.end(),
-            [](const Found& a, const Found& b) { return a.mtime < b.mtime; });
+  // until real lookups refine the order. Entries published within one
+  // filesystem-timestamp granule tie on mtime; without the key tie-break
+  // their relative recency — and therefore the post-restart eviction
+  // order — would depend on directory enumeration order.
+  std::sort(found.begin(), found.end(), [](const Found& a, const Found& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.hex < b.hex;
+  });
   for (Found& entry : found) {
     IndexEntry indexed;
     indexed.bytes = entry.bytes;
@@ -199,13 +255,15 @@ std::optional<CacheArtifacts> ArtifactCache::lookup(const CacheKey& key) {
 
   CacheArtifacts artifacts;
   const auto configs = io::read_file(dir / kConfigsFile);
+  const auto original = io::read_file(dir / kOriginalFile);
   const auto diagnostics = io::read_file(dir / kDiagnosticsFile);
   const auto metrics = io::read_file(dir / kMetricsFile);
-  if (!configs || !diagnostics || !metrics) {
+  if (!configs || !original || !diagnostics || !metrics) {
     purge();
     return std::nullopt;
   }
   artifacts.anonymized_configs = std::move(*configs);
+  artifacts.original_configs = std::move(*original);
   artifacts.diagnostics_json = std::move(*diagnostics);
   artifacts.metrics_json = std::move(*metrics);
   ++stats_.hits;
@@ -213,6 +271,64 @@ std::optional<CacheArtifacts> ArtifactCache::lookup(const CacheKey& key) {
     it->second.last_used = ++use_counter_;  // refresh LRU recency
   }
   return artifacts;
+}
+
+std::optional<CachedOriginal> ArtifactCache::lookup_original(
+    const std::string& key_hex) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const fs::path dir = root_ / "entries" / key_hex;
+  std::error_code ec;
+  if (parse_hex64(key_hex) == std::nullopt || !fs::is_directory(dir, ec)) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  const auto purge = [&] {
+    fs::remove_all(dir, ec);
+    drop_index_locked(key_hex);
+    ++stats_.invalidations;
+    ++stats_.misses;
+  };
+
+  const auto meta_text = io::read_file(dir / kMetaFile);
+  if (!meta_text) {
+    purge();
+    return std::nullopt;
+  }
+  std::string_view meta_line = *meta_text;
+  while (!meta_line.empty() &&
+         (meta_line.back() == '\n' || meta_line.back() == '\r')) {
+    meta_line.remove_suffix(1);
+  }
+  const auto meta = parse_json_line(meta_line);
+  if (!meta || get_string(*meta, "format") != std::string(kMetaFormat) ||
+      get_string(*meta, "key") != key_hex) {
+    purge();
+    return std::nullopt;
+  }
+  if (get_string(*meta, "stamp") != stamp_) {
+    purge();  // stale-binary invalidation, same policy as lookup()
+    return std::nullopt;
+  }
+
+  const auto original = io::read_file(dir / kOriginalFile);
+  const auto devices_text = io::read_file(dir / kDevicesFile);
+  if (!original || !devices_text) {
+    purge();
+    return std::nullopt;
+  }
+  auto devices = parse_device_table(*devices_text);
+  if (!devices) {
+    purge();
+    return std::nullopt;
+  }
+  CachedOriginal out;
+  out.original_configs = std::move(*original);
+  out.devices = std::move(*devices);
+  ++stats_.hits;
+  if (auto it = index_.find(key_hex); it != index_.end()) {
+    it->second.last_used = ++use_counter_;  // refresh LRU recency
+  }
+  return out;
 }
 
 StoreResult ArtifactCache::store(const CacheKey& key,
@@ -241,6 +357,12 @@ StoreResult ArtifactCache::store(const CacheKey& key,
                                .string("stamp", stamp_)
                                .str() +
                            "\n";
+  // The device table is derived from the stored original bundle here, at
+  // the single choke point every publish goes through (scheduler and CLI
+  // alike), so the table can never disagree with the bytes beside it.
+  const std::string devices =
+      render_device_table(compute_device_digests(artifacts.original_configs));
+
   // Every file fsync'd before the rename: after a crash the published
   // entry must hold its BYTES, not just its names.
   std::string write_error;
@@ -248,6 +370,9 @@ StoreResult ArtifactCache::store(const CacheKey& key,
       io::write_file_durable(staging / kMetaFile, meta, &write_error) &&
       io::write_file_durable(staging / kConfigsFile,
                              artifacts.anonymized_configs, &write_error) &&
+      io::write_file_durable(staging / kOriginalFile,
+                             artifacts.original_configs, &write_error) &&
+      io::write_file_durable(staging / kDevicesFile, devices, &write_error) &&
       io::write_file_durable(staging / kDiagnosticsFile,
                              artifacts.diagnostics_json, &write_error) &&
       io::write_file_durable(staging / kMetricsFile, artifacts.metrics_json,
@@ -283,6 +408,7 @@ StoreResult ArtifactCache::store(const CacheKey& key,
 
   IndexEntry indexed;
   indexed.bytes = meta.size() + artifacts.anonymized_configs.size() +
+                  artifacts.original_configs.size() + devices.size() +
                   artifacts.diagnostics_json.size() +
                   artifacts.metrics_json.size();
   indexed.last_used = ++use_counter_;

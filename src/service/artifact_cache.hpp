@@ -5,11 +5,21 @@
 //   entries/<hex16>/meta.json          flat JSON: format, key, secondary,
 //                                      build stamp of the producing binary
 //   entries/<hex16>/anonymized.cfgset  canonical anonymized config bundle
+//   entries/<hex16>/original.cfgset    canonical SUBMITTED bundle — the
+//                                      server-side diff base for watch-mode
+//                                      resubmits (lookup_original)
+//   entries/<hex16>/devices.tsv        per-device content digests of the
+//                                      original bundle (confmask.devices/1)
 //   entries/<hex16>/diagnostics.json   diagnostics_to_json payload
 //   entries/<hex16>/metrics.json       confmask.metrics/1 summary (no
 //                                      timings — cached bytes must be
 //                                      deterministic)
 //   staging/<hex16>.<nonce>/           in-progress writes, never readable
+//
+// Format version 2 (cache-key/2 + the two watch-mode files): version-1
+// entries fail the structural check and are purged by the opening scrub —
+// invalidated by design, since a v1 entry can serve neither a v2 key nor
+// a resubmit's base lookup.
 //
 // Publishing is atomic AND durable: an entry is fully written into
 // staging/ (every file fsync'd — io_shim), renamed into entries/, and the
@@ -56,8 +66,15 @@ namespace confmask {
 /// The byte-exact artifacts of one successful anonymization job.
 struct CacheArtifacts {
   std::string anonymized_configs;  ///< canonical_config_set_text() bundle
+  std::string original_configs;    ///< canonical SUBMITTED bundle (diff base)
   std::string diagnostics_json;    ///< diagnostics_to_json() payload
   std::string metrics_json;        ///< PipelineTrace metrics_json(false)
+};
+
+/// The diff base a watch-mode resubmit patches against.
+struct CachedOriginal {
+  std::string original_configs;       ///< canonical submitted bundle
+  std::vector<DeviceDigest> devices;  ///< its per-device content digests
 };
 
 struct CacheStats {
@@ -97,6 +114,17 @@ class ArtifactCache {
   /// secondary-verified entry exists (refreshing its LRU recency). Purges
   /// and misses otherwise.
   [[nodiscard]] std::optional<CacheArtifacts> lookup(const CacheKey& key);
+
+  /// Resolves a resubmit's base-artifact reference: the ORIGINAL bundle and
+  /// device-digest table of the entry named by `key_hex` (the 16-hex
+  /// primary digest a client received as `cache_key`). Clients do not hold
+  /// the secondary digest, so unlike lookup() this validates format, key
+  /// and stamp only — an accidental primary collision (~2⁻⁶⁴ against the
+  /// stored secondary the full-key path would catch) at worst makes the
+  /// resubmit's reconstructed bundle key elsewhere and run cold. Refreshes
+  /// LRU recency on hit; purges structurally broken entries.
+  [[nodiscard]] std::optional<CachedOriginal> lookup_original(
+      const std::string& key_hex);
 
   /// Durably publishes the entry (see header comment), then enforces the
   /// byte budget. On kIoError, *error (when provided) names the failing

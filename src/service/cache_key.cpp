@@ -1,6 +1,7 @@
 #include "src/service/cache_key.hpp"
 
 #include <bit>
+#include <utility>
 
 #include "src/config/emit.hpp"
 #include "src/util/hash.hpp"
@@ -32,6 +33,37 @@ const char* cost_policy_name(FakeLinkCostPolicy policy) {
 // independent 64-bit check against accidental primary collisions.
 constexpr std::uint64_t kSecondaryBasis =
     Fnv1a64::kOffsetBasis ^ 0xA5A5A5A5A5A5A5A5ULL;
+
+/// Splits a canonical bundle into (device name, section text) pairs. The
+/// canonical text is produced by canonical_config_set_text, so sections are
+/// delimited by kDeviceMarker lines and names carry no surrounding
+/// whitespace; this is a byte-level split, not a parse.
+std::vector<std::pair<std::string, std::string>> split_canonical_bundle(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::string>> sections;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string_view line(text.data() + pos, eol - pos);
+    if (line.substr(0, kDeviceMarker.size()) == kDeviceMarker) {
+      sections.emplace_back(std::string(line.substr(kDeviceMarker.size())),
+                            std::string());
+    } else if (!sections.empty()) {
+      sections.back().second.append(line);
+      sections.back().second.push_back('\n');
+    }
+    pos = eol + 1;
+  }
+  return sections;
+}
+
+std::uint64_t section_digest(const std::string& body, std::uint64_t basis) {
+  Fnv1a64 hasher(basis);
+  hasher.update_u64(body.size());
+  hasher.update(body);
+  return hasher.value();
+}
 
 }  // namespace
 
@@ -86,18 +118,45 @@ CacheKey compute_cache_key(const std::string& canonical_text,
                            EquivalenceStrategy strategy) {
   const std::string params =
       canonical_parameter_text(options, policy, strategy);
+  const auto sections = split_canonical_bundle(canonical_text);
   CacheKey key;
   for (const bool secondary : {false, true}) {
-    Fnv1a64 hasher(secondary ? kSecondaryBasis : Fnv1a64::kOffsetBasis);
-    hasher.update("confmask.cache-key/1\n");
-    // Length prefixes keep the (params, configs) framing unambiguous.
+    const std::uint64_t basis =
+        secondary ? kSecondaryBasis : Fnv1a64::kOffsetBasis;
+    Fnv1a64 hasher(basis);
+    hasher.update("confmask.cache-key/2\n");
+    // Length prefixes keep every variable-size field unambiguous.
     hasher.update_u64(params.size());
     hasher.update(params);
-    hasher.update_u64(canonical_text.size());
-    hasher.update(canonical_text);
+    // The network as a device table: names in canonical order (order is
+    // output-relevant — node ids follow config order) plus per-section
+    // content digests. Hashing the digest rather than the section bytes
+    // keeps the key a pure function of exactly the values the artifact
+    // cache persists per device.
+    hasher.update_u64(sections.size());
+    for (const auto& [name, body] : sections) {
+      hasher.update_u64(name.size());
+      hasher.update(name);
+      hasher.update_u64(section_digest(body, basis));
+    }
     (secondary ? key.secondary : key.primary) = hasher.value();
   }
   return key;
+}
+
+std::vector<DeviceDigest> compute_device_digests(
+    const std::string& canonical_text) {
+  std::vector<DeviceDigest> digests;
+  for (const auto& [name, body] : split_canonical_bundle(canonical_text)) {
+    digests.push_back(DeviceDigest{
+        name, section_digest(body, Fnv1a64::kOffsetBasis),
+        section_digest(body, kSecondaryBasis)});
+  }
+  return digests;
+}
+
+std::vector<DeviceDigest> compute_device_digests(const ConfigSet& configs) {
+  return compute_device_digests(canonical_config_set_text(configs));
 }
 
 CacheKey compute_cache_key(const ConfigSet& configs,

@@ -21,10 +21,22 @@
 // The build stamp is NOT part of the key — it lives in the entry metadata
 // and is checked at lookup (ArtifactCache), so a stale-binary entry is
 // invalidated in place instead of leaking forever under a dead key.
+//
+// Encoding version 2 ("confmask.cache-key/2") hashes the network as a
+// device TABLE — per-device name plus a digest of the device's canonical
+// section text — instead of one opaque bundle blob. The overall key is
+// unchanged in spirit (same inputs, same device order sensitivity: the
+// name sequence is hashed in canonical order), but the per-device digests
+// now exist as first-class values (compute_device_digests) that the
+// artifact cache persists alongside each entry, so watch mode can tell
+// WHICH devices of a prior artifact changed without re-parsing anything.
+// The version bump deliberately invalidates every v1 cache entry: v1
+// stored no device table, so a v1 hit could never serve a resubmit.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/config/model.hpp"
 #include "src/core/confmask.hpp"
@@ -64,5 +76,28 @@ struct CacheKey {
                                          const ConfMaskOptions& options,
                                          const RetryPolicy& policy,
                                          EquivalenceStrategy strategy);
+
+/// Content digest of one device's canonical section text (the bytes
+/// between its kDeviceMarker line and the next marker). The section text
+/// includes the device's own `hostname` line, so a rename changes BOTH the
+/// digest and the name — and the bundle key twice over, since names are
+/// additionally hashed into the key in canonical order.
+struct DeviceDigest {
+  std::string name;
+  std::uint64_t primary = 0;
+  std::uint64_t secondary = 0;
+
+  friend bool operator==(const DeviceDigest&, const DeviceDigest&) = default;
+};
+
+/// Per-device digests of a configuration set, in canonical device order.
+/// These are exactly the values the v2 key hashes, and what the artifact
+/// cache stores in each entry's device table (devices.tsv).
+[[nodiscard]] std::vector<DeviceDigest> compute_device_digests(
+    const ConfigSet& configs);
+
+/// Same, over a pre-rendered canonical bundle.
+[[nodiscard]] std::vector<DeviceDigest> compute_device_digests(
+    const std::string& canonical_text);
 
 }  // namespace confmask

@@ -42,6 +42,8 @@ const char* to_string(TransportFailure failure) {
     case TransportFailure::kSend: return "send";
     case TransportFailure::kPeerClosed: return "peer_closed";
     case TransportFailure::kReceive: return "receive";
+    case TransportFailure::kRetryBudgetExhausted:
+      return "retry_budget_exhausted";
   }
   return "unknown";
 }
@@ -148,6 +150,15 @@ std::uint32_t backoff_delay_ms(const RetryConfig& config, int attempt,
 std::optional<std::string> client_submit_with_retry(
     const std::string& socket_path, const std::string& submit_line,
     const RetryConfig& config, TransportError* error) {
+  // The job's own deadline caps cumulative backoff: a job that budgets
+  // deadline_ms for its whole lifetime gains nothing from the client
+  // sleeping past that budget — the server would only admit it to expire
+  // it immediately.
+  std::uint64_t deadline_ms = 0;
+  if (const auto request = parse_json_line(submit_line)) {
+    deadline_ms = get_u64(*request, "deadline_ms").value_or(0);
+  }
+  std::uint64_t slept_ms = 0;
   std::optional<std::string> response;
   for (int attempt = 1;; ++attempt) {
     response = client_roundtrip(socket_path, submit_line, error);
@@ -158,10 +169,31 @@ std::optional<std::string> client_submit_with_retry(
     if (!parsed) return response;
     const auto hint = get_u64(*parsed, "retry_after_ms");
     if (!hint || get_bool(*parsed, "ok").value_or(true)) return response;
-    if (attempt >= config.max_attempts) return response;
     const std::uint32_t delay = backoff_delay_ms(
         config, attempt, static_cast<std::uint32_t>(*hint));
+    const bool attempts_exhausted = attempt >= config.max_attempts;
+    const bool deadline_exhausted =
+        deadline_ms > 0 && slept_ms + delay > deadline_ms;
+    if (attempts_exhausted || deadline_exhausted) {
+      if (error != nullptr) {
+        error->failure = TransportFailure::kRetryBudgetExhausted;
+        error->retry_after_ms = static_cast<std::uint32_t>(*hint);
+        error->detail =
+            attempts_exhausted
+                ? "gave up after " + std::to_string(attempt) +
+                      " attempt(s); server still load-shedding "
+                      "(retry_after_ms=" +
+                      std::to_string(*hint) + ")"
+                : "next backoff of " + std::to_string(delay) +
+                      "ms would exceed deadline_ms=" +
+                      std::to_string(deadline_ms) + " (already backed off " +
+                      std::to_string(slept_ms) + "ms; retry_after_ms=" +
+                      std::to_string(*hint) + ")";
+      }
+      return response;
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    slept_ms += delay;
   }
 }
 

@@ -29,6 +29,10 @@ enum class TransportFailure {
   kSend,        ///< write failed mid-request
   kPeerClosed,  ///< daemon closed the connection before a full response
   kReceive,     ///< read failed mid-response
+  /// Not a transport fault: client_submit_with_retry stopped retrying a
+  /// load-shed rejection because the attempt budget ran out or the next
+  /// backoff sleep would overrun the job's own deadline_ms.
+  kRetryBudgetExhausted,
 };
 
 [[nodiscard]] const char* to_string(TransportFailure failure);
@@ -36,6 +40,10 @@ enum class TransportFailure {
 struct TransportError {
   TransportFailure failure = TransportFailure::kConnect;
   std::string detail;  ///< step + strerror, human-readable
+  /// The server's final load-shed hint, when one was received (set with
+  /// kRetryBudgetExhausted so callers can surface when capacity was
+  /// expected back).
+  std::uint32_t retry_after_ms = 0;
 };
 
 /// Connects to `socket_path`, sends `request_line` (newline appended),
@@ -69,9 +77,16 @@ struct RetryConfig {
 
 /// Submits with retry: sends `submit_line`, and while the daemon answers
 /// with a retry_after_ms rejection, sleeps the backoff schedule and tries
-/// again (up to config.max_attempts). Returns the final response line —
-/// which may still be a rejection if the budget ran out — or nullopt on a
-/// transport failure (filled into *error).
+/// again (up to config.max_attempts). Cumulative backoff is additionally
+/// capped by the job's own `deadline_ms` (read from `submit_line`): once
+/// sleeping the next delay would push total backoff past the deadline
+/// budget, retrying is pointless — the server would admit a job it must
+/// immediately expire — so the loop stops early. Returns the final
+/// response line — which may still be a rejection if either budget ran
+/// out — or nullopt on a transport failure. *error is filled on transport
+/// failure AND when retrying stopped on an exhausted budget
+/// (kRetryBudgetExhausted, carrying the server's final retry_after_ms),
+/// even though a response is returned in the latter case.
 [[nodiscard]] std::optional<std::string> client_submit_with_retry(
     const std::string& socket_path, const std::string& submit_line,
     const RetryConfig& config = {}, TransportError* error = nullptr);

@@ -1,10 +1,14 @@
 #include "src/service/job_scheduler.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <utility>
 
+#include "src/config/diff.hpp"
 #include "src/config/emit.hpp"
+#include "src/config/parse.hpp"
 #include "src/core/errors.hpp"
+#include "src/core/patch_mode.hpp"
 #include "src/core/pipeline_trace.hpp"
 #include "src/routing/simulation.hpp"
 #include "src/service/job_journal.hpp"
@@ -86,6 +90,51 @@ void JobScheduler::restore_from_journal() {
 }
 
 SubmitOutcome JobScheduler::submit_ex(JobRequest request) {
+  return admit(std::move(request), /*patch_base=*/{});
+}
+
+SubmitOutcome JobScheduler::resubmit(ResubmitRequest request) {
+  // Reconstruct the full next bundle OUTSIDE the lock, then fall into the
+  // ordinary admission path: from here on a resubmit IS a submit of the
+  // reconstructed bundle (same key derivation, same journal record, same
+  // cache entry), plus a patch hint the executor may exploit.
+  SubmitOutcome out;
+  auto base = cache_->lookup_original(request.base_key_hex);
+  if (!base) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.rejected;
+    // Permanent for this request: the base was evicted or never existed.
+    // The client recovers by sending the full bundle instead.
+    out.error = "unknown base artifact '" + request.base_key_hex +
+                "' (evicted or never published); submit the full bundle";
+    return out;
+  }
+
+  JobRequest full;
+  try {
+    const ConfigSet base_set = parse_config_set(base->original_configs);
+    full.configs = apply_bundle_diff(base_set, request.diff_text);
+  } catch (const ConfigParseError& err) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.rejected;
+    out.error = "bundle diff rejected: " + std::string(err.what());
+    return out;
+  }
+  full.options = request.options;
+  full.policy = request.policy;
+  full.strategy = request.strategy;
+  full.deadline_ms = request.deadline_ms;
+
+  out = admit(std::move(full), request.base_key_hex);
+  if (out.accepted()) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.resubmitted;
+  }
+  return out;
+}
+
+SubmitOutcome JobScheduler::admit(JobRequest request,
+                                  std::string patch_base) {
   // Canonicalize and key OUTSIDE the lock: emitting a large network is the
   // expensive part of admission and must not stall status queries.
   ConfigSet canonical = canonicalize(request.configs);
@@ -151,6 +200,7 @@ SubmitOutcome JobScheduler::submit_ex(JobRequest request) {
       job.status.state = JobState::kQueued;
       job.status.cache_key = key.hex();
       job.token = std::move(token);
+      job.patch_base = std::move(patch_base);
       jobs_.emplace(id, std::move(job));
       queue_.push_back(id);
       ++stats_.submitted;
@@ -261,7 +311,26 @@ SchedulerStats JobScheduler::stats() const {
   SchedulerStats out = stats_;
   out.queued = queue_.size();
   out.cache = cache_->stats();
+  out.watch_contexts = contexts_.size();
   return out;
+}
+
+void JobScheduler::prime_context_locked(
+    const std::string& key_hex, std::shared_ptr<const PatchContext> context) {
+  if (options_.watch_context_capacity == 0 || context == nullptr) return;
+  WatchContext& slot = contexts_[key_hex];
+  slot.context = std::move(context);
+  slot.last_used = ++context_counter_;
+  while (contexts_.size() > options_.watch_context_capacity) {
+    // Linear LRU scan: the capacity is single-digit by design, so an
+    // ordered recency index would be pure ceremony.
+    auto victim = contexts_.begin();
+    for (auto it = std::next(contexts_.begin()); it != contexts_.end();
+         ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    contexts_.erase(victim);
+  }
 }
 
 void JobScheduler::shutdown(ShutdownMode mode) {
@@ -403,29 +472,66 @@ void JobScheduler::execute(std::uint64_t id) {
   trace_options.scope = PipelineTrace::Options::Scope::kThread;
   PipelineTrace trace(trace_options);
 
+  // Watch context: a resubmit carries the base entry's key as a patch
+  // hint. If that job's captured pipeline state is still resident, offer
+  // it to the pipeline — which reuses it stage by stage only where a
+  // verified filter-only diff proves the entry simulation would come out
+  // bit-identical, and silently runs cold otherwise.
+  std::shared_ptr<const PatchContext> patch_base_context;
+  if (!job->patch_base.empty()) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = contexts_.find(job->patch_base);
+    if (it != contexts_.end()) {
+      it->second.last_used = ++context_counter_;
+      patch_base_context = it->second.context;
+    }
+  }
+  PatchCapture capture;
+
   const std::uint64_t sims_before = Simulation::runs_on_this_thread();
-  GuardedPipelineResult run =
-      run_pipeline_guarded(job->canonical, job->request.options,
-                           job->request.policy, job->request.strategy, token);
+  GuardedPipelineResult run = run_pipeline_guarded(
+      job->canonical, job->request.options, job->request.policy,
+      job->request.strategy, token, patch_base_context.get(), &capture);
   const std::uint64_t sims_delta =
       Simulation::runs_on_this_thread() - sims_before;
   std::string diagnostics = diagnostics_to_json(run.diagnostics);
 
   if (run.ok()) {
+    const bool patched = run.result->stats.patched_stages > 0;
     CacheArtifacts artifacts;
     artifacts.anonymized_configs =
         canonical_config_set_text(run.result->anonymized);
+    artifacts.original_configs = canonical_config_set_text(job->canonical);
     artifacts.diagnostics_json = std::move(diagnostics);
     artifacts.metrics_json = trace.metrics_json(/*include_timings=*/false);
     std::string store_error;
     const StoreResult stored =
         cache_->store(job->key, artifacts, &store_error);
 
+    // Re-base the captured stage state into a resident context for future
+    // resubmits against THIS job. Deliberately after sims_delta is
+    // measured (the re-basing simulations are bookkeeping, not job work)
+    // and only for durably published artifacts — a context keyed by an
+    // unpublished entry could never be named by a resubmit.
+    std::shared_ptr<const PatchContext> primed;
+    if (stored != StoreResult::kIoError &&
+        options_.watch_context_capacity > 0) {
+      primed = finish_capture(capture);
+    }
+
     JobStatus snapshot;
     std::uint64_t secondary = 0;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       Job& done = jobs_.at(id);
+      if (primed != nullptr) prime_context_locked(done.key.hex(), primed);
+      if (patch_base_context != nullptr && stored != StoreResult::kIoError) {
+        if (patched) {
+          ++stats_.patched_jobs;
+        } else {
+          ++stats_.patch_fallbacks;
+        }
+      }
       if (stored == StoreResult::kIoError) {
         // The pipeline succeeded but the artifacts could not be durably
         // published (ENOSPC, torn write, fsync failure). The JOB fails —
@@ -453,6 +559,7 @@ void JobScheduler::execute(std::uint64_t id) {
         done.result.artifacts = std::move(artifacts);
         done.result.cache_hit = false;
         done.status.state = JobState::kDone;
+        done.status.patched = patched;
         ++stats_.completed;
       }
       stats_.simulations += sims_delta;

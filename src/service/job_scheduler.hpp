@@ -63,6 +63,7 @@
 namespace confmask {
 
 class JobJournal;
+struct PatchContext;
 
 /// One anonymization request. `configs` need not be canonically ordered.
 struct JobRequest {
@@ -74,6 +75,24 @@ struct JobRequest {
   /// wait counts). 0 = none. After a crash recovery the budget restarts —
   /// wall-clock deadlines cannot survive a reboot meaningfully.
   std::uint64_t deadline_ms = 0;
+};
+
+/// A watch-mode re-anonymization request: instead of shipping the whole
+/// bundle again, the client names a previously published artifact (the
+/// 16-hex `cache_key` it received) and sends a confmask-diff/1 edit script
+/// against that entry's ORIGINAL bundle. The scheduler reconstructs the
+/// full next bundle server-side (lookup_original + apply_bundle_diff), so
+/// the job keys, journals, caches and executes exactly like a plain submit
+/// of the reconstructed bundle — resubmit changes the WIRE cost and, when
+/// the base's pipeline state is still resident, the EXECUTION cost, never
+/// the result bytes.
+struct ResubmitRequest {
+  std::string base_key_hex;  ///< primary digest of the base cache entry
+  std::string diff_text;     ///< confmask-diff/1 bundle diff vs. the base
+  ConfMaskOptions options;
+  RetryPolicy policy;
+  EquivalenceStrategy strategy = EquivalenceStrategy::kConfMask;
+  std::uint64_t deadline_ms = 0;  ///< same semantics as JobRequest
 };
 
 enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
@@ -91,6 +110,11 @@ struct JobStatus {
   std::string error_category;  ///< to_string(ErrorCategory)
   std::string error_message;
   int exit_code = 0;  ///< errors.hpp exit code taxonomy (0 until failed)
+  /// kDone only: at least one pipeline stage reused simulation state from
+  /// a resident watch context (see PatchContext) instead of building its
+  /// entry simulation from scratch. Purely an efficiency signal — patched
+  /// and unpatched runs are byte-identical by construction.
+  bool patched = false;
 };
 
 /// Artifacts of a finished job. For kDone all three artifact fields are
@@ -131,6 +155,16 @@ struct SchedulerStats {
   /// Simulation runs performed by this scheduler's workers (cache hits
   /// contribute zero — the acceptance signal that caching works).
   std::uint64_t simulations = 0;
+  /// Watch-mode admissions (resubmit()) accepted into the queue.
+  std::uint64_t resubmitted = 0;
+  /// Completed jobs where >=1 stage reused a resident watch context.
+  std::uint64_t patched_jobs = 0;
+  /// Jobs that were OFFERED a resident watch context but reused nothing
+  /// (structural edit, options drift, fail-closed seed rejection): the
+  /// run was correct but paid full cost.
+  std::uint64_t patch_fallbacks = 0;
+  /// Watch contexts currently resident (<= watch_context_capacity).
+  std::size_t watch_contexts = 0;
 };
 
 class JobScheduler {
@@ -153,6 +187,12 @@ class JobScheduler {
     /// queue depth per worker, so clients back off harder the further
     /// behind the daemon is.
     std::uint32_t retry_after_base_ms = 100;
+    /// Watch contexts (captured pipeline state keyed by the producing
+    /// job's cache key) kept resident for resubmit patching, LRU-bounded.
+    /// Contexts hold live Simulation state — a few MB per mid-size
+    /// network — so the budget is deliberately small. 0 disables capture
+    /// entirely (resubmits still work; they just always run cold).
+    std::size_t watch_context_capacity = 4;
   };
 
   enum class ShutdownMode {
@@ -174,6 +214,18 @@ class JobScheduler {
 
   /// Legacy admission: nullopt = rejected, whatever the reason.
   [[nodiscard]] std::optional<std::uint64_t> submit(JobRequest request);
+
+  /// Watch-mode admission: reconstructs the full bundle from a cached base
+  /// entry plus a confmask-diff/1 script, then admits it exactly like
+  /// submit_ex. Rejections are permanent (retry_after_ms == 0) when the
+  /// base is unknown/evicted or the diff is malformed or inapplicable —
+  /// the client recovers by falling back to a full submit. The admitted
+  /// job carries a patch hint; if the base's watch context is still
+  /// resident when the job executes, unchanged pipeline state is reused
+  /// (JobStatus::patched). Recovered-from-journal jobs always run cold:
+  /// the journal persists the reconstructed bundle, not the hint —
+  /// contexts die with the process anyway.
+  [[nodiscard]] SubmitOutcome resubmit(ResubmitRequest request);
 
   [[nodiscard]] std::optional<JobStatus> status(std::uint64_t id) const;
 
@@ -213,7 +265,27 @@ class JobScheduler {
     /// Restored from a journal tombstone: request/canonical are empty and
     /// result artifacts live (only) in the cache.
     bool restored = false;
+    /// Resubmit only: primary hex of the base entry whose watch context
+    /// (if still resident at execution) seeds the pipeline. Empty for
+    /// plain submits and journal-recovered jobs. A hint, never a
+    /// dependency: a missing context just means a cold run.
+    std::string patch_base;
   };
+
+  /// Captured pipeline state of a completed job, reusable by resubmits.
+  struct WatchContext {
+    std::shared_ptr<const PatchContext> context;
+    std::uint64_t last_used = 0;  ///< recency sequence, larger = fresher
+  };
+
+  /// Shared admission tail of submit_ex/resubmit: canonicalize, key,
+  /// journal, enqueue. `patch_base` (may be empty) rides into the Job.
+  [[nodiscard]] SubmitOutcome admit(JobRequest request,
+                                    std::string patch_base);
+  /// Installs `context` under `key_hex`, evicting least-recently-used
+  /// contexts beyond watch_context_capacity. Caller holds mutex_.
+  void prime_context_locked(const std::string& key_hex,
+                            std::shared_ptr<const PatchContext> context);
 
   void worker_loop();
   void execute(std::uint64_t id);
@@ -240,6 +312,10 @@ class JobScheduler {
   bool shut_down_ = false;
   SchedulerStats stats_;
   std::vector<std::thread> workers_;
+  /// cache-key hex → resident watch context, LRU-bounded by
+  /// options_.watch_context_capacity.
+  std::map<std::string, WatchContext> contexts_;
+  std::uint64_t context_counter_ = 0;
 };
 
 }  // namespace confmask

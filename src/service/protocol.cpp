@@ -47,6 +47,89 @@ bool read_int(const JsonObject& request, std::string_view key, int& out,
   return true;
 }
 
+/// The tuning surface shared by submit and resubmit — both ops accept the
+/// identical parameter set (a resubmit is a submit whose bundle arrives as
+/// base+diff). Fills `options`/`strategy`/`deadline_ms` from the request;
+/// on a malformed field returns false with `error` naming it.
+bool read_job_params(const JsonObject& request, ConfMaskOptions& options,
+                     EquivalenceStrategy& strategy,
+                     std::uint64_t& deadline_ms, std::string& error) {
+  if (!read_int(request, "k_r", options.k_r, error) ||
+      !read_int(request, "k_h", options.k_h, error) ||
+      !read_int(request, "max_equivalence_iterations",
+                options.max_equivalence_iterations, error) ||
+      !read_int(request, "fake_routers", options.fake_routers, error) ||
+      !read_int(request, "links_per_fake_router",
+                options.links_per_fake_router, error)) {
+    return false;
+  }
+  if (request.find("noise_p") != request.end()) {
+    const auto noise = get_double(request, "noise_p");
+    if (!noise) {
+      error = "noise_p must be a number";
+      return false;
+    }
+    options.noise_p = *noise;
+  }
+  if (request.find("seed") != request.end()) {
+    // get_u64 reads the raw token: seeds above 2^53 survive exactly.
+    const auto seed = get_u64(request, "seed");
+    if (!seed) {
+      error = "seed must be an unsigned integer";
+      return false;
+    }
+    options.seed = *seed;
+  }
+  if (request.find("incremental") != request.end()) {
+    const auto incremental = get_bool(request, "incremental");
+    if (!incremental) {
+      error = "incremental must be a boolean";
+      return false;
+    }
+    options.incremental_simulation = *incremental;
+  }
+  if (const auto name = get_string(request, "strategy")) {
+    const auto parsed = parse_strategy(*name);
+    if (!parsed) {
+      error = "unknown strategy";
+      return false;
+    }
+    strategy = *parsed;
+  }
+  if (const auto name = get_string(request, "cost_policy")) {
+    const auto policy = parse_cost_policy(*name);
+    if (!policy) {
+      error = "unknown cost_policy";
+      return false;
+    }
+    options.cost_policy = *policy;
+  }
+  if (request.find("deadline_ms") != request.end()) {
+    const auto deadline = get_u64(request, "deadline_ms");
+    if (!deadline) {
+      error = "deadline_ms must be an unsigned integer";
+      return false;
+    }
+    deadline_ms = *deadline;
+  }
+  return true;
+}
+
+/// The admission rejection line shared by submit and resubmit: transient
+/// load-shed rejections carry the server's backoff hint, permanent ones
+/// do not (client.hpp retries on exactly the hint's presence).
+std::string rejection_response(std::string_view op,
+                               const SubmitOutcome& outcome) {
+  JsonLineWriter out;
+  out.boolean("ok", false)
+      .string("op", op)
+      .string("error", "rejected: " + outcome.error);
+  if (outcome.retry_after_ms > 0) {
+    out.number_u64("retry_after_ms", outcome.retry_after_ms);
+  }
+  return out.str();
+}
+
 }  // namespace
 
 std::string ProtocolHandler::handle(std::string_view line,
@@ -69,72 +152,43 @@ std::string ProtocolHandler::handle(std::string_view line,
       return error_response(*op, error.what());
     }
     std::string field_error;
-    if (!read_int(*request, "k_r", job.options.k_r, field_error) ||
-        !read_int(*request, "k_h", job.options.k_h, field_error) ||
-        !read_int(*request, "max_equivalence_iterations",
-                  job.options.max_equivalence_iterations, field_error) ||
-        !read_int(*request, "fake_routers", job.options.fake_routers,
-                  field_error) ||
-        !read_int(*request, "links_per_fake_router",
-                  job.options.links_per_fake_router, field_error)) {
+    if (!read_job_params(*request, job.options, job.strategy, job.deadline_ms,
+                         field_error)) {
       return error_response(*op, field_error);
     }
-    if (request->find("noise_p") != request->end()) {
-      const auto noise = get_double(*request, "noise_p");
-      if (!noise) return error_response(*op, "noise_p must be a number");
-      job.options.noise_p = *noise;
-    }
-    if (request->find("seed") != request->end()) {
-      // get_u64 reads the raw token: seeds above 2^53 survive exactly.
-      const auto seed = get_u64(*request, "seed");
-      if (!seed) {
-        return error_response(*op, "seed must be an unsigned integer");
-      }
-      job.options.seed = *seed;
-    }
-    if (request->find("incremental") != request->end()) {
-      const auto incremental = get_bool(*request, "incremental");
-      if (!incremental) {
-        return error_response(*op, "incremental must be a boolean");
-      }
-      job.options.incremental_simulation = *incremental;
-    }
-    if (const auto name = get_string(*request, "strategy")) {
-      const auto strategy = parse_strategy(*name);
-      if (!strategy) return error_response(*op, "unknown strategy");
-      job.strategy = *strategy;
-    }
-    if (const auto name = get_string(*request, "cost_policy")) {
-      const auto policy = parse_cost_policy(*name);
-      if (!policy) return error_response(*op, "unknown cost_policy");
-      job.options.cost_policy = *policy;
-    }
-    if (request->find("deadline_ms") != request->end()) {
-      const auto deadline = get_u64(*request, "deadline_ms");
-      if (!deadline) {
-        return error_response(*op, "deadline_ms must be an unsigned integer");
-      }
-      job.deadline_ms = *deadline;
-    }
     const SubmitOutcome outcome = scheduler_->submit_ex(std::move(job));
-    if (!outcome.accepted()) {
-      JsonLineWriter out;
-      out.boolean("ok", false)
-          .string("op", *op)
-          .string("error", "rejected: " + outcome.error);
-      if (outcome.retry_after_ms > 0) {
-        // Load shedding: the rejection is transient and carries the
-        // server's backoff hint (client.hpp retries on exactly this).
-        out.number_u64("retry_after_ms", outcome.retry_after_ms);
-      }
-      return out.str();
-    }
+    if (!outcome.accepted()) return rejection_response(*op, outcome);
     const auto status = scheduler_->status(*outcome.id);
     return JsonLineWriter{}
         .boolean("ok", true)
         .string("op", *op)
         .number_u64("job", *outcome.id)
         .string("cache_key", status ? status->cache_key : "")
+        .str();
+  }
+
+  if (*op == "resubmit") {
+    const auto base = get_string(*request, "base");
+    if (!base) return error_response(*op, "missing base");
+    const auto diff = get_string(*request, "diff");
+    if (!diff) return error_response(*op, "missing diff");
+    ResubmitRequest job;
+    job.base_key_hex = *base;
+    job.diff_text = *diff;
+    std::string field_error;
+    if (!read_job_params(*request, job.options, job.strategy, job.deadline_ms,
+                         field_error)) {
+      return error_response(*op, field_error);
+    }
+    const SubmitOutcome outcome = scheduler_->resubmit(std::move(job));
+    if (!outcome.accepted()) return rejection_response(*op, outcome);
+    const auto status = scheduler_->status(*outcome.id);
+    return JsonLineWriter{}
+        .boolean("ok", true)
+        .string("op", *op)
+        .number_u64("job", *outcome.id)
+        .string("cache_key", status ? status->cache_key : "")
+        .string("base", *base)
         .str();
   }
 
@@ -162,7 +216,8 @@ std::string ProtocolHandler::handle(std::string_view line,
           .number_u64("job", *id)
           .string("state", to_string(status->state))
           .string("cache_key", status->cache_key)
-          .boolean("cache_hit", status->cache_hit);
+          .boolean("cache_hit", status->cache_hit)
+          .boolean("patched", status->patched);
       if (status->state == JobState::kFailed) {
         out.string("error_stage", status->error_stage)
             .string("error_category", status->error_category)
@@ -207,6 +262,10 @@ std::string ProtocolHandler::handle(std::string_view line,
         .number_u64("cache_evictions", stats.cache.evictions)
         .number_u64("cache_io_errors", stats.cache.io_errors)
         .number_u64("simulations", stats.simulations)
+        .number_u64("resubmitted", stats.resubmitted)
+        .number_u64("patched_jobs", stats.patched_jobs)
+        .number_u64("patch_fallbacks", stats.patch_fallbacks)
+        .number_u64("watch_contexts", stats.watch_contexts)
         .string("stamp", cache_->stamp())
         .str();
   }

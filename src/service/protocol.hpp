@@ -14,7 +14,16 @@
 //            → {ok, op, job, cache_key}. A load-shed rejection is
 //            {ok: false, op, error, retry_after_ms} — the hint is the
 //            server-computed backoff the client should honor.
-//   status   job → {ok, op, job, state, cache_key, cache_hit [, error_*]}
+//   resubmit base (required, 16-hex cache_key of a published entry) +
+//            diff (required, confmask-diff/1 bundle diff against that
+//            entry's ORIGINAL bundle) + the same optional parameters as
+//            submit → {ok, op, job, cache_key, base}. The daemon
+//            reconstructs the full bundle server-side; an unknown/evicted
+//            base or malformed diff is a permanent {ok: false} (no
+//            retry_after_ms) — the client falls back to a full submit.
+//   status   job → {ok, op, job, state, cache_key, cache_hit, patched
+//            [, error_*]} — `patched` is true when the run reused
+//            simulation state from a resident watch context
 //   result   job → {ok, op, job, state, cache_hit, configs, diagnostics,
 //            metrics} (terminal jobs only; failed jobs carry diagnostics
 //            but never configs — fail closed end to end)

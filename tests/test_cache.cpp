@@ -8,6 +8,7 @@
 #include <fstream>
 #include <string>
 
+#include "src/config/emit.hpp"
 #include "src/netgen/networks.hpp"
 #include "src/service/artifact_cache.hpp"
 #include "src/service/cache_key.hpp"
@@ -322,6 +323,108 @@ TEST(ArtifactCache, InjectedDiskFaultsFailTheStoreNotTheCache) {
 }
 
 #endif  // CONFMASK_FAULT_INJECTION
+
+TEST(CacheKey, RenameChangesKeyAndDigestReorderChangesNeither) {
+  const ConfigSet base = make_figure2();
+  const ConfMaskOptions options;
+  const RetryPolicy policy;
+  const auto base_key = compute_cache_key(base, options, policy,
+                                          EquivalenceStrategy::kConfMask);
+  const auto base_digests = compute_device_digests(base);
+
+  // Rename without a content edit: the section text carries its own
+  // `hostname` line, so both the name AND the digest move with it — and
+  // the bundle key with them (names are hashed in canonical order).
+  ConfigSet renamed = base;
+  renamed.routers.back().hostname = "zz-renamed";
+  EXPECT_NE(base_key, compute_cache_key(renamed, options, policy,
+                                        EquivalenceStrategy::kConfMask));
+  const auto renamed_digests = compute_device_digests(renamed);
+  ASSERT_EQ(renamed_digests.size(), base_digests.size());
+
+  // Device reorder is pure canonicalization: same key, same device table.
+  ConfigSet reordered = base;
+  std::reverse(reordered.routers.begin(), reordered.routers.end());
+  EXPECT_EQ(base_key, compute_cache_key(reordered, options, policy,
+                                        EquivalenceStrategy::kConfMask));
+  EXPECT_EQ(compute_device_digests(reordered), base_digests);
+}
+
+TEST(ArtifactCache, LookupOriginalReturnsBundleAndDeviceTable) {
+  ArtifactCache cache(fresh_dir("lookup_original"), "stamp-a");
+  const CacheKey key{77, 78};
+  CacheArtifacts artifacts = sample_artifacts();
+  artifacts.original_configs = canonical_config_set_text(make_figure2());
+  ASSERT_EQ(cache.store(key, artifacts), StoreResult::kPublished);
+
+  const auto hit = cache.lookup_original(key.hex());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->original_configs, artifacts.original_configs);
+  // The persisted device table round-trips the exact digests the v2 key
+  // hashes — what a resubmit diffs against.
+  EXPECT_EQ(hit->devices,
+            compute_device_digests(artifacts.original_configs));
+
+  EXPECT_FALSE(cache.lookup_original("ffffffffffffffff").has_value());
+}
+
+TEST(ArtifactCache, MissingWatchFilesArePurgedAsV1Entries) {
+  // A version-1 entry is structurally an entry without original.cfgset /
+  // devices.tsv. The opening scrub must purge it: it can serve neither a
+  // v2 key nor a resubmit's base lookup.
+  const fs::path root = fresh_dir("v1_purge");
+  const CacheKey key{11, 12};
+  {
+    ArtifactCache cache(root, "stamp-a");
+    cache.store(key, sample_artifacts());
+  }
+  fs::remove(root / "entries" / key.hex() / "original.cfgset");
+  fs::remove(root / "entries" / key.hex() / "devices.tsv");
+  ArtifactCache reopened(root, "stamp-a");
+  EXPECT_EQ(reopened.stats().invalidations, 1u);
+  EXPECT_EQ(reopened.entry_count(), 0u);
+  EXPECT_FALSE(reopened.lookup(key).has_value());
+}
+
+TEST(ArtifactCache, LruSeedTiesBreakDeterministicallyByKey) {
+  // Filesystems quantize mtimes; entries published within one granule used
+  // to seed recency in directory-iteration order — whatever the kernel
+  // returned that day. Pin all three entries to the SAME mtime and reopen:
+  // the victim must be chosen by the key tie-break, reproducibly.
+  std::uint64_t entry_bytes = 0;
+  {
+    ArtifactCache probe(fresh_dir("lru_tie_probe"), "stamp-a");
+    probe.store(CacheKey{1, 1}, sample_artifacts());
+    entry_bytes = probe.total_bytes();
+  }
+  ASSERT_GT(entry_bytes, 0u);
+
+  const fs::path root = fresh_dir("lru_tie");
+  {
+    ArtifactCache cache(root, "stamp-a");
+    cache.store(CacheKey{3, 3}, sample_artifacts());
+    cache.store(CacheKey{1, 1}, sample_artifacts());
+    cache.store(CacheKey{2, 2}, sample_artifacts());
+  }
+  const auto now = fs::file_time_type::clock::now();
+  for (const auto& entry : fs::directory_iterator(root / "entries")) {
+    fs::last_write_time(entry.path(), now);
+  }
+
+  // Budget for three and a half entries: publishing a fourth forces one
+  // eviction, and with every seeded mtime equal the smallest key is the
+  // deterministic victim.
+  ArtifactCache reopened(root, "stamp-a",
+                         entry_bytes * 3 + entry_bytes / 2);
+  ASSERT_EQ(reopened.entry_count(), 3u);
+  ASSERT_EQ(reopened.store(CacheKey{4, 4}, sample_artifacts()),
+            StoreResult::kPublished);
+  EXPECT_EQ(reopened.stats().evictions, 1u);
+  EXPECT_FALSE(reopened.lookup(CacheKey{1, 1}).has_value());
+  EXPECT_TRUE(reopened.lookup(CacheKey{2, 2}).has_value());
+  EXPECT_TRUE(reopened.lookup(CacheKey{3, 3}).has_value());
+  EXPECT_TRUE(reopened.lookup(CacheKey{4, 4}).has_value());
+}
 
 TEST(Hash, Fnv1a64KnownVectorsAndHexRoundTrip) {
   // FNV-1a/64 reference vectors.

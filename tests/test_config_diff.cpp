@@ -1,0 +1,266 @@
+// Config-bundle diffing for watch mode: filter-only vs structural
+// classification, the acls_changed flag, conservative dirty-set scoping,
+// and the confmask-diff/1 render/apply round trip with its error surface.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/config/diff.hpp"
+#include "src/config/emit.hpp"
+#include "src/config/parse.hpp"
+#include "src/netgen/networks.hpp"
+#include "src/util/ipv4.hpp"
+
+namespace confmask {
+namespace {
+
+const Ipv4Prefix kDenied{Ipv4Address{10, 200, 200, 0}, 24};
+const Ipv4Prefix kEverything{Ipv4Address{0u}, 0};
+
+/// Binds a fresh prefix list (one deny, optional terminal permit-all) as
+/// an OSPF distribute-list on the named router's first interface.
+void bind_filter(ConfigSet& configs, const std::string& router_name,
+                 bool permit_all) {
+  RouterConfig* router = configs.find_router(router_name);
+  ASSERT_NE(router, nullptr);
+  ASSERT_TRUE(router->ospf.has_value());
+  ASSERT_FALSE(router->interfaces.empty());
+  PrefixList list;
+  list.name = "DIFF-TEST";
+  list.add_deny(kDenied);
+  if (permit_all) list.add_permit_all();
+  router->prefix_lists.push_back(std::move(list));
+  router->ospf->distribute_lists.push_back(
+      DistributeList{"DIFF-TEST", router->interfaces.front().name});
+}
+
+const DeviceChange* find_change(const ConfigSetDiff& diff,
+                                const std::string& name,
+                                DeviceChangeKind kind) {
+  for (const DeviceChange& change : diff.devices) {
+    if (change.name == name && change.kind == kind) return &change;
+  }
+  return nullptr;
+}
+
+bool dirty_covers(const std::vector<Ipv4Prefix>& dirty,
+                  const Ipv4Prefix& target) {
+  return std::any_of(dirty.begin(), dirty.end(), [&](const Ipv4Prefix& p) {
+    return p.contains(target);
+  });
+}
+
+TEST(ConfigDiff, IdenticalAndReorderedBundlesClassifyIdentical) {
+  const ConfigSet base = make_figure2();
+  EXPECT_EQ(diff_config_sets(base, base).klass, DiffClass::kIdentical);
+
+  // Device order is canonicalized away: a reordered directory listing is
+  // the same network, not an edit.
+  ConfigSet reordered = base;
+  std::reverse(reordered.routers.begin(), reordered.routers.end());
+  std::reverse(reordered.hosts.begin(), reordered.hosts.end());
+  const ConfigSetDiff diff = diff_config_sets(base, reordered);
+  EXPECT_EQ(diff.klass, DiffClass::kIdentical);
+  EXPECT_TRUE(diff.devices.empty());
+}
+
+TEST(ConfigDiff, BoundPrefixListEditIsFilterOnlyWithScopedDirtySet) {
+  const ConfigSet base = make_figure2();
+  ConfigSet next = base;
+  bind_filter(next, "r2", /*permit_all=*/true);
+
+  const ConfigSetDiff diff = diff_config_sets(base, next);
+  EXPECT_EQ(diff.klass, DiffClass::kFilterOnly);
+  EXPECT_FALSE(diff.acls_changed());
+  const DeviceChange* change =
+      find_change(diff, "r2", DeviceChangeKind::kModified);
+  ASSERT_NE(change, nullptr);
+  EXPECT_TRUE(change->filter_only);
+  EXPECT_FALSE(change->acls_changed);
+  // With a terminal permit-all, only destinations some deny entry can
+  // match are dirty — the scope must cover the denied /24 but not widen
+  // to the whole address space.
+  EXPECT_TRUE(dirty_covers(change->dirty, kDenied));
+  EXPECT_FALSE(dirty_covers(change->dirty, kEverything));
+}
+
+TEST(ConfigDiff, BindingWithoutPermitAllDirtiesEverything) {
+  const ConfigSet base = make_figure2();
+  ConfigSet next = base;
+  bind_filter(next, "r2", /*permit_all=*/false);
+
+  const ConfigSetDiff diff = diff_config_sets(base, next);
+  EXPECT_EQ(diff.klass, DiffClass::kFilterOnly);
+  const DeviceChange* change =
+      find_change(diff, "r2", DeviceChangeKind::kModified);
+  ASSERT_NE(change, nullptr);
+  // No terminal permit-all: the list's implicit deny-all means the edit
+  // can redirect ANY destination, so the dirty scope is 0.0.0.0/0.
+  EXPECT_TRUE(dirty_covers(change->dirty, kEverything));
+}
+
+TEST(ConfigDiff, InPlaceListEditScopesToTheChangedMiddleRegion) {
+  const Ipv4Prefix other{Ipv4Address{10, 77, 0, 0}, 16};
+  ConfigSet base = make_figure2();
+  bind_filter(base, "r2", /*permit_all=*/true);
+  ConfigSet next = base;
+  {
+    RouterConfig* router = next.find_router("r2");
+    ASSERT_NE(router, nullptr);
+    PrefixList* list = router->find_prefix_list("DIFF-TEST");
+    ASSERT_NE(list, nullptr);
+    // Swap the deny target; the terminal permit-all is a common tail.
+    list->entries.front().prefix = other;
+  }
+
+  const ConfigSetDiff diff = diff_config_sets(base, next);
+  EXPECT_EQ(diff.klass, DiffClass::kFilterOnly);
+  const DeviceChange* change =
+      find_change(diff, "r2", DeviceChangeKind::kModified);
+  ASSERT_NE(change, nullptr);
+  // First-match-wins head/tail stripping: both versions of the changed
+  // middle entry are in scope, the untouched permit-all tail is not.
+  EXPECT_TRUE(dirty_covers(change->dirty, kDenied));
+  EXPECT_TRUE(dirty_covers(change->dirty, other));
+  EXPECT_FALSE(dirty_covers(change->dirty, kEverything));
+}
+
+TEST(ConfigDiff, AclEditIsFilterOnlyButFlagsAclsChanged) {
+  const ConfigSet base = make_figure2();
+  ConfigSet next = base;
+  {
+    RouterConfig* router = next.find_router("r3");
+    ASSERT_NE(router, nullptr);
+    ASSERT_FALSE(router->interfaces.empty());
+    AccessList acl;
+    acl.number = 101;
+    acl.entries.push_back(AclEntry{false, Ipv4Prefix{Ipv4Address{0u}, 0},
+                                   kDenied});
+    router->access_lists.push_back(acl);
+    router->interfaces.front().access_group_in = 101;
+  }
+
+  const ConfigSetDiff diff = diff_config_sets(base, next);
+  // ACLs never move a FIB decision (filter-only, empty dirty set) but the
+  // data plane changes shape — the flag consumers must rebuild on.
+  EXPECT_EQ(diff.klass, DiffClass::kFilterOnly);
+  EXPECT_TRUE(diff.acls_changed());
+  const DeviceChange* change =
+      find_change(diff, "r3", DeviceChangeKind::kModified);
+  ASSERT_NE(change, nullptr);
+  EXPECT_TRUE(change->filter_only);
+  EXPECT_TRUE(change->acls_changed);
+  EXPECT_TRUE(change->dirty.empty());
+}
+
+TEST(ConfigDiff, StructuralEditsFailClosed) {
+  const ConfigSet base = make_figure2();
+
+  // An interface address change reshapes the topology graph.
+  ConfigSet readdressed = base;
+  {
+    RouterConfig* router = readdressed.find_router("r1");
+    ASSERT_NE(router, nullptr);
+    ASSERT_FALSE(router->interfaces.empty());
+    router->interfaces.front().address = Ipv4Address{10, 99, 99, 1};
+  }
+  const ConfigSetDiff addr_diff = diff_config_sets(base, readdressed);
+  EXPECT_EQ(addr_diff.klass, DiffClass::kStructural);
+  const DeviceChange* change =
+      find_change(addr_diff, "r1", DeviceChangeKind::kModified);
+  ASSERT_NE(change, nullptr);
+  EXPECT_FALSE(change->filter_only);
+
+  // A removed device is structural however small the device was.
+  ConfigSet shrunk = base;
+  shrunk.hosts.erase(shrunk.hosts.begin());
+  const ConfigSetDiff removed_diff = diff_config_sets(base, shrunk);
+  EXPECT_EQ(removed_diff.klass, DiffClass::kStructural);
+  EXPECT_FALSE(removed_diff.filter_only());
+}
+
+TEST(ConfigDiff, RenameWithoutContentChangeIsRemovePlusAdd) {
+  const ConfigSet base = make_figure2();
+  ConfigSet renamed = base;
+  {
+    RouterConfig* router = renamed.find_router("r4");
+    ASSERT_NE(router, nullptr);
+    router->hostname = "r4-renamed";
+  }
+  const ConfigSetDiff diff = diff_config_sets(base, renamed);
+  // Names key simulation node ids; a rename must never alias the old
+  // device's columns even when every other byte is unchanged.
+  EXPECT_EQ(diff.klass, DiffClass::kStructural);
+  EXPECT_NE(find_change(diff, "r4", DeviceChangeKind::kRemoved), nullptr);
+  EXPECT_NE(find_change(diff, "r4-renamed", DeviceChangeKind::kAdded),
+            nullptr);
+}
+
+TEST(ConfigDiff, HostExtraLinesAreFilterOnlyAddressingIsNot) {
+  const ConfigSet base = make_figure2();
+
+  ConfigSet annotated = base;
+  annotated.hosts.front().extra_lines.push_back("! operator note");
+  EXPECT_EQ(diff_config_sets(base, annotated).klass, DiffClass::kFilterOnly);
+
+  ConfigSet regatewayed = base;
+  regatewayed.hosts.front().gateway = Ipv4Address{10, 99, 99, 1};
+  EXPECT_EQ(diff_config_sets(base, regatewayed).klass,
+            DiffClass::kStructural);
+}
+
+TEST(BundleDiff, RenderApplyRoundTripsEveryChangeKind) {
+  const ConfigSet base = make_figure2();
+  ConfigSet next = base;
+  bind_filter(next, "r2", /*permit_all=*/true);  // modify
+  next.hosts.erase(next.hosts.begin());          // delete
+  HostConfig added;                              // add
+  added.hostname = "h9";
+  added.address = Ipv4Address{10, 88, 0, 2};
+  added.gateway = Ipv4Address{10, 88, 0, 1};
+  next.hosts.push_back(added);
+
+  const std::string diff_text = render_bundle_diff(base, next);
+  EXPECT_EQ(diff_text.rfind(kBundleDiffHeader, 0), 0u);
+  const ConfigSet patched = apply_bundle_diff(base, diff_text);
+  EXPECT_EQ(canonical_config_set_text(patched),
+            canonical_config_set_text(next));
+
+  // An empty edit renders to a header-only diff and applies to the same
+  // canonical bytes.
+  const std::string empty_diff = render_bundle_diff(base, base);
+  EXPECT_EQ(canonical_config_set_text(apply_bundle_diff(base, empty_diff)),
+            canonical_config_set_text(base));
+}
+
+TEST(BundleDiff, MalformedDiffsAreRejectedWithParseErrors) {
+  const ConfigSet base = make_figure2();
+
+  EXPECT_THROW((void)apply_bundle_diff(base, "not a diff\n"),
+               ConfigParseError);
+  EXPECT_THROW(
+      (void)apply_bundle_diff(
+          base, std::string(kBundleDiffHeader) + "\n!<< delete nosuch\n"),
+      ConfigParseError);
+  EXPECT_THROW(
+      (void)apply_bundle_diff(
+          base, std::string(kBundleDiffHeader) + "\n!<< delete \n"),
+      ConfigParseError);
+  // A device both deleted and re-defined is ambiguous, not last-wins.
+  EXPECT_THROW(
+      (void)apply_bundle_diff(base, std::string(kBundleDiffHeader) +
+                                        "\n!<< delete h1\n" +
+                                        std::string(kDeviceMarker) +
+                                        "h1\nhostname h1\n"),
+      ConfigParseError);
+  // Stray content between header and first section.
+  EXPECT_THROW(
+      (void)apply_bundle_diff(
+          base, std::string(kBundleDiffHeader) + "\nhostname orphan\n"),
+      ConfigParseError);
+}
+
+}  // namespace
+}  // namespace confmask

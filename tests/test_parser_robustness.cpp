@@ -192,6 +192,31 @@ TEST(ParserRobustness, AccessListDispatchBoundaries) {
   EXPECT_FALSE(ip.access_lists[0].entries[0].permit);
 }
 
+TEST(ParserRobustness, DuplicateDeviceMarkersAreRejectedWithBothLines) {
+  // Last-wins merging would silently corrupt per-device cache digests, so
+  // a bundle defining one name twice must be a hard parse error naming
+  // both definition sites.
+  const std::string bundle =
+      "!>> device r0\nhostname r0\n"
+      "!>> device r1\nhostname r1\n"
+      "!>> device r0\nhostname r0\n";
+  try {
+    (void)parse_config_set(bundle);
+    FAIL() << "duplicate marker accepted";
+  } catch (const ConfigParseError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("duplicate device marker 'r0'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+  }
+  // Same name, different kinds (router vs would-be host section) is still
+  // a duplicate: names are the cross-bundle join key.
+  EXPECT_THROW(
+      (void)parse_config_set("!>> device d\nhostname d\n"
+                             "!>> device d\nhostname d\ninterface eth0\n"),
+      ConfigParseError);
+}
+
 TEST(ParserRobustness, EmptyAndDegenerateInputs) {
   EXPECT_EQ(parse_router("").hostname, "");
   EXPECT_EQ(parse_router("!\n!\n!\n").interfaces.size(), 0u);

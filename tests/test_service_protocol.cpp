@@ -360,6 +360,75 @@ TEST_F(ProtocolTest, ShutdownRequestSetsCommand) {
   EXPECT_EQ(shutdown.mode, JobScheduler::ShutdownMode::kCancelPending);
 }
 
+TEST(DaemonE2E, RetryBudgetExhaustionIsTypedAndDeadlineCapped) {
+  const std::string socket_path =
+      "/tmp/confmaskd_retry_" + std::to_string(::getpid()) + ".sock";
+  const fs::path cache_dir =
+      fs::path(testing::TempDir()) / "confmask_retry_cache";
+  fs::remove_all(cache_dir);
+
+  Daemon::Options options;
+  options.socket_path = socket_path;
+  options.cache_dir = cache_dir;
+  options.max_pending = 0;  // every submit is load-shed with a retry hint
+  Daemon daemon(options);
+  std::thread server([&daemon] { EXPECT_EQ(daemon.run(), 0); });
+  const std::string stats_line = JsonLineWriter{}.string("op", "stats").str();
+  std::optional<std::string> up;
+  for (int i = 0; i < 250 && !up; ++i) {
+    up = client_roundtrip(socket_path, stats_line);
+    if (!up) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(up.has_value()) << "daemon never came up";
+
+  const std::string configs = canonical_config_set_text(make_figure2());
+  RetryConfig config;
+  config.max_attempts = 3;
+  config.base_ms = 1;
+  config.max_delay_ms = 5;
+
+  // Attempt budget: the client retries through the schedule, then stops
+  // with a TYPED budget failure that still carries the final response and
+  // the server's last hint.
+  TransportError error;
+  const auto response = client_submit_with_retry(
+      socket_path,
+      JsonLineWriter{}.string("op", "submit").string("configs", configs).str(),
+      config, &error);
+  ASSERT_TRUE(response.has_value());  // the rejection line, not a timeout
+  const auto parsed = parse_json_line(*response);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(get_bool(*parsed, "ok"), false);
+  EXPECT_EQ(error.failure, TransportFailure::kRetryBudgetExhausted);
+  EXPECT_GT(error.retry_after_ms, 0u);
+
+  // Deadline cap: with a 1ms job deadline, sleeping even one backoff
+  // delay would admit a job the server must immediately expire, so the
+  // client gives up before its attempt budget.
+  const auto start = std::chrono::steady_clock::now();
+  TransportError capped;
+  const auto capped_response = client_submit_with_retry(
+      socket_path,
+      JsonLineWriter{}
+          .string("op", "submit")
+          .string("configs", configs)
+          .number_u64("deadline_ms", 1)
+          .str(),
+      config, &capped);
+  ASSERT_TRUE(capped_response.has_value());
+  EXPECT_EQ(capped.failure, TransportFailure::kRetryBudgetExhausted);
+  // No full backoff schedule was slept: the server hint floor is 100ms
+  // per retry, so an early stop finishes well under one full schedule.
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(150));
+
+  const auto bye = client_roundtrip(
+      socket_path, JsonLineWriter{}.string("op", "shutdown").str());
+  ASSERT_TRUE(bye.has_value());
+  server.join();
+  fs::remove_all(cache_dir);
+}
+
 TEST(DaemonE2E, SubmitTwiceOverUnixSocketSecondIsCacheHit) {
   // Keep the socket path short: sun_path caps out around 108 bytes.
   const std::string socket_path =
