@@ -1,6 +1,8 @@
 // confmask-client — command-line client for confmaskd.
 //
-//   usage: confmask-client --socket PATH <command> [args]
+//   usage: confmask-client --socket ENDPOINT <command> [args]
+//     ENDPOINT is a unix socket path, or HOST:PORT for a daemon started
+//     with --listen
 //     submit <config-dir> [--kr N] [--kh N] [--p FLOAT] [--seed N]
 //            [--fake-routers N] [--deadline-ms N]
 //                                    submit every *.cfg under <config-dir>;
@@ -14,7 +16,14 @@
 //                                    <diff-file> is a confmask-diff/1
 //                                    document ("-" reads stdin)
 //     status <job>                   one status line
-//     wait <job>                     poll until the job is terminal
+//     wait <job>                     subscribe to the job's event stream
+//                                    and block until it is terminal (falls
+//                                    back to status polling against an
+//                                    older daemon), then print the final
+//                                    status line
+//     subscribe <job>                print the job's event stream raw:
+//                                    the ack, per-stage pipeline spans,
+//                                    state transitions, until terminal
 //     result <job> [--out DIR]      fetch artifacts; --out writes the
 //                                    anonymized configs as *.cfg files
 //     cancel <job>
@@ -51,13 +60,14 @@ namespace fs = std::filesystem;
 int usage() {
   std::fprintf(
       stderr,
-      "usage: confmask-client --socket PATH <command> [args]\n"
+      "usage: confmask-client --socket ENDPOINT <command> [args]\n"
+      "  ENDPOINT: unix socket path, or HOST:PORT (daemon --listen)\n"
       "  submit <config-dir> [--kr N] [--kh N] [--p FLOAT] [--seed N] "
       "[--fake-routers N] [--deadline-ms N]\n"
       "  diff <base-dir> <edited-dir>          (local, no --socket needed)\n"
       "  resubmit <base-key> <diff-file>       [same flags as submit]\n"
-      "  status <job> | wait <job> | result <job> [--out DIR] | "
-      "cancel <job>\n"
+      "  status <job> | wait <job> | subscribe <job> | "
+      "result <job> [--out DIR] | cancel <job>\n"
       "  stats | ping | shutdown [drain|cancel]\n");
   return 2;
 }
@@ -235,16 +245,77 @@ int main(int argc, char** argv) {
     return send_with_retry(socket_path, request.str());
   }
 
-  if (command == "status" || command == "wait" || command == "cancel") {
+  if (command == "status" || command == "wait" || command == "cancel" ||
+      command == "subscribe") {
     if (arg >= argc) return usage();
     const std::uint64_t job = std::strtoull(argv[arg], nullptr, 10);
-    const std::string op = command == "wait" ? "status" : command;
-    const std::string request =
-        JsonLineWriter{}.string("op", op).number_u64("job", job).str();
-    if (command != "wait") return roundtrip(socket_path, request);
+    if (command == "status" || command == "cancel") {
+      return roundtrip(socket_path, JsonLineWriter{}
+                                        .string("op", command)
+                                        .number_u64("job", job)
+                                        .str());
+    }
+
+    const std::string subscribe_request = JsonLineWriter{}
+                                              .string("op", "subscribe")
+                                              .number_u64("job", job)
+                                              .str();
+    if (command == "subscribe") {
+      bool saw_ack = false;
+      bool ack_ok = false;
+      TransportError transport;
+      const bool streamed = client_stream(
+          socket_path, subscribe_request,
+          [&](const std::string& line) {
+            std::printf("%s\n", line.c_str());
+            std::fflush(stdout);
+            if (!saw_ack) {
+              saw_ack = true;
+              const auto parsed = parse_json_line(line);
+              ack_ok = parsed && get_bool(*parsed, "ok") == true;
+              return ack_ok;  // a refused subscribe has no stream behind it
+            }
+            return true;
+          },
+          &transport);
+      if (!streamed) {
+        std::fprintf(stderr, "confmask-client: %s: %s\n",
+                     to_string(transport.failure), transport.detail.c_str());
+        return 2;
+      }
+      return ack_ok ? 0 : 1;
+    }
+
+    // wait: ride the subscribe stream to the terminal event — the daemon
+    // pushes every transition, so no polling tick and no poll latency —
+    // then print one final status line (the stable, script-visible
+    // output). An older daemon that rejects subscribe degrades to the
+    // classic 50ms status poll.
+    bool stream_done = false;
+    {
+      bool saw_ack = false;
+      bool ack_ok = false;
+      TransportError transport;
+      const bool streamed = client_stream(
+          socket_path, subscribe_request,
+          [&](const std::string& line) {
+            if (saw_ack) return true;  // consume events until server close
+            saw_ack = true;
+            const auto parsed = parse_json_line(line);
+            ack_ok = parsed && get_bool(*parsed, "ok") == true;
+            return ack_ok;
+          },
+          &transport);
+      stream_done = streamed && ack_ok;
+    }
+    const std::string status_request = JsonLineWriter{}
+                                           .string("op", "status")
+                                           .number_u64("job", job)
+                                           .str();
     for (;;) {
       std::string error;
-      const auto response = client_roundtrip(socket_path, request, &error);
+      const auto response =
+          client_roundtrip(socket_path, status_request, &error);
       if (!response) {
         std::fprintf(stderr, "confmask-client: %s\n", error.c_str());
         return 2;
@@ -259,6 +330,11 @@ int main(int argc, char** argv) {
       if (state == "done" || state == "failed" || state == "cancelled") {
         std::printf("%s\n", response->c_str());
         return state == "done" ? 0 : 1;
+      }
+      if (stream_done) {
+        // The stream said terminal but status does not agree — should not
+        // happen; degrade to polling rather than looping on the stream.
+        stream_done = false;
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }

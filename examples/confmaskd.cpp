@@ -4,11 +4,17 @@
 //                    [--max-concurrent-jobs N] [--max-pending N]
 //                    [--trace FILE] [--jobs N]
 //                    [--journal PATH] [--cache-budget BYTES]
+//                    [--listen HOST:PORT] [--idle-timeout-ms N]
+//                    [--max-line-bytes N]
 //          confmaskd --version
 //
 // Serves the confmaskd protocol (src/service/protocol.hpp) over a
-// unix-domain socket: clients submit anonymization jobs, poll status,
-// fetch artifacts, and ask for shutdown. Identical resubmissions are
+// unix-domain socket — and, with --listen, a TCP port sharing the same
+// connection manager: clients submit anonymization jobs, poll status,
+// subscribe to streamed progress events, fetch artifacts, and ask for
+// shutdown. Connections are served concurrently from one poll loop; an
+// idle or slow client delays nobody and is reaped after --idle-timeout-ms
+// of silence (default 60000; 0 disables). Identical resubmissions are
 // served byte-identically from the content-addressed cache under
 // --cache-dir without re-running the pipeline.
 //
@@ -41,7 +47,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: confmaskd --socket PATH --cache-dir DIR "
                "[--max-concurrent-jobs N] [--max-pending N] [--trace FILE] "
-               "[--jobs N] [--journal PATH] [--cache-budget BYTES]\n"
+               "[--jobs N] [--journal PATH] [--cache-budget BYTES] "
+               "[--listen HOST:PORT] [--idle-timeout-ms N] "
+               "[--max-line-bytes N]\n"
                "       confmaskd --version\n");
   return 2;
 }
@@ -86,6 +94,16 @@ int main(int argc, char** argv) {
       options.cache_max_bytes = std::strtoull(argv[i + 1], nullptr, 10);
       if (options.cache_max_bytes == 0) {
         std::fprintf(stderr, "--cache-budget must be > 0 bytes\n");
+        return usage();
+      }
+    } else if (std::strcmp(argv[i], "--listen") == 0) {
+      options.listen_address = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0) {
+      options.idle_timeout_ms = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--max-line-bytes") == 0) {
+      options.max_line_bytes = std::strtoull(argv[i + 1], nullptr, 10);
+      if (options.max_line_bytes == 0) {
+        std::fprintf(stderr, "--max-line-bytes must be > 0\n");
         return usage();
       }
     } else if (std::strcmp(argv[i], "--jobs") == 0) {

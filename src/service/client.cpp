@@ -1,10 +1,14 @@
 #include "src/service/client.hpp"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -22,6 +26,101 @@ void set_error(TransportError* error, TransportFailure failure,
   if (error == nullptr) return;
   error->failure = failure;
   error->detail = step + ": " + std::strerror(errno);
+}
+
+/// Splits "host:port"; false unless the port is nonempty all-digits and
+/// the host is an IPv4 literal or "localhost".
+bool parse_tcp_endpoint(const std::string& endpoint, std::string& host,
+                        std::uint16_t& port) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    return false;
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = colon + 1; i < endpoint.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(endpoint[i])) == 0) {
+      return false;
+    }
+    value = value * 10 + static_cast<std::uint64_t>(endpoint[i] - '0');
+    if (value > 65'535) return false;
+  }
+  host = endpoint.substr(0, colon);
+  if (host == "localhost") host = "127.0.0.1";
+  in_addr probe{};
+  if (::inet_pton(AF_INET, host.c_str(), &probe) != 1) return false;
+  port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+/// Connects to a unix socket path or a host:port endpoint; -1 on failure
+/// with *error filled.
+int connect_endpoint(const std::string& endpoint, TransportError* error) {
+  std::string host;
+  std::uint16_t port = 0;
+  if (parse_tcp_endpoint(endpoint, host, port)) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      set_error(error, TransportFailure::kConnect, "socket");
+      return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      set_error(error, TransportFailure::kConnect, "connect");
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (endpoint.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) {
+      error->failure = TransportFailure::kSocketPath;
+      error->detail = "socket path too long";
+    }
+    return -1;
+  }
+  std::memcpy(addr.sun_path, endpoint.c_str(), endpoint.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_error(error, TransportFailure::kConnect, "socket");
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    set_error(error, TransportFailure::kConnect, "connect");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Waits for the fd to become readable within the budget (0 = forever).
+/// Returns false on expiry (kReceive timeout) or poll failure.
+bool wait_readable(int fd, std::uint32_t timeout_ms, TransportError* error) {
+  pollfd waiter{fd, POLLIN, 0};
+  for (;;) {
+    const int ready =
+        ::poll(&waiter, 1, timeout_ms == 0 ? -1 : static_cast<int>(timeout_ms));
+    if (ready > 0) return true;
+    if (ready == 0) {
+      if (error != nullptr) {
+        error->failure = TransportFailure::kReceive;
+        error->detail = "no response within receive_timeout_ms=" +
+                        std::to_string(timeout_ms);
+      }
+      return false;
+    }
+    if (errno == EINTR) continue;
+    set_error(error, TransportFailure::kReceive, "poll");
+    return false;
+  }
 }
 
 /// splitmix64 finalizer: cheap, stateless, well-mixed — the same jitter
@@ -48,31 +147,18 @@ const char* to_string(TransportFailure failure) {
   return "unknown";
 }
 
-std::optional<std::string> client_roundtrip(const std::string& socket_path,
-                                            const std::string& request_line,
-                                            TransportError* error) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) {
-    if (error != nullptr) {
-      error->failure = TransportFailure::kSocketPath;
-      error->detail = "socket path too long";
-    }
-    return std::nullopt;
-  }
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+bool is_tcp_endpoint(const std::string& endpoint) {
+  std::string host;
+  std::uint16_t port = 0;
+  return parse_tcp_endpoint(endpoint, host, port);
+}
 
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    set_error(error, TransportFailure::kConnect, "socket");
-    return std::nullopt;
-  }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    set_error(error, TransportFailure::kConnect, "connect");
-    ::close(fd);
-    return std::nullopt;
-  }
+std::optional<std::string> client_roundtrip(const std::string& endpoint,
+                                            const std::string& request_line,
+                                            TransportError* error,
+                                            std::uint32_t receive_timeout_ms) {
+  const int fd = connect_endpoint(endpoint, error);
+  if (fd < 0) return std::nullopt;
 
   const std::string framed = request_line + "\n";
   if (!io::write_all(fd, framed.data(), framed.size())) {
@@ -88,6 +174,10 @@ std::optional<std::string> client_roundtrip(const std::string& socket_path,
   std::string response;
   char chunk[4096];
   for (;;) {
+    if (!wait_readable(fd, receive_timeout_ms, error)) {
+      ::close(fd);
+      return std::nullopt;
+    }
     const ssize_t n = io::read_some(fd, chunk, sizeof chunk);
     if (n < 0) {
       set_error(error, TransportFailure::kReceive, "read");
@@ -115,15 +205,69 @@ std::optional<std::string> client_roundtrip(const std::string& socket_path,
   return std::nullopt;
 }
 
-std::optional<std::string> client_roundtrip(const std::string& socket_path,
+std::optional<std::string> client_roundtrip(const std::string& endpoint,
                                             const std::string& request_line,
-                                            std::string* error) {
+                                            std::string* error,
+                                            std::uint32_t receive_timeout_ms) {
   TransportError typed;
-  auto response = client_roundtrip(socket_path, request_line, &typed);
+  auto response =
+      client_roundtrip(endpoint, request_line, &typed, receive_timeout_ms);
   if (!response && error != nullptr) {
     *error = std::string(to_string(typed.failure)) + ": " + typed.detail;
   }
   return response;
+}
+
+bool client_stream(const std::string& endpoint,
+                   const std::string& request_line,
+                   const std::function<bool(const std::string& line)>& on_line,
+                   TransportError* error,
+                   std::uint32_t receive_timeout_ms) {
+  const int fd = connect_endpoint(endpoint, error);
+  if (fd < 0) return false;
+
+  const std::string framed = request_line + "\n";
+  if (!io::write_all(fd, framed.data(), framed.size())) {
+    set_error(error,
+              errno == EPIPE ? TransportFailure::kPeerClosed
+                             : TransportFailure::kSend,
+              "write");
+    ::close(fd);
+    return false;
+  }
+
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    if (!wait_readable(fd, receive_timeout_ms, error)) {
+      ::close(fd);
+      return false;
+    }
+    const ssize_t n = io::read_some(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      set_error(error, TransportFailure::kReceive, "read");
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) {
+      // End of stream: the server flushes the terminal event and closes.
+      ::close(fd);
+      return true;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t newline = buffer.find('\n', start);
+         newline != std::string::npos;
+         newline = buffer.find('\n', start)) {
+      const std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (!on_line(line)) {  // caller has what it needs
+        ::close(fd);
+        return true;
+      }
+    }
+    buffer.erase(0, start);
+  }
 }
 
 std::uint32_t backoff_delay_ms(const RetryConfig& config, int attempt,
@@ -143,6 +287,11 @@ std::uint32_t backoff_delay_ms(const RetryConfig& config, int attempt,
   if (spread > 0) {
     delay = delay - spread / 2 + (r % (spread + 1));
   }
+  // Re-clamp AFTER jitter: the downward half of the window could otherwise
+  // land the retry before the server said capacity returns, turning the
+  // hint into a guaranteed second rejection. The client's own cap still
+  // wins when the hint exceeds it.
+  delay = std::max<std::uint64_t>(delay, server_hint_ms);
   delay = std::min<std::uint64_t>(delay, config.max_delay_ms);
   return static_cast<std::uint32_t>(delay);
 }

@@ -1,6 +1,12 @@
 // Minimal confmaskd client: one request line out, one response line back,
-// over a short-lived unix-domain socket connection. The library half of
-// the confmask-client binary; tests use it to drive a live daemon.
+// over a short-lived connection. The library half of the confmask-client
+// binary; tests use it to drive a live daemon.
+//
+// Endpoints: a plain filesystem path names a unix-domain socket; a
+// "host:port" string (IPv4 literal or "localhost", numeric port) names a
+// TCP endpoint for daemons started with --listen. The distinction is
+// syntactic and unambiguous — unix socket paths in this codebase are
+// absolute paths, which never parse as host:port.
 //
 // Robustness contract: all socket I/O goes through io_shim (EINTR retried,
 // partial reads/writes resumed), and transport failures are TYPED — a peer
@@ -8,7 +14,9 @@
 // is distinguishable from a connect refusal, because the retry policy for
 // the two differs: a submit whose response was lost may or may not have
 // been journaled, so the client resubmits and converges via the
-// content-addressed cache.
+// content-addressed cache. A receive timeout (off by default) bounds how
+// long a roundtrip waits on a daemon that accepted the request but never
+// answers; expiry is a typed kReceive failure naming the budget.
 //
 // Load shedding: a daemon over its admission budget rejects submits with
 // `retry_after_ms`. client_submit_with_retry honors it with exponential
@@ -17,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -46,18 +55,36 @@ struct TransportError {
   std::uint32_t retry_after_ms = 0;
 };
 
-/// Connects to `socket_path`, sends `request_line` (newline appended),
-/// reads one response line. nullopt on any transport failure, with the
-/// typed cause in *error when provided. Protocol-level failures are NOT
-/// transport failures — they come back as {ok: false} response lines.
+/// True when `endpoint` parses as "host:port" (IPv4 literal or
+/// "localhost", all-digit port) rather than a unix socket path.
+[[nodiscard]] bool is_tcp_endpoint(const std::string& endpoint);
+
+/// Connects to `endpoint` (unix socket path or "host:port"), sends
+/// `request_line` (newline appended), reads one response line. nullopt on
+/// any transport failure, with the typed cause in *error when provided.
+/// Protocol-level failures are NOT transport failures — they come back as
+/// {ok: false} response lines. `receive_timeout_ms` bounds the wait for
+/// the response (0 = wait forever); expiry is a kReceive failure.
 [[nodiscard]] std::optional<std::string> client_roundtrip(
-    const std::string& socket_path, const std::string& request_line,
-    TransportError* error);
+    const std::string& endpoint, const std::string& request_line,
+    TransportError* error, std::uint32_t receive_timeout_ms = 0);
 
 /// Back-compat shim: *error receives to_string(failure) + ": " + detail.
 [[nodiscard]] std::optional<std::string> client_roundtrip(
-    const std::string& socket_path, const std::string& request_line,
-    std::string* error = nullptr);
+    const std::string& endpoint, const std::string& request_line,
+    std::string* error = nullptr, std::uint32_t receive_timeout_ms = 0);
+
+/// Long-lived streaming request: connects to `endpoint`, sends
+/// `request_line` (the `subscribe` op), then invokes `on_line` with every
+/// response line — the ack first, then event lines — until the server
+/// closes the stream (true), `on_line` returns false (true: caller chose
+/// to stop), or a transport failure (false, typed cause in *error).
+/// `receive_timeout_ms` bounds the silence BETWEEN lines, not the total
+/// stream (0 = wait forever).
+[[nodiscard]] bool client_stream(
+    const std::string& endpoint, const std::string& request_line,
+    const std::function<bool(const std::string& line)>& on_line,
+    TransportError* error = nullptr, std::uint32_t receive_timeout_ms = 0);
 
 /// Client-side backoff policy for load-shed retries.
 struct RetryConfig {
@@ -68,8 +95,10 @@ struct RetryConfig {
 };
 
 /// The delay before retry attempt `attempt` (1-based): exponential in the
-/// attempt number, never below the server's `retry_after_ms` hint, with
-/// deterministic ±25% jitter, capped at max_delay_ms. Pure function —
+/// attempt number, with deterministic ±25% jitter, capped at max_delay_ms
+/// — and never below the server's `retry_after_ms` hint (up to that same
+/// cap): the hint is the server's own estimate of when capacity returns,
+/// so jitter may stretch it but must not undercut it. Pure function —
 /// exposed so tests can pin the schedule without sleeping.
 [[nodiscard]] std::uint32_t backoff_delay_ms(const RetryConfig& config,
                                              int attempt,

@@ -1,37 +1,132 @@
 #include "src/service/daemon.hpp"
 
+#include <arpa/inet.h>
 #include <csignal>
-#include <poll.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <memory>
+#include <optional>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 #include "src/service/artifact_cache.hpp"
+#include "src/service/client.hpp"
+#include "src/service/connection_manager.hpp"
 #include "src/service/job_journal.hpp"
 #include "src/service/job_scheduler.hpp"
+#include "src/service/json_line.hpp"
 #include "src/service/protocol.hpp"
-#include "src/util/io_shim.hpp"
 #include "src/util/observability.hpp"
 
 namespace confmask {
 
 namespace {
 
-constexpr int kPollMillis = 100;
+/// Probe budget for "is someone already serving on this socket": long
+/// enough for a healthy daemon to answer a ping, short enough that startup
+/// is not hostage to a wedged one (which still means the socket is TAKEN).
+constexpr std::uint32_t kProbeTimeoutMs = 1'000;
 
-/// Writes all of `data` (+ newline) to `fd` via the hardened shim (EINTR
-/// retried, partial writes resumed); false on any hard error — typically
-/// the peer disconnecting mid-response.
-bool write_line(int fd, const std::string& data) {
-  const std::string framed = data + "\n";
-  return io::write_all(fd, framed.data(), framed.size());
+/// Extracts N from a trace line tagged `{"job": "job-N", ...` — the
+/// format PipelineTrace::emit produces for scheduler-traced jobs. Lines
+/// without the tag (untagged traces, span_end counters never start with
+/// the tag either-which-way) simply aren't broadcast.
+std::optional<std::uint64_t> parse_job_tag(std::string_view line) {
+  constexpr std::string_view kPrefix = "{\"job\": \"job-";
+  if (line.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
+  std::uint64_t id = 0;
+  bool any = false;
+  for (std::size_t i = kPrefix.size(); i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"') return any ? std::optional<std::uint64_t>(id) : std::nullopt;
+    if (c < '0' || c > '9') return std::nullopt;
+    id = id * 10 + static_cast<std::uint64_t>(c - '0');
+    any = true;
+  }
+  return std::nullopt;
+}
+
+/// The NDJSON state-transition event pushed to subscribers, plus whether
+/// it is terminal (ends the stream).
+std::pair<std::string, bool> make_state_event(const JobStatus& status) {
+  const bool terminal = status.state == JobState::kDone ||
+                        status.state == JobState::kFailed ||
+                        status.state == JobState::kCancelled;
+  JsonLineWriter out;
+  out.boolean("ok", true)
+      .string("op", "event")
+      .string("type", "state")
+      .number_u64("job", status.id)
+      .string("state", to_string(status.state))
+      .string("cache_key", status.cache_key)
+      .boolean("cache_hit", status.cache_hit)
+      .boolean("patched", status.patched);
+  if (status.state == JobState::kFailed ||
+      status.state == JobState::kCancelled) {
+    out.string("error_stage", status.error_stage)
+        .string("error_category", status.error_category)
+        .string("error_message", status.error_message)
+        .number("exit_code", status.exit_code);
+  }
+  return {out.str(), terminal};
+}
+
+/// The scheduler's trace sink: fans every job-tagged trace line out to
+/// that job's subscribers, teeing to the operator's --trace stream when
+/// one is configured. Subclasses the stream-less NdjsonSink base, so the
+/// scheduler needs no new seam — it just writes lines.
+class BroadcastSink final : public obs::NdjsonSink {
+ public:
+  BroadcastSink(ConnectionServer* server, std::ostream* tee)
+      : server_(server) {
+    if (tee != nullptr) tee_ = std::make_unique<obs::NdjsonSink>(*tee);
+  }
+
+  void write_line(std::string_view json_object) override {
+    if (tee_ != nullptr) tee_->write_line(json_object);
+    if (const auto job = parse_job_tag(json_object)) {
+      server_->publish(*job, std::string(json_object),
+                       /*end_of_stream=*/false);
+    }
+  }
+
+ private:
+  ConnectionServer* server_;
+  std::unique_ptr<obs::NdjsonSink> tee_;
+};
+
+/// Splits "host:port" for --listen; accepts IPv4 literals, "localhost"
+/// and "0.0.0.0"-style wildcards, numeric port (0 = ephemeral).
+bool parse_listen_address(const std::string& address, in_addr& host,
+                          std::uint16_t& port) {
+  const std::size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == address.size()) {
+    return false;
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = colon + 1; i < address.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(address[i])) == 0) {
+      return false;
+    }
+    value = value * 10 + static_cast<std::uint64_t>(address[i] - '0');
+    if (value > 65'535) return false;
+  }
+  std::string name = address.substr(0, colon);
+  if (name == "localhost") name = "127.0.0.1";
+  if (::inet_pton(AF_INET, name.c_str(), &host) != 1) return false;
+  port = static_cast<std::uint16_t>(value);
+  return true;
 }
 
 }  // namespace
@@ -54,23 +149,103 @@ int Daemon::run() {
   std::memcpy(addr.sun_path, options_.socket_path.c_str(),
               options_.socket_path.size() + 1);
 
-  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
+  // Reclaim the socket path only when it is provably dead. Unlinking
+  // unconditionally would let a second daemon silently steal a live
+  // daemon's socket — every subsequent client would talk to the thief
+  // while the original serves nobody.
+  struct stat existing {};
+  if (::lstat(options_.socket_path.c_str(), &existing) == 0) {
+    if (!S_ISSOCK(existing.st_mode)) {
+      std::fprintf(stderr,
+                   "confmaskd: %s exists and is not a socket; refusing to "
+                   "remove it\n",
+                   options_.socket_path.c_str());
+      return 1;
+    }
+    TransportError probe_error;
+    const auto pong =
+        client_roundtrip(options_.socket_path, R"({"op": "ping"})",
+                         &probe_error, kProbeTimeoutMs);
+    if (pong.has_value()) {
+      std::fprintf(stderr,
+                   "confmaskd: a live daemon already answers on %s; "
+                   "refusing to start\n",
+                   options_.socket_path.c_str());
+      return 1;
+    }
+    if (probe_error.failure != TransportFailure::kConnect) {
+      // Connected but no ping answer: SOMETHING holds the socket, even if
+      // it is wedged. Taking it over would hide that failure.
+      std::fprintf(stderr,
+                   "confmaskd: %s is held by a process that did not answer "
+                   "a ping (%s); refusing to start\n",
+                   options_.socket_path.c_str(), probe_error.detail.c_str());
+      return 1;
+    }
+    ::unlink(options_.socket_path.c_str());  // provably stale: reclaim
+  }
+
+  const int unix_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (unix_fd < 0) {
     std::perror("confmaskd: socket");
     return 1;
   }
-  ::unlink(options_.socket_path.c_str());  // stale socket from a past run
-  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+  if (::bind(unix_fd, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0) {
     std::perror("confmaskd: bind");
-    ::close(listen_fd);
+    ::close(unix_fd);
     return 1;
   }
-  if (::listen(listen_fd, 16) != 0) {
+  if (::listen(unix_fd, 128) != 0) {
     std::perror("confmaskd: listen");
-    ::close(listen_fd);
+    ::close(unix_fd);
     ::unlink(options_.socket_path.c_str());
     return 1;
+  }
+
+  std::vector<int> listen_fds{unix_fd};
+  if (!options_.listen_address.empty()) {
+    in_addr host{};
+    std::uint16_t port = 0;
+    if (!parse_listen_address(options_.listen_address, host, port)) {
+      std::fprintf(stderr, "confmaskd: invalid --listen address: %s\n",
+                   options_.listen_address.c_str());
+      ::close(unix_fd);
+      ::unlink(options_.socket_path.c_str());
+      return 1;
+    }
+    const int tcp_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_fd < 0) {
+      std::perror("confmaskd: tcp socket");
+      ::close(unix_fd);
+      ::unlink(options_.socket_path.c_str());
+      return 1;
+    }
+    const int reuse = 1;
+    ::setsockopt(tcp_fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof reuse);
+    sockaddr_in tcp_addr{};
+    tcp_addr.sin_family = AF_INET;
+    tcp_addr.sin_addr = host;
+    tcp_addr.sin_port = htons(port);
+    if (::bind(tcp_fd, reinterpret_cast<const sockaddr*>(&tcp_addr),
+               sizeof(tcp_addr)) != 0 ||
+        ::listen(tcp_fd, 128) != 0) {
+      std::perror("confmaskd: tcp bind/listen");
+      ::close(tcp_fd);
+      ::close(unix_fd);
+      ::unlink(options_.socket_path.c_str());
+      return 1;
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(tcp_fd, reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) == 0) {
+      tcp_port_.store(ntohs(bound.sin_port), std::memory_order_release);
+    }
+    listen_fds.push_back(tcp_fd);
+    std::printf("confmaskd: listening on tcp %s (port %u)\n",
+                options_.listen_address.c_str(),
+                static_cast<unsigned>(tcp_port()));
   }
 
   std::printf("confmaskd: serving on %s\n", options_.socket_path.c_str());
@@ -86,8 +261,9 @@ int Daemon::run() {
       // An unusable journal means the durability contract CANNOT be kept;
       // refusing to start beats silently accepting un-journaled jobs.
       std::fprintf(stderr, "confmaskd: %s\n", error.what());
-      ::close(listen_fd);
+      for (const int fd : listen_fds) ::close(fd);
       ::unlink(options_.socket_path.c_str());
+      tcp_port_.store(0, std::memory_order_release);
       return 1;
     }
     const JournalRecovery& recovery = journal->recovery();
@@ -100,70 +276,60 @@ int Daemon::run() {
       std::fflush(stdout);
     }
   }
-  std::unique_ptr<obs::NdjsonSink> trace_sink;
-  if (options_.trace_stream != nullptr) {
-    trace_sink = std::make_unique<obs::NdjsonSink>(*options_.trace_stream);
-  }
+
+  ConnectionServer::Options server_options;
+  server_options.idle_timeout_ms = options_.idle_timeout_ms;
+  server_options.max_line_bytes = options_.max_line_bytes;
+  ConnectionServer server(std::move(listen_fds), server_options);
+
+  BroadcastSink trace_sink(&server, options_.trace_stream);
+
   JobScheduler::Options scheduler_options;
   scheduler_options.max_concurrent_jobs = options_.max_concurrent_jobs;
   scheduler_options.max_pending = options_.max_pending;
-  scheduler_options.trace_sink = trace_sink.get();
+  scheduler_options.trace_sink = &trace_sink;
   scheduler_options.journal = journal.get();
+  scheduler_options.state_listener = [&server](const JobStatus& status) {
+    auto [line, terminal] = make_state_event(status);
+    server.publish(status.id, std::move(line), terminal);
+  };
   JobScheduler scheduler(&cache, scheduler_options);
   ProtocolHandler handler(&scheduler, &cache, journal.get());
 
-  ShutdownCommand shutdown;
-  while (!shutdown.requested && !stop_.load(std::memory_order_acquire)) {
-    pollfd poll_listen{listen_fd, POLLIN, 0};
-    const int ready = ::poll(&poll_listen, 1, kPollMillis);
-    if (ready < 0 && errno != EINTR) break;
-    if (ready <= 0 || (poll_listen.revents & POLLIN) == 0) continue;
-    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
-    if (conn_fd < 0) continue;
-
-    // One connection at a time: read request lines until EOF (or a
-    // shutdown request), answering each as it completes.
-    std::string buffer;
-    bool open = true;
-    while (open && !shutdown.requested &&
-           !stop_.load(std::memory_order_acquire)) {
-      pollfd poll_conn{conn_fd, POLLIN, 0};
-      const int conn_ready = ::poll(&poll_conn, 1, kPollMillis);
-      if (conn_ready < 0 && errno != EINTR) break;
-      if (conn_ready <= 0) continue;
-      char chunk[4096];
-      const ssize_t n = ::read(conn_fd, chunk, sizeof chunk);
-      if (n == 0) break;  // client closed
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        break;
-      }
-      buffer.append(chunk, static_cast<std::size_t>(n));
-      std::size_t start = 0;
-      for (std::size_t newline = buffer.find('\n', start);
-           newline != std::string::npos;
-           newline = buffer.find('\n', start)) {
-        const std::string line = buffer.substr(start, newline - start);
-        start = newline + 1;
-        const std::string response = handler.handle(line, &shutdown);
-        if (!write_line(conn_fd, response)) {
-          open = false;
-          break;
-        }
-        if (shutdown.requested) break;
-      }
-      buffer.erase(0, start);
+  JobScheduler::ShutdownMode shutdown_mode = JobScheduler::ShutdownMode::kDrain;
+  bool shutdown_requested = false;
+  server.set_line_handler([&](std::string_view line) {
+    ShutdownCommand shutdown;
+    SubscribeCommand subscribe;
+    LineOutcome outcome;
+    outcome.response = handler.handle(line, &shutdown, &subscribe);
+    if (subscribe.requested) outcome.subscribe = subscribe.job;
+    if (shutdown.requested) {
+      shutdown_requested = true;
+      shutdown_mode = shutdown.mode;
+      outcome.shutdown = true;
     }
-    ::close(conn_fd);
-  }
+    return outcome;
+  });
+  // Close the subscribe-after-terminal race: the protocol ack reflected a
+  // state that may since have advanced (or was terminal all along); the
+  // probe runs on the loop thread AFTER registration, so a terminal job
+  // always yields exactly one terminal event and the stream closes.
+  server.set_subscribe_probe([&](std::uint64_t job) {
+    const auto status = scheduler.status(job);
+    if (!status) return;
+    auto [line, terminal] = make_state_event(*status);
+    if (terminal) server.publish(job, std::move(line), true);
+  });
 
-  ::close(listen_fd);
+  server.run(stop_);
+
   ::unlink(options_.socket_path.c_str());
+  tcp_port_.store(0, std::memory_order_release);
   // Graceful, fail-closed teardown: running jobs complete (and publish
   // whole entries or nothing); queued jobs drain or cancel per request.
-  scheduler.shutdown(shutdown.requested
-                         ? shutdown.mode
-                         : JobScheduler::ShutdownMode::kDrain);
+  scheduler.shutdown(shutdown_requested ? shutdown_mode
+                                        : JobScheduler::ShutdownMode::kDrain);
   return 0;
 }
 

@@ -1,12 +1,23 @@
 // confmaskd: the batch-anonymization daemon.
 //
-// One unix-domain stream socket; one flat-JSON request line in, one
-// response line out (protocol.hpp). Connections are handled serially —
-// protocol handling is microseconds of work; all real concurrency lives in
-// the JobScheduler behind it — so clients should use one short-lived
-// connection per command (what confmask-client does). The accept and read
-// loops poll with a short timeout against the stop flag, so request_stop()
-// and the protocol's shutdown op both take effect promptly.
+// Transport: an event-driven ConnectionServer (connection_manager.hpp)
+// multiplexes one unix-domain stream socket — plus an optional TCP
+// listener (--listen host:port) — over a single poll loop, so any number
+// of clients submit, poll and stream concurrently and an idle or slow
+// connection delays nobody (the pre-concurrency daemon served one
+// connection at a time; `nc -U <socket>` wedged every other client).
+// Protocol handling stays microseconds of work per line; all job-level
+// concurrency lives in the JobScheduler behind it.
+//
+// Streaming: the `subscribe` op attaches the connection to a job's event
+// stream — pipeline trace spans (per-stage phase progress) and job state
+// transitions — pushed as NDJSON lines until the terminal state event
+// closes the stream. confmask-client's `wait` rides this instead of
+// polling `status`.
+//
+// Startup safety: an existing socket path is probed first — if a live
+// daemon answers a ping there, this one refuses to start instead of
+// stealing the socket; only a genuinely dead socket file is unlinked.
 //
 // Unix-socket caveat: sun_path is ~108 bytes; keep --socket paths short
 // (e.g. under /tmp), or bind() fails with a clear error.
@@ -29,7 +40,9 @@ class Daemon {
     int max_concurrent_jobs = 2;
     std::size_t max_pending = 64;
     /// NDJSON destination for per-job pipeline traces (nullptr = off).
-    /// Not owned; must outlive run().
+    /// Not owned; must outlive run(). Independent of subscribe streaming:
+    /// trace lines are broadcast to subscribers either way, and teed here
+    /// when set.
     std::ostream* trace_stream = nullptr;
     /// Build-stamp override for the cache (tests only; empty = this
     /// binary's build_stamp()).
@@ -40,6 +53,16 @@ class Daemon {
     std::filesystem::path journal_path;
     /// Artifact-cache byte budget (LRU eviction). 0 = unbounded.
     std::uint64_t cache_max_bytes = 0;
+    /// Additional TCP listener as "host:port" (empty = unix socket only).
+    /// Port 0 binds an ephemeral port, readable via tcp_port() once
+    /// serving — how tests avoid port collisions.
+    std::string listen_address;
+    /// Close connections with no request activity for this long
+    /// (milliseconds; 0 = never). Subscribed connections are exempt.
+    std::uint64_t idle_timeout_ms = 60'000;
+    /// Reject request lines longer than this many bytes. Bundles travel
+    /// inside submit lines, so the default is generous.
+    std::size_t max_line_bytes = 64u << 20;
   };
 
   explicit Daemon(Options options);
@@ -47,15 +70,24 @@ class Daemon {
   /// Serves until a protocol shutdown request (or request_stop()), then
   /// shuts the scheduler down in the requested mode and removes the
   /// socket. Returns 0 on clean shutdown, 1 when the socket could not be
-  /// set up (the error is printed to stderr).
+  /// set up — including when a LIVE daemon already answers on
+  /// `socket_path` (the error is printed to stderr).
   int run();
 
   /// Asks a running run() to stop (drain mode). Safe from other threads.
   void request_stop() { stop_.store(true, std::memory_order_release); }
 
+  /// The bound TCP port once run() is serving (0 before that, or when no
+  /// listen_address was configured). Safe from other threads — tests bind
+  /// port 0 and poll this for the ephemeral port.
+  [[nodiscard]] std::uint16_t tcp_port() const {
+    return tcp_port_.load(std::memory_order_acquire);
+  }
+
  private:
   Options options_;
   std::atomic<bool> stop_{false};
+  std::atomic<std::uint16_t> tcp_port_{0};
 };
 
 }  // namespace confmask

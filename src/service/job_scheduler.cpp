@@ -365,6 +365,9 @@ void JobScheduler::shutdown(ShutdownMode mode) {
 
 void JobScheduler::journal_state(const JobStatus& status,
                                  std::uint64_t secondary) {
+  // Listener before journal: subscribers learn the transition even when
+  // the fsync below takes its time (or no journal is attached at all).
+  if (options_.state_listener) options_.state_listener(status);
   if (options_.journal == nullptr) return;
   (void)options_.journal->append_state(status, secondary, nullptr);
 }

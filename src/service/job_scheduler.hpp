@@ -46,6 +46,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -193,6 +194,12 @@ class JobScheduler {
     /// network — so the budget is deliberately small. 0 disables capture
     /// entirely (resubmits still work; they just always run cold).
     std::size_t watch_context_capacity = 4;
+    /// Called with a snapshot at every job state transition (queued →
+    /// running → terminal), from the thread driving the transition and
+    /// OUTSIDE mutex_ — it may take locks but must not call back into the
+    /// scheduler. confmaskd uses it to stream state events to subscribed
+    /// connections. nullptr = no listener.
+    std::function<void(const JobStatus&)> state_listener;
   };
 
   enum class ShutdownMode {
@@ -289,10 +296,12 @@ class JobScheduler {
 
   void worker_loop();
   void execute(std::uint64_t id);
-  /// Appends a state record for `status` when a journal is attached.
-  /// Called OUTSIDE mutex_ — the fsync must not stall status queries. A
-  /// failed append is counted by the journal and otherwise ignored: replay
-  /// simply re-runs the job and converges through the cache.
+  /// Publishes a state transition: invokes Options::state_listener with the
+  /// snapshot, then appends a state record when a journal is attached.
+  /// Called OUTSIDE mutex_ — neither the listener nor the fsync may stall
+  /// status queries. A failed append is counted by the journal and
+  /// otherwise ignored: replay simply re-runs the job and converges
+  /// through the cache.
   void journal_state(const JobStatus& status, std::uint64_t secondary);
 
   [[nodiscard]] bool terminal_locked(std::uint64_t id) const;

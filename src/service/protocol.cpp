@@ -133,7 +133,8 @@ std::string rejection_response(std::string_view op,
 }  // namespace
 
 std::string ProtocolHandler::handle(std::string_view line,
-                                    ShutdownCommand* shutdown) {
+                                    ShutdownCommand* shutdown,
+                                    SubscribeCommand* subscribe) {
   std::string parse_error;
   const auto request = parse_json_line(line, &parse_error);
   if (!request) {
@@ -238,6 +239,24 @@ std::string ProtocolHandler::handle(std::string_view line,
         .string("configs", result->artifacts.anonymized_configs)
         .string("diagnostics", result->artifacts.diagnostics_json)
         .string("metrics", result->artifacts.metrics_json)
+        .str();
+  }
+
+  if (*op == "subscribe") {
+    const auto id = get_u64(*request, "job");
+    if (!id) return error_response(*op, "missing or invalid job id");
+    const auto status = scheduler_->status(*id);
+    if (!status) return error_response(*op, "unknown job");
+    if (subscribe == nullptr) {
+      return error_response(*op, "transport does not support streaming");
+    }
+    subscribe->requested = true;
+    subscribe->job = *id;
+    return JsonLineWriter{}
+        .boolean("ok", true)
+        .string("op", *op)
+        .number_u64("job", *id)
+        .string("state", to_string(status->state))
         .str();
   }
 

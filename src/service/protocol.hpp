@@ -34,6 +34,16 @@
 //   ping     → {ok, op, stamp, version, uptime_ms, queued, running,
 //            cache_entries, cache_bytes, ...} — liveness + one-line
 //            operational summary, cheap enough for a health probe loop
+//   subscribe job → {ok, op, job, state} ack, after which the transport
+//            streams NDJSON event lines for that job on the same
+//            connection: pipeline trace spans (type: span_begin/span_end)
+//            and state transitions ({op: "event", type: "state", ...}).
+//            The terminal state event ends the stream and the server
+//            closes the connection. Subscribing to an already-terminal
+//            job yields the ack plus exactly the terminal event. Only
+//            meaningful over a streaming transport; the direct handler
+//            returns the ack and reports the subscription upward via
+//            SubscribeCommand.
 //   shutdown mode: "drain" (default) | "cancel" → {ok, op, mode}; the
 //            transport stops accepting after relaying this.
 //
@@ -61,6 +71,15 @@ struct ShutdownCommand {
   JobScheduler::ShutdownMode mode = JobScheduler::ShutdownMode::kDrain;
 };
 
+/// Set by handle() when the request was a valid subscribe: the transport
+/// attaches the connection as an event subscriber of `job`. A transport
+/// that cannot stream (none today) passes nullptr and subscribe becomes a
+/// loud error instead of a silently dead stream.
+struct SubscribeCommand {
+  bool requested = false;
+  std::uint64_t job = 0;
+};
+
 class ProtocolHandler {
  public:
   /// No pointer is owned; scheduler and cache must outlive the handler.
@@ -77,7 +96,8 @@ class ProtocolHandler {
   /// newline). Never throws for protocol-level problems — they become
   /// {ok: false} responses.
   [[nodiscard]] std::string handle(std::string_view line,
-                                   ShutdownCommand* shutdown = nullptr);
+                                   ShutdownCommand* shutdown = nullptr,
+                                   SubscribeCommand* subscribe = nullptr);
 
  private:
   JobScheduler* scheduler_;

@@ -74,6 +74,24 @@ bool write_all(int fd, const void* data, std::size_t size) {
   return true;
 }
 
+ssize_t write_some(int fd, const void* data, std::size_t size) {
+  for (;;) {
+    if (faults::fire(kFaultEintr)) {
+      errno = EINTR;
+      continue;
+    }
+    if (faults::fire(kFaultEnospc)) {
+      errno = ENOSPC;
+      return -1;
+    }
+    const std::size_t want =
+        faults::fire(kFaultShortWrite) && size > 1 ? size / 2 : size;
+    const ssize_t n = ::write(fd, data, want);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
 ssize_t read_some(int fd, void* buf, std::size_t size) {
   for (;;) {
     if (faults::fire(kFaultEintr)) {

@@ -54,6 +54,15 @@ inline constexpr std::string_view kFaultFsyncFail = "confmask.io.fsync_fail";
 /// callers loop).
 [[nodiscard]] ssize_t read_some(int fd, void* buf, std::size_t size);
 
+/// One write(2) attempt retrying EINTR (same fault points as write_all:
+/// short_write delivers half, enospc fails before any byte). Returns bytes
+/// written (may be short) or -1 on hard error with errno preserved —
+/// including EAGAIN/EWOULDBLOCK, which NONBLOCKING callers (the daemon's
+/// connection manager) treat as "buffer full, poll and resume", not as a
+/// failure. Unlike write_all this never loops on partial progress, so it
+/// cannot block the caller on a slow peer.
+[[nodiscard]] ssize_t write_some(int fd, const void* data, std::size_t size);
+
 /// fsync(2) retrying EINTR; false on hard failure (errno preserved).
 [[nodiscard]] bool fsync_fd(int fd);
 

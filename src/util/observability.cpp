@@ -66,6 +66,7 @@ Histogram::Snapshot Histogram::snapshot() const {
 }
 
 void NdjsonSink::write_line(std::string_view json_object) {
+  if (out_ == nullptr) return;  // stream-less base of a broadcast subclass
   const std::lock_guard<std::mutex> lock(mutex_);
   *out_ << json_object << '\n';
 }

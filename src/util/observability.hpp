@@ -80,20 +80,31 @@ class Histogram {
 /// Writes newline-delimited JSON: one complete object per line, lines
 /// serialized under a mutex so concurrent emitters never interleave bytes.
 /// Does not own the stream; the caller keeps it alive and flushes/closes.
+///
+/// write_line is virtual so transports can interpose: confmaskd's event
+/// broadcast sink (src/service/daemon.cpp) subclasses this to fan trace
+/// lines out to `subscribe`d connections while still teeing them to the
+/// operator's --trace stream. The stream-less protected constructor exists
+/// for exactly those subclasses; the base write_line is then a no-op they
+/// may or may not chain to.
 class NdjsonSink {
  public:
   explicit NdjsonSink(std::ostream& out) : out_(&out) {}
+  virtual ~NdjsonSink() = default;
 
   NdjsonSink(const NdjsonSink&) = delete;
   NdjsonSink& operator=(const NdjsonSink&) = delete;
 
   /// Writes `json_object` (a complete `{...}` object, no trailing newline)
   /// as one NDJSON line.
-  void write_line(std::string_view json_object);
+  virtual void write_line(std::string_view json_object);
+
+ protected:
+  NdjsonSink() = default;  ///< subclass hook: no underlying stream
 
  private:
   std::mutex mutex_;
-  std::ostream* out_;
+  std::ostream* out_ = nullptr;
 };
 
 }  // namespace confmask::obs

@@ -115,6 +115,27 @@ TEST(ClientBackoff, ScheduleGrowsHonorsHintAndStaysDeterministic) {
   EXPECT_TRUE(diverged);
 }
 
+TEST(ClientBackoff, JitterNeverUndercutsServerHintAtTheBoundary) {
+  RetryConfig config;
+  config.base_ms = 100;
+  config.max_delay_ms = 5'000;
+  // The hint is the server's own earliest-capacity estimate: across many
+  // jitter seeds and attempts, no delay may land below it. (The original
+  // order applied jitter AFTER the hint clamp, so the downward half of the
+  // window undercut the hint by up to 25% — a guaranteed re-rejection.)
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    config.jitter_seed = seed;
+    for (int attempt = 1; attempt <= 6; ++attempt) {
+      const std::uint32_t delay = backoff_delay_ms(config, attempt, 3'000);
+      EXPECT_GE(delay, 3'000u) << "seed " << seed << " attempt " << attempt;
+      EXPECT_LE(delay, config.max_delay_ms)
+          << "seed " << seed << " attempt " << attempt;
+    }
+    // Hint exactly at the client's cap: no room in either direction.
+    EXPECT_EQ(backoff_delay_ms(config, 1, 5'000), 5'000u);
+  }
+}
+
 TEST(JsonLine, StrictParserRejectsEverythingOutsideTheSubset) {
   EXPECT_FALSE(parse_json_line("").has_value());
   EXPECT_FALSE(parse_json_line("[1, 2]").has_value());
@@ -358,6 +379,40 @@ TEST_F(ProtocolTest, ShutdownRequestSetsCommand) {
   EXPECT_EQ(get_bool(response, "ok"), true);
   EXPECT_TRUE(shutdown.requested);
   EXPECT_EQ(shutdown.mode, JobScheduler::ShutdownMode::kCancelPending);
+}
+
+TEST_F(ProtocolTest, SubscribeAcksKnownJobsAndRefusesWithoutStreaming) {
+  const JsonObject submitted = handle(submit_line(11));
+  const auto job = get_u64(submitted, "job");
+  ASSERT_TRUE(job.has_value());
+
+  SubscribeCommand subscribe;
+  const auto ack = parse_json_line(handler_.handle(
+      JsonLineWriter{}.string("op", "subscribe").number_u64("job", *job).str(),
+      nullptr, &subscribe));
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(get_bool(*ack, "ok"), true);
+  EXPECT_EQ(get_string(*ack, "op"), "subscribe");
+  EXPECT_EQ(get_u64(*ack, "job"), *job);
+  EXPECT_TRUE(get_string(*ack, "state").has_value());
+  EXPECT_TRUE(subscribe.requested);
+  EXPECT_EQ(subscribe.job, *job);
+
+  // Unknown job: loud error, no subscription recorded.
+  SubscribeCommand unknown;
+  const auto bad = parse_json_line(handler_.handle(
+      "{\"op\": \"subscribe\", \"job\": 999}", nullptr, &unknown));
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(get_bool(*bad, "ok"), false);
+  EXPECT_FALSE(unknown.requested);
+
+  // A transport that cannot stream (no SubscribeCommand out-param) must
+  // refuse rather than ack a stream it will never deliver.
+  const JsonObject refused = handle(
+      JsonLineWriter{}.string("op", "subscribe").number_u64("job", *job).str());
+  EXPECT_EQ(get_bool(refused, "ok"), false);
+
+  scheduler_.wait(*job);
 }
 
 TEST(DaemonE2E, RetryBudgetExhaustionIsTypedAndDeadlineCapped) {
