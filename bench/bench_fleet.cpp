@@ -1,0 +1,354 @@
+// bench_fleet — multi-tenant load harness for a confmaskd fleet.
+//
+//   usage: bench_fleet [--daemons N] [--clients N] [--ops N] [--seeds N]
+//                      [--out FILE]
+//
+// Spins up --daemons in-process daemons joined into one rendezvous shard
+// ring (every daemon lists every socket in --peers), warms daemon 1's
+// cache with each distinct seed, then drives two tenants against the
+// whole fleet at once:
+//
+//   * "noisy"  — --clients concurrent clients, --ops submit->result
+//                cycles each, round-robin across all daemons, seeds
+//                rotating through --seeds values. Most ops are local or
+//                peer cache hits; keys owned by another member exercise
+//                peer-fetch under contention.
+//   * "quiet"  — ONE client running a handful of ops of its own seeds
+//                (cold keys, its own namespace) while the noisy tenant
+//                saturates the fleet. Fair-share admission must keep this
+//                tenant responsive; its ops failing or timing out is the
+//                starvation regression this harness pins.
+//
+// Reports per-tenant p50/p99/max submit-to-result latency, the fleet-wide
+// peer-fetch hit rate (summed over every daemon's counters), and the
+// starvation check. Writes BENCH_fleet.json (confmask.bench-fleet/1);
+// exits 1 on any failed op or a failed starvation check.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/config/emit.hpp"
+#include "src/netgen/networks.hpp"
+#include "src/service/client.hpp"
+#include "src/service/daemon.hpp"
+#include "src/service/json_line.hpp"
+
+namespace {
+
+using namespace confmask;
+namespace fs = std::filesystem;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_fleet [--daemons N] [--clients N] [--ops N] "
+               "[--seeds N] [--out FILE]\n");
+  return 2;
+}
+
+std::string submit_line(const std::string& configs, std::uint64_t seed,
+                        const std::string& tenant) {
+  return JsonLineWriter{}
+      .string("op", "submit")
+      .string("configs", configs)
+      .number("k_r", 2)
+      .number("k_h", 2)
+      .number_u64("seed", seed)
+      .string("tenant", tenant)
+      .str();
+}
+
+/// One submit -> poll-to-terminal -> result cycle against one daemon.
+/// Returns latency in milliseconds, or nullopt on any failure.
+std::optional<double> run_op(const std::string& socket_path,
+                             const std::string& configs, std::uint64_t seed,
+                             const std::string& tenant) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto submitted = client_roundtrip(
+      socket_path, submit_line(configs, seed, tenant),
+      static_cast<std::string*>(nullptr), /*receive_timeout_ms=*/30'000);
+  if (!submitted) return std::nullopt;
+  const auto parsed = parse_json_line(*submitted);
+  if (!parsed || get_bool(*parsed, "ok") != true) return std::nullopt;
+  const auto job = get_u64(*parsed, "job");
+  if (!job) return std::nullopt;
+
+  const std::string status_line =
+      JsonLineWriter{}.string("op", "status").number_u64("job", *job).str();
+  for (int i = 0; i < 20'000; ++i) {
+    const auto response = client_roundtrip(
+        socket_path, status_line, static_cast<std::string*>(nullptr),
+        /*receive_timeout_ms=*/30'000);
+    if (!response) return std::nullopt;
+    const auto status = parse_json_line(*response);
+    if (!status) return std::nullopt;
+    const auto state = get_string(*status, "state");
+    if (!state) return std::nullopt;
+    if (*state == "done") break;
+    if (*state == "failed" || *state == "cancelled") return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const auto result = client_roundtrip(
+      socket_path,
+      JsonLineWriter{}.string("op", "result").number_u64("job", *job).str(),
+      static_cast<std::string*>(nullptr), /*receive_timeout_ms=*/30'000);
+  if (!result) return std::nullopt;
+  const auto body = parse_json_line(*result);
+  if (!body || get_bool(*body, "ok") != true) return std::nullopt;
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1)));
+  return sorted[index];
+}
+
+std::string latency_json(const std::vector<double>& sorted) {
+  return "{\"p50\": " + std::to_string(percentile(sorted, 0.50)) +
+         ", \"p99\": " + std::to_string(percentile(sorted, 0.99)) +
+         ", \"max\": " +
+         std::to_string(sorted.empty() ? 0.0 : sorted.back()) + "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int daemons = 3;
+  int clients = 24;
+  int ops_per_client = 4;
+  int distinct_seeds = 6;
+  std::string out_path = "BENCH_fleet.json";
+  for (int i = 1; i < argc; i += 2) {
+    if (i + 1 >= argc) return usage();
+    const std::string arg = argv[i];
+    if (arg == "--daemons") {
+      daemons = std::atoi(argv[i + 1]);
+    } else if (arg == "--clients") {
+      clients = std::atoi(argv[i + 1]);
+    } else if (arg == "--ops") {
+      ops_per_client = std::atoi(argv[i + 1]);
+    } else if (arg == "--seeds") {
+      distinct_seeds = std::atoi(argv[i + 1]);
+    } else if (arg == "--out") {
+      out_path = argv[i + 1];
+    } else {
+      return usage();
+    }
+  }
+  if (daemons < 2 || clients < 1 || ops_per_client < 1 || distinct_seeds < 1) {
+    return usage();
+  }
+
+  // One ring, every member lists every socket.
+  std::vector<std::string> sockets;
+  std::vector<fs::path> cache_dirs;
+  for (int d = 0; d < daemons; ++d) {
+    sockets.push_back("/tmp/bench_fleet_" + std::to_string(::getpid()) + "_" +
+                      std::to_string(d) + ".sock");
+    cache_dirs.push_back(fs::temp_directory_path() /
+                         ("bench_fleet_cache_" + std::to_string(::getpid()) +
+                          "_" + std::to_string(d)));
+    fs::remove_all(cache_dirs.back());
+  }
+
+  std::vector<std::unique_ptr<Daemon>> fleet;
+  for (int d = 0; d < daemons; ++d) {
+    Daemon::Options options;
+    options.socket_path = sockets[static_cast<std::size_t>(d)];
+    options.cache_dir = cache_dirs[static_cast<std::size_t>(d)];
+    options.peers = sockets;
+    fleet.push_back(std::make_unique<Daemon>(options));
+  }
+  std::vector<std::thread> servers;
+  servers.reserve(fleet.size());
+  for (const auto& daemon : fleet) {
+    servers.emplace_back([d = daemon.get()] { (void)d->run(); });
+  }
+
+  const std::string stats_line = JsonLineWriter{}.string("op", "stats").str();
+  for (const std::string& socket : sockets) {
+    bool up = false;
+    for (int i = 0; i < 250 && !up; ++i) {
+      up = client_roundtrip(socket, stats_line).has_value();
+      if (!up) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (!up) {
+      std::fprintf(stderr, "bench_fleet: daemon %s never came up\n",
+                   socket.c_str());
+      return 1;
+    }
+  }
+
+  const std::string configs = canonical_config_set_text(make_figure2());
+
+  // Warm phase: every noisy seed computed once on daemon 1, so the load
+  // phase measures cache/peer serving rather than pipeline throughput.
+  for (int s = 0; s < distinct_seeds; ++s) {
+    if (!run_op(sockets.front(), configs,
+                static_cast<std::uint64_t>(1 + s), "noisy")) {
+      std::fprintf(stderr, "bench_fleet: warm-up op failed (seed %d)\n",
+                   1 + s);
+      return 1;
+    }
+  }
+
+  std::vector<std::vector<double>> noisy_samples(
+      static_cast<std::size_t>(clients));
+  std::vector<double> quiet_samples;
+  std::atomic<int> noisy_failures{0};
+  std::atomic<int> quiet_failures{0};
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> load;
+  load.reserve(static_cast<std::size_t>(clients) + 1);
+  for (int c = 0; c < clients; ++c) {
+    load.emplace_back([&, c] {
+      for (int op = 0; op < ops_per_client; ++op) {
+        const int index = c * ops_per_client + op;
+        const std::uint64_t seed =
+            static_cast<std::uint64_t>(1 + index % distinct_seeds);
+        const std::string& socket =
+            sockets[static_cast<std::size_t>(index % daemons)];
+        const auto latency_ms = run_op(socket, configs, seed, "noisy");
+        if (!latency_ms) {
+          noisy_failures.fetch_add(1);
+          continue;
+        }
+        noisy_samples[static_cast<std::size_t>(c)].push_back(*latency_ms);
+      }
+    });
+  }
+  // The quiet tenant: cold keys in its own namespace, one op per daemon,
+  // submitted while the noisy tenant saturates the fleet.
+  load.emplace_back([&] {
+    for (int op = 0; op < daemons; ++op) {
+      const std::uint64_t seed = static_cast<std::uint64_t>(1'000 + op);
+      const std::string& socket = sockets[static_cast<std::size_t>(op)];
+      const auto latency_ms = run_op(socket, configs, seed, "quiet");
+      if (!latency_ms) {
+        quiet_failures.fetch_add(1);
+        continue;
+      }
+      quiet_samples.push_back(*latency_ms);
+    }
+  });
+  for (auto& t : load) t.join();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+
+  // Fleet-wide peer counters, per-daemon tenant attribution as a sanity
+  // check that namespaces stayed separate.
+  std::uint64_t peer_hits = 0;
+  std::uint64_t peer_misses = 0;
+  std::uint64_t noisy_completed = 0;
+  std::uint64_t quiet_completed = 0;
+  for (const std::string& socket : sockets) {
+    if (const auto response = client_roundtrip(socket, stats_line)) {
+      if (const auto stats = parse_json_line(*response)) {
+        peer_hits += get_u64(*stats, "peer_hits").value_or(0);
+        peer_misses += get_u64(*stats, "peer_misses").value_or(0);
+        noisy_completed +=
+            get_u64(*stats, "tenant:noisy:completed").value_or(0);
+        quiet_completed +=
+            get_u64(*stats, "tenant:quiet:completed").value_or(0);
+      }
+    }
+    (void)client_roundtrip(socket,
+                           "{\"op\": \"shutdown\", \"mode\": \"cancel\"}");
+  }
+  for (auto& t : servers) t.join();
+  for (const fs::path& dir : cache_dirs) fs::remove_all(dir);
+
+  std::vector<double> noisy;
+  for (const auto& samples : noisy_samples) {
+    noisy.insert(noisy.end(), samples.begin(), samples.end());
+  }
+  std::sort(noisy.begin(), noisy.end());
+  std::sort(quiet_samples.begin(), quiet_samples.end());
+  const std::uint64_t probes = peer_hits + peer_misses;
+  const double peer_hit_rate =
+      probes == 0 ? 0.0
+                  : static_cast<double>(peer_hits) /
+                        static_cast<double>(probes);
+  // Starvation check: every quiet op completed despite the noisy flood.
+  const bool starvation_ok =
+      quiet_failures.load() == 0 &&
+      quiet_samples.size() == static_cast<std::size_t>(daemons);
+
+  const int noisy_total = clients * ops_per_client;
+  std::printf("bench_fleet: %d daemons, %d noisy clients x %d ops "
+              "(%d seeds), quiet tenant %d ops\n",
+              daemons, clients, ops_per_client, distinct_seeds, daemons);
+  std::printf("  wall %.2fs; noisy %zu/%d ops (%d failures), "
+              "quiet %zu/%d ops (%d failures)\n",
+              wall_s, noisy.size(), noisy_total, noisy_failures.load(),
+              quiet_samples.size(), daemons, quiet_failures.load());
+  std::printf("  noisy latency ms: p50=%.2f p99=%.2f max=%.2f\n",
+              percentile(noisy, 0.50), percentile(noisy, 0.99),
+              noisy.empty() ? 0.0 : noisy.back());
+  std::printf("  quiet latency ms: p50=%.2f p99=%.2f max=%.2f\n",
+              percentile(quiet_samples, 0.50),
+              percentile(quiet_samples, 0.99),
+              quiet_samples.empty() ? 0.0 : quiet_samples.back());
+  std::printf("  peer-fetch: %llu hits / %llu misses (hit rate %.3f)\n",
+              static_cast<unsigned long long>(peer_hits),
+              static_cast<unsigned long long>(peer_misses), peer_hit_rate);
+  std::printf("  tenant completions: noisy=%llu quiet=%llu\n",
+              static_cast<unsigned long long>(noisy_completed),
+              static_cast<unsigned long long>(quiet_completed));
+  std::printf("  starvation check: %s\n", starvation_ok ? "ok" : "FAILED");
+
+  std::string json = "{\n";
+  json += "  \"schema\": \"confmask.bench-fleet/1\",\n";
+  json += "  \"daemons\": " + std::to_string(daemons) + ",\n";
+  json += "  \"clients\": " + std::to_string(clients) + ",\n";
+  json += "  \"ops_per_client\": " + std::to_string(ops_per_client) + ",\n";
+  json += "  \"distinct_seeds\": " + std::to_string(distinct_seeds) + ",\n";
+  json += "  \"wall_s\": " + std::to_string(wall_s) + ",\n";
+  json += "  \"tenants\": {\n";
+  json += "    \"noisy\": {\"ops\": " + std::to_string(noisy_total) +
+          ", \"completed\": " + std::to_string(noisy.size()) +
+          ", \"failures\": " + std::to_string(noisy_failures.load()) +
+          ", \"latency_ms\": " + latency_json(noisy) + "},\n";
+  json += "    \"quiet\": {\"ops\": " + std::to_string(daemons) +
+          ", \"completed\": " + std::to_string(quiet_samples.size()) +
+          ", \"failures\": " + std::to_string(quiet_failures.load()) +
+          ", \"latency_ms\": " + latency_json(quiet_samples) + "}\n";
+  json += "  },\n";
+  json += "  \"peer_fetch\": {\"hits\": " + std::to_string(peer_hits) +
+          ", \"misses\": " + std::to_string(peer_misses) +
+          ", \"hit_rate\": " + std::to_string(peer_hit_rate) + "},\n";
+  json += std::string("  \"starvation_check\": ") +
+          (starvation_ok ? "\"ok\"" : "\"failed\"") + "\n";
+  json += "}\n";
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_fleet: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  std::printf("  wrote %s\n", out_path.c_str());
+
+  if (!starvation_ok) {
+    std::fprintf(stderr,
+                 "bench_fleet: STARVATION — the quiet tenant's ops did not "
+                 "all complete under noisy-tenant load\n");
+    return 1;
+  }
+  return noisy_failures.load() == 0 ? 0 : 1;
+}

@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
   int pipeline_max = 316;
   unsigned jobs = 0;
   std::string out_path = "BENCH_scale.json";
-  std::string families_arg = "waxman-ospf,waxman-rip,multi-as";
+  std::string families_arg = "waxman-ospf,waxman-rip,multi-as,pref-attach";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -123,6 +123,7 @@ int main(int argc, char** argv) {
       {ScaleFamily::kWaxman, "waxman-ospf"},
       {ScaleFamily::kWaxmanRip, "waxman-rip"},
       {ScaleFamily::kMultiAs, "multi-as"},
+      {ScaleFamily::kPreferentialAttachment, "pref-attach"},
   };
   std::vector<FamilySpec> families;
   for (const auto& spec : all_families) {

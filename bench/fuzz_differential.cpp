@@ -42,7 +42,8 @@ confmask::DifferentialCorpusStats run_scale_corpus(
     const confmask::DifferentialOptions& options, double budget_seconds) {
   using namespace confmask;
   constexpr ScaleFamily kFamilies[] = {
-      ScaleFamily::kWaxman, ScaleFamily::kWaxmanRip, ScaleFamily::kMultiAs};
+      ScaleFamily::kWaxman, ScaleFamily::kWaxmanRip, ScaleFamily::kMultiAs,
+      ScaleFamily::kPreferentialAttachment};
   DifferentialCorpusStats stats;
   const auto started = std::chrono::steady_clock::now();
   for (int i = 0; i < cases; ++i) {
@@ -53,7 +54,7 @@ confmask::DifferentialCorpusStats run_scale_corpus(
     }
     const std::uint64_t seed = start_seed + static_cast<std::uint64_t>(i);
     ConfigSet configs = make_scale_network(
-        kFamilies[seed % 3], scale_routers, seed);
+        kFamilies[seed % 4], scale_routers, seed);
     decorate_scale_network(configs, seed);
     const DifferentialResult result =
         run_differential_checks(configs, seed, options);

@@ -4,7 +4,7 @@
 //     ENDPOINT is a unix socket path, or HOST:PORT for a daemon started
 //     with --listen
 //     submit <config-dir> [--kr N] [--kh N] [--p FLOAT] [--seed N]
-//            [--fake-routers N] [--deadline-ms N]
+//            [--fake-routers N] [--deadline-ms N] [--tenant NAME]
 //                                    submit every *.cfg under <config-dir>;
 //                                    load-shed rejections (retry_after_ms)
 //                                    are retried with backoff + jitter
@@ -63,7 +63,7 @@ int usage() {
       "usage: confmask-client --socket ENDPOINT <command> [args]\n"
       "  ENDPOINT: unix socket path, or HOST:PORT (daemon --listen)\n"
       "  submit <config-dir> [--kr N] [--kh N] [--p FLOAT] [--seed N] "
-      "[--fake-routers N] [--deadline-ms N]\n"
+      "[--fake-routers N] [--deadline-ms N] [--tenant NAME]\n"
       "  diff <base-dir> <edited-dir>          (local, no --socket needed)\n"
       "  resubmit <base-key> <diff-file>       [same flags as submit]\n"
       "  status <job> | wait <job> | subscribe <job> | "
@@ -122,6 +122,8 @@ bool append_job_flags(int argc, char** argv, int arg,
     } else if (std::strcmp(argv[arg], "--deadline-ms") == 0) {
       request.number_u64("deadline_ms",
                          std::strtoull(argv[arg + 1], nullptr, 10));
+    } else if (std::strcmp(argv[arg], "--tenant") == 0) {
+      request.string("tenant", argv[arg + 1]);
     } else {
       return false;
     }

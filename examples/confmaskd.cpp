@@ -6,6 +6,8 @@
 //                    [--journal PATH] [--cache-budget BYTES]
 //                    [--listen HOST:PORT] [--idle-timeout-ms N]
 //                    [--max-line-bytes N]
+//                    [--tenants FILE] [--peers EP1,EP2,...]
+//                    [--self ENDPOINT] [--peer-timeout-ms N]
 //          confmaskd --version
 //
 // Serves the confmaskd protocol (src/service/protocol.hpp) over a
@@ -29,9 +31,19 @@
 // --cache-budget caps the artifact cache, evicting least-recently-used
 // entries (evicted results recompute on resubmission).
 //
+// Fleet mode: --tenants FILE loads per-tenant quotas (queue depth,
+// concurrency, cache byte share, scheduler weight; tenant.hpp json-line
+// format) and SIGHUP reloads it without a restart. --peers lists every
+// fleet member's client endpoint (comma-separated); each cache key then
+// has one rendezvous-hash owner, and a local miss asks the owner for the
+// bytes (bounded by --peer-timeout-ms) before computing. --self spells
+// this daemon's endpoint exactly as the peers list does — defaults to
+// --socket, right whenever the fleet shares a filesystem.
+//
 // Stops on a protocol shutdown request: "drain" finishes queued jobs,
 // "cancel" abandons them; running jobs always complete (fail-closed — no
 // partial cache entries either way).
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,7 +61,9 @@ int usage() {
                "[--max-concurrent-jobs N] [--max-pending N] [--trace FILE] "
                "[--jobs N] [--journal PATH] [--cache-budget BYTES] "
                "[--listen HOST:PORT] [--idle-timeout-ms N] "
-               "[--max-line-bytes N]\n"
+               "[--max-line-bytes N] [--tenants FILE] "
+               "[--peers EP1,EP2,...] [--self ENDPOINT] "
+               "[--peer-timeout-ms N]\n"
                "       confmaskd --version\n");
   return 2;
 }
@@ -106,6 +120,36 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--max-line-bytes must be > 0\n");
         return usage();
       }
+    } else if (std::strcmp(argv[i], "--tenants") == 0) {
+      options.tenants_file = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--peers") == 0) {
+      // Comma-separated endpoints; self is added automatically when the
+      // list omits it, so "the same --peers on every member" just works.
+      const std::string list = argv[i + 1];
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string endpoint =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (!endpoint.empty()) options.peers.push_back(endpoint);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (options.peers.empty()) {
+        std::fprintf(stderr, "--peers needs at least one endpoint\n");
+        return usage();
+      }
+    } else if (std::strcmp(argv[i], "--self") == 0) {
+      options.self_endpoint = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--peer-timeout-ms") == 0) {
+      const unsigned long long timeout =
+          std::strtoull(argv[i + 1], nullptr, 10);
+      if (timeout == 0 || timeout > 600'000) {
+        std::fprintf(stderr, "--peer-timeout-ms must be in 1..600000\n");
+        return usage();
+      }
+      options.peer_timeout_ms = static_cast<std::uint32_t>(timeout);
     } else if (std::strcmp(argv[i], "--jobs") == 0) {
       const int jobs = std::atoi(argv[i + 1]);
       if (jobs < 1) {

@@ -170,6 +170,70 @@ ConfigSet make_multi_as_network(const MultiAsOptions& options,
   return builder.take();
 }
 
+ConfigSet make_preferential_attachment_network(
+    const PreferentialAttachmentOptions& options, std::uint64_t seed) {
+  Rng rng(seed);
+  NetworkBuilder builder;
+  const int routers = std::max(3, options.routers);
+  const int m = std::clamp(options.links_per_router, 1, routers - 1);
+  for (int i = 0; i < routers; ++i) {
+    builder.router(router_name(i));
+    builder.enable_ospf(router_name(i));
+  }
+
+  const auto add_link = [&](int a, int b) {
+    builder.link(router_name(a), router_name(b),
+                 maybe_cost(rng, options.random_cost_probability),
+                 maybe_cost(rng, options.random_cost_probability));
+  };
+
+  // Degree-proportional sampling via the repeated-endpoint list: every
+  // link appends both ends, so a uniform draw from `endpoints` IS a draw
+  // proportional to degree — O(1) per draw, no weight tree needed.
+  std::vector<int> endpoints;
+  endpoints.reserve(2 * static_cast<std::size_t>(m) *
+                    static_cast<std::size_t>(routers));
+
+  // Seed clique over the first m+1 routers: gives every early router
+  // nonzero degree so attachment probabilities are well-defined from the
+  // first growth step.
+  const int core = m + 1;
+  for (int a = 0; a < core; ++a) {
+    for (int b = a + 1; b < core; ++b) {
+      add_link(a, b);
+      endpoints.push_back(a);
+      endpoints.push_back(b);
+    }
+  }
+
+  std::vector<int> chosen;
+  for (int i = core; i < routers; ++i) {
+    chosen.clear();
+    // Up to m DISTINCT degree-proportional targets; the attempt bound only
+    // matters in degenerate tiny graphs (duplicates get likelier as m
+    // approaches the node count, never at benchmark scale).
+    for (int attempt = 0;
+         static_cast<int>(chosen.size()) < m && attempt < 20 * m; ++attempt) {
+      const int target = endpoints[static_cast<std::size_t>(
+          rng.below(endpoints.size()))];
+      if (std::find(chosen.begin(), chosen.end(), target) != chosen.end()) {
+        continue;
+      }
+      chosen.push_back(target);
+    }
+    for (const int target : chosen) {
+      add_link(i, target);
+      endpoints.push_back(i);
+      endpoints.push_back(target);
+    }
+  }
+
+  attach_hosts(builder, rng, routers,
+               options.hosts >= 0 ? options.hosts
+                                  : default_scale_hosts(routers));
+  return builder.take();
+}
+
 const char* scale_family_name(ScaleFamily family) {
   switch (family) {
     case ScaleFamily::kWaxman:
@@ -178,6 +242,8 @@ const char* scale_family_name(ScaleFamily family) {
       return "waxman-rip";
     case ScaleFamily::kMultiAs:
       return "multi-as";
+    case ScaleFamily::kPreferentialAttachment:
+      return "pref-attach";
   }
   return "unknown";
 }
@@ -195,6 +261,11 @@ ConfigSet make_scale_network(ScaleFamily family, int routers,
       MultiAsOptions options;
       options.routers = routers;
       return make_multi_as_network(options, seed);
+    }
+    case ScaleFamily::kPreferentialAttachment: {
+      PreferentialAttachmentOptions options;
+      options.routers = routers;
+      return make_preferential_attachment_network(options, seed);
     }
     case ScaleFamily::kWaxman:
     default: {

@@ -13,6 +13,13 @@
 //  * Multi-AS — a hierarchy of Waxman-shaped OSPF domains chained by eBGP
 //    sessions, exercising the BGP path-vector and border-distance machinery
 //    at scale.
+//  * Preferential attachment — Barabási–Albert growth (each arriving
+//    router wires to m existing routers chosen proportionally to degree),
+//    yielding the heavy-tailed degree distribution real router-level
+//    topologies show. The hubs matter to ConfMask specifically: a
+//    degree-300 router needs far more fake-degree work to reach k_r
+//    indistinguishability than any Waxman node, so this family stresses
+//    the anonymization cost curve where it is worst. OSPF flavored.
 //
 // Everything is seed-deterministic (same options + seed → identical
 // ConfigSet) and built through NetworkBuilder, so every generated network
@@ -68,8 +75,29 @@ struct MultiAsOptions {
 [[nodiscard]] ConfigSet make_multi_as_network(const MultiAsOptions& options,
                                               std::uint64_t seed);
 
+struct PreferentialAttachmentOptions {
+  int routers = 100;
+  /// Links each arriving router brings (the BA "m"). The seed clique has
+  /// m+1 routers; mean degree converges to 2m.
+  int links_per_router = 2;
+  /// Probability a link carries explicit random per-side OSPF costs (1..20).
+  double random_cost_probability = 0.3;
+  int hosts = -1;  ///< -1 = default_scale_hosts(routers)
+};
+
+/// Builds a connected Barabási–Albert network (hub-heavy degree
+/// distribution; always connected by construction — every arrival wires
+/// into the existing component).
+[[nodiscard]] ConfigSet make_preferential_attachment_network(
+    const PreferentialAttachmentOptions& options, std::uint64_t seed);
+
 /// The named sweep families of BENCH_scale.json.
-enum class ScaleFamily { kWaxman, kWaxmanRip, kMultiAs };
+enum class ScaleFamily {
+  kWaxman,
+  kWaxmanRip,
+  kMultiAs,
+  kPreferentialAttachment,
+};
 
 [[nodiscard]] const char* scale_family_name(ScaleFamily family);
 

@@ -17,7 +17,7 @@ namespace fs = std::filesystem;
 
 namespace {
 
-constexpr const char* kMetaFormat = "confmask.cache-entry/2";
+constexpr const char* kMetaFormat = "confmask.cache-entry/3";
 constexpr const char* kMetaFile = "meta.json";
 constexpr const char* kConfigsFile = "anonymized.cfgset";
 constexpr const char* kOriginalFile = "original.cfgset";
@@ -25,9 +25,9 @@ constexpr const char* kDevicesFile = "devices.tsv";
 constexpr const char* kDiagnosticsFile = "diagnostics.json";
 constexpr const char* kMetricsFile = "metrics.json";
 
-/// The six files every complete entry holds. v1 entries lack the last two
-/// and carry the old format string, so they fail the structural check and
-/// are purged by the opening scrub — invalidated by design.
+/// The six files every complete entry holds. v1/v2 entries carry an old
+/// format string (and v2 records no tenant), so they fail the structural
+/// check and are purged by the opening scrub — invalidated by design.
 constexpr const char* kEntryFiles[] = {kMetaFile,        kConfigsFile,
                                        kOriginalFile,    kDevicesFile,
                                        kDiagnosticsFile, kMetricsFile};
@@ -88,28 +88,39 @@ std::uint64_t dir_bytes(const fs::path& dir) {
   return total;
 }
 
-/// Structural validity: all entry files present and the metadata parses,
-/// has the right format, and names the directory it lives in. Stamp and
-/// secondary digest are NOT checked here — those are lookup-time policy
-/// (a different-stamp entry is valid on disk, just not servable by THIS
-/// binary... until lookup purges it).
-bool entry_structurally_ok(const fs::path& dir, const std::string& hex) {
-  std::error_code ec;
-  for (const char* name : kEntryFiles) {
-    if (!fs::is_regular_file(dir / name, ec)) return false;
-  }
+/// Reads and parses an entry's meta.json (trailing newline tolerated).
+std::optional<JsonObject> read_meta_object(const fs::path& dir) {
   const auto meta_text = io::read_file(dir / kMetaFile);
-  if (!meta_text) return false;
+  if (!meta_text) return std::nullopt;
   std::string_view meta_line = *meta_text;
   while (!meta_line.empty() &&
          (meta_line.back() == '\n' || meta_line.back() == '\r')) {
     meta_line.remove_suffix(1);
   }
-  const auto meta = parse_json_line(meta_line);
+  return parse_json_line(meta_line);
+}
+
+/// Structural validity: all entry files present and the metadata parses,
+/// has the right format, names the directory it lives in, and records a
+/// tenant. Stamp and secondary digest are NOT checked here — those are
+/// lookup-time policy (a different-stamp entry is valid on disk, just not
+/// servable by THIS binary... until lookup purges it). On success,
+/// *tenant_out (when non-null) receives the recorded tenant.
+bool entry_structurally_ok(const fs::path& dir, const std::string& hex,
+                           std::string* tenant_out = nullptr) {
+  std::error_code ec;
+  for (const char* name : kEntryFiles) {
+    if (!fs::is_regular_file(dir / name, ec)) return false;
+  }
+  const auto meta = read_meta_object(dir);
   if (!meta || get_string(*meta, "format") != std::string(kMetaFormat)) {
     return false;
   }
-  return get_string(*meta, "key") == hex;
+  if (get_string(*meta, "key") != hex) return false;
+  const auto tenant = get_string(*meta, "tenant");
+  if (!tenant || tenant->empty()) return false;
+  if (tenant_out != nullptr) *tenant_out = *tenant;
+  return true;
 }
 
 }  // namespace
@@ -136,6 +147,7 @@ void ArtifactCache::scrub_locked() {
   // whole point of the scrub is that lookups never have to trust that.
   struct Found {
     std::string hex;
+    std::string tenant;
     std::uint64_t bytes;
     fs::file_time_type mtime;
   };
@@ -145,7 +157,8 @@ void ArtifactCache::scrub_locked() {
        it.increment(ec)) {
     if (!it->is_directory(ec)) continue;
     const std::string hex = it->path().filename().string();
-    if (!entry_structurally_ok(it->path(), hex)) {
+    std::string tenant;
+    if (!entry_structurally_ok(it->path(), hex, &tenant)) {
       std::error_code purge_ec;
       fs::remove_all(it->path(), purge_ec);
       ++stats_.invalidations;
@@ -153,6 +166,7 @@ void ArtifactCache::scrub_locked() {
     }
     Found entry;
     entry.hex = hex;
+    entry.tenant = std::move(tenant);
     entry.bytes = dir_bytes(it->path());
     entry.mtime = fs::last_write_time(it->path(), ec);
     found.push_back(std::move(entry));
@@ -170,7 +184,9 @@ void ArtifactCache::scrub_locked() {
     IndexEntry indexed;
     indexed.bytes = entry.bytes;
     indexed.last_used = ++use_counter_;
+    indexed.tenant = std::move(entry.tenant);
     total_bytes_ += entry.bytes;
+    tenant_bytes_[indexed.tenant] += entry.bytes;
     index_.emplace(std::move(entry.hex), indexed);
   }
 }
@@ -179,30 +195,78 @@ void ArtifactCache::drop_index_locked(const std::string& hex) {
   const auto it = index_.find(hex);
   if (it == index_.end()) return;
   total_bytes_ -= std::min(total_bytes_, it->second.bytes);
+  if (auto tb = tenant_bytes_.find(it->second.tenant);
+      tb != tenant_bytes_.end()) {
+    tb->second -= std::min(tb->second, it->second.bytes);
+    if (tb->second == 0) tenant_bytes_.erase(tb);
+  }
   index_.erase(it);
 }
 
-void ArtifactCache::evict_over_budget_locked(const std::string& keep_hex) {
-  if (max_bytes_ == 0) return;
-  while (total_bytes_ > max_bytes_) {
-    // Linear scan for the LRU victim: the cache holds at most a few
-    // thousand entries and eviction runs once per publish — a heap would
-    // be complexity without a measurable win.
+bool ArtifactCache::over_share_locked(const std::string& tenant) const {
+  const auto share = tenant_shares_.find(tenant);
+  if (share == tenant_shares_.end() || share->second == 0) return false;
+  const auto used = tenant_bytes_.find(tenant);
+  return used != tenant_bytes_.end() && used->second > share->second;
+}
+
+void ArtifactCache::evict_entry_locked(
+    std::map<std::string, IndexEntry>::iterator victim) {
+  std::error_code ec;
+  fs::remove_all(root_ / "entries" / victim->first, ec);
+  ++stats_.evictions;
+  stats_.evicted_bytes += victim->second.bytes;
+  total_bytes_ -= std::min(total_bytes_, victim->second.bytes);
+  if (auto tb = tenant_bytes_.find(victim->second.tenant);
+      tb != tenant_bytes_.end()) {
+    tb->second -= std::min(tb->second, victim->second.bytes);
+    if (tb->second == 0) tenant_bytes_.erase(tb);
+  }
+  index_.erase(victim);
+}
+
+void ArtifactCache::evict_over_budget_locked(const std::string& keep_hex,
+                                             const std::string& tenant) {
+  // Linear scans throughout: the cache holds at most a few thousand
+  // entries and eviction runs once per publish — a heap would be
+  // complexity without a measurable win.
+  //
+  // Phase 1 — the publishing tenant's own share. A tenant that fills its
+  // allotment reclaims from its OWN least-recently-used entries; other
+  // tenants' bytes are untouchable in this phase, which is what makes a
+  // share a floor for everyone else rather than a mere accounting line.
+  while (over_share_locked(tenant)) {
     auto victim = index_.end();
     for (auto it = index_.begin(); it != index_.end(); ++it) {
-      if (it->first == keep_hex) continue;
+      if (it->first == keep_hex || it->second.tenant != tenant) continue;
       if (victim == index_.end() ||
           it->second.last_used < victim->second.last_used) {
         victim = it;
       }
     }
+    if (victim == index_.end()) break;  // only the protected entry left
+    evict_entry_locked(victim);
+  }
+
+  // Phase 2 — the global budget. Victims from tenants still over their
+  // share go first (e.g. after a SIGHUP shrank a share); otherwise plain
+  // global LRU.
+  if (max_bytes_ == 0) return;
+  while (total_bytes_ > max_bytes_) {
+    auto victim = index_.end();
+    bool victim_over_share = false;
+    for (auto it = index_.begin(); it != index_.end(); ++it) {
+      if (it->first == keep_hex) continue;
+      const bool over = over_share_locked(it->second.tenant);
+      if (victim == index_.end() || (over && !victim_over_share) ||
+          (over == victim_over_share &&
+           it->second.last_used < victim->second.last_used)) {
+        victim = it;
+        victim_over_share = over;
+      }
+    }
     if (victim == index_.end()) return;  // only the protected entry left
-    std::error_code ec;
-    fs::remove_all(root_ / "entries" / victim->first, ec);
-    ++stats_.evictions;
-    stats_.evicted_bytes += victim->second.bytes;
-    total_bytes_ -= std::min(total_bytes_, victim->second.bytes);
-    index_.erase(victim);
+    evict_entry_locked(victim);
   }
 }
 
@@ -225,17 +289,7 @@ std::optional<CacheArtifacts> ArtifactCache::lookup(const CacheKey& key) {
     ++stats_.misses;
   };
 
-  const auto meta_text = io::read_file(dir / kMetaFile);
-  if (!meta_text) {
-    purge();
-    return std::nullopt;
-  }
-  std::string_view meta_line = *meta_text;
-  while (!meta_line.empty() &&
-         (meta_line.back() == '\n' || meta_line.back() == '\r')) {
-    meta_line.remove_suffix(1);
-  }
-  const auto meta = parse_json_line(meta_line);
+  const auto meta = read_meta_object(dir);
   if (!meta || get_string(*meta, "format") != std::string(kMetaFormat)) {
     purge();
     return std::nullopt;
@@ -274,7 +328,7 @@ std::optional<CacheArtifacts> ArtifactCache::lookup(const CacheKey& key) {
 }
 
 std::optional<CachedOriginal> ArtifactCache::lookup_original(
-    const std::string& key_hex) {
+    const std::string& key_hex, const std::string& tenant) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const fs::path dir = root_ / "entries" / key_hex;
   std::error_code ec;
@@ -289,17 +343,7 @@ std::optional<CachedOriginal> ArtifactCache::lookup_original(
     ++stats_.misses;
   };
 
-  const auto meta_text = io::read_file(dir / kMetaFile);
-  if (!meta_text) {
-    purge();
-    return std::nullopt;
-  }
-  std::string_view meta_line = *meta_text;
-  while (!meta_line.empty() &&
-         (meta_line.back() == '\n' || meta_line.back() == '\r')) {
-    meta_line.remove_suffix(1);
-  }
-  const auto meta = parse_json_line(meta_line);
+  const auto meta = read_meta_object(dir);
   if (!meta || get_string(*meta, "format") != std::string(kMetaFormat) ||
       get_string(*meta, "key") != key_hex) {
     purge();
@@ -307,6 +351,12 @@ std::optional<CachedOriginal> ArtifactCache::lookup_original(
   }
   if (get_string(*meta, "stamp") != stamp_) {
     purge();  // stale-binary invalidation, same policy as lookup()
+    return std::nullopt;
+  }
+  if (get_string(*meta, "tenant") != tenant) {
+    // Another namespace's entry. The entry itself is fine — the REQUEST
+    // is out of scope, so this is a plain miss, not an invalidation.
+    ++stats_.misses;
     return std::nullopt;
   }
 
@@ -331,9 +381,51 @@ std::optional<CachedOriginal> ArtifactCache::lookup_original(
   return out;
 }
 
+std::optional<CachedEntry> ArtifactCache::lookup_by_hex(
+    const std::string& key_hex) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const fs::path dir = root_ / "entries" / key_hex;
+  std::error_code ec;
+  const auto primary = parse_hex64(key_hex);
+  if (!primary || !fs::is_directory(dir, ec)) return std::nullopt;
+
+  const auto meta = read_meta_object(dir);
+  if (!meta || get_string(*meta, "format") != std::string(kMetaFormat) ||
+      get_string(*meta, "key") != key_hex ||
+      get_string(*meta, "stamp") != stamp_) {
+    return std::nullopt;
+  }
+  const auto tenant = get_string(*meta, "tenant");
+  const auto secondary_hex = get_string(*meta, "secondary");
+  const auto secondary =
+      secondary_hex ? parse_hex64(*secondary_hex) : std::nullopt;
+  if (!tenant || !secondary) return std::nullopt;
+
+  const auto configs = io::read_file(dir / kConfigsFile);
+  const auto original = io::read_file(dir / kOriginalFile);
+  const auto diagnostics = io::read_file(dir / kDiagnosticsFile);
+  const auto metrics = io::read_file(dir / kMetricsFile);
+  if (!configs || !original || !diagnostics || !metrics) return std::nullopt;
+
+  CachedEntry entry;
+  entry.key.primary = *primary;
+  entry.key.secondary = *secondary;
+  entry.tenant = *tenant;
+  entry.artifacts.anonymized_configs = std::move(*configs);
+  entry.artifacts.original_configs = std::move(*original);
+  entry.artifacts.diagnostics_json = std::move(*diagnostics);
+  entry.artifacts.metrics_json = std::move(*metrics);
+  ++stats_.hits;
+  if (auto it = index_.find(key_hex); it != index_.end()) {
+    it->second.last_used = ++use_counter_;  // a peer read is a real use
+  }
+  return entry;
+}
+
 StoreResult ArtifactCache::store(const CacheKey& key,
                                  const CacheArtifacts& artifacts,
-                                 std::string* error) {
+                                 std::string* error,
+                                 const std::string& tenant) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const fs::path dir = entry_dir(key);
   std::error_code ec;
@@ -355,6 +447,7 @@ StoreResult ArtifactCache::store(const CacheKey& key,
                                .string("key", key.hex())
                                .string("secondary", hex64(key.secondary))
                                .string("stamp", stamp_)
+                               .string("tenant", tenant)
                                .str() +
                            "\n";
   // The device table is derived from the stored original bundle here, at
@@ -412,10 +505,24 @@ StoreResult ArtifactCache::store(const CacheKey& key,
                   artifacts.diagnostics_json.size() +
                   artifacts.metrics_json.size();
   indexed.last_used = ++use_counter_;
+  indexed.tenant = tenant;
   total_bytes_ += indexed.bytes;
+  tenant_bytes_[tenant] += indexed.bytes;
   index_[key.hex()] = indexed;
-  evict_over_budget_locked(key.hex());
+  evict_over_budget_locked(key.hex(), tenant);
   return StoreResult::kPublished;
+}
+
+void ArtifactCache::set_tenant_shares(
+    std::map<std::string, std::uint64_t> shares) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tenant_shares_ = std::move(shares);
+}
+
+std::uint64_t ArtifactCache::tenant_bytes(const std::string& tenant) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenant_bytes_.find(tenant);
+  return it == tenant_bytes_.end() ? 0 : it->second;
 }
 
 CacheStats ArtifactCache::stats() const {

@@ -16,10 +16,22 @@
 //                                      deterministic)
 //   staging/<hex16>.<nonce>/           in-progress writes, never readable
 //
-// Format version 2 (cache-key/2 + the two watch-mode files): version-1
+// Format version 3 (cache-key/3): meta.json additionally records the
+// TENANT the entry was published under. The tenant is already folded into
+// the key digest (cache_key.hpp), so recording it is not what isolates
+// namespaces — it is what lets the cache account bytes per tenant for
+// share-aware eviction, scope lookup_original to the requesting tenant,
+// and tell a peer-fetch caller whose entry it is streaming. Version-1/2
 // entries fail the structural check and are purged by the opening scrub —
-// invalidated by design, since a v1 entry can serve neither a v2 key nor
-// a resubmit's base lookup.
+// invalidated by design (a v2 entry recorded no tenant and could only
+// alias a pre-fleet key anyway).
+//
+// Byte shares: set_tenant_shares() installs per-tenant byte ceilings (from
+// the --tenants table). When a publish pushes its tenant over the tenant's
+// own share, that tenant's least-recently-used entries are evicted FIRST —
+// a tenant filling its share reclaims from itself, never from neighbors.
+// Only after per-tenant enforcement does the global --cache-budget LRU
+// run, and it too prefers victims belonging to over-share tenants.
 //
 // Publishing is atomic AND durable: an entry is fully written into
 // staging/ (every file fsync'd — io_shim), renamed into entries/, and the
@@ -77,6 +89,15 @@ struct CachedOriginal {
   std::vector<DeviceDigest> devices;  ///< its per-device content digests
 };
 
+/// A complete entry as served to a peer daemon (lookup_by_hex): the full
+/// key (secondary included, so the fetcher can store under the exact same
+/// address), the owning tenant, and every artifact byte.
+struct CachedEntry {
+  CacheKey key;
+  std::string tenant;
+  CacheArtifacts artifacts;
+};
+
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -121,16 +142,38 @@ class ArtifactCache {
   /// the secondary digest, so unlike lookup() this validates format, key
   /// and stamp only — an accidental primary collision (~2⁻⁶⁴ against the
   /// stored secondary the full-key path would catch) at worst makes the
-  /// resubmit's reconstructed bundle key elsewhere and run cold. Refreshes
-  /// LRU recency on hit; purges structurally broken entries.
+  /// resubmit's reconstructed bundle key elsewhere and run cold. The entry
+  /// must belong to `tenant`: a base reference naming another namespace's
+  /// entry is a miss, never a disclosure. Refreshes LRU recency on hit;
+  /// purges structurally broken entries.
   [[nodiscard]] std::optional<CachedOriginal> lookup_original(
+      const std::string& key_hex, const std::string& tenant = "default");
+
+  /// The full entry named by `key_hex`, for serving a peer-fetch. Same
+  /// validation as lookup_original (format, key, stamp) plus the stored
+  /// secondary digest parsed back into the returned key. Does NOT filter
+  /// by tenant — the requesting daemon supplies only the hex address, and
+  /// tenant isolation is already structural (the tenant is folded into the
+  /// digest, so a tenant can only ever learn hexes of its own keys). Does
+  /// not purge or count misses for absent entries (a peer probing a key we
+  /// never owned is normal fleet traffic, not cache pressure).
+  [[nodiscard]] std::optional<CachedEntry> lookup_by_hex(
       const std::string& key_hex);
 
-  /// Durably publishes the entry (see header comment), then enforces the
-  /// byte budget. On kIoError, *error (when provided) names the failing
-  /// step.
+  /// Durably publishes the entry (see header comment) under `tenant`, then
+  /// enforces the tenant's byte share and the global budget. On kIoError,
+  /// *error (when provided) names the failing step.
   StoreResult store(const CacheKey& key, const CacheArtifacts& artifacts,
-                    std::string* error = nullptr);
+                    std::string* error = nullptr,
+                    const std::string& tenant = "default");
+
+  /// Installs per-tenant byte ceilings (tenants absent from the map are
+  /// bounded only by the global budget). Called at daemon start and on
+  /// SIGHUP reload; takes effect from the next publish.
+  void set_tenant_shares(std::map<std::string, std::uint64_t> shares);
+
+  /// Indexed bytes currently attributed to `tenant`.
+  [[nodiscard]] std::uint64_t tenant_bytes(const std::string& tenant) const;
 
   [[nodiscard]] CacheStats stats() const;
   [[nodiscard]] const std::filesystem::path& root() const { return root_; }
@@ -147,12 +190,16 @@ class ArtifactCache {
   struct IndexEntry {
     std::uint64_t bytes = 0;
     std::uint64_t last_used = 0;  ///< recency sequence, larger = fresher
+    std::string tenant;           ///< namespace from meta.json
   };
 
   [[nodiscard]] std::filesystem::path entry_dir(const CacheKey& key) const;
   void scrub_locked();
-  void evict_over_budget_locked(const std::string& keep_hex);
+  void evict_over_budget_locked(const std::string& keep_hex,
+                                const std::string& tenant);
+  void evict_entry_locked(std::map<std::string, IndexEntry>::iterator victim);
   void drop_index_locked(const std::string& hex);
+  [[nodiscard]] bool over_share_locked(const std::string& tenant) const;
 
   std::filesystem::path root_;
   std::string stamp_;
@@ -160,11 +207,15 @@ class ArtifactCache {
   mutable std::mutex mutex_;
   CacheStats stats_;
   std::uint64_t staging_nonce_ = 0;
-  /// hex16 → size/recency of every complete entry. Authoritative for the
-  /// budget; rebuilt from disk at open.
+  /// hex16 → size/recency/tenant of every complete entry. Authoritative
+  /// for the budgets; rebuilt from disk at open.
   std::map<std::string, IndexEntry> index_;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t use_counter_ = 0;
+  /// tenant → indexed bytes, maintained alongside index_.
+  std::map<std::string, std::uint64_t> tenant_bytes_;
+  /// tenant → byte ceiling from the quota table (absent = unshared).
+  std::map<std::string, std::uint64_t> tenant_shares_;
 };
 
 }  // namespace confmask

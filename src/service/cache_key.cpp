@@ -115,7 +115,8 @@ std::string canonical_parameter_text(const ConfMaskOptions& options,
 CacheKey compute_cache_key(const std::string& canonical_text,
                            const ConfMaskOptions& options,
                            const RetryPolicy& policy,
-                           EquivalenceStrategy strategy) {
+                           EquivalenceStrategy strategy,
+                           const std::string& tenant) {
   const std::string params =
       canonical_parameter_text(options, policy, strategy);
   const auto sections = split_canonical_bundle(canonical_text);
@@ -124,7 +125,11 @@ CacheKey compute_cache_key(const std::string& canonical_text,
     const std::uint64_t basis =
         secondary ? kSecondaryBasis : Fnv1a64::kOffsetBasis;
     Fnv1a64 hasher(basis);
-    hasher.update("confmask.cache-key/2\n");
+    hasher.update("confmask.cache-key/3\n");
+    // The namespace comes first: two tenants' otherwise-identical jobs
+    // diverge at the first hashed byte.
+    hasher.update_u64(tenant.size());
+    hasher.update(tenant);
     // Length prefixes keep every variable-size field unambiguous.
     hasher.update_u64(params.size());
     hasher.update(params);
@@ -162,9 +167,10 @@ std::vector<DeviceDigest> compute_device_digests(const ConfigSet& configs) {
 CacheKey compute_cache_key(const ConfigSet& configs,
                            const ConfMaskOptions& options,
                            const RetryPolicy& policy,
-                           EquivalenceStrategy strategy) {
+                           EquivalenceStrategy strategy,
+                           const std::string& tenant) {
   return compute_cache_key(canonical_config_set_text(configs), options,
-                           policy, strategy);
+                           policy, strategy, tenant);
 }
 
 }  // namespace confmask

@@ -32,6 +32,14 @@
 // WHICH devices of a prior artifact changed without re-parsing anything.
 // The version bump deliberately invalidates every v1 cache entry: v1
 // stored no device table, so a v1 hit could never serve a resubmit.
+//
+// Encoding version 3 ("confmask.cache-key/3") folds the TENANT into the
+// digest, length-prefixed like every other field. Identical configs and
+// parameters submitted under different tenants therefore key — and cache —
+// separately by construction: namespace isolation is a property of the
+// address, not of any lookup-time filter, so no code path (peer-fetch
+// included) can leak one tenant's artifact to another. The bump
+// invalidates v2 entries, which recorded no tenant.
 #pragma once
 
 #include <cstdint>
@@ -64,18 +72,21 @@ struct CacheKey {
     EquivalenceStrategy strategy);
 
 /// The key of a job. `configs` need not be in canonical order — the
-/// encoding canonicalizes.
+/// encoding canonicalizes. `tenant` is the namespace the job runs under
+/// (kDefaultTenant when the request named none).
 [[nodiscard]] CacheKey compute_cache_key(const ConfigSet& configs,
                                          const ConfMaskOptions& options,
                                          const RetryPolicy& policy,
-                                         EquivalenceStrategy strategy);
+                                         EquivalenceStrategy strategy,
+                                         const std::string& tenant = "default");
 
 /// Key over a pre-rendered canonical bundle (avoids re-emitting when the
 /// caller already holds the canonical text).
 [[nodiscard]] CacheKey compute_cache_key(const std::string& canonical_text,
                                          const ConfMaskOptions& options,
                                          const RetryPolicy& policy,
-                                         EquivalenceStrategy strategy);
+                                         EquivalenceStrategy strategy,
+                                         const std::string& tenant = "default");
 
 /// Content digest of one device's canonical section text (the bytes
 /// between its kDeviceMarker line and the next marker). The section text

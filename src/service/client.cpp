@@ -53,12 +53,41 @@ bool parse_tcp_endpoint(const std::string& endpoint, std::string& host,
   return true;
 }
 
+/// True for spellings that are unambiguously filesystem paths: absolute,
+/// or explicitly relative with a leading dot ("./sock", "../run/sock").
+bool path_like(const std::string& endpoint) {
+  return !endpoint.empty() && (endpoint[0] == '/' || endpoint[0] == '.');
+}
+
+bool all_digits(const std::string& endpoint) {
+  if (endpoint.empty()) return false;
+  for (const char c : endpoint) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return true;
+}
+
 /// Connects to a unix socket path or a host:port endpoint; -1 on failure
-/// with *error filled.
+/// with *error filled. Endpoints that look like a mistyped address — a
+/// ':' that does not parse as valid host:port, or a bare port number —
+/// are refused as kEndpoint instead of being tried as relative paths.
 int connect_endpoint(const std::string& endpoint, TransportError* error) {
   std::string host;
   std::uint16_t port = 0;
-  if (parse_tcp_endpoint(endpoint, host, port)) {
+  const bool tcp = parse_tcp_endpoint(endpoint, host, port);
+  if (!tcp && !path_like(endpoint) &&
+      (endpoint.find(':') != std::string::npos || all_digits(endpoint) ||
+       endpoint.empty())) {
+    if (error != nullptr) {
+      error->failure = TransportFailure::kEndpoint;
+      error->detail = "malformed endpoint \"" + endpoint +
+                      "\": expected a unix socket path (/abs/path or "
+                      "./rel/path) or HOST:PORT (IPv4 literal or "
+                      "\"localhost\", numeric port 0-65535)";
+    }
+    return -1;
+  }
+  if (tcp) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
       set_error(error, TransportFailure::kConnect, "socket");
@@ -136,6 +165,7 @@ std::uint64_t mix(std::uint64_t z) {
 
 const char* to_string(TransportFailure failure) {
   switch (failure) {
+    case TransportFailure::kEndpoint: return "endpoint";
     case TransportFailure::kSocketPath: return "socket_path";
     case TransportFailure::kConnect: return "connect";
     case TransportFailure::kSend: return "send";

@@ -4,9 +4,13 @@
 //
 // Endpoints: a plain filesystem path names a unix-domain socket; a
 // "host:port" string (IPv4 literal or "localhost", numeric port) names a
-// TCP endpoint for daemons started with --listen. The distinction is
-// syntactic and unambiguous — unix socket paths in this codebase are
-// absolute paths, which never parse as host:port.
+// TCP endpoint for daemons started with --listen. Path-like spellings
+// (leading '/' or '.') are always paths; valid host:port is always TCP;
+// everything else that LOOKS like an address attempt — contains ':' or is
+// all digits — is rejected with a typed kEndpoint error naming the
+// accepted forms, because silently treating "example.com:8080" or "8080"
+// as a relative socket path turned host typos into baffling
+// "connect: No such file or directory" failures.
 //
 // Robustness contract: all socket I/O goes through io_shim (EINTR retried,
 // partial reads/writes resumed), and transport failures are TYPED — a peer
@@ -33,6 +37,12 @@ namespace confmask {
 
 /// Where a transport attempt failed.
 enum class TransportFailure {
+  /// The endpoint string is neither a socket path nor a valid host:port —
+  /// e.g. ":8080" (empty host), "example.com:8080" (non-IPv4, non-
+  /// localhost host), "localhost:port" (non-numeric port), or a bare
+  /// all-digits string. Rejected up front with the expected forms named,
+  /// instead of silently connect()ing to a relative path of that spelling.
+  kEndpoint,
   kSocketPath,  ///< path does not fit sockaddr_un
   kConnect,     ///< socket()/connect() failed (daemon absent?)
   kSend,        ///< write failed mid-request

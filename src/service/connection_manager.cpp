@@ -60,6 +60,10 @@ void ConnectionServer::set_subscribe_probe(SubscribeProbe probe) {
   subscribe_probe_ = std::move(probe);
 }
 
+void ConnectionServer::set_tick_hook(TickHook hook) {
+  tick_hook_ = std::move(hook);
+}
+
 void ConnectionServer::publish(std::uint64_t job, std::string line,
                                bool end_of_stream) {
   // No subscribers, nothing to do: one relaxed load keeps the per-span
@@ -113,6 +117,8 @@ int ConnectionServer::run(const std::atomic<bool>& stop) {
 
     const int ready = ::poll(fds.data(), fds.size(), options_.poll_interval_ms);
     if (ready < 0 && errno != EINTR) break;
+
+    if (tick_hook_) tick_hook_();
 
     // Drain the wake pipe (level-triggered: one byte per publish burst).
     if (wake_read_fd_ >= 0) {

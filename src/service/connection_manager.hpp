@@ -76,6 +76,12 @@ class ConnectionServer {
   /// the daemon uses it to synthesize the terminal event for jobs that
   /// finished before the subscribe arrived, closing the missed-event race.
   using SubscribeProbe = std::function<void(std::uint64_t job)>;
+  /// Called (on the loop thread) once per poll iteration — at least every
+  /// poll_interval_ms even when no fd is ready. The daemon hangs deferred
+  /// signal work here (SIGHUP quota reload): the handler itself only flips
+  /// an atomic, and the tick applies it outside signal context. Must be
+  /// cheap on the idle path.
+  using TickHook = std::function<void()>;
 
   /// Takes ownership of `listen_fds` (closed on destruction). The fds must
   /// already be bound + listening; they are switched to non-blocking here.
@@ -88,6 +94,8 @@ class ConnectionServer {
   /// Both must be set before run(). The handler runs on the loop thread.
   void set_line_handler(LineHandler handler);
   void set_subscribe_probe(SubscribeProbe probe);
+  /// Optional; see TickHook.
+  void set_tick_hook(TickHook hook);
 
   /// Serves until `stop` becomes true or a handler outcome requests
   /// shutdown; then best-effort flushes pending output (bounded grace) and
@@ -138,6 +146,7 @@ class ConnectionServer {
   Options options_;
   LineHandler handler_;
   SubscribeProbe subscribe_probe_;
+  TickHook tick_hook_;
 
   std::map<int, Connection> connections_;  ///< keyed by fd; loop thread only
   std::map<std::uint64_t, std::vector<int>> subscribers_;

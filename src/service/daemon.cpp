@@ -8,13 +8,16 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <fstream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -26,6 +29,8 @@
 #include "src/service/job_scheduler.hpp"
 #include "src/service/json_line.hpp"
 #include "src/service/protocol.hpp"
+#include "src/service/shard_ring.hpp"
+#include "src/service/tenant.hpp"
 #include "src/util/observability.hpp"
 
 namespace confmask {
@@ -37,23 +42,32 @@ namespace {
 /// is not hostage to a wedged one (which still means the socket is TAKEN).
 constexpr std::uint32_t kProbeTimeoutMs = 1'000;
 
-/// Extracts N from a trace line tagged `{"job": "job-N", ...` — the
-/// format PipelineTrace::emit produces for scheduler-traced jobs. Lines
+/// Extracts N from a trace line tagged `{"job": "job-N", ...` or — for a
+/// job in a non-default tenant — `{"job": "<tenant>/job-N", ...`: the
+/// formats the scheduler's per-job PipelineTrace tags carry. Lines
 /// without the tag (untagged traces, span_end counters never start with
 /// the tag either-which-way) simply aren't broadcast.
 std::optional<std::uint64_t> parse_job_tag(std::string_view line) {
-  constexpr std::string_view kPrefix = "{\"job\": \"job-";
+  constexpr std::string_view kPrefix = "{\"job\": \"";
   if (line.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
+  const std::size_t close = line.find('"', kPrefix.size());
+  if (close == std::string_view::npos) return std::nullopt;
+  const std::string_view tag =
+      line.substr(kPrefix.size(), close - kPrefix.size());
+  const std::size_t mark = tag.rfind("job-");
+  // "job-N" exactly, or a tenant prefix ending in '/': tenant names never
+  // contain '/' or '"', so the tag grammar stays unambiguous.
+  if (mark == std::string_view::npos) return std::nullopt;
+  if (mark != 0 && tag[mark - 1] != '/') return std::nullopt;
   std::uint64_t id = 0;
   bool any = false;
-  for (std::size_t i = kPrefix.size(); i < line.size(); ++i) {
-    const char c = line[i];
-    if (c == '"') return any ? std::optional<std::uint64_t>(id) : std::nullopt;
+  for (std::size_t i = mark + 4; i < tag.size(); ++i) {
+    const char c = tag[i];
     if (c < '0' || c > '9') return std::nullopt;
     id = id * 10 + static_cast<std::uint64_t>(c - '0');
     any = true;
   }
-  return std::nullopt;
+  return any ? std::optional<std::uint64_t>(id) : std::nullopt;
 }
 
 /// The NDJSON state-transition event pushed to subscribers, plus whether
@@ -68,6 +82,7 @@ std::pair<std::string, bool> make_state_event(const JobStatus& status) {
       .string("type", "state")
       .number_u64("job", status.id)
       .string("state", to_string(status.state))
+      .string("tenant", status.tenant)
       .string("cache_key", status.cache_key)
       .boolean("cache_hit", status.cache_hit)
       .boolean("patched", status.patched);
@@ -105,6 +120,30 @@ class BroadcastSink final : public obs::NdjsonSink {
   std::unique_ptr<obs::NdjsonSink> tee_;
 };
 
+/// SIGHUP ticket: the handler only bumps the counter (async-signal-safe);
+/// each running daemon compares against the value it last consumed on its
+/// poll tick. A counter, not a flag, so several in-process daemons (the
+/// fleet tests) each observe one signal exactly once.
+std::atomic<std::uint64_t> g_sighup_count{0};
+
+extern "C" void confmaskd_on_sighup(int) {
+  g_sighup_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Reads and parses the quota table at `path`. On any failure (unreadable
+/// file, parse error) returns nullopt with the story in `error`.
+std::optional<TenantTable> load_tenant_table(const std::filesystem::path& path,
+                                             std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open tenants file: " + path.string();
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_tenant_table(text.str(), &error);
+}
+
 /// Splits "host:port" for --listen; accepts IPv4 literals, "localhost"
 /// and "0.0.0.0"-style wildcards, numeric port (0 = ephemeral).
 bool parse_listen_address(const std::string& address, in_addr& host,
@@ -138,6 +177,7 @@ int Daemon::run() {
   // otherwise SIGPIPE-kill the whole daemon; with SIGPIPE ignored, the
   // write fails with EPIPE and only that connection is dropped.
   ::signal(SIGPIPE, SIG_IGN);
+  ::signal(SIGHUP, confmaskd_on_sighup);
 
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -277,6 +317,23 @@ int Daemon::run() {
     }
   }
 
+  // The quota table gates admissions from the first request on, so a
+  // table the operator pointed at but we cannot honor refuses startup —
+  // running unbounded when bounds were configured is the one wrong answer.
+  TenantTable tenants;
+  if (!options_.tenants_file.empty()) {
+    std::string tenants_error;
+    const auto loaded = load_tenant_table(options_.tenants_file, tenants_error);
+    if (!loaded) {
+      std::fprintf(stderr, "confmaskd: %s\n", tenants_error.c_str());
+      for (const int fd : listen_fds) ::close(fd);
+      ::unlink(options_.socket_path.c_str());
+      tcp_port_.store(0, std::memory_order_release);
+      return 1;
+    }
+    tenants = *loaded;
+  }
+
   ConnectionServer::Options server_options;
   server_options.idle_timeout_ms = options_.idle_timeout_ms;
   server_options.max_line_bytes = options_.max_line_bytes;
@@ -284,17 +341,111 @@ int Daemon::run() {
 
   BroadcastSink trace_sink(&server, options_.trace_stream);
 
+  // Declared before the scheduler: Options::ring is a borrowed pointer.
+  std::optional<RendezvousRing> ring;
+  if (!options_.peers.empty()) {
+    const std::string self = options_.self_endpoint.empty()
+                                 ? options_.socket_path
+                                 : options_.self_endpoint;
+    ring.emplace(options_.peers, self);
+    std::printf("confmaskd: shard ring of %zu member(s), self=%s\n",
+                ring->size(), ring->self().c_str());
+    std::fflush(stdout);
+  }
+
   JobScheduler::Options scheduler_options;
   scheduler_options.max_concurrent_jobs = options_.max_concurrent_jobs;
   scheduler_options.max_pending = options_.max_pending;
   scheduler_options.trace_sink = &trace_sink;
   scheduler_options.journal = journal.get();
+  scheduler_options.tenants = tenants;
   scheduler_options.state_listener = [&server](const JobStatus& status) {
     auto [line, terminal] = make_state_event(status);
     server.publish(status.id, std::move(line), terminal);
   };
+  if (ring.has_value()) {
+    scheduler_options.ring = &*ring;
+    const std::uint32_t peer_timeout = options_.peer_timeout_ms;
+    const std::string expect_stamp = cache.stamp();
+    scheduler_options.peer_fetch =
+        [peer_timeout, expect_stamp](
+            const std::string& owner, const CacheKey& key,
+            const std::string& tenant) -> std::optional<CacheArtifacts> {
+      const std::string request = JsonLineWriter{}
+                                      .string("op", "peer-fetch")
+                                      .string("key", key.hex())
+                                      .str();
+      TransportError transport_error;
+      const auto response =
+          client_roundtrip(owner, request, &transport_error, peer_timeout);
+      if (!response) return std::nullopt;
+      const auto reply = parse_json_line(*response);
+      if (!reply) return std::nullopt;
+      if (get_bool(*reply, "ok") != std::optional<bool>(true)) {
+        return std::nullopt;
+      }
+      if (get_bool(*reply, "found") != std::optional<bool>(true)) {
+        return std::nullopt;
+      }
+      // Trust but verify: the peer must hold the EXACT entry — full key
+      // (secondary included), same tenant, same build stamp. Anything
+      // else is treated as a miss and computed locally; republishing a
+      // mismatched artifact under this key would poison the local cache.
+      if (get_string(*reply, "key").value_or("") != key.hex()) {
+        return std::nullopt;
+      }
+      if (get_u64(*reply, "secondary").value_or(0) != key.secondary) {
+        return std::nullopt;
+      }
+      if (get_string(*reply, "tenant").value_or("") != tenant) {
+        return std::nullopt;
+      }
+      if (get_string(*reply, "stamp").value_or("") != expect_stamp) {
+        return std::nullopt;
+      }
+      const auto configs = get_string(*reply, "configs");
+      const auto original = get_string(*reply, "original");
+      const auto diagnostics = get_string(*reply, "diagnostics");
+      const auto metrics = get_string(*reply, "metrics");
+      if (!configs || !original || !diagnostics || !metrics) {
+        return std::nullopt;
+      }
+      CacheArtifacts artifacts;
+      artifacts.anonymized_configs = *configs;
+      artifacts.original_configs = *original;
+      artifacts.diagnostics_json = *diagnostics;
+      artifacts.metrics_json = *metrics;
+      return artifacts;
+    };
+  }
   JobScheduler scheduler(&cache, scheduler_options);
   ProtocolHandler handler(&scheduler, &cache, journal.get());
+
+  // Quota reload: SIGHUP (or request_reload()) is consumed on the poll
+  // tick, outside signal context. A table that fails to parse is LOGGED
+  // and ignored — a running fleet must not lose its bounds to a typo.
+  std::uint64_t sighup_seen = g_sighup_count.load(std::memory_order_relaxed);
+  server.set_tick_hook([&, sighup_seen]() mutable {
+    const std::uint64_t now = g_sighup_count.load(std::memory_order_relaxed);
+    const bool signaled = now != sighup_seen;
+    sighup_seen = now;
+    const bool requested = reload_.exchange(false, std::memory_order_acq_rel);
+    if (!signaled && !requested) return;
+    if (options_.tenants_file.empty()) return;
+    std::string reload_error;
+    const auto reloaded =
+        load_tenant_table(options_.tenants_file, reload_error);
+    if (!reloaded) {
+      std::fprintf(stderr, "confmaskd: tenant reload failed (keeping old "
+                           "table): %s\n",
+                   reload_error.c_str());
+      return;
+    }
+    scheduler.set_tenant_table(*reloaded);
+    std::printf("confmaskd: tenant table reloaded (%zu named tenant(s))\n",
+                reloaded->named().size());
+    std::fflush(stdout);
+  });
 
   JobScheduler::ShutdownMode shutdown_mode = JobScheduler::ShutdownMode::kDrain;
   bool shutdown_requested = false;

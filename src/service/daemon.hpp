@@ -29,6 +29,7 @@
 #include <filesystem>
 #include <ostream>
 #include <string>
+#include <vector>
 
 namespace confmask {
 
@@ -63,6 +64,27 @@ class Daemon {
     /// Reject request lines longer than this many bytes. Bundles travel
     /// inside submit lines, so the default is generous.
     std::size_t max_line_bytes = 64u << 20;
+    /// Fleet membership: every daemon's client-reachable endpoint (unix
+    /// socket path or host:port), this one included or not — self is
+    /// added automatically. Non-empty arms the rendezvous shard ring: a
+    /// local cache miss whose key another member owns is first fetched
+    /// from that owner (peer-fetch) before computing locally.
+    std::vector<std::string> peers;
+    /// This daemon's own endpoint as it appears in `peers` on OTHER
+    /// daemons' command lines. Empty = socket_path, which is right
+    /// whenever the fleet shares a filesystem (tests, single host); set
+    /// it to the advertised host:port otherwise. Ring scores hash the
+    /// endpoint STRING, so every member must spell each endpoint
+    /// identically.
+    std::string self_endpoint;
+    /// Per-tenant quota table (tenant.hpp json-line format). Empty = no
+    /// per-tenant bounds. Reloaded on SIGHUP (and request_reload()): a
+    /// parse error at startup refuses to start, at reload keeps the old
+    /// table and logs.
+    std::filesystem::path tenants_file;
+    /// Deadline for one peer-fetch roundtrip. A slow or dead peer costs
+    /// at most this much before the job falls back to local compute.
+    std::uint32_t peer_timeout_ms = 2'000;
   };
 
   explicit Daemon(Options options);
@@ -77,6 +99,12 @@ class Daemon {
   /// Asks a running run() to stop (drain mode). Safe from other threads.
   void request_stop() { stop_.store(true, std::memory_order_release); }
 
+  /// Asks a running run() to reload tenants_file at its next poll tick —
+  /// what SIGHUP triggers in the binary; tests call it directly (an
+  /// in-process signal would hit every daemon in the test binary). Safe
+  /// from other threads and from signal handlers.
+  void request_reload() { reload_.store(true, std::memory_order_release); }
+
   /// The bound TCP port once run() is serving (0 before that, or when no
   /// listen_address was configured). Safe from other threads — tests bind
   /// port 0 and poll this for the ephemeral port.
@@ -87,6 +115,7 @@ class Daemon {
  private:
   Options options_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> reload_{false};
   std::atomic<std::uint16_t> tcp_port_{0};
 };
 

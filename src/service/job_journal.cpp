@@ -138,6 +138,9 @@ std::optional<JobRequest> decode_submit(const JsonObject& record) {
   request.options.links_per_fake_router = static_cast<int>(*links_per);
   request.options.incremental_simulation = *incremental;
   request.deadline_ms = *deadline;
+  // Pre-fleet journals carry no tenant field; their jobs belong to the
+  // default namespace, same as a request that names none.
+  request.tenant = get_string(record, "tenant").value_or("default");
 
   const auto parsed_policy = parse_cost_policy(*cost_policy);
   const auto parsed_strategy = parse_strategy(*strategy);
@@ -196,6 +199,7 @@ std::optional<JournalTombstone> decode_status(const JsonObject& record) {
   out.status.id = *id;
   out.status.state = *state;
   out.status.cache_key = *key;
+  out.status.tenant = get_string(record, "tenant").value_or("default");
   out.status.cache_hit = get_bool(record, "cache_hit").value_or(false);
   out.status.error_stage = get_string(record, "error_stage").value_or("");
   out.status.error_category =
@@ -220,6 +224,7 @@ std::string encode_status(std::string_view type, const JobStatus& status,
   JsonLineWriter writer;
   writer.string("type", type)
       .number_u64("job", status.id)
+      .string("tenant", status.tenant)
       .string("state", to_string(status.state))
       .string("key", status.cache_key)
       .string("secondary", hex64(secondary))
@@ -260,6 +265,7 @@ std::string JobJournal::encode_submit(std::uint64_t id,
   JsonLineWriter writer;
   writer.string("type", "submit")
       .number_u64("job", id)
+      .string("tenant", request.tenant)
       .string("key", key.hex())
       .string("secondary", hex64(key.secondary))
       .string("configs", canonical_config_set_text(request.configs))

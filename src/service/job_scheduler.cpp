@@ -30,6 +30,9 @@ const char* to_string(JobState state) {
 
 JobScheduler::JobScheduler(ArtifactCache* cache, Options options)
     : cache_(cache), options_(options) {
+  // The initial quota table's byte shares arm the cache from the first
+  // publish, exactly like a set_tenant_table reload would.
+  cache_->set_tenant_shares(options_.tenants.cache_shares());
   // Recovery runs BEFORE the workers exist: the queue and job table are
   // rebuilt single-threaded, then workers start on a consistent state.
   if (options_.journal != nullptr) restore_from_journal();
@@ -50,6 +53,7 @@ void JobScheduler::restore_from_journal() {
     Job job;
     job.status = tomb.status;
     job.restored = true;
+    job.request.tenant = tomb.status.tenant;
     job.key.primary = parse_hex64(tomb.status.cache_key).value_or(0);
     job.key.secondary = tomb.secondary;
     job.result.cache_hit = tomb.status.cache_hit;
@@ -78,11 +82,15 @@ void JobScheduler::restore_from_journal() {
     job.key = recovered.key;
     job.status.id = recovered.id;
     job.status.state = JobState::kQueued;
+    job.status.tenant = recovered.request.tenant;
     job.status.cache_key = recovered.key.hex();
     job.token = std::make_shared<CancelToken>();
     job.token->set_deadline_after(recovered.request.deadline_ms);
+    TenantState& tenant = tenants_[recovered.request.tenant];
+    tenant.queue.push_back(recovered.id);
+    ++tenant.counters.submitted;
+    ++queued_total_;
     jobs_.emplace(recovered.id, std::move(job));
-    queue_.push_back(recovered.id);
     ++stats_.recovered;
     ++stats_.submitted;
   }
@@ -99,10 +107,13 @@ SubmitOutcome JobScheduler::resubmit(ResubmitRequest request) {
   // reconstructed bundle (same key derivation, same journal record, same
   // cache entry), plus a patch hint the executor may exploit.
   SubmitOutcome out;
-  auto base = cache_->lookup_original(request.base_key_hex);
+  // Tenant-scoped base lookup: another namespace's entry is as good as
+  // absent, so a resubmit can never read across the tenant boundary.
+  auto base = cache_->lookup_original(request.base_key_hex, request.tenant);
   if (!base) {
     const std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.rejected;
+    ++tenants_[request.tenant].counters.rejected;
     // Permanent for this request: the base was evicted or never existed.
     // The client recovers by sending the full bundle instead.
     out.error = "unknown base artifact '" + request.base_key_hex +
@@ -117,6 +128,7 @@ SubmitOutcome JobScheduler::resubmit(ResubmitRequest request) {
   } catch (const ConfigParseError& err) {
     const std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.rejected;
+    ++tenants_[request.tenant].counters.rejected;
     out.error = "bundle diff rejected: " + std::string(err.what());
     return out;
   }
@@ -124,6 +136,7 @@ SubmitOutcome JobScheduler::resubmit(ResubmitRequest request) {
   full.policy = request.policy;
   full.strategy = request.strategy;
   full.deadline_ms = request.deadline_ms;
+  full.tenant = request.tenant;
 
   out = admit(std::move(full), request.base_key_hex);
   if (out.accepted()) {
@@ -135,12 +148,14 @@ SubmitOutcome JobScheduler::resubmit(ResubmitRequest request) {
 
 SubmitOutcome JobScheduler::admit(JobRequest request,
                                   std::string patch_base) {
+  if (request.tenant.empty()) request.tenant = std::string(kDefaultTenant);
   // Canonicalize and key OUTSIDE the lock: emitting a large network is the
   // expensive part of admission and must not stall status queries.
   ConfigSet canonical = canonicalize(request.configs);
   const std::string canonical_text = canonical_config_set_text(canonical);
-  const CacheKey key = compute_cache_key(canonical_text, request.options,
-                                         request.policy, request.strategy);
+  const CacheKey key =
+      compute_cache_key(canonical_text, request.options, request.policy,
+                        request.strategy, request.tenant);
 
   SubmitOutcome out;
   std::uint64_t id = 0;
@@ -151,17 +166,32 @@ SubmitOutcome JobScheduler::admit(JobRequest request,
       out.error = "shutting down";
       return out;
     }
-    if (queue_.size() >= options_.max_pending) {
-      ++stats_.rejected;
-      out.error = "queue full";
-      // Load shedding, not a hard error: the hint scales with how far
-      // behind the daemon is (queue depth per worker), so a retrying
-      // client naturally paces itself to the daemon's throughput.
+    TenantState& tenant = tenants_[request.tenant];
+    const TenantQuota& quota = options_.tenants.quota_for(request.tenant);
+    // Load shedding, not a hard error: the hint scales with how far
+    // behind the rejecting queue is (depth per worker), so a retrying
+    // client naturally paces itself to the daemon's throughput. The
+    // per-tenant hint uses the TENANT's own backlog — a tenant over its
+    // quota backs off by its own depth while its neighbors sail through.
+    const auto retry_hint = [&](std::size_t depth) {
       const std::uint64_t per_worker =
-          queue_.size() /
+          depth /
           static_cast<std::size_t>(std::max(1, options_.max_concurrent_jobs));
-      out.retry_after_ms = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      return static_cast<std::uint32_t>(std::min<std::uint64_t>(
           options_.retry_after_base_ms * (per_worker + 1), 10'000));
+    };
+    if (quota.max_pending > 0 && tenant.queue.size() >= quota.max_pending) {
+      ++stats_.rejected;
+      ++tenant.counters.rejected;
+      out.error = "tenant queue full";
+      out.retry_after_ms = retry_hint(tenant.queue.size());
+      return out;
+    }
+    if (queued_total_ >= options_.max_pending) {
+      ++stats_.rejected;
+      ++tenant.counters.rejected;
+      out.error = "queue full";
+      out.retry_after_ms = retry_hint(queued_total_);
       return out;
     }
     id = next_id_++;
@@ -192,17 +222,22 @@ SubmitOutcome JobScheduler::admit(JobRequest request,
       ++stats_.rejected;
       out.error = "shutting down";
     } else {
+      const std::string tenant_name = request.tenant;
       Job job;
       job.request = std::move(request);
       job.canonical = std::move(canonical);
       job.key = key;
       job.status.id = id;
       job.status.state = JobState::kQueued;
+      job.status.tenant = tenant_name;
       job.status.cache_key = key.hex();
       job.token = std::move(token);
       job.patch_base = std::move(patch_base);
       jobs_.emplace(id, std::move(job));
-      queue_.push_back(id);
+      TenantState& tenant = tenants_[tenant_name];
+      tenant.queue.push_back(id);
+      ++tenant.counters.submitted;
+      ++queued_total_;
       ++stats_.submitted;
       work_cv_.notify_one();
       out.id = id;
@@ -212,6 +247,7 @@ SubmitOutcome JobScheduler::admit(JobRequest request,
     JobStatus tombstone;
     tombstone.id = id;
     tombstone.state = JobState::kCancelled;
+    tombstone.tenant = request.tenant;  // intact: rejected path never moves
     tombstone.cache_key = key.hex();
     tombstone.error_message = "rejected at admission: shutting down";
     journal_state(tombstone, key.secondary);
@@ -273,10 +309,11 @@ bool JobScheduler::cancel(std::uint64_t id) {
       return true;
     }
     if (job.status.state != JobState::kQueued) return false;
-    for (auto queue_it = queue_.begin(); queue_it != queue_.end();
-         ++queue_it) {
+    auto& queue = tenants_[job.request.tenant].queue;
+    for (auto queue_it = queue.begin(); queue_it != queue.end(); ++queue_it) {
       if (*queue_it == id) {
-        queue_.erase(queue_it);
+        queue.erase(queue_it);
+        --queued_total_;
         break;
       }
     }
@@ -309,10 +346,24 @@ bool JobScheduler::wait(std::uint64_t id) {
 SchedulerStats JobScheduler::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   SchedulerStats out = stats_;
-  out.queued = queue_.size();
+  out.queued = queued_total_;
   out.cache = cache_->stats();
   out.watch_contexts = contexts_.size();
+  for (const auto& [name, state] : tenants_) {
+    TenantCounters counters = state.counters;
+    counters.queued = state.queue.size();
+    counters.running = state.running;
+    out.tenants.emplace(name, counters);
+  }
   return out;
+}
+
+void JobScheduler::set_tenant_table(TenantTable table) {
+  cache_->set_tenant_shares(table.cache_shares());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  options_.tenants = std::move(table);
+  // Caps may have loosened: blocked workers re-evaluate eligibility.
+  work_cv_.notify_all();
 }
 
 void JobScheduler::prime_context_locked(
@@ -341,14 +392,17 @@ void JobScheduler::shutdown(ShutdownMode mode) {
     if (shut_down_) return;
     shut_down_ = true;  // no further admissions
     if (mode == ShutdownMode::kCancelPending) {
-      for (const std::uint64_t id : queue_) {
-        Job& job = jobs_.at(id);
-        job.status.state = JobState::kCancelled;
-        job.status.error_message = "cancelled at shutdown";
-        ++stats_.cancelled;
-        cancelled.emplace_back(job.status, job.key.secondary);
+      for (auto& [name, tenant] : tenants_) {
+        for (const std::uint64_t id : tenant.queue) {
+          Job& job = jobs_.at(id);
+          job.status.state = JobState::kCancelled;
+          job.status.error_message = "cancelled at shutdown";
+          ++stats_.cancelled;
+          cancelled.emplace_back(job.status, job.key.secondary);
+        }
+        tenant.queue.clear();
       }
-      queue_.clear();
+      queued_total_ = 0;
       stopping_ = true;
     } else {
       draining_ = true;
@@ -372,25 +426,113 @@ void JobScheduler::journal_state(const JobStatus& status,
   (void)options_.journal->append_state(status, secondary, nullptr);
 }
 
+bool JobScheduler::dispatchable_locked() const {
+  for (const auto& [name, tenant] : tenants_) {
+    if (tenant.queue.empty()) continue;
+    const TenantQuota& quota = options_.tenants.quota_for(name);
+    if (quota.max_concurrent <= 0 ||
+        tenant.running < static_cast<std::size_t>(quota.max_concurrent)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::uint64_t> JobScheduler::pick_job_locked() {
+  const auto eligible = [&](const TenantState& tenant,
+                            const std::string& name) {
+    if (tenant.queue.empty()) return false;
+    const TenantQuota& quota = options_.tenants.quota_for(name);
+    return quota.max_concurrent <= 0 ||
+           tenant.running < static_cast<std::size_t>(quota.max_concurrent);
+  };
+  const auto take = [&](TenantState& tenant) {
+    const std::uint64_t id = tenant.queue.front();
+    tenant.queue.pop_front();
+    --queued_total_;
+    return id;
+  };
+
+  // Spend the current holder's remaining quantum first: this is what makes
+  // the rotation WEIGHTED — a weight-w tenant drains w jobs back to back
+  // before the token moves on. A tenant that empties its queue or hits its
+  // concurrency cap forfeits the rest of its quantum (deficit never
+  // accumulates across idle periods, so a returning tenant cannot burst
+  // past its weight).
+  if (drr_credit_ > 0) {
+    const auto it = tenants_.find(drr_current_);
+    if (it != tenants_.end() && eligible(it->second, it->first)) {
+      --drr_credit_;
+      return take(it->second);
+    }
+    drr_credit_ = 0;
+  }
+
+  // Rotate to the next eligible tenant in lexicographic cycle order,
+  // starting AFTER the current holder — one full wrap visits everyone, so
+  // a saturating tenant can delay an idle tenant's first job by at most
+  // the quanta of tenants between them, never indefinitely.
+  auto it = tenants_.upper_bound(drr_current_);
+  for (std::size_t step = 0; step < tenants_.size(); ++step, ++it) {
+    if (it == tenants_.end()) it = tenants_.begin();
+    if (!eligible(it->second, it->first)) continue;
+    drr_current_ = it->first;
+    drr_credit_ = options_.tenants.quota_for(it->first).weight - 1;
+    if (drr_credit_ < 0) drr_credit_ = 0;
+    return take(it->second);
+  }
+  return std::nullopt;
+}
+
 void JobScheduler::worker_loop() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     work_cv_.wait(lock, [&] {
-      return stopping_ || draining_ || !queue_.empty();
+      return stopping_ || (draining_ && queued_total_ == 0) ||
+             dispatchable_locked();
     });
-    if (queue_.empty()) {
-      if (stopping_ || draining_) return;
+    if (stopping_) return;
+    const auto picked = pick_job_locked();
+    if (!picked) {
+      if (draining_ && queued_total_ == 0) return;
       continue;
     }
-    const std::uint64_t id = queue_.front();
-    queue_.pop_front();
-    jobs_.at(id).status.state = JobState::kRunning;
+    const std::uint64_t id = *picked;
+    Job& job = jobs_.at(id);
+    job.status.state = JobState::kRunning;
+    const std::string tenant_name = job.request.tenant;
+    ++tenants_[tenant_name].running;
     ++stats_.running;
     lock.unlock();
     execute(id);
     lock.lock();
     --stats_.running;
+    --tenants_[tenant_name].running;
+    // A slot under this tenant's concurrency cap just freed; a worker may
+    // be parked waiting for exactly that.
+    work_cv_.notify_all();
   }
+}
+
+void JobScheduler::complete_with_artifacts(std::uint64_t id,
+                                           CacheArtifacts artifacts,
+                                           bool cache_hit) {
+  JobStatus snapshot;
+  std::uint64_t secondary = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Job& done = jobs_.at(id);
+    done.result.artifacts = std::move(artifacts);
+    done.result.cache_hit = cache_hit;
+    done.status.state = JobState::kDone;
+    done.status.cache_hit = cache_hit;
+    ++stats_.completed;
+    ++tenants_[done.request.tenant].counters.completed;
+    done_cv_.notify_all();
+    snapshot = done.status;
+    secondary = done.key.secondary;
+  }
+  journal_state(snapshot, secondary);
 }
 
 void JobScheduler::execute(std::uint64_t id) {
@@ -447,31 +589,82 @@ void JobScheduler::execute(std::uint64_t id) {
     return;
   }
 
-  if (auto cached = cache_->lookup(job->key)) {
-    JobStatus snapshot;
-    std::uint64_t secondary = 0;
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      Job& done = jobs_.at(id);
-      done.result.artifacts = std::move(*cached);
-      done.result.cache_hit = true;
-      done.status.state = JobState::kDone;
-      done.status.cache_hit = true;
-      ++stats_.completed;
-      done_cv_.notify_all();
-      snapshot = done.status;
-      secondary = done.key.secondary;
+  // Single-flight: elect one leader per primary digest. Followers park
+  // here (still occupying their worker slot — the slot IS the work) until
+  // the leader publishes or gives up, then re-probe the cache: N identical
+  // concurrent jobs cost one fetch/compute plus N-1 local cache reads.
+  bool waited_behind_leader = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (inflight_keys_.count(job->key.primary) != 0) {
+      waited_behind_leader = true;
+      flight_cv_.wait(lock);
     }
-    journal_state(snapshot, secondary);
+    inflight_keys_.insert(job->key.primary);
+  }
+  struct FlightRelease {
+    JobScheduler* scheduler;
+    std::uint64_t key;
+    ~FlightRelease() {
+      const std::lock_guard<std::mutex> lock(scheduler->mutex_);
+      scheduler->inflight_keys_.erase(key);
+      scheduler->flight_cv_.notify_all();
+    }
+  } release{this, job->key.primary};
+
+  if (auto cached = cache_->lookup(job->key)) {
+    if (waited_behind_leader) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.coalesced_jobs;
+    }
+    complete_with_artifacts(id, std::move(*cached), /*cache_hit=*/true);
     return;
+  }
+
+  // Peer lookup: when the key's rendezvous owner is another fleet member,
+  // ask it before computing. Any fetch outcome short of a validated
+  // bundle — owner lacks the entry, transport failure, deadline — falls
+  // through to local compute: peer trouble costs latency, never the job.
+  if (options_.ring != nullptr && !options_.ring->solo() &&
+      options_.peer_fetch) {
+    const std::string owner = options_.ring->owner(job->key.primary);
+    if (owner != options_.ring->self()) {
+      auto fetched =
+          options_.peer_fetch(owner, job->key, job->request.tenant);
+      bool published = false;
+      if (fetched) {
+        std::string store_error;
+        published = cache_->store(job->key, *fetched, &store_error,
+                                  job->request.tenant) !=
+                    StoreResult::kIoError;
+        // An unpublishable fetch degrades to compute too: completing from
+        // bytes the local cache never accepted would let a flaky disk
+        // desynchronize acks from content addressing.
+      }
+      if (published) {
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.peer_hits;
+          ++tenants_[job->request.tenant].counters.peer_hits;
+        }
+        complete_with_artifacts(id, std::move(*fetched), /*cache_hit=*/true);
+        return;
+      }
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.peer_misses;
+    }
   }
 
   // Thread-scoped trace: this worker is the orchestration thread of its
   // pipeline, so the trace captures exactly this job's spans even while
-  // sibling workers run their own traced pipelines.
+  // sibling workers run their own traced pipelines. Non-default tenants
+  // prefix the tag, so interleaved NDJSON streams stay attributable to
+  // their namespace as well as their job.
   PipelineTrace::Options trace_options;
   trace_options.shared_sink = options_.trace_sink;
-  trace_options.tag = "job-" + std::to_string(id);
+  trace_options.tag = job->request.tenant == kDefaultTenant
+                          ? "job-" + std::to_string(id)
+                          : job->request.tenant + "/job-" + std::to_string(id);
   trace_options.scope = PipelineTrace::Options::Scope::kThread;
   PipelineTrace trace(trace_options);
 
@@ -508,8 +701,9 @@ void JobScheduler::execute(std::uint64_t id) {
     artifacts.diagnostics_json = std::move(diagnostics);
     artifacts.metrics_json = trace.metrics_json(/*include_timings=*/false);
     std::string store_error;
-    const StoreResult stored =
-        cache_->store(job->key, artifacts, &store_error);
+    const StoreResult stored = cache_->store(job->key, artifacts,
+                                             &store_error,
+                                             job->request.tenant);
 
     // Re-base the captured stage state into a resident context for future
     // resubmits against THIS job. Deliberately after sims_delta is
@@ -564,6 +758,7 @@ void JobScheduler::execute(std::uint64_t id) {
         done.status.state = JobState::kDone;
         done.status.patched = patched;
         ++stats_.completed;
+        ++tenants_[done.request.tenant].counters.completed;
       }
       stats_.simulations += sims_delta;
       done_cv_.notify_all();

@@ -31,6 +31,26 @@
 // carrying `retry_after_ms`, a server-computed backoff hint that scales
 // with queue depth (client.hpp honors it with jittered retry).
 //
+// Tenancy and fair share: every job belongs to a tenant namespace
+// (kDefaultTenant when the request names none), its cache key folds the
+// tenant in (cache_key.hpp), and the single FIFO is replaced by one queue
+// per tenant drained by deficit round-robin — a tenant's quantum is its
+// configured weight, so a weight-2 tenant drains two jobs per rotation
+// while a saturating tenant can never push another tenant's first job
+// behind its backlog. Per-tenant quotas (TenantTable) bound each tenant's
+// queue depth (rejections carry retry_after_ms scaled by THAT tenant's
+// backlog) and running-job count (jobs past the cap simply wait their
+// turn without blocking other tenants' dispatch).
+//
+// Fleet sharding: with a RendezvousRing and a peer_fetch callback
+// installed, a cache miss whose key is owned by ANOTHER daemon first asks
+// the owner for the artifact bundle (bounded deadline inside the
+// callback) and only computes locally when the peer cannot serve it —
+// peer trouble degrades to compute, never to a failed job. Single-flight
+// dedup runs underneath: N concurrent executions of one key elect one
+// leader to fetch/compute while the rest wait and then complete from the
+// freshly published local entry.
+//
 // Per-job observability: each worker installs a thread-scoped PipelineTrace
 // tagged "job-<id>" writing to the scheduler's shared NDJSON sink, so
 // concurrent jobs' span streams interleave whole-line-atomically and remain
@@ -55,9 +75,13 @@
 #include <thread>
 #include <vector>
 
+#include <set>
+
 #include "src/core/pipeline_runner.hpp"
 #include "src/service/artifact_cache.hpp"
 #include "src/service/cache_key.hpp"
+#include "src/service/shard_ring.hpp"
+#include "src/service/tenant.hpp"
 #include "src/util/cancellation.hpp"
 #include "src/util/observability.hpp"
 
@@ -76,6 +100,9 @@ struct JobRequest {
   /// wait counts). 0 = none. After a crash recovery the budget restarts —
   /// wall-clock deadlines cannot survive a reboot meaningfully.
   std::uint64_t deadline_ms = 0;
+  /// Namespace the job runs under. Validated at the protocol layer
+  /// (valid_tenant_name); folded into the cache key at admission.
+  std::string tenant = std::string(kDefaultTenant);
 };
 
 /// A watch-mode re-anonymization request: instead of shipping the whole
@@ -94,6 +121,10 @@ struct ResubmitRequest {
   RetryPolicy policy;
   EquivalenceStrategy strategy = EquivalenceStrategy::kConfMask;
   std::uint64_t deadline_ms = 0;  ///< same semantics as JobRequest
+  /// Namespace of the resubmit. The base entry must belong to the SAME
+  /// tenant (lookup_original is tenant-scoped) — a resubmit can never use
+  /// another namespace's artifact as its diff base.
+  std::string tenant = std::string(kDefaultTenant);
 };
 
 enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
@@ -105,6 +136,7 @@ enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
 struct JobStatus {
   std::uint64_t id = 0;
   JobState state = JobState::kQueued;
+  std::string tenant = std::string(kDefaultTenant);
   std::string cache_key;  ///< 16-hex primary digest, known from submit
   bool cache_hit = false;
   std::string error_stage;     ///< to_string(PipelineStage)
@@ -139,6 +171,16 @@ struct SubmitOutcome {
   [[nodiscard]] bool accepted() const { return id.has_value(); }
 };
 
+/// Per-tenant counters surfaced by stats (and the `stats` protocol verb).
+struct TenantCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t peer_hits = 0;
+  std::size_t queued = 0;
+  std::size_t running = 0;
+};
+
 struct SchedulerStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
@@ -166,6 +208,17 @@ struct SchedulerStats {
   std::uint64_t patch_fallbacks = 0;
   /// Watch contexts currently resident (<= watch_context_capacity).
   std::size_t watch_contexts = 0;
+  /// Local misses whose key another fleet member owned and served: the job
+  /// completed from the peer's bytes with zero local simulations.
+  std::uint64_t peer_hits = 0;
+  /// Peer-fetch attempts that came back empty (owner lacked the entry,
+  /// transport failure, deadline) — the job fell back to local compute.
+  std::uint64_t peer_misses = 0;
+  /// Jobs that waited behind a single-flight leader on the same key and
+  /// then completed without their own fetch/compute.
+  std::uint64_t coalesced_jobs = 0;
+  /// Per-tenant slice of the counters above plus live queue/run depth.
+  std::map<std::string, TenantCounters> tenants;
 };
 
 class JobScheduler {
@@ -200,6 +253,21 @@ class JobScheduler {
     /// scheduler. confmaskd uses it to stream state events to subscribed
     /// connections. nullptr = no listener.
     std::function<void(const JobStatus&)> state_listener;
+    /// Per-tenant quotas and weights; replaceable at runtime via
+    /// set_tenant_table (SIGHUP reload). The default-constructed table has
+    /// no per-tenant bounds — pre-fleet behavior exactly.
+    TenantTable tenants;
+    /// The fleet's shard ring. nullptr or solo() = no peer lookups. Not
+    /// owned; must outlive the scheduler.
+    const RendezvousRing* ring = nullptr;
+    /// Fetches `key`'s artifact bundle from `owner` (an endpoint from the
+    /// ring), bounded by the daemon's peer deadline. Returns nullopt on
+    /// miss/timeout/transport failure — the scheduler then computes
+    /// locally. Called OUTSIDE mutex_, from the executing worker.
+    std::function<std::optional<CacheArtifacts>(
+        const std::string& owner, const CacheKey& key,
+        const std::string& tenant)>
+        peer_fetch;
   };
 
   enum class ShutdownMode {
@@ -255,6 +323,11 @@ class JobScheduler {
 
   [[nodiscard]] SchedulerStats stats() const;
 
+  /// Swaps the quota table (SIGHUP reload) and pushes its cache shares
+  /// into the ArtifactCache. Applies to subsequent admissions, dispatches,
+  /// and evictions; jobs already queued or running are not revisited.
+  void set_tenant_table(TenantTable table);
+
   /// Idempotent; blocks until workers exit (all running jobs finished).
   void shutdown(ShutdownMode mode);
 
@@ -294,8 +367,27 @@ class JobScheduler {
   void prime_context_locked(const std::string& key_hex,
                             std::shared_ptr<const PatchContext> context);
 
+  /// Live scheduling state of one tenant namespace.
+  struct TenantState {
+    std::deque<std::uint64_t> queue;
+    std::size_t running = 0;
+    TenantCounters counters;
+  };
+
+  /// True when some tenant has a queued job it is allowed to run now
+  /// (nonempty queue, under its concurrency cap). Caller holds mutex_.
+  [[nodiscard]] bool dispatchable_locked() const;
+  /// Deficit-round-robin pick: continues the current tenant's quantum
+  /// (its weight) before rotating to the next eligible tenant in
+  /// lexicographic cycle order. Caller holds mutex_.
+  [[nodiscard]] std::optional<std::uint64_t> pick_job_locked();
+
   void worker_loop();
   void execute(std::uint64_t id);
+  /// Completes `id` as kDone with `artifacts`. `cache_hit` mirrors the
+  /// protocol's "served without running the pipeline here" signal.
+  void complete_with_artifacts(std::uint64_t id, CacheArtifacts artifacts,
+                               bool cache_hit);
   /// Publishes a state transition: invokes Options::state_listener with the
   /// snapshot, then appends a state record when a journal is attached.
   /// Called OUTSIDE mutex_ — neither the listener nor the fsync may stall
@@ -313,8 +405,19 @@ class JobScheduler {
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;  ///< workers: queue/shutdown changes
   std::condition_variable done_cv_;  ///< waiters: job reached terminal state
+  std::condition_variable flight_cv_;  ///< single-flight leader finished
   std::map<std::uint64_t, Job> jobs_;
-  std::deque<std::uint64_t> queue_;
+  /// tenant → queue + live counters. Entries persist once created (the
+  /// counters are cumulative) — the map is bounded by distinct tenant
+  /// names seen, which admission keeps to validated names only.
+  std::map<std::string, TenantState> tenants_;
+  std::size_t queued_total_ = 0;
+  /// DRR rotation: the tenant holding the dispatch token and how much of
+  /// its quantum (weight) remains.
+  std::string drr_current_;
+  int drr_credit_ = 0;
+  /// Primary digests with a fetch/compute in flight (single-flight dedup).
+  std::set<std::uint64_t> inflight_keys_;
   std::uint64_t next_id_ = 1;
   bool draining_ = false;
   bool stopping_ = false;

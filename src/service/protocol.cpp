@@ -5,6 +5,7 @@
 #include "src/config/parse.hpp"
 #include "src/service/job_journal.hpp"
 #include "src/service/json_line.hpp"
+#include "src/service/tenant.hpp"
 #include "src/util/build_info.hpp"
 
 namespace confmask {
@@ -115,6 +116,26 @@ bool read_job_params(const JsonObject& request, ConfMaskOptions& options,
   return true;
 }
 
+/// Reads the optional `tenant` field into `out`. Absent = the default
+/// namespace. A present-but-invalid name is a loud error — admission must
+/// never coerce a garbled namespace into "default" (that would silently
+/// cross an isolation boundary).
+bool read_tenant(const JsonObject& request, std::string& out,
+                 std::string& error) {
+  if (request.find("tenant") == request.end()) return true;
+  const auto tenant = get_string(request, "tenant");
+  if (!tenant) {
+    error = "tenant must be a string";
+    return false;
+  }
+  if (!valid_tenant_name(*tenant)) {
+    error = "invalid tenant name (want 1-64 chars of [A-Za-z0-9_.-])";
+    return false;
+  }
+  out = *tenant;
+  return true;
+}
+
 /// The admission rejection line shared by submit and resubmit: transient
 /// load-shed rejections carry the server's backoff hint, permanent ones
 /// do not (client.hpp retries on exactly the hint's presence).
@@ -154,9 +175,11 @@ std::string ProtocolHandler::handle(std::string_view line,
     }
     std::string field_error;
     if (!read_job_params(*request, job.options, job.strategy, job.deadline_ms,
-                         field_error)) {
+                         field_error) ||
+        !read_tenant(*request, job.tenant, field_error)) {
       return error_response(*op, field_error);
     }
+    const std::string tenant = job.tenant;
     const SubmitOutcome outcome = scheduler_->submit_ex(std::move(job));
     if (!outcome.accepted()) return rejection_response(*op, outcome);
     const auto status = scheduler_->status(*outcome.id);
@@ -165,6 +188,7 @@ std::string ProtocolHandler::handle(std::string_view line,
         .string("op", *op)
         .number_u64("job", *outcome.id)
         .string("cache_key", status ? status->cache_key : "")
+        .string("tenant", tenant)
         .str();
   }
 
@@ -178,9 +202,11 @@ std::string ProtocolHandler::handle(std::string_view line,
     job.diff_text = *diff;
     std::string field_error;
     if (!read_job_params(*request, job.options, job.strategy, job.deadline_ms,
-                         field_error)) {
+                         field_error) ||
+        !read_tenant(*request, job.tenant, field_error)) {
       return error_response(*op, field_error);
     }
+    const std::string tenant = job.tenant;
     const SubmitOutcome outcome = scheduler_->resubmit(std::move(job));
     if (!outcome.accepted()) return rejection_response(*op, outcome);
     const auto status = scheduler_->status(*outcome.id);
@@ -190,6 +216,7 @@ std::string ProtocolHandler::handle(std::string_view line,
         .number_u64("job", *outcome.id)
         .string("cache_key", status ? status->cache_key : "")
         .string("base", *base)
+        .string("tenant", tenant)
         .str();
   }
 
@@ -216,6 +243,7 @@ std::string ProtocolHandler::handle(std::string_view line,
           .string("op", *op)
           .number_u64("job", *id)
           .string("state", to_string(status->state))
+          .string("tenant", status->tenant)
           .string("cache_key", status->cache_key)
           .boolean("cache_hit", status->cache_hit)
           .boolean("patched", status->patched);
@@ -235,10 +263,44 @@ std::string ProtocolHandler::handle(std::string_view line,
         .string("op", *op)
         .number_u64("job", *id)
         .string("state", to_string(status->state))
+        .string("tenant", status->tenant)
         .boolean("cache_hit", result->cache_hit)
         .string("configs", result->artifacts.anonymized_configs)
         .string("diagnostics", result->artifacts.diagnostics_json)
         .string("metrics", result->artifacts.metrics_json)
+        .str();
+  }
+
+  if (*op == "peer-fetch") {
+    // Fleet-internal artifact transfer: a peer daemon asks the shard
+    // owner for the complete entry at a 16-hex primary address. A miss is
+    // a SUCCESS with found:false (the caller falls back to local compute);
+    // only a malformed request is an error. The response carries the
+    // secondary digest and the owning tenant so the fetcher can republish
+    // under the exact same address and account the bytes correctly.
+    const auto key_hex = get_string(*request, "key");
+    if (!key_hex) return error_response(*op, "missing key");
+    const auto entry = cache_->lookup_by_hex(*key_hex);
+    if (!entry) {
+      return JsonLineWriter{}
+          .boolean("ok", true)
+          .string("op", *op)
+          .boolean("found", false)
+          .string("key", *key_hex)
+          .str();
+    }
+    return JsonLineWriter{}
+        .boolean("ok", true)
+        .string("op", *op)
+        .boolean("found", true)
+        .string("key", entry->key.hex())
+        .number_u64("secondary", entry->key.secondary)
+        .string("tenant", entry->tenant)
+        .string("stamp", cache_->stamp())
+        .string("configs", entry->artifacts.anonymized_configs)
+        .string("original", entry->artifacts.original_configs)
+        .string("diagnostics", entry->artifacts.diagnostics_json)
+        .string("metrics", entry->artifacts.metrics_json)
         .str();
   }
 
@@ -262,8 +324,8 @@ std::string ProtocolHandler::handle(std::string_view line,
 
   if (*op == "stats") {
     const SchedulerStats stats = scheduler_->stats();
-    return JsonLineWriter{}
-        .boolean("ok", true)
+    JsonLineWriter out;
+    out.boolean("ok", true)
         .string("op", *op)
         .number_u64("submitted", stats.submitted)
         .number_u64("completed", stats.completed)
@@ -285,8 +347,24 @@ std::string ProtocolHandler::handle(std::string_view line,
         .number_u64("patched_jobs", stats.patched_jobs)
         .number_u64("patch_fallbacks", stats.patch_fallbacks)
         .number_u64("watch_contexts", stats.watch_contexts)
-        .string("stamp", cache_->stamp())
-        .str();
+        .number_u64("peer_hits", stats.peer_hits)
+        .number_u64("peer_misses", stats.peer_misses)
+        .number_u64("coalesced_jobs", stats.coalesced_jobs)
+        .string("stamp", cache_->stamp());
+    // Per-tenant slices ride in the same flat line as namespaced keys —
+    // the json_line grammar has no nesting, and tenant names are already
+    // restricted to [A-Za-z0-9_.-] so the composed key stays unambiguous.
+    for (const auto& [name, t] : stats.tenants) {
+      const std::string prefix = "tenant:" + name + ":";
+      out.number_u64(prefix + "submitted", t.submitted)
+          .number_u64(prefix + "completed", t.completed)
+          .number_u64(prefix + "rejected", t.rejected)
+          .number_u64(prefix + "peer_hits", t.peer_hits)
+          .number_u64(prefix + "queued", t.queued)
+          .number_u64(prefix + "running", t.running)
+          .number_u64(prefix + "cache_bytes", cache_->tenant_bytes(name));
+    }
+    return out.str();
   }
 
   if (*op == "ping") {
@@ -312,6 +390,9 @@ std::string ProtocolHandler::handle(std::string_view line,
         .number_u64("cache_bytes", cache_->total_bytes())
         .number_u64("cache_budget_bytes", cache_->max_bytes())
         .number_u64("cache_evictions", stats.cache.evictions)
+        .number_u64("tenants", static_cast<std::uint64_t>(stats.tenants.size()))
+        .number_u64("peer_hits", stats.peer_hits)
+        .number_u64("peer_misses", stats.peer_misses)
         .boolean("journal", journal_ != nullptr);
     if (journal_ != nullptr) {
       const JournalStats jstats = journal_->stats();

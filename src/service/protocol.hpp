@@ -10,10 +10,13 @@
 //   submit   configs (required, canonical bundle text) + optional
 //            parameters: k_r, k_h, noise_p, seed, strategy, cost_policy,
 //            max_equivalence_iterations, fake_routers,
-//            links_per_fake_router, incremental, deadline_ms
-//            → {ok, op, job, cache_key}. A load-shed rejection is
+//            links_per_fake_router, incremental, deadline_ms, tenant
+//            → {ok, op, job, cache_key, tenant}. A load-shed rejection is
 //            {ok: false, op, error, retry_after_ms} — the hint is the
-//            server-computed backoff the client should honor.
+//            server-computed backoff the client should honor. `tenant`
+//            names the namespace the job (and its cache entry) belongs
+//            to; omitted = "default". Invalid names are loud errors,
+//            never coerced (tenant.hpp::valid_tenant_name).
 //   resubmit base (required, 16-hex cache_key of a published entry) +
 //            diff (required, confmask-diff/1 bundle diff against that
 //            entry's ORIGINAL bundle) + the same optional parameters as
@@ -21,16 +24,28 @@
 //            reconstructs the full bundle server-side; an unknown/evicted
 //            base or malformed diff is a permanent {ok: false} (no
 //            retry_after_ms) — the client falls back to a full submit.
-//   status   job → {ok, op, job, state, cache_key, cache_hit, patched
-//            [, error_*]} — `patched` is true when the run reused
+//   status   job → {ok, op, job, state, tenant, cache_key, cache_hit,
+//            patched [, error_*]} — `patched` is true when the run reused
 //            simulation state from a resident watch context
-//   result   job → {ok, op, job, state, cache_hit, configs, diagnostics,
-//            metrics} (terminal jobs only; failed jobs carry diagnostics
-//            but never configs — fail closed end to end)
+//   result   job → {ok, op, job, state, tenant, cache_hit, configs,
+//            diagnostics, metrics} (terminal jobs only; failed jobs carry
+//            diagnostics but never configs — fail closed end to end)
+//   peer-fetch key (required, 16-hex primary digest) → the fleet-internal
+//            artifact transfer. Hit: {ok, op, found: true, key,
+//            secondary, tenant, stamp, configs, original, diagnostics,
+//            metrics} — everything the fetching daemon needs to republish
+//            the entry locally under the identical address. Miss:
+//            {ok: true, op, found: false, key} — a success, not an
+//            error: the caller falls back to local compute. Tenant
+//            isolation needs no filter here because the tenant is folded
+//            into the key digest itself (cache_key.hpp v3).
 //   cancel   job → {ok, op, job, cancelled}; queued jobs cancel
 //            immediately, running jobs cancel cooperatively at the
 //            pipeline's next poll point
-//   stats    → scheduler + cache counters, build stamp
+//   stats    → scheduler + cache counters, build stamp, fleet counters
+//            (peer_hits/peer_misses/coalesced_jobs) and one flattened
+//            "tenant:<name>:<counter>" key per tenant counter (the wire
+//            grammar is flat, so namespacing lives in the key)
 //   ping     → {ok, op, stamp, version, uptime_ms, queued, running,
 //            cache_entries, cache_bytes, ...} — liveness + one-line
 //            operational summary, cheap enough for a health probe loop

@@ -1,0 +1,65 @@
+#include "src/service/shard_ring.hpp"
+
+#include <algorithm>
+
+namespace confmask {
+
+namespace {
+
+constexpr std::uint64_t kOffsetBasis = 1469598103934665603ULL;
+constexpr std::uint64_t kPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a_byte(std::uint64_t hash, unsigned char byte) {
+  return (hash ^ byte) * kPrime;
+}
+
+}  // namespace
+
+RendezvousRing::RendezvousRing(std::vector<std::string> peers,
+                               std::string self)
+    : peers_(std::move(peers)), self_(std::move(self)) {
+  if (!self_.empty() &&
+      std::find(peers_.begin(), peers_.end(), self_) == peers_.end()) {
+    peers_.push_back(self_);
+  }
+  std::sort(peers_.begin(), peers_.end());
+  peers_.erase(std::unique(peers_.begin(), peers_.end()), peers_.end());
+}
+
+std::uint64_t RendezvousRing::score(std::string_view peer,
+                                    std::uint64_t key) {
+  std::uint64_t hash = kOffsetBasis;
+  for (const char c : peer) {
+    hash = fnv1a_byte(hash, static_cast<unsigned char>(c));
+  }
+  hash = fnv1a_byte(hash, 0);  // separator: "ab"+key never aliases "a"+bkey
+  for (int shift = 0; shift < 64; shift += 8) {
+    hash = fnv1a_byte(hash, static_cast<unsigned char>((key >> shift) & 0xFF));
+  }
+  // One round of splitmix64-style finalization: raw FNV of a mostly-zero
+  // key would leave the high bits poorly mixed and skew the argmax.
+  hash ^= hash >> 30;
+  hash *= 0xBF58476D1CE4E5B9ULL;
+  hash ^= hash >> 27;
+  hash *= 0x94D049BB133111EBULL;
+  hash ^= hash >> 31;
+  return hash;
+}
+
+const std::string& RendezvousRing::owner(std::uint64_t key) const {
+  if (peers_.empty()) return self_;
+  // peers_ is sorted, so scanning in order makes ties (astronomically
+  // unlikely, but possible) break toward the smaller endpoint.
+  const std::string* best = &peers_.front();
+  std::uint64_t best_score = score(peers_.front(), key);
+  for (std::size_t i = 1; i < peers_.size(); ++i) {
+    const std::uint64_t s = score(peers_[i], key);
+    if (s > best_score) {
+      best_score = s;
+      best = &peers_[i];
+    }
+  }
+  return *best;
+}
+
+}  // namespace confmask

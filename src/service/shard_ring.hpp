@@ -1,0 +1,57 @@
+// Rendezvous (highest-random-weight) hashing over the fleet's endpoints.
+//
+// Each daemon is configured with the same --peers list and its own --self
+// endpoint; every cache key then has exactly one owner, computed locally
+// with no coordination: owner(key) = argmax over peers of
+// score(peer, key). Because each peer's score is independent of the
+// others, adding or removing one peer only remaps the keys that peer
+// owned/now owns (1/N of the space on average) — the property that makes
+// rendezvous hashing preferable to modulo sharding for a cache fleet.
+//
+// Scores are FNV-1a/64 over "endpoint \0 key-bytes", so owner selection is
+// a pure function of the peer list and the key: deterministic across
+// daemon restarts and identical on every member that shares the list
+// (peers are sorted and deduplicated at construction, so list order does
+// not matter). Ties break toward the lexicographically smaller endpoint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace confmask {
+
+class RendezvousRing {
+ public:
+  /// An empty ring: no peers, every key is owned locally.
+  RendezvousRing() = default;
+
+  /// `peers` are endpoint strings exactly as clients would dial them
+  /// (unix-socket paths or HOST:PORT); `self` is this daemon's own entry
+  /// and is added to the ring if the list omits it.
+  RendezvousRing(std::vector<std::string> peers, std::string self);
+
+  /// True when there is no remote peer to consult (0 or 1 members).
+  bool solo() const { return peers_.size() <= 1; }
+
+  std::size_t size() const { return peers_.size(); }
+  const std::string& self() const { return self_; }
+  const std::vector<std::string>& peers() const { return peers_; }
+
+  /// The endpoint that owns `key` (the primary cache-key digest).
+  /// On an empty ring this is self().
+  const std::string& owner(std::uint64_t key) const;
+
+  bool self_owns(std::uint64_t key) const { return owner(key) == self_; }
+
+  /// The highest-random-weight score of one peer for one key; exposed so
+  /// tests can verify owner() really is the argmax.
+  static std::uint64_t score(std::string_view peer, std::uint64_t key);
+
+ private:
+  std::vector<std::string> peers_;
+  std::string self_;
+};
+
+}  // namespace confmask

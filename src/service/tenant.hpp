@@ -1,0 +1,82 @@
+// Tenant namespaces for confmaskd.
+//
+// Every job, cache entry, and journal record belongs to exactly one tenant;
+// requests that carry no `tenant` field land in kDefaultTenant, which keeps
+// the pre-fleet protocol working unchanged. A TenantTable maps tenant names
+// to quotas (queue depth, concurrency, cache byte share, scheduler weight)
+// and is loaded from a json-line file: one object per line,
+//
+//   {"tenant": "acme", "max_pending": 16, "max_concurrent": 2,
+//    "cache_share_bytes": 104857600, "weight": 2}
+//
+// A line whose tenant is "*" sets the defaults applied to every tenant not
+// named explicitly. Blank lines and lines starting with '#' are ignored.
+// The daemon reloads the table on SIGHUP; a parse error keeps the old table.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace confmask {
+
+/// The namespace used when a request carries no `tenant` field.
+inline constexpr std::string_view kDefaultTenant = "default";
+
+/// Tenant names travel inside cache keys, journal records, and trace tags,
+/// so they are restricted to a filesystem- and JSON-safe alphabet:
+/// [A-Za-z0-9_.-], 1..64 characters, not "*" (reserved for defaults).
+bool valid_tenant_name(std::string_view name);
+
+/// Per-tenant limits. Zero means "no per-tenant bound" for every field
+/// except weight (a zero/negative weight is clamped to 1 at parse time).
+struct TenantQuota {
+  /// Jobs this tenant may have queued (not yet running). 0 = only the
+  /// global --max-pending cap applies.
+  std::size_t max_pending = 0;
+  /// Jobs this tenant may have running at once. 0 = only the global
+  /// --max-concurrent-jobs cap applies.
+  int max_concurrent = 0;
+  /// Artifact-cache bytes this tenant may hold before its own LRU entries
+  /// are evicted to make room. 0 = the tenant shares the global budget.
+  std::uint64_t cache_share_bytes = 0;
+  /// Deficit-round-robin quantum: a weight-2 tenant drains two jobs for
+  /// every one of a weight-1 tenant when both have backlogs.
+  int weight = 1;
+};
+
+/// Immutable snapshot of the quota config. Cheap to copy; the scheduler
+/// swaps whole tables on SIGHUP reload.
+class TenantTable {
+ public:
+  TenantTable() = default;
+
+  /// Quota for `tenant`: the named entry if present, else the defaults.
+  const TenantQuota& quota_for(std::string_view tenant) const;
+
+  void set_defaults(const TenantQuota& quota) { defaults_ = quota; }
+  void set_quota(const std::string& tenant, const TenantQuota& quota) {
+    quotas_[tenant] = quota;
+  }
+
+  const TenantQuota& defaults() const { return defaults_; }
+  const std::map<std::string, TenantQuota>& named() const { return quotas_; }
+
+  /// Named tenants with a nonzero cache share, for ArtifactCache.
+  std::map<std::string, std::uint64_t> cache_shares() const;
+
+ private:
+  TenantQuota defaults_;
+  std::map<std::string, TenantQuota> quotas_;
+};
+
+/// Parses the json-line quota file format described above. Returns nullopt
+/// and fills `error` (if non-null) on the first malformed line; the error
+/// names the line number.
+std::optional<TenantTable> parse_tenant_table(const std::string& text,
+                                              std::string* error = nullptr);
+
+}  // namespace confmask

@@ -2,7 +2,9 @@
 // sizes BENCH_scale.json sweeps.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "src/config/emit.hpp"
 #include "src/netgen/scale_families.hpp"
@@ -13,7 +15,8 @@ namespace confmask {
 namespace {
 
 constexpr ScaleFamily kAllFamilies[] = {
-    ScaleFamily::kWaxman, ScaleFamily::kWaxmanRip, ScaleFamily::kMultiAs};
+    ScaleFamily::kWaxman, ScaleFamily::kWaxmanRip, ScaleFamily::kMultiAs,
+    ScaleFamily::kPreferentialAttachment};
 
 TEST(ScaleFamilies, DefaultHostCountClamps) {
   EXPECT_EQ(default_scale_hosts(100), 8);     // floor
@@ -77,6 +80,32 @@ TEST(ScaleFamilies, MeanDegreeIsScaleInvariant) {
     if (previous > 0.0) EXPECT_NEAR(mean, previous, 1.0);
     previous = mean;
   }
+}
+
+// The BA family must actually be hub-heavy: mean degree pinned near 2m by
+// construction, while the max degree grows far past it — the shape Waxman
+// never produces and the one that stresses k-degree anonymization cost.
+TEST(ScaleFamilies, PreferentialAttachmentGrowsHubs) {
+  PreferentialAttachmentOptions options;
+  options.routers = 800;
+  options.hosts = 0;
+  const ConfigSet configs = make_preferential_attachment_network(options, 7);
+  const Topology topo = Topology::build(configs);
+  ASSERT_TRUE(topo.router_graph().connected());
+  const std::vector<int> degrees = topo.router_graph().degrees();
+  int max_degree = 0;
+  long total = 0;
+  for (const int d : degrees) {
+    max_degree = std::max(max_degree, d);
+    total += d;
+  }
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(degrees.size());
+  EXPECT_GT(mean, 3.0);  // ~2m with m=2, minus the clique constant
+  EXPECT_LT(mean, 5.0);
+  // A uniform-attachment graph of this size tops out around mean + a few;
+  // preferential attachment reliably produces an order-of-magnitude hub.
+  EXPECT_GE(max_degree, static_cast<int>(5.0 * mean));
 }
 
 TEST(ScaleFamilies, MultiAsBuildsSessionsAndScalesAsCount) {

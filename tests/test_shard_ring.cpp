@@ -1,0 +1,155 @@
+// Rendezvous (highest-random-weight) shard ring: the properties the fleet
+// cache leans on. Ownership must be DETERMINISTIC across daemon restarts
+// (same membership → same owner for every key, no persisted state),
+// BALANCED (no member becomes the fleet's hot spot), and MINIMALLY
+// DISRUPTED by membership changes (a join/leave moves only the keys whose
+// owner changed — the rendezvous guarantee that makes rolling restarts
+// cheap: everything else keeps hitting its old owner's cache).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/service/shard_ring.hpp"
+
+namespace confmask {
+namespace {
+
+std::vector<std::uint64_t> test_keys(std::size_t count) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(count);
+  // splitmix64 walk: arbitrary but fixed, spread over the full 64 bits —
+  // the same character cache-key primaries have.
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    keys.push_back(z ^ (z >> 31));
+  }
+  return keys;
+}
+
+TEST(ShardRing, SelfIsAddedAndDeduplicated) {
+  const RendezvousRing explicit_self({"/tmp/a.sock", "/tmp/b.sock"},
+                                     "/tmp/a.sock");
+  EXPECT_EQ(explicit_self.size(), 2u);
+  const RendezvousRing implicit_self({"/tmp/a.sock", "/tmp/b.sock"},
+                                     "/tmp/c.sock");
+  EXPECT_EQ(implicit_self.size(), 3u);
+  EXPECT_EQ(implicit_self.self(), "/tmp/c.sock");
+
+  const RendezvousRing duplicates(
+      {"/tmp/a.sock", "/tmp/a.sock", "/tmp/b.sock"}, "/tmp/b.sock");
+  EXPECT_EQ(duplicates.size(), 2u);
+}
+
+TEST(ShardRing, SoloRingOwnsEverything) {
+  const RendezvousRing solo({}, "/tmp/only.sock");
+  EXPECT_TRUE(solo.solo());
+  for (const std::uint64_t key : test_keys(32)) {
+    EXPECT_EQ(solo.owner(key), "/tmp/only.sock");
+    EXPECT_TRUE(solo.self_owns(key));
+  }
+}
+
+// Restart determinism: ownership is a pure function of (membership, key).
+// Peer order on the command line must not matter — daemons in one fleet
+// may list the same members in different orders.
+TEST(ShardRing, OwnerIsDeterministicAcrossRestartsAndPeerOrder) {
+  const std::vector<std::string> members = {"/run/d1.sock", "/run/d2.sock",
+                                            "/run/d3.sock"};
+  const RendezvousRing first(members, "/run/d1.sock");
+  const RendezvousRing again(members, "/run/d1.sock");  // "restart"
+  const RendezvousRing shuffled({"/run/d3.sock", "/run/d1.sock"},
+                                "/run/d2.sock");
+  ASSERT_EQ(shuffled.size(), 3u);
+  for (const std::uint64_t key : test_keys(1'000)) {
+    const std::string& owner = first.owner(key);
+    EXPECT_EQ(again.owner(key), owner);
+    EXPECT_EQ(shuffled.owner(key), owner);
+  }
+}
+
+// Every member agrees who owns a key — the property peer-fetch relies on:
+// the fetching daemon and the serving daemon compute the same owner.
+TEST(ShardRing, AllMembersAgreeOnOwnership) {
+  const std::vector<std::string> members = {"/run/d1.sock", "/run/d2.sock",
+                                            "/run/d3.sock"};
+  std::vector<RendezvousRing> views;
+  for (const auto& self : members) views.emplace_back(members, self);
+  for (const std::uint64_t key : test_keys(200)) {
+    const std::string& owner = views[0].owner(key);
+    for (const auto& view : views) EXPECT_EQ(view.owner(key), owner);
+  }
+}
+
+// Balance over 1000 keys: with 4 members the expected share is 250; HRW
+// with a finalized 64-bit score should stay well within ±40% of fair —
+// loose enough to never flake, tight enough to catch a broken hash (a
+// lexicographic-max bug concentrates everything on one member).
+TEST(ShardRing, OwnershipIsBalancedAcrossAThousandKeys) {
+  const std::vector<std::string> members = {"/run/a.sock", "/run/b.sock",
+                                            "/run/c.sock", "/run/d.sock"};
+  const RendezvousRing ring(members, members[0]);
+  std::map<std::string, int> counts;
+  const auto keys = test_keys(1'000);
+  for (const std::uint64_t key : keys) ++counts[ring.owner(key)];
+  ASSERT_EQ(counts.size(), members.size()) << "some member owns nothing";
+  for (const auto& [member, count] : counts) {
+    EXPECT_GE(count, 150) << member;
+    EXPECT_LE(count, 350) << member;
+  }
+}
+
+// The rendezvous guarantee: removing a member moves ONLY that member's
+// keys (everything it did not own keeps its owner), and adding a member
+// steals roughly its fair share — never reshuffles the rest.
+TEST(ShardRing, MembershipChangesRemapMinimally) {
+  const std::vector<std::string> three = {"/run/a.sock", "/run/b.sock",
+                                          "/run/c.sock"};
+  const std::vector<std::string> four = {"/run/a.sock", "/run/b.sock",
+                                         "/run/c.sock", "/run/d.sock"};
+  const RendezvousRing small(three, three[0]);
+  const RendezvousRing big(four, four[0]);
+  const auto keys = test_keys(1'000);
+
+  int moved_on_join = 0;
+  for (const std::uint64_t key : keys) {
+    const std::string& before = small.owner(key);
+    const std::string& after = big.owner(key);
+    if (before != after) {
+      // A key may only move TO the joiner, never between old members.
+      EXPECT_EQ(after, "/run/d.sock");
+      ++moved_on_join;
+    }
+  }
+  // The joiner should steal ~1/4 of the space; assert a generous band.
+  EXPECT_GE(moved_on_join, 100);
+  EXPECT_LE(moved_on_join, 400);
+
+  for (const std::uint64_t key : keys) {
+    // Leave (the reverse direction): keys not owned by the leaver stay put.
+    if (big.owner(key) != "/run/d.sock") {
+      EXPECT_EQ(small.owner(key), big.owner(key));
+    }
+  }
+}
+
+// Scores are pure: same (endpoint, key) → same score, different endpoints
+// almost surely different scores (the tie-break path exists but must not
+// be the common case).
+TEST(ShardRing, ScoreIsPureAndSpreads) {
+  const std::uint64_t key = 0xDEADBEEFCAFEF00Dull;
+  EXPECT_EQ(RendezvousRing::score("/run/a.sock", key),
+            RendezvousRing::score("/run/a.sock", key));
+  EXPECT_NE(RendezvousRing::score("/run/a.sock", key),
+            RendezvousRing::score("/run/b.sock", key));
+  EXPECT_NE(RendezvousRing::score("/run/a.sock", key),
+            RendezvousRing::score("/run/a.sock", key + 1));
+}
+
+}  // namespace
+}  // namespace confmask
